@@ -1,0 +1,100 @@
+//! Criterion bench: the interval-hit solver vs the modular solver vs
+//! brute-force enumeration on cache-shaped queries (§2.3's solver
+//! performance claim at micro scale).
+
+use cme_polyhedra::enumhit::{enum_interval_hit, enum_mod_hit};
+use cme_polyhedra::formhit::{interval_hit, Budget};
+use cme_polyhedra::modhit::mod_hit;
+use cme_polyhedra::{AffineForm, IntBox, Interval};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A realistic replacement-polyhedron query: 2-D piece of an MM-like
+/// interval plus the cache wrap variable.
+fn cache_query() -> (AffineForm, IntBox, Vec<Interval>) {
+    let form = AffineForm::new(vec![4, 2000, -8192], 64);
+    let bx = IntBox::new(vec![
+        Interval::new(0, 499),
+        Interval::new(0, 499),
+        Interval::new(-40, 140),
+    ]);
+    let windows = (0..64).map(|s| Interval::new(s * 32, s * 32 + 31)).collect();
+    (form, bx, windows)
+}
+
+fn small_query() -> (AffineForm, IntBox, Vec<Interval>) {
+    let form = AffineForm::new(vec![4, 72, -512], 0);
+    let bx = IntBox::new(vec![Interval::new(0, 15), Interval::new(0, 11), Interval::new(-4, 12)]);
+    let windows = (0..16).map(|s| Interval::new(s * 16, s * 16 + 15)).collect();
+    (form, bx, windows)
+}
+
+fn bench_formhit(c: &mut Criterion) {
+    let (form, bx, windows) = cache_query();
+    c.bench_function("formhit/interval_hit/mm_scale_64sets", |b| {
+        let mut budget = Budget::default();
+        b.iter(|| {
+            let mut hits = 0;
+            for w in &windows {
+                if interval_hit(black_box(&form), black_box(&bx), *w, &mut budget).as_conservative_bool() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    let (sform, sbx, swindows) = small_query();
+    c.bench_function("formhit/interval_hit/small_16sets", |b| {
+        let mut budget = Budget::default();
+        b.iter(|| {
+            let mut hits = 0;
+            for w in &swindows {
+                if interval_hit(black_box(&sform), black_box(&sbx), *w, &mut budget).as_conservative_bool() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("formhit/enumeration/small_16sets", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for w in &swindows {
+                if enum_interval_hit(black_box(&sform), black_box(&sbx), *w) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Modular set-mapping variant (2-D form, no wrap variable).
+    let mform = AffineForm::new(vec![4, 72], 0);
+    let mbx = IntBox::new(vec![Interval::new(0, 15), Interval::new(0, 11)]);
+    c.bench_function("formhit/mod_hit/small_16sets", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for s in 0..16i64 {
+                if mod_hit(black_box(&mform), black_box(&mbx), 512, Interval::new(s * 16, s * 16 + 15)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("formhit/mod_enum/small_16sets", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for s in 0..16i64 {
+                if enum_mod_hit(black_box(&mform), black_box(&mbx), 512, Interval::new(s * 16, s * 16 + 15)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group!(benches, bench_formhit);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: how sensitive is the result to the paper's GA parameters
+//! (§3.3: population 30, crossover 0.9, mutation 0.001, 15–25
+//! generations)? Each variant runs the MM_200 tile search and reports the
+//! best replacement ratio found and the evaluation budget spent.
+
+use cme_core::{CacheSpec, SamplingConfig};
+use cme_ga::GaConfig;
+use cme_loopnest::MemoryLayout;
+use cme_tileopt::TilingOptimizer;
+use rayon::prelude::*;
+
+fn main() {
+    let nest = cme_kernels::linalg::mm(200);
+    let layout = MemoryLayout::contiguous(&nest);
+    let accesses = nest.accesses() as f64;
+    let base = GaConfig::default();
+    let variants: Vec<(String, GaConfig)> = vec![
+        ("paper (pop30 pc.9 pm.001)".into(), base),
+        ("pop 10".into(), GaConfig { population: 10, ..base }),
+        ("pop 60".into(), GaConfig { population: 60, ..base }),
+        ("pc 0.5".into(), GaConfig { crossover_prob: 0.5, ..base }),
+        ("pc 1.0".into(), GaConfig { crossover_prob: 1.0, ..base }),
+        ("pm 0 (no mutation)".into(), GaConfig { mutation_prob: 0.0, ..base }),
+        ("pm 0.01".into(), GaConfig { mutation_prob: 0.01, ..base }),
+        ("pm 0.05".into(), GaConfig { mutation_prob: 0.05, ..base }),
+        ("gens 5..10".into(), GaConfig { min_generations: 5, max_generations: 10, ..base }),
+        ("gens 40..60".into(), GaConfig { min_generations: 40, max_generations: 60, ..base }),
+        ("margin 10%".into(), GaConfig { convergence_margin: 0.10, ..base }),
+    ];
+    println!("GA parameter ablation on MM_200 (8KB cache), 3 seeds each\n");
+    let rows: Vec<Vec<String>> = variants
+        .par_iter()
+        .map(|(label, cfg)| {
+            let mut ratios = Vec::new();
+            let mut evals = Vec::new();
+            let mut gens = Vec::new();
+            for seed in [1u64, 2, 3] {
+                let mut opt = TilingOptimizer::new(CacheSpec::paper_8k());
+                opt.sampling = SamplingConfig::paper();
+                opt.ga = GaConfig { seed, ..*cfg };
+                let out = opt.optimize(&nest, &layout).expect("legal");
+                ratios.push(out.ga.best_cost / accesses * 100.0);
+                evals.push(out.ga.evaluations);
+                gens.push(out.ga.generations);
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let worst = ratios.iter().cloned().fold(0.0f64, f64::max);
+            vec![
+                label.clone(),
+                format!("{mean:.2}"),
+                format!("{worst:.2}"),
+                format!("{:.0}", evals.iter().sum::<u64>() as f64 / evals.len() as f64),
+                format!("{:.0}", gens.iter().sum::<u32>() as f64 / gens.len() as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        cme_bench::format_table(
+            &["variant", "mean best repl%", "worst repl%", "mean evals", "mean gens"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,79 @@
+//! Extension (paper §5 declined this): compare the GA-chosen tilings with
+//! classical tile-size-selection heuristics on the same kernels, same
+//! model, same cache.
+
+use cme_bench::{cache_8k, seed_for};
+use cme_core::{CmeModel, SamplingConfig};
+use cme_ga::GaConfig;
+use cme_loopnest::{MemoryLayout, TileSizes};
+use cme_tileopt::baselines::{fixed_fraction, lrw_square, tss_coleman_mckinley};
+use cme_tileopt::TilingOptimizer;
+use rayon::prelude::*;
+
+fn repl_pct(model: &CmeModel, nest: &cme_loopnest::LoopNest, layout: &MemoryLayout, tiles: &TileSizes) -> f64 {
+    let an = if tiles.is_trivial(nest) {
+        model.analyze(nest, layout, None)
+    } else {
+        model.analyze(nest, layout, Some(tiles))
+    };
+    an.estimate(&SamplingConfig::paper(), 11).replacement_ratio() * 100.0
+}
+
+fn main() {
+    println!("Baseline comparison — replacement miss ratio (%) after tiling, 8KB cache\n");
+    let cache = cache_8k();
+    let model = CmeModel::new(cache);
+    let configs = cme_kernels::figure_configs();
+    let rows: Vec<Vec<String>> = configs
+        .par_iter()
+        .map(|cfg| {
+            let nest = cfg.build();
+            let layout = MemoryLayout::contiguous(&nest);
+            let none = repl_pct(&model, &nest, &layout, &TileSizes::trivial(&nest));
+            let lrw = repl_pct(&model, &nest, &layout, &lrw_square(&nest, &layout, cache));
+            let tss = repl_pct(&model, &nest, &layout, &tss_coleman_mckinley(&nest, &layout, cache));
+            let fix = repl_pct(&model, &nest, &layout, &fixed_fraction(&nest, cache, 0.5));
+            let mut opt = TilingOptimizer::new(cache);
+            opt.ga = GaConfig { seed: seed_for(&cfg.sized_name), ..GaConfig::default() };
+            let ga = opt
+                .optimize(&nest, &layout)
+                .map(|o| o.after.replacement_ratio() * 100.0)
+                .unwrap_or(f64::NAN);
+            vec![
+                cfg.sized_name.clone(),
+                format!("{none:.1}"),
+                format!("{lrw:.1}"),
+                format!("{tss:.1}"),
+                format!("{fix:.1}"),
+                format!("{ga:.1}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        cme_bench::format_table(
+            &["kernel", "untiled", "LRW", "TSS", "fixed 1/2", "CME+GA"],
+            &rows
+        )
+    );
+    // Aggregate: how often the GA matches or beats each baseline.
+    let mut wins = [0usize; 3];
+    let mut total = 0usize;
+    for row in &rows {
+        let ga: f64 = row[5].parse().unwrap_or(f64::NAN);
+        if ga.is_nan() {
+            continue;
+        }
+        total += 1;
+        for (k, col) in [2usize, 3, 4].iter().enumerate() {
+            let base: f64 = row[*col].parse().unwrap_or(f64::NAN);
+            if ga <= base + 0.1 {
+                wins[k] += 1;
+            }
+        }
+    }
+    println!(
+        "CME+GA matches-or-beats: LRW {}/{total}, TSS {}/{total}, fixed {}/{total}",
+        wins[0], wins[1], wins[2]
+    );
+}

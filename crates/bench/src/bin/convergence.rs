@@ -1,0 +1,65 @@
+//! §3.3 claims: the GA converges in 15–25 generations and needs on the
+//! order of 450 objective evaluations per loop nest.
+
+use cme_bench::{cache_8k, seed_for};
+use cme_ga::GaConfig;
+use cme_loopnest::MemoryLayout;
+use cme_tileopt::TilingOptimizer;
+use rayon::prelude::*;
+
+fn main() {
+    println!("GA convergence study (8KB cache) — paper §3.3:");
+    println!("  \"near-optimal results in most cases after 15 generations ... between 15 and 25\"");
+    println!("  \"the required 450 evaluations (15 iterations of the GA x 30 individuals)\"\n");
+    let configs = cme_kernels::figure_configs();
+    let results: Vec<(String, u32, u64, bool, Vec<(u32, f64, f64)>)> = configs
+        .par_iter()
+        .map(|cfg| {
+            let nest = cfg.build();
+            let layout = MemoryLayout::contiguous(&nest);
+            let mut opt = TilingOptimizer::new(cache_8k());
+            opt.ga = GaConfig { seed: seed_for(&cfg.sized_name), ..GaConfig::default() };
+            let (out, ga) = opt.optimize_traced(&nest, &layout).expect("legal");
+            let _ = out;
+            let hist =
+                ga.history.iter().map(|h| (h.generation, h.best, h.average)).collect();
+            (cfg.sized_name.clone(), ga.generations, ga.evaluations, ga.converged, hist)
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, gens, evals, conv, _)| {
+            vec![
+                name.clone(),
+                gens.to_string(),
+                evals.to_string(),
+                if *conv { "2% criterion".into() } else { "generation cap".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        cme_bench::format_table(&["kernel", "generations", "distinct evals", "stopped by"], &rows)
+    );
+    let gens: Vec<u32> = results.iter().map(|r| r.1).collect();
+    let evals: Vec<u64> = results.iter().map(|r| r.2).collect();
+    let converged = results.iter().filter(|r| r.3).count();
+    println!(
+        "generations: min {} / mean {:.1} / max {}  (paper: 15..25)",
+        gens.iter().min().unwrap(),
+        gens.iter().sum::<u32>() as f64 / gens.len() as f64,
+        gens.iter().max().unwrap()
+    );
+    println!(
+        "distinct evaluations: min {} / mean {:.0} / max {} (paper budget: 450 incl. duplicates)",
+        evals.iter().min().unwrap(),
+        evals.iter().sum::<u64>() as f64 / evals.len() as f64,
+        evals.iter().max().unwrap()
+    );
+    println!(
+        "stopped by the 2% convergence criterion: {}/{} kernels",
+        converged,
+        results.len()
+    );
+    assert!(gens.iter().all(|&g| (15..=25).contains(&g)), "Fig. 7 bounds violated");
+}

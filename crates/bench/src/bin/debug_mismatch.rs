@@ -1,0 +1,67 @@
+//! Internal debugging tool: per-point diff between CME classification and
+//! the exact simulator. Not part of the evaluation suite.
+
+use cme_cachesim::{AccessOutcome, CacheGeometry, Simulator};
+use cme_core::{CacheSpec, Classification, CmeModel};
+use cme_loopnest::trace::for_each_access;
+use cme_loopnest::{ExecSpace, MemoryLayout};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("matmul");
+    let (nest, size, line, assoc) = match which {
+        "matmul" => (cme_kernels::linalg::matmul(7), 128, 16, 1),
+        "jacobi" => (cme_kernels::stencils::jacobi3d(8), 512, 32, 1),
+        "mm4" => (cme_kernels::linalg::mm(6), 256, 32, 4),
+        "t3d" => (cme_kernels::transposes::t3djik(6), 256, 32, 1),
+        _ => panic!("unknown"),
+    };
+    let layout = MemoryLayout::contiguous(&nest);
+    let spec = CacheSpec { size, line, assoc };
+    let model = CmeModel::new(spec);
+    let an = model.analyze(&nest, &layout, None);
+
+    // Simulator per-access outcomes in execution order.
+    let mut sim = Simulator::new(CacheGeometry { size, line, assoc });
+    let mut outcomes = Vec::new();
+    for_each_access(&nest, &layout, None, |a| {
+        outcomes.push(sim.access(a.addr));
+    });
+
+    let space = ExecSpace::untiled(&nest);
+    let mut idx = 0;
+    let mut mismatches = 0;
+    space.for_each_point(|v| {
+        for r in 0..nest.refs.len() {
+            let cme = an.classify(v, r);
+            let simr = match outcomes[idx] {
+                AccessOutcome::Hit => Classification::Hit,
+                AccessOutcome::ColdMiss => Classification::Cold,
+                AccessOutcome::ReplacementMiss => Classification::Replacement,
+            };
+            if cme != simr && mismatches < 10 {
+                mismatches += 1;
+                println!("point {v:?} ref {r}: cme={cme:?} sim={simr:?}");
+                let addr0 = an.addr[r].eval(v);
+                println!("  addr {addr0} line {} set {}", spec.line_of(addr0), spec.set_of_line(spec.line_of(addr0)));
+                for c in &an.candidates[r] {
+                    let src: Vec<i64> = v.iter().zip(&c.rv).map(|(a, b)| a - b).collect();
+                    let valid = c.rv.iter().all(|&x| x == 0) || an.space.contains_v(&src);
+                    if valid {
+                        let saddr = an.addr[c.src_ref].eval(&src);
+                        println!(
+                            "  cand rv={:?} src_ref={} saddr={} line={} {}",
+                            c.rv,
+                            c.src_ref,
+                            saddr,
+                            spec.line_of(saddr),
+                            if spec.line_of(saddr) == spec.line_of(addr0) { "SAME-LINE" } else { "" }
+                        );
+                    }
+                }
+            }
+            idx += 1;
+        }
+    });
+    println!("total mismatches scanned: (printed up to 10)");
+}

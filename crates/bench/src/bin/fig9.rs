@@ -1,0 +1,28 @@
+//! Figure 9: replacement miss ratio before and after loop tiling for every
+//! kernel configuration, 32 KB direct-mapped cache.
+
+use cme_bench::{cache_32k, sweep_figure};
+
+fn main() {
+    println!("Figure 9 — replacement miss ratio, NO-tiling vs tiling (32KB cache)\n");
+    let reports = sweep_figure(cache_32k());
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                format!("{:.1}", r.repl_before_pct),
+                format!("{:.1}", r.repl_after_pct),
+                r.tiles.as_ref().map(|t| t.to_string()).unwrap_or_default(),
+                format!("{}g/{}e", r.ga_generations, r.ga_evaluations),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        cme_bench::format_table(&["kernel", "repl% NO tiling", "repl% tiling", "tiles", "GA"], &rows)
+    );
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialise"));
+    }
+}

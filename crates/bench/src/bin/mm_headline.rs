@@ -1,0 +1,57 @@
+//! Headline claims (§1 and §6):
+//! * matrix multiply's miss ratio drops by up to a factor of ~7;
+//! * T3DJIK (N=100) replacement ratio 36.7% -> 0.6%;
+//! * DPSSB replacement ratio 55.5% -> 1.25%.
+
+use cme_bench::{cache_8k, run_tiling};
+use cme_kernels::paper::headline;
+
+fn main() {
+    println!("Headline claims (8KB direct-mapped cache)\n");
+    let mut rows = Vec::new();
+    // MM family: total miss ratio factor.
+    for size in [100i64, 500, 2000] {
+        let spec = cme_kernels::kernel_by_name("MM").unwrap();
+        let cfg = spec.configs().into_iter().find(|c| c.size == size).unwrap();
+        let r = run_tiling(&cfg, cache_8k());
+        let factor = r.total_before_pct / r.total_after_pct.max(1e-9);
+        rows.push(vec![
+            r.kernel.clone(),
+            format!("{:.1}", r.total_before_pct),
+            format!("{:.1}", r.total_after_pct),
+            format!("{factor:.1}x"),
+            format!("(paper: up to {:.0}x)", headline::MM_MISS_RATIO_FACTOR),
+        ]);
+    }
+    println!(
+        "{}",
+        cme_bench::format_table(
+            &["kernel", "total miss% before", "total miss% after", "factor", "paper"],
+            &rows
+        )
+    );
+
+    // T3DJIK N=100.
+    let spec = cme_kernels::kernel_by_name("T3DJIK").unwrap();
+    let cfg = spec.configs().into_iter().find(|c| c.size == 100).unwrap();
+    let r = run_tiling(&cfg, cache_8k());
+    println!(
+        "T3DJIK N=100: repl {:.1}% -> {:.1}%   (paper: {:.1}% -> {:.1}%)",
+        r.repl_before_pct,
+        r.repl_after_pct,
+        headline::T3DJIK_BEFORE,
+        headline::T3DJIK_AFTER
+    );
+
+    // DPSSB.
+    let spec = cme_kernels::kernel_by_name("DPSSB").unwrap();
+    let cfg = &spec.configs()[0];
+    let r = run_tiling(cfg, cache_8k());
+    println!(
+        "DPSSB:        repl {:.1}% -> {:.1}%   (paper: {:.1}% -> {:.2}%)",
+        r.repl_before_pct,
+        r.repl_after_pct,
+        headline::DPSSB_BEFORE,
+        headline::DPSSB_AFTER
+    );
+}

@@ -1,0 +1,53 @@
+//! Quick performance probe (internal): time one estimate and one GA run
+//! at paper scale.
+
+use cme_core::{CacheSpec, CmeModel};
+use cme_loopnest::MemoryLayout;
+use cme_tileopt::TilingOptimizer;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "MM".into());
+    let size: i64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let spec = cme_kernels::kernel_by_name(&which).expect("kernel");
+    let nest = (spec.build)(size);
+    let layout = MemoryLayout::contiguous(&nest);
+    let model = CmeModel::new(CacheSpec::paper_8k());
+
+    let t0 = Instant::now();
+    let an = model.analyze(&nest, &layout, None);
+    let est = an.estimate_paper(1);
+    println!(
+        "untiled estimate: {:?} | total {:.1}% repl {:.1}% | solver q={} fb={}",
+        t0.elapsed(),
+        est.miss_ratio() * 100.0,
+        est.replacement_ratio() * 100.0,
+        est.solver.queries,
+        est.solver.fallbacks
+    );
+
+    let t1 = Instant::now();
+    let tiles = cme_loopnest::TileSizes(nest.spans().iter().map(|s| (s / 7).max(1)).collect());
+    let an2 = model.analyze(&nest, &layout, Some(&tiles));
+    let est2 = an2.estimate_paper(2);
+    println!(
+        "tiled estimate {}: {:?} | total {:.1}% repl {:.1}%",
+        tiles,
+        t1.elapsed(),
+        est2.miss_ratio() * 100.0,
+        est2.replacement_ratio() * 100.0,
+    );
+
+    let t2 = Instant::now();
+    let opt = TilingOptimizer::new(CacheSpec::paper_8k());
+    let out = opt.optimize(&nest, &layout).expect("legal");
+    println!(
+        "GA: {:?} | gens {} evals {} tiles {} | before repl {:.1}% after repl {:.1}%",
+        t2.elapsed(),
+        out.ga.generations,
+        out.ga.evaluations,
+        out.tiles,
+        out.before.replacement_ratio() * 100.0,
+        out.after.replacement_ratio() * 100.0
+    );
+}

@@ -1,0 +1,75 @@
+//! §2.3 claim: the specialised CME solver is much faster than generic
+//! approaches ("an average speed-up of 20 over a method based on
+//! identifying the vertices of the polyhedra").
+//!
+//! We time three classifiers on identical sampled points:
+//! * fast  — the production path (lexmax search + `formhit` box solver);
+//! * explicit — generic polyhedron bound-propagation/branching over the
+//!   materialised replacement equations (our stand-in for a
+//!   vertex/general-purpose method);
+//! * the speed-up ratio between them.
+
+use cme_core::equations::{classify_explicit, CmeEquations};
+use cme_core::CmeModel;
+use cme_loopnest::{MemoryLayout, TileSizes};
+use std::time::Instant;
+
+fn main() {
+    let model = CmeModel::new(cme_bench::cache_8k());
+    let cases: Vec<(&str, i64, Option<TileSizes>)> = vec![
+        ("T2D", 100, None),
+        ("T2D", 100, Some(TileSizes(vec![30, 40]))),
+        ("MM", 60, None),
+        ("MM", 60, Some(TileSizes(vec![20, 15, 60]))),
+        ("DPSSB", 24, None),
+    ];
+    println!("Solver speed-up: fast CME path vs explicit polyhedron solving\n");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (name, n, tiles) in cases {
+        let spec = cme_kernels::kernel_by_name(name).expect("kernel");
+        let nest = (spec.build)(n);
+        let layout = MemoryLayout::contiguous(&nest);
+        let an = model.analyze(&nest, &layout, tiles.as_ref());
+        let eqs = CmeEquations::generate(&an);
+        // Sample a fixed set of points.
+        let vol = an.space.volume();
+        let points: Vec<Vec<i64>> =
+            (0..200).map(|k| an.space.point_at_global_rank(k * (vol / 200).max(1) % vol)).collect();
+        let t_fast = Instant::now();
+        let mut fast_out = Vec::new();
+        for p in &points {
+            for r in 0..an.addr.len() {
+                fast_out.push(an.classify(p, r));
+            }
+        }
+        let fast = t_fast.elapsed();
+        let t_slow = Instant::now();
+        let mut slow_out = Vec::new();
+        for p in &points {
+            for r in 0..an.addr.len() {
+                slow_out.push(classify_explicit(&an, &eqs, p, r));
+            }
+        }
+        let slow = t_slow.elapsed();
+        assert_eq!(fast_out, slow_out, "classifiers must agree");
+        let ratio = slow.as_secs_f64() / fast.as_secs_f64();
+        ratios.push(ratio);
+        let label = match &tiles {
+            Some(t) => format!("{name}_{n} tiled {t}"),
+            None => format!("{name}_{n}"),
+        };
+        rows.push(vec![
+            label,
+            format!("{:.2?}", fast),
+            format!("{:.2?}", slow),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        cme_bench::format_table(&["case", "fast path", "explicit path", "speed-up"], &rows)
+    );
+    let geo = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    println!("geometric-mean speed-up: {geo:.1}x (paper reports ~20x over a vertex-based method)");
+}

@@ -1,0 +1,36 @@
+//! Table 2: miss ratios before/after tiling for four kernels
+//! (8 KB direct-mapped, 32 B lines).
+
+use cme_bench::{cache_8k, run_tiling};
+use cme_kernels::paper::TABLE2;
+use cme_kernels::kernel_by_name;
+
+fn main() {
+    println!("Table 2 — miss ratio before/after GA tiling (8KB direct-mapped, 32B lines)");
+    println!("paper values in parentheses\n");
+    let mut rows = Vec::new();
+    for row in TABLE2 {
+        let spec = kernel_by_name(row.kernel).expect("kernel");
+        let cfg = spec
+            .configs()
+            .into_iter()
+            .find(|c| c.size == row.size)
+            .unwrap_or_else(|| spec.configs()[0].clone());
+        let rep = run_tiling(&cfg, cache_8k());
+        rows.push(vec![
+            format!("{} N={}", row.kernel, row.size),
+            format!("{:.1} ({:.1})", rep.total_before_pct, row.no_tiling_total),
+            format!("{:.1} ({:.1})", rep.repl_before_pct, row.no_tiling_repl),
+            format!("{:.1} ({:.1})", rep.total_after_pct, row.tiling_total),
+            format!("{:.1} ({:.1})", rep.repl_after_pct, row.tiling_repl),
+            rep.tiles.map(|t| t.to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!(
+        "{}",
+        cme_bench::format_table(
+            &["kernel", "total% no-tiling", "repl% no-tiling", "total% tiling", "repl% tiling", "tiles"],
+            &rows
+        )
+    );
+}

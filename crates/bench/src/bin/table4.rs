@@ -1,0 +1,22 @@
+//! Table 4: percentage of kernels (excluding the Table 3 kernels) whose
+//! post-tiling replacement miss ratio is below 1 %, 2 % and 5 %.
+
+use cme_bench::{cache_32k, cache_8k, sweep_figure, table4_fractions};
+use cme_kernels::paper::TABLE4;
+
+fn main() {
+    println!("Table 4 — replacement miss ratios after tiling (excluding Table 3 kernels)");
+    println!("paper values in parentheses\n");
+    let mut rows = Vec::new();
+    for (cache, paper) in [(cache_8k(), &TABLE4[0]), (cache_32k(), &TABLE4[1])] {
+        let reports = sweep_figure(cache);
+        let (p1, p2, p5) = table4_fractions(&reports, cache.size / 1024);
+        rows.push(vec![
+            format!("{}KB", cache.size / 1024),
+            format!("{p1:.1} ({:.1})", paper.below_1pct),
+            format!("{p2:.1} ({:.1})", paper.below_2pct),
+            format!("{p5:.1} ({:.1})", paper.below_5pct),
+        ]);
+    }
+    println!("{}", cme_bench::format_table(&["cache", "<1%", "<2%", "<5%"], &rows));
+}

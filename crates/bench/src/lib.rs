@@ -1,0 +1,191 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures. Each binary in `src/bin/` prints one table/figure with the
+//! paper's reported numbers alongside our measured ones; `full_report`
+//! runs everything and rewrites `EXPERIMENTS.md`.
+
+use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use cme_ga::GaConfig;
+use cme_kernels::KernelConfig;
+use cme_loopnest::MemoryLayout;
+use cme_tileopt::{KernelReport, TilingOptimizer};
+use rayon::prelude::*;
+
+/// The two cache configurations of the evaluation (§4.1).
+pub fn cache_8k() -> CacheSpec {
+    CacheSpec::paper_8k()
+}
+pub fn cache_32k() -> CacheSpec {
+    CacheSpec::paper_32k()
+}
+
+/// Deterministic GA seed per kernel name so runs are reproducible but
+/// kernels are independent.
+pub fn seed_for(name: &str) -> u64 {
+    name.bytes().fold(0xA5A5_5A5A_0123_4567u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
+}
+
+/// Run the before/after-tiling experiment for one kernel configuration.
+pub fn run_tiling(cfg: &KernelConfig, cache: CacheSpec) -> KernelReport {
+    let nest = cfg.build();
+    let layout = MemoryLayout::contiguous(&nest);
+    let mut opt = TilingOptimizer::new(cache);
+    opt.ga = GaConfig { seed: seed_for(&cfg.sized_name), ..GaConfig::default() };
+    match opt.optimize(&nest, &layout) {
+        Ok(out) => KernelReport {
+            kernel: cfg.sized_name.clone(),
+            cache_kb: cache.size / 1024,
+            total_before_pct: out.before.miss_ratio() * 100.0,
+            repl_before_pct: out.before.replacement_ratio() * 100.0,
+            total_after_pct: out.after.miss_ratio() * 100.0,
+            repl_after_pct: out.after.replacement_ratio() * 100.0,
+            tiles: Some(out.tiles),
+            ga_generations: out.ga.generations,
+            ga_evaluations: out.ga.evaluations,
+            ga_converged: out.ga.converged,
+        },
+        Err(e) => panic!("{}: {e}", cfg.sized_name),
+    }
+}
+
+/// The Fig. 8 / Fig. 9 sweep: every figure configuration, in parallel.
+pub fn sweep_figure(cache: CacheSpec) -> Vec<KernelReport> {
+    let configs = cme_kernels::figure_configs();
+    configs.par_iter().map(|cfg| run_tiling(cfg, cache)).collect()
+}
+
+/// Estimate the untiled miss ratios of a kernel (no optimisation).
+pub fn untiled_estimate(cfg: &KernelConfig, cache: CacheSpec) -> MissEstimate {
+    let nest = cfg.build();
+    let layout = MemoryLayout::contiguous(&nest);
+    CmeModel::new(cache)
+        .analyze(&nest, &layout, None)
+        .estimate(&SamplingConfig::paper(), seed_for(&cfg.sized_name))
+}
+
+/// One measured Table 3 row.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table3Report {
+    pub label: String,
+    pub original_pct: f64,
+    pub padding_pct: f64,
+    pub padding_tiling_pct: f64,
+}
+
+/// Run the Table 3 pipeline (padding, then padding + tiling) for the
+/// given paper rows on one cache.
+pub fn run_table3(cache: CacheSpec, rows: &[cme_kernels::paper::Table3Row]) -> Vec<Table3Report> {
+    use cme_tileopt::PaddingOptimizer;
+    rows.par_iter()
+        .map(|row| {
+            let spec = cme_kernels::kernel_by_name(row.kernel).expect("kernel");
+            let size = row.size.unwrap_or(spec.default_size);
+            let nest = (spec.build)(size);
+            let mut opt = PaddingOptimizer::new(cache);
+            opt.ga = GaConfig { seed: seed_for(&nest.name), ..GaConfig::default() };
+            let out = opt.optimize_then_tile(&nest).expect("legal");
+            let tiled = out.tiled.as_ref().expect("pipeline output");
+            Table3Report {
+                label: match row.size {
+                    Some(s) => format!("{} {s}", row.kernel),
+                    None => row.kernel.to_string(),
+                },
+                original_pct: out.original.replacement_ratio() * 100.0,
+                padding_pct: out.padded.replacement_ratio() * 100.0,
+                padding_tiling_pct: tiled.after.replacement_ratio() * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Kernels excluded from Table 4 per cache size (the Table 3 rows).
+pub fn table3_kernels(cache_kb: i64) -> Vec<String> {
+    let mut v = vec!["ADD".to_string(), "BTRIX".into(), "VPENTA1".into(), "VPENTA2".into()];
+    if cache_kb == 8 {
+        v.push("ADI_1000".into());
+        v.push("ADI_2000".into());
+    }
+    v
+}
+
+/// Table 4 row: fraction of reports (excluding Table 3 kernels) with
+/// post-tiling replacement ratio below each threshold, in percent.
+pub fn table4_fractions(reports: &[KernelReport], cache_kb: i64) -> (f64, f64, f64) {
+    let excluded = table3_kernels(cache_kb);
+    let rows: Vec<&KernelReport> = reports
+        .iter()
+        .filter(|r| !excluded.iter().any(|e| r.kernel == *e))
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let frac = |thr: f64| rows.iter().filter(|r| r.repl_after_pct < thr).count() as f64 / n * 100.0;
+    (frac(1.0), frac(2.0), frac(5.0))
+}
+
+/// Markdown/console table formatting helper.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut s = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            s.push_str(&format!(" {c:>w$} |"));
+        }
+        s
+    };
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_is_stable_and_distinct() {
+        assert_eq!(seed_for("MM_500"), seed_for("MM_500"));
+        assert_ne!(seed_for("MM_500"), seed_for("MM_2000"));
+    }
+
+    #[test]
+    fn table4_excludes_table3_kernels() {
+        let mk = |name: &str, repl: f64| KernelReport {
+            kernel: name.into(),
+            cache_kb: 8,
+            total_before_pct: 0.0,
+            repl_before_pct: 0.0,
+            total_after_pct: 0.0,
+            repl_after_pct: repl,
+            tiles: None,
+            ga_generations: 0,
+            ga_evaluations: 0,
+            ga_converged: true,
+        };
+        let reports = vec![mk("MM_500", 0.5), mk("ADD", 60.0), mk("T2D_100", 3.0)];
+        let (p1, p2, p5) = table4_fractions(&reports, 8);
+        // ADD excluded: of the two remaining, one < 1%, one < 5%.
+        assert_eq!(p1, 50.0);
+        assert_eq!(p2, 50.0);
+        assert_eq!(p5, 100.0);
+    }
+
+    #[test]
+    fn format_table_aligns() {
+        let t = format_table(&["a", "bb"], &[vec!["1".into(), "22".into()]]);
+        assert!(t.contains("| a | bb |"));
+        assert!(t.contains("| 1 | 22 |"));
+    }
+}

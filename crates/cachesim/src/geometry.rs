@@ -1,0 +1,113 @@
+//! Cache geometry: size, line size, associativity, and address mapping.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size: i64,
+    /// Line (block) size in bytes.
+    pub line: i64,
+    /// Ways per set (1 = direct-mapped).
+    pub assoc: i64,
+}
+
+impl CacheGeometry {
+    /// A direct-mapped cache.
+    pub fn direct_mapped(size: i64, line: i64) -> Self {
+        CacheGeometry { size, line, assoc: 1 }
+    }
+
+    /// The paper's primary configuration: 8 KB direct-mapped, 32-byte
+    /// lines (Table 2, Fig. 8).
+    pub fn paper_8k() -> Self {
+        CacheGeometry::direct_mapped(8 * 1024, 32)
+    }
+
+    /// The paper's secondary configuration: 32 KB direct-mapped, 32-byte
+    /// lines (Fig. 9).
+    pub fn paper_32k() -> Self {
+        CacheGeometry::direct_mapped(32 * 1024, 32)
+    }
+
+    /// A k-way set-associative variant of `self`.
+    pub fn with_assoc(self, assoc: i64) -> Self {
+        CacheGeometry { assoc, ..self }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> i64 {
+        self.size / (self.line * self.assoc)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> i64 {
+        self.size / self.line
+    }
+
+    /// Memory line of a byte address.
+    pub fn line_of(&self, addr: i64) -> i64 {
+        addr.div_euclid(self.line)
+    }
+
+    /// Cache set of a memory line.
+    pub fn set_of_line(&self, line: i64) -> i64 {
+        line.rem_euclid(self.sets())
+    }
+
+    /// Cache set of a byte address.
+    pub fn set_of_addr(&self, addr: i64) -> i64 {
+        self.set_of_line(self.line_of(addr))
+    }
+
+    /// Validate the geometry: positive power-of-two sizes, line divides
+    /// size, associativity divides the line count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size <= 0 || self.line <= 0 || self.assoc <= 0 {
+            return Err("cache parameters must be positive".into());
+        }
+        if self.size % self.line != 0 {
+            return Err("line size must divide cache size".into());
+        }
+        if (self.size / self.line) % self.assoc != 0 {
+            return Err("associativity must divide the number of lines".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        let c = CacheGeometry::paper_8k();
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.lines(), 256);
+        assert!(c.validate().is_ok());
+        let c32 = CacheGeometry::paper_32k();
+        assert_eq!(c32.sets(), 1024);
+    }
+
+    #[test]
+    fn mapping() {
+        let c = CacheGeometry::paper_8k();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(31), 0);
+        assert_eq!(c.line_of(32), 1);
+        assert_eq!(c.set_of_addr(32), 1);
+        // Wrap-around: address one cache-size later maps to the same set.
+        assert_eq!(c.set_of_addr(100), c.set_of_addr(100 + 8192));
+        assert_ne!(c.line_of(100), c.line_of(100 + 8192));
+    }
+
+    #[test]
+    fn associative_sets() {
+        let c = CacheGeometry::paper_8k().with_assoc(2);
+        assert_eq!(c.sets(), 128);
+        assert!(c.validate().is_ok());
+        assert!(CacheGeometry { size: 100, line: 32, assoc: 1 }.validate().is_err());
+    }
+}

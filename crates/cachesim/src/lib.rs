@@ -1,0 +1,17 @@
+//! Trace-driven cache simulator: the ground-truth oracle.
+//!
+//! The paper's methodology reports *model-derived* miss ratios (Cache Miss
+//! Equations, sampled). This crate provides what the original authors
+//! validated against in prior work: an exact, trace-driven simulation of a
+//! direct-mapped or k-way LRU cache, with misses classified as *cold*
+//! (first touch of a memory line — the paper's compulsory misses) or
+//! *replacement* (everything else: capacity + conflict). CME results are
+//! validated point-by-point against this oracle in `cme-core`'s tests.
+
+pub mod geometry;
+pub mod sim;
+pub mod stats;
+
+pub use geometry::CacheGeometry;
+pub use sim::{simulate_nest, AccessOutcome, Simulator};
+pub use stats::{RefStats, SimReport};

@@ -1,0 +1,172 @@
+//! The simulator proper: exact LRU set-associative cache over a trace.
+
+use crate::geometry::CacheGeometry;
+use crate::stats::{RefStats, SimReport};
+use cme_loopnest::trace::for_each_access;
+use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+use std::collections::HashSet;
+
+/// Outcome of a single access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    Hit,
+    /// Miss on a never-before-touched line.
+    ColdMiss,
+    /// Miss on a line that was previously resident (capacity/conflict).
+    ReplacementMiss,
+}
+
+/// Exact LRU cache simulator.
+///
+/// Per set, lines are kept most-recently-used first; `assoc` bounds the
+/// resident lines. Cold misses are identified with a global first-touch
+/// set, matching the paper's definition of compulsory misses (which tiling
+/// cannot change — §3.1).
+pub struct Simulator {
+    geo: CacheGeometry,
+    sets: Vec<Vec<i64>>,
+    touched: HashSet<i64>,
+}
+
+impl Simulator {
+    pub fn new(geo: CacheGeometry) -> Self {
+        geo.validate().expect("invalid cache geometry");
+        Simulator { geo, sets: vec![Vec::new(); geo.sets() as usize], touched: HashSet::new() }
+    }
+
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geo
+    }
+
+    /// Access one byte address; returns the outcome and updates state.
+    pub fn access(&mut self, addr: i64) -> AccessOutcome {
+        let line = self.geo.line_of(addr);
+        let set = self.geo.set_of_line(line) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Hit: move to MRU position.
+            ways[..=pos].rotate_right(1);
+            return AccessOutcome::Hit;
+        }
+        // Miss: insert at MRU, evict LRU if over capacity.
+        ways.insert(0, line);
+        if ways.len() > self.geo.assoc as usize {
+            ways.pop();
+        }
+        if self.touched.insert(line) {
+            AccessOutcome::ColdMiss
+        } else {
+            AccessOutcome::ReplacementMiss
+        }
+    }
+
+    /// Reset cache contents and first-touch history.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.touched.clear();
+    }
+}
+
+/// Simulate a (possibly tiled) nest and return per-reference statistics.
+pub fn simulate_nest(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+    geo: CacheGeometry,
+) -> SimReport {
+    let mut sim = Simulator::new(geo);
+    let mut per_ref = vec![RefStats::default(); nest.refs.len()];
+    for_each_access(nest, layout, tiles, |a| {
+        let s = &mut per_ref[a.ref_idx];
+        s.accesses += 1;
+        match sim.access(a.addr) {
+            AccessOutcome::Hit => {}
+            AccessOutcome::ColdMiss => s.cold += 1,
+            AccessOutcome::ReplacementMiss => s.replacement += 1,
+        }
+    });
+    SimReport { per_ref }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> CacheGeometry {
+        // 4 sets × 1 way × 8-byte lines = 32 bytes.
+        CacheGeometry { size: 32, line: 8, assoc: 1 }
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut sim = Simulator::new(tiny_cache());
+        // Lines 0 and 4 map to set 0 and evict each other.
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(32), AccessOutcome::ColdMiss); // line 4, set 0
+        assert_eq!(sim.access(0), AccessOutcome::ReplacementMiss);
+        assert_eq!(sim.access(4), AccessOutcome::Hit); // same line as 0
+    }
+
+    #[test]
+    fn two_way_lru() {
+        let mut sim = Simulator::new(CacheGeometry { size: 32, line: 8, assoc: 2 });
+        // 2 sets; lines 0, 2, 4 map to set 0.
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss); // line 0
+        assert_eq!(sim.access(16), AccessOutcome::ColdMiss); // line 2
+        assert_eq!(sim.access(0), AccessOutcome::Hit);
+        assert_eq!(sim.access(32), AccessOutcome::ColdMiss); // line 4 evicts LRU (line 2)
+        assert_eq!(sim.access(0), AccessOutcome::Hit);
+        assert_eq!(sim.access(16), AccessOutcome::ReplacementMiss);
+    }
+
+    #[test]
+    fn spatial_hits_within_line() {
+        let mut sim = Simulator::new(tiny_cache());
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+        for a in 1..8 {
+            assert_eq!(sim.access(a), AccessOutcome::Hit, "addr {a}");
+        }
+        assert_eq!(sim.access(8), AccessOutcome::ColdMiss);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut sim = Simulator::new(tiny_cache());
+        sim.access(0);
+        sim.reset();
+        assert_eq!(sim.access(0), AccessOutcome::ColdMiss);
+    }
+
+    #[test]
+    fn simulate_streaming_nest() {
+        use cme_loopnest::builder::{sub, NestBuilder};
+        // do i = 1, 64: read x(i) — REAL*4, 8-byte lines ⇒ one cold miss
+        // every 2 elements, no replacement misses.
+        let mut nb = NestBuilder::new("stream");
+        let i = nb.add_loop("i", 1, 64);
+        let x = nb.array("x", &[64]);
+        nb.read(x, &[sub(i)]);
+        let nest = nb.finish().unwrap();
+        let layout = MemoryLayout::contiguous(&nest);
+        let rep = simulate_nest(&nest, &layout, None, tiny_cache());
+        assert_eq!(rep.per_ref[0].accesses, 64);
+        assert_eq!(rep.per_ref[0].cold, 32);
+        assert_eq!(rep.per_ref[0].replacement, 0);
+        assert!((rep.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_associative_behaves_as_lru_stack() {
+        let geo = CacheGeometry { size: 32, line: 8, assoc: 4 }; // 1 set, 4 ways
+        let mut sim = Simulator::new(geo);
+        for l in 0..4 {
+            assert_eq!(sim.access(l * 8), AccessOutcome::ColdMiss);
+        }
+        // Touch line 0 to make line 1 the LRU, then insert line 4.
+        assert_eq!(sim.access(0), AccessOutcome::Hit);
+        assert_eq!(sim.access(32), AccessOutcome::ColdMiss);
+        assert_eq!(sim.access(8), AccessOutcome::ReplacementMiss); // line 1 was evicted
+    }
+}

@@ -1,0 +1,96 @@
+//! Miss statistics, per reference and aggregated.
+
+use serde::{Deserialize, Serialize};
+
+/// Access/miss counters for one reference (or one aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefStats {
+    pub accesses: u64,
+    /// First touch of a memory line (compulsory misses).
+    pub cold: u64,
+    /// Misses on previously touched lines (capacity + conflict).
+    pub replacement: u64,
+}
+
+impl RefStats {
+    pub fn misses(&self) -> u64 {
+        self.cold + self.replacement
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses()
+    }
+
+    /// Total miss ratio (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Replacement miss ratio — the paper's optimisation target.
+    pub fn replacement_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.replacement as f64 / self.accesses as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &RefStats) {
+        self.accesses += other.accesses;
+        self.cold += other.cold;
+        self.replacement += other.replacement;
+    }
+}
+
+/// Simulation outcome for a whole nest.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimReport {
+    pub per_ref: Vec<RefStats>,
+}
+
+impl SimReport {
+    pub fn totals(&self) -> RefStats {
+        let mut t = RefStats::default();
+        for r in &self.per_ref {
+            t.merge(r);
+        }
+        t
+    }
+
+    pub fn miss_ratio(&self) -> f64 {
+        self.totals().miss_ratio()
+    }
+
+    pub fn replacement_ratio(&self) -> f64 {
+        self.totals().replacement_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = RefStats { accesses: 100, cold: 10, replacement: 15 };
+        assert_eq!(s.misses(), 25);
+        assert_eq!(s.hits(), 75);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.replacement_ratio() - 0.15).abs() < 1e-12);
+        assert_eq!(RefStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_totals() {
+        let mut a = RefStats { accesses: 10, cold: 2, replacement: 1 };
+        a.merge(&RefStats { accesses: 30, cold: 3, replacement: 6 });
+        assert_eq!(a, RefStats { accesses: 40, cold: 5, replacement: 7 });
+        let rep = SimReport { per_ref: vec![a, RefStats { accesses: 60, cold: 0, replacement: 0 }] };
+        assert_eq!(rep.totals().accesses, 100);
+        assert!((rep.replacement_ratio() - 0.07).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: the production simulator must agree with a naive,
+//! obviously-correct reference implementation on random traces, and obey
+//! basic cache laws (inclusion of misses under shrinking associativity,
+//! cold-miss counts equal to distinct lines touched).
+
+use cme_cachesim::{AccessOutcome, CacheGeometry, Simulator};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Reference model: fully explicit LRU with timestamps.
+struct RefCache {
+    geo: CacheGeometry,
+    time: u64,
+    /// (set, line) -> last-use time, resident flag via membership.
+    resident: Vec<Vec<(i64, u64)>>,
+    touched: HashSet<i64>,
+}
+
+impl RefCache {
+    fn new(geo: CacheGeometry) -> Self {
+        RefCache { geo, time: 0, resident: vec![Vec::new(); geo.sets() as usize], touched: HashSet::new() }
+    }
+
+    fn access(&mut self, addr: i64) -> AccessOutcome {
+        self.time += 1;
+        let line = self.geo.line_of(addr);
+        let set = self.geo.set_of_line(line) as usize;
+        let ways = &mut self.resident[set];
+        if let Some(e) = ways.iter_mut().find(|(l, _)| *l == line) {
+            e.1 = self.time;
+            return AccessOutcome::Hit;
+        }
+        if ways.len() as i64 >= self.geo.assoc {
+            // Evict the least recently used.
+            let (idx, _) = ways.iter().enumerate().min_by_key(|(_, (_, t))| *t).unwrap();
+            ways.swap_remove(idx);
+        }
+        ways.push((line, self.time));
+        if self.touched.insert(line) {
+            AccessOutcome::ColdMiss
+        } else {
+            AccessOutcome::ReplacementMiss
+        }
+    }
+}
+
+fn arb_geo() -> impl Strategy<Value = CacheGeometry> {
+    (0usize..4, 0usize..3).prop_map(|(s, a)| {
+        let (size, line) = [(64i64, 8i64), (128, 16), (256, 16), (256, 32)][s];
+        let assoc = [1i64, 2, 4][a];
+        CacheGeometry { size, line, assoc }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn simulator_matches_reference(
+        geo in arb_geo(),
+        trace in prop::collection::vec(0i64..1024, 1..300),
+    ) {
+        prop_assume!(geo.validate().is_ok());
+        let mut sim = Simulator::new(geo);
+        let mut reference = RefCache::new(geo);
+        for &addr in &trace {
+            prop_assert_eq!(sim.access(addr), reference.access(addr), "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn cold_misses_equal_distinct_lines(
+        geo in arb_geo(),
+        trace in prop::collection::vec(0i64..2048, 1..300),
+    ) {
+        prop_assume!(geo.validate().is_ok());
+        let mut sim = Simulator::new(geo);
+        let mut cold = 0u64;
+        for &addr in &trace {
+            if sim.access(addr) == AccessOutcome::ColdMiss {
+                cold += 1;
+            }
+        }
+        let distinct: HashSet<i64> = trace.iter().map(|&a| geo.line_of(a)).collect();
+        prop_assert_eq!(cold as usize, distinct.len());
+    }
+
+    /// LRU stack inclusion: with the *same set count*, adding ways can
+    /// never increase the miss count (each set's k-way LRU content is the
+    /// top-k of its LRU stack). Note the capacity doubles with the ways —
+    /// equal-capacity FA vs DM does NOT satisfy inclusion, which an
+    /// earlier version of this property "discovered" the hard way.
+    #[test]
+    fn more_ways_same_sets_never_miss_more(
+        trace in prop::collection::vec(0i64..1024, 1..300),
+    ) {
+        // 8 sets each: 128B 1-way, 256B 2-way, 512B 4-way.
+        let geos = [
+            CacheGeometry { size: 128, line: 16, assoc: 1 },
+            CacheGeometry { size: 256, line: 16, assoc: 2 },
+            CacheGeometry { size: 512, line: 16, assoc: 4 },
+        ];
+        let mut misses = [0u32; 3];
+        for (k, geo) in geos.iter().enumerate() {
+            let mut sim = Simulator::new(*geo);
+            for &a in &trace {
+                if sim.access(a) != AccessOutcome::Hit {
+                    misses[k] += 1;
+                }
+            }
+        }
+        prop_assert!(misses[1] <= misses[0], "2-way ({}) > 1-way ({})", misses[1], misses[0]);
+        prop_assert!(misses[2] <= misses[1], "4-way ({}) > 2-way ({})", misses[2], misses[1]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Exhaustive and sampled miss estimation.
+
+use crate::classify::{classify_point, Classification};
+use crate::model::NestAnalysis;
+use crate::sampling::SamplingConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Exact per-reference counts (exhaustive analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    pub points: u64,
+    pub cold: u64,
+    pub replacement: u64,
+}
+
+impl Counts {
+    pub fn hits(&self) -> u64 {
+        self.points - self.cold - self.replacement
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.cold + self.replacement
+    }
+
+    fn add(&mut self, c: Classification) {
+        self.points += 1;
+        match c {
+            Classification::Hit => {}
+            Classification::Cold => self.cold += 1,
+            Classification::Replacement => self.replacement += 1,
+        }
+    }
+
+    fn merge(&mut self, o: &Counts) {
+        self.points += o.points;
+        self.cold += o.cold;
+        self.replacement += o.replacement;
+    }
+}
+
+/// Aggregated solver statistics for one analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    pub queries: u64,
+    pub fallbacks: u64,
+    pub nodes: u64,
+    pub assoc_fallbacks: u64,
+}
+
+/// Result of an exhaustive (every-point) analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissReport {
+    pub per_ref: Vec<Counts>,
+    pub solver: SolverStats,
+}
+
+impl MissReport {
+    pub fn totals(&self) -> Counts {
+        let mut t = Counts::default();
+        for c in &self.per_ref {
+            t.merge(c);
+        }
+        t
+    }
+
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.totals();
+        if t.points == 0 {
+            0.0
+        } else {
+            t.misses() as f64 / t.points as f64
+        }
+    }
+
+    pub fn replacement_ratio(&self) -> f64 {
+        let t = self.totals();
+        if t.points == 0 {
+            0.0
+        } else {
+            t.replacement as f64 / t.points as f64
+        }
+    }
+}
+
+/// Per-reference sampled estimate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RefEstimate {
+    /// Estimated probability that an access of this reference is a cold
+    /// miss / replacement miss.
+    pub p_cold: f64,
+    pub p_repl: f64,
+    /// CI half-width for the miss probabilities.
+    pub half_width: f64,
+}
+
+/// Result of a sampled analysis (paper §2.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissEstimate {
+    /// Points sampled (equals the space volume when `exact`).
+    pub n_samples: u64,
+    /// Iteration-space volume.
+    pub volume: u64,
+    /// True when the space was smaller than the requested sample and the
+    /// analysis is exhaustive.
+    pub exact: bool,
+    pub per_ref: Vec<RefEstimate>,
+    pub solver: SolverStats,
+}
+
+impl MissEstimate {
+    /// Overall miss ratio estimate (all references weighted equally — each
+    /// executes once per iteration).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.per_ref.is_empty() {
+            return 0.0;
+        }
+        self.per_ref.iter().map(|r| r.p_cold + r.p_repl).sum::<f64>() / self.per_ref.len() as f64
+    }
+
+    /// Overall replacement miss ratio estimate — the paper's metric.
+    pub fn replacement_ratio(&self) -> f64 {
+        if self.per_ref.is_empty() {
+            return 0.0;
+        }
+        self.per_ref.iter().map(|r| r.p_repl).sum::<f64>() / self.per_ref.len() as f64
+    }
+
+    /// Overall cold (compulsory) miss ratio estimate.
+    pub fn cold_ratio(&self) -> f64 {
+        if self.per_ref.is_empty() {
+            return 0.0;
+        }
+        self.per_ref.iter().map(|r| r.p_cold).sum::<f64>() / self.per_ref.len() as f64
+    }
+
+    /// Estimated absolute number of replacement misses — the GA's
+    /// objective function value (`f` of paper §3.1).
+    pub fn replacement_misses(&self) -> f64 {
+        self.replacement_ratio() * (self.volume as f64) * self.per_ref.len() as f64
+    }
+
+    /// Conservative CI half-width for the overall replacement ratio
+    /// (average of the per-reference half-widths; references are analysed
+    /// at the same sampled iterations, so this ignores cross-reference
+    /// correlation — documented in DESIGN.md).
+    pub fn replacement_ci_half_width(&self) -> f64 {
+        if self.per_ref.is_empty() {
+            return 0.0;
+        }
+        self.per_ref.iter().map(|r| r.half_width).sum::<f64>() / self.per_ref.len() as f64
+    }
+}
+
+/// Exhaustively classify every (point, reference) pair.
+pub fn exhaustive(an: &NestAnalysis) -> MissReport {
+    let n_refs = an.addr.len();
+    let mut per_ref = vec![Counts::default(); n_refs];
+    let mut engine = an.engine();
+    an.space.for_each_point(|v| {
+        for r in 0..n_refs {
+            per_ref[r].add(classify_point(an, &mut engine, v, r));
+        }
+    });
+    MissReport { per_ref, solver: an.stats_of(&engine) }
+}
+
+/// Sampled estimate with the given configuration and RNG seed.
+///
+/// Sampling is simple random sampling *without replacement* over the
+/// global point ranks; classification of the sampled points is
+/// Rayon-parallel (deterministic: the sample set depends only on the
+/// seed, and counts are integer sums).
+pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstimate {
+    let volume = an.space.volume();
+    let want = cfg.sample_size();
+    if volume <= want {
+        let rep = exhaustive(an);
+        let per_ref = rep
+            .per_ref
+            .iter()
+            .map(|c| RefEstimate {
+                p_cold: if c.points == 0 { 0.0 } else { c.cold as f64 / c.points as f64 },
+                p_repl: if c.points == 0 { 0.0 } else { c.replacement as f64 / c.points as f64 },
+                half_width: 0.0,
+            })
+            .collect();
+        return MissEstimate { n_samples: volume, volume, exact: true, per_ref, solver: rep.solver };
+    }
+    // Draw distinct ranks.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ranks = std::collections::HashSet::with_capacity(want as usize);
+    while (ranks.len() as u64) < want {
+        ranks.insert(rng.gen_range(0..volume));
+    }
+    let ranks: Vec<u64> = ranks.into_iter().collect();
+    let n_refs = an.addr.len();
+    let (counts, solver) = ranks
+        .par_chunks(16.max(ranks.len() / 64))
+        .map(|chunk| {
+            let mut engine = an.engine();
+            let mut per_ref = vec![Counts::default(); n_refs];
+            for &rank in chunk {
+                let v = an.space.point_at_global_rank(rank);
+                for r in 0..n_refs {
+                    per_ref[r].add(classify_point(an, &mut engine, &v, r));
+                }
+            }
+            (per_ref, an.stats_of(&engine))
+        })
+        .reduce(
+            || (vec![Counts::default(); n_refs], SolverStats::default()),
+            |(mut a, mut sa), (b, sb)| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    x.merge(y);
+                }
+                sa.queries += sb.queries;
+                sa.fallbacks += sb.fallbacks;
+                sa.nodes += sb.nodes;
+                sa.assoc_fallbacks += sb.assoc_fallbacks;
+                (a, sa)
+            },
+        );
+    let n = want;
+    let per_ref = counts
+        .iter()
+        .map(|c| {
+            let p_cold = c.cold as f64 / n as f64;
+            let p_repl = c.replacement as f64 / n as f64;
+            RefEstimate { p_cold, p_repl, half_width: cfg.ci_half_width(p_cold + p_repl, n) }
+        })
+        .collect();
+    MissEstimate { n_samples: n, volume, exact: false, per_ref, solver }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CmeModel;
+    use crate::CacheSpec;
+    use cme_loopnest::builder::{sub, NestBuilder};
+    use cme_loopnest::MemoryLayout;
+
+    fn stream_nest(n: i64) -> (cme_loopnest::LoopNest, MemoryLayout) {
+        let mut nb = NestBuilder::new("stream");
+        let i = nb.add_loop("i", 1, n);
+        let x = nb.array("x", &[n]);
+        nb.read(x, &[sub(i)]);
+        let nest = nb.finish().unwrap();
+        let layout = MemoryLayout::contiguous(&nest);
+        (nest, layout)
+    }
+
+    #[test]
+    fn exhaustive_stream_counts() {
+        let (nest, layout) = stream_nest(64);
+        let model = CmeModel::new(CacheSpec::direct_mapped(256, 32));
+        let an = model.analyze(&nest, &layout, None);
+        let rep = exhaustive(&an);
+        assert_eq!(rep.per_ref[0].points, 64);
+        assert_eq!(rep.per_ref[0].cold, 8);
+        assert_eq!(rep.per_ref[0].replacement, 0);
+        assert!((rep.miss_ratio() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_space_estimate_is_exact() {
+        let (nest, layout) = stream_nest(64);
+        let model = CmeModel::new(CacheSpec::direct_mapped(256, 32));
+        let an = model.analyze(&nest, &layout, None);
+        let est = sampled(&an, &SamplingConfig::paper(), 1);
+        assert!(est.exact);
+        assert!((est.miss_ratio() - 0.125).abs() < 1e-12);
+        assert_eq!(est.n_samples, 64);
+    }
+
+    #[test]
+    fn sampled_estimate_close_to_exhaustive() {
+        let (nest, layout) = stream_nest(4096);
+        let model = CmeModel::new(CacheSpec::direct_mapped(256, 32));
+        let an = model.analyze(&nest, &layout, None);
+        let exact = exhaustive(&an).miss_ratio();
+        let est = sampled(&an, &SamplingConfig::paper(), 42);
+        assert!(!est.exact);
+        assert_eq!(est.n_samples, 164);
+        assert!((est.miss_ratio() - exact).abs() < 0.1, "estimate {} vs exact {exact}", est.miss_ratio());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (nest, layout) = stream_nest(4096);
+        let model = CmeModel::new(CacheSpec::direct_mapped(256, 32));
+        let an = model.analyze(&nest, &layout, None);
+        let a = sampled(&an, &SamplingConfig::paper(), 7);
+        let b = sampled(&an, &SamplingConfig::paper(), 7);
+        assert_eq!(a.miss_ratio(), b.miss_ratio());
+        let c = sampled(&an, &SamplingConfig::paper(), 8);
+        // Different seed may (and here does) sample different points;
+        // ratios may coincide for a stream, so just check determinism ran.
+        assert_eq!(c.n_samples, 164);
+    }
+}

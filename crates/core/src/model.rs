@@ -1,0 +1,168 @@
+//! Top-level CME analysis API.
+
+use crate::classify::{classify_point, Classification};
+use crate::estimate::{exhaustive, sampled, MissEstimate, MissReport, SolverStats};
+use crate::interference::InterferenceEngine;
+use crate::lexmax::SuffixRanges;
+use crate::reuse::{candidates_with_line, ReuseCandidate};
+use crate::sampling::SamplingConfig;
+use crate::CacheSpec;
+use cme_loopnest::{ExecSpace, LoopNest, MemoryLayout, TileSizes};
+use cme_polyhedra::AffineForm;
+
+/// The Cache Miss Equations model: cache parameters + solver settings.
+///
+/// ```
+/// use cme_core::{CacheSpec, CmeModel};
+/// use cme_loopnest::builder::{sub, NestBuilder};
+/// use cme_loopnest::MemoryLayout;
+///
+/// // do i = 1,64 : read x(i) — REAL*4, 32-byte lines: 1 cold miss per
+/// // 8 elements, nothing else.
+/// let mut nb = NestBuilder::new("stream");
+/// let i = nb.add_loop("i", 1, 64);
+/// let x = nb.array("x", &[64]);
+/// nb.read(x, &[sub(i)]);
+/// let nest = nb.finish().unwrap();
+/// let layout = MemoryLayout::contiguous(&nest);
+///
+/// let model = CmeModel::new(CacheSpec::paper_8k());
+/// let report = model.analyze(&nest, &layout, None).exhaustive();
+/// assert_eq!(report.per_ref[0].cold, 8);
+/// assert_eq!(report.per_ref[0].replacement, 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CmeModel {
+    pub cache: CacheSpec,
+    /// Branch-node budget per interval-hit query (fallbacks are counted
+    /// and conservative).
+    pub solver_nodes: u64,
+}
+
+impl CmeModel {
+    pub fn new(cache: CacheSpec) -> Self {
+        CmeModel { cache, solver_nodes: 20_000 }
+    }
+
+    /// Build the analysis for a nest under a layout, optionally tiled.
+    /// This precomputes the execution space (with its convex regions), the
+    /// lifted address forms, the uniform source groups with their suffix
+    /// ranges (for the most-recent-source search) and the explicit reuse
+    /// candidates (for the equation objects) — the parameterised equation
+    /// system of §3.1.
+    pub fn analyze(&self, nest: &LoopNest, layout: &MemoryLayout, tiles: Option<&TileSizes>) -> NestAnalysis {
+        let space = match tiles {
+            None => ExecSpace::untiled(nest),
+            Some(t) => ExecSpace::tiled(nest, t),
+        };
+        let addr: Vec<AffineForm> =
+            layout.address_forms(nest).iter().map(|f| space.lift_form(f)).collect();
+        let candidates = candidates_with_line(nest, layout, &space, self.cache.line);
+        let relaxed = space.relaxed_dims();
+        let suffix = addr.iter().map(|f| SuffixRanges::of(f, &relaxed)).collect();
+        let uniform_sources = (0..nest.refs.len())
+            .map(|a| {
+                (0..nest.refs.len())
+                    .filter(|&b| {
+                        nest.refs[a].array == nest.refs[b].array && addr[a].coeffs == addr[b].coeffs
+                    })
+                    .collect()
+            })
+            .collect();
+        NestAnalysis {
+            cache: self.cache,
+            solver_nodes: self.solver_nodes,
+            space,
+            addr,
+            candidates,
+            uniform_sources,
+            suffix,
+        }
+    }
+}
+
+/// A nest prepared for classification/estimation.
+#[derive(Debug, Clone)]
+pub struct NestAnalysis {
+    pub cache: CacheSpec,
+    pub solver_nodes: u64,
+    pub space: ExecSpace,
+    /// Per-reference byte-address forms over analysis coordinates.
+    pub addr: Vec<AffineForm>,
+    /// Per-reference explicit reuse candidates (equation objects; the fast
+    /// classifier uses the lexmax search instead).
+    pub candidates: Vec<Vec<ReuseCandidate>>,
+    /// Per-reference list of uniformly generated source references
+    /// (same array, equal address coefficients — includes the reference
+    /// itself).
+    pub uniform_sources: Vec<Vec<usize>>,
+    /// Per-reference relaxed suffix ranges of the address form.
+    pub suffix: Vec<SuffixRanges>,
+}
+
+impl NestAnalysis {
+    /// A fresh per-thread interference engine.
+    pub fn engine(&self) -> InterferenceEngine {
+        InterferenceEngine::new(self.cache, self.solver_nodes)
+    }
+
+    pub(crate) fn stats_of(&self, e: &InterferenceEngine) -> SolverStats {
+        SolverStats {
+            queries: e.budget.queries,
+            fallbacks: e.budget.fallbacks,
+            nodes: e.budget.nodes_used,
+            assoc_fallbacks: e.assoc_fallbacks,
+        }
+    }
+
+    /// Classify one (analysis point, reference) pair.
+    pub fn classify(&self, v: &[i64], ref_idx: usize) -> Classification {
+        let mut engine = self.engine();
+        classify_point(self, &mut engine, v, ref_idx)
+    }
+
+    /// Exhaustive analysis of every point (small spaces / validation).
+    pub fn exhaustive(&self) -> MissReport {
+        exhaustive(self)
+    }
+
+    /// Sampled estimate (paper §2.3).
+    pub fn estimate(&self, cfg: &SamplingConfig, seed: u64) -> MissEstimate {
+        sampled(self, cfg, seed)
+    }
+
+    /// Convenience: sampled estimate with the paper's 164-point setup.
+    pub fn estimate_paper(&self, seed: u64) -> MissEstimate {
+        sampled(self, &SamplingConfig::paper(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_loopnest::builder::{sub, NestBuilder};
+
+    #[test]
+    fn analyze_builds_consistent_dimensions() {
+        let mut nb = NestBuilder::new("t2d");
+        let i = nb.add_loop("i", 1, 12);
+        let j = nb.add_loop("j", 1, 12);
+        let a = nb.array("a", &[12, 12]);
+        let b = nb.array("b", &[12, 12]);
+        nb.read(b, &[sub(i), sub(j)]);
+        nb.write(a, &[sub(j), sub(i)]);
+        let nest = nb.finish().unwrap();
+        let layout = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(CacheSpec::direct_mapped(128, 16));
+        let untiled = model.analyze(&nest, &layout, None);
+        assert_eq!(untiled.addr.len(), 2);
+        assert_eq!(untiled.addr[0].n_vars(), 2);
+        assert_eq!(untiled.uniform_sources[0], vec![0]);
+        assert_eq!(untiled.uniform_sources[1], vec![1]);
+        let tiled = model.analyze(&nest, &layout, Some(&TileSizes(vec![5, 5])));
+        assert_eq!(tiled.addr[0].n_vars(), 4);
+        assert_eq!(tiled.space.volume(), 144);
+        assert_eq!(tiled.space.regions.len(), 4);
+        assert_eq!(tiled.suffix[0].lo.len(), 5);
+    }
+}

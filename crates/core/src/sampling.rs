@@ -1,0 +1,93 @@
+//! Simple-random-sampling configuration (paper §2.3).
+//!
+//! The miss count of a reference over the iteration space is modelled as a
+//! binomial: each sampled point is an independent Bernoulli trial. The
+//! sample size for a confidence interval of half-width `h` at normal
+//! quantile `z` (worst case `p = ½`) is `n = ⌈z²·p(1−p)/h²⌉`. With the
+//! paper's parameters — width 0.1 (h = 0.05) and its "90 % confidence"
+//! quantile `z = 1.28` — this gives exactly the paper's **164 points**.
+//! (Note: 1.28 is the *one-sided* 90 % quantile; a two-sided 90 % interval
+//! would use 1.645 and 271 points. We reproduce the paper's constant and
+//! expose `z` so both conventions are available.)
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Normal quantile (paper: 1.28).
+    pub z: f64,
+    /// Confidence-interval half-width (paper: 0.05).
+    pub half_width: f64,
+    /// Optional explicit sample size overriding the formula.
+    pub override_n: Option<u64>,
+}
+
+impl SamplingConfig {
+    /// The paper's configuration: 164 sampled points.
+    pub fn paper() -> Self {
+        SamplingConfig { z: 1.28, half_width: 0.05, override_n: None }
+    }
+
+    /// A two-sided 90 % interval (z = 1.645, 271 points).
+    pub fn two_sided_90() -> Self {
+        SamplingConfig { z: 1.645, half_width: 0.05, override_n: None }
+    }
+
+    /// Fixed sample size.
+    pub fn fixed(n: u64) -> Self {
+        SamplingConfig { z: 1.28, half_width: 0.05, override_n: Some(n) }
+    }
+
+    /// Number of iteration points to sample.
+    pub fn sample_size(&self) -> u64 {
+        if let Some(n) = self.override_n {
+            return n;
+        }
+        (self.z * self.z * 0.25 / (self.half_width * self.half_width)).ceil() as u64
+    }
+
+    /// Half-width of the CI around an observed proportion `p` with this
+    /// configuration's quantile.
+    pub fn ci_half_width(&self, p: f64, n: u64) -> f64 {
+        if n == 0 {
+            return 0.5;
+        }
+        self.z * (p * (1.0 - p) / n as f64).sqrt()
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_size_is_164() {
+        assert_eq!(SamplingConfig::paper().sample_size(), 164);
+    }
+
+    #[test]
+    fn two_sided_is_larger() {
+        assert_eq!(SamplingConfig::two_sided_90().sample_size(), 271);
+    }
+
+    #[test]
+    fn override_wins() {
+        assert_eq!(SamplingConfig::fixed(500).sample_size(), 500);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_n() {
+        let c = SamplingConfig::paper();
+        assert!(c.ci_half_width(0.5, 164) > c.ci_half_width(0.5, 1000));
+        // At the design point, the half-width is at most the target.
+        assert!(c.ci_half_width(0.5, 164) <= 0.05 + 1e-9);
+        assert!(c.ci_half_width(0.1, 164) < 0.05);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property test: on randomly generated uniform-reference nests, CME
+//! classification must equal the exact cache simulator — per reference,
+//! cold and replacement counts, untiled and tiled, direct-mapped and
+//! 2-way.
+
+use cme_cachesim::{simulate_nest, CacheGeometry};
+use cme_core::{CacheSpec, CmeModel};
+use cme_loopnest::builder::{sub, NestBuilder, SubExpr};
+use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+use proptest::prelude::*;
+
+/// Parameters of one random nest.
+#[derive(Debug, Clone)]
+struct NestPlan {
+    spans: Vec<i64>,
+    /// Per array: subscript pattern = permutation of loop vars (one per
+    /// array dim) with constant offsets per ref.
+    arrays: Vec<Vec<usize>>,
+    /// Refs: (array, per-dim extra offset 0..=1, write?).
+    refs: Vec<(usize, Vec<i64>, bool)>,
+    tiles: Vec<i64>,
+}
+
+fn build(plan: &NestPlan) -> Option<(LoopNest, TileSizes)> {
+    let mut nb = NestBuilder::new("prop");
+    let vars: Vec<_> = plan
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s))
+        .collect();
+    let arr_ids: Vec<_> = plan
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(k, dims)| {
+            // Extent: span of the chosen var + max offset (1).
+            let extents: Vec<i64> = dims.iter().map(|&v| plan.spans[v] + 1).collect();
+            nb.array(format!("a{k}"), &extents)
+        })
+        .collect();
+    for (arr, offs, write) in &plan.refs {
+        let dims = &plan.arrays[*arr];
+        let subs: Vec<SubExpr> =
+            dims.iter().zip(offs).map(|(&v, &o)| sub(vars[v]).plus(o)).collect();
+        if *write {
+            nb.write(arr_ids[*arr], &subs);
+        } else {
+            nb.read(arr_ids[*arr], &subs);
+        }
+    }
+    let nest = nb.finish().ok()?;
+    let tiles = TileSizes(plan.tiles.clone());
+    tiles.validate(&nest).ok()?;
+    Some((nest, tiles))
+}
+
+fn arb_plan() -> impl Strategy<Value = NestPlan> {
+    (2usize..=3)
+        .prop_flat_map(|depth| {
+            let spans = prop::collection::vec(3i64..=7, depth);
+            let arrays = prop::collection::vec(
+                prop::collection::vec(0usize..depth, 1..=depth.min(2)),
+                1..=2,
+            );
+            (spans, arrays)
+        })
+        .prop_flat_map(|(spans, arrays)| {
+            let n_arrays = arrays.len();
+            let depth = spans.len();
+            let arrays2 = arrays.clone();
+            let refs = prop::collection::vec(
+                (0usize..n_arrays, prop::collection::vec(0i64..=1, depth), prop::bool::ANY),
+                1..=3,
+            )
+            .prop_map(move |raw| {
+                raw.into_iter()
+                    .map(|(a, offs, w)| {
+                        let rank = arrays2[a].len();
+                        (a, offs[..rank].to_vec(), w)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let tiles = spans
+                .iter()
+                .map(|&s| 1i64..=s)
+                .collect::<Vec<_>>();
+            (Just(spans), Just(arrays), refs, tiles)
+        })
+        .prop_map(|(spans, arrays, refs, tiles)| NestPlan { spans, arrays, refs, tiles })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cme_equals_simulator_on_random_nests(plan in arb_plan()) {
+        let Some((nest, tiles)) = build(&plan) else {
+            return Ok(()); // e.g. out-of-bounds subscripts after offsets
+        };
+        let layout = MemoryLayout::contiguous(&nest);
+        for (size, line, assoc) in [(128i64, 16i64, 1i64), (256, 32, 1), (128, 16, 2)] {
+            for t in [None, Some(&tiles)] {
+                let model = CmeModel::new(CacheSpec { size, line, assoc });
+                let an = model.analyze(&nest, &layout, t);
+                let cme = an.exhaustive();
+                let sim = simulate_nest(&nest, &layout, t, CacheGeometry { size, line, assoc });
+                prop_assert_eq!(cme.solver.fallbacks, 0);
+                for (r, (c, s)) in cme.per_ref.iter().zip(&sim.per_ref).enumerate() {
+                    prop_assert_eq!(
+                        (c.cold, c.replacement),
+                        (s.cold, s.replacement),
+                        "plan {:?} cache ({},{},{}) tiles {:?} ref {}",
+                        &plan, size, line, assoc, t, r
+                    );
+                }
+            }
+        }
+    }
+}

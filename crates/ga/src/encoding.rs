@@ -1,0 +1,161 @@
+//! Chromosome encoding and the `g(x)` domain mapping (paper §3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// The search domain: one decision variable per entry, each taking values
+/// in `[1, max]` (the paper's tile-size domain `[1, U_i]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    pub maxes: Vec<i64>,
+}
+
+impl Domain {
+    pub fn new(maxes: Vec<i64>) -> Self {
+        assert!(maxes.iter().all(|&m| m >= 1), "domain maxima must be ≥ 1");
+        Domain { maxes }
+    }
+}
+
+/// Bit-level layout of an individual for a given domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoding {
+    /// Bits per chromosome (`⌈log₂ U⌉`, +1 if odd — the quaternary gene
+    /// alphabet needs an even bit count).
+    pub bits: Vec<u32>,
+    /// Starting bit offset of each chromosome in the genome.
+    pub offsets: Vec<usize>,
+    /// Total genome length in bits.
+    pub total_bits: usize,
+    maxes: Vec<i64>,
+}
+
+/// `⌈log₂ u⌉` rounded up to an even number (minimum 2).
+pub fn chromosome_bits(u: i64) -> u32 {
+    debug_assert!(u >= 1);
+    let k = if u <= 1 { 1 } else { 64 - ((u - 1) as u64).leading_zeros() };
+    if k % 2 == 1 {
+        k + 1
+    } else {
+        k
+    }
+}
+
+/// The paper's eq. 2: map a chromosome value `x ∈ [0, 2^k − 1]` to the
+/// variable domain `[1, u]`.
+pub fn g(x: u64, k: u32, u: i64) -> i64 {
+    let denom = (1u128 << k) - 1;
+    (x as u128 * (u as u128 - 1) / denom) as i64 + 1
+}
+
+impl Encoding {
+    pub fn for_domain(domain: &Domain) -> Self {
+        let bits: Vec<u32> = domain.maxes.iter().map(|&u| chromosome_bits(u)).collect();
+        let mut offsets = Vec::with_capacity(bits.len());
+        let mut acc = 0usize;
+        for b in &bits {
+            offsets.push(acc);
+            acc += *b as usize;
+        }
+        Encoding { bits, offsets, total_bits: acc, maxes: domain.maxes.clone() }
+    }
+
+    /// Number of 2-bit genes in the genome.
+    pub fn genes(&self) -> usize {
+        self.total_bits / 2
+    }
+
+    /// Decode a genome (bit vector, MSB-first per chromosome) to variable
+    /// values.
+    pub fn decode(&self, genome: &[bool]) -> Vec<i64> {
+        debug_assert_eq!(genome.len(), self.total_bits);
+        self.bits
+            .iter()
+            .zip(&self.offsets)
+            .zip(&self.maxes)
+            .map(|((&k, &off), &u)| {
+                let mut x: u64 = 0;
+                for b in 0..k as usize {
+                    x = (x << 1) | u64::from(genome[off + b]);
+                }
+                g(x, k, u)
+            })
+            .collect()
+    }
+
+    /// A uniformly random genome.
+    pub fn random(&self, rng: &mut impl rand::Rng) -> Vec<bool> {
+        (0..self.total_bits).map(|_| rng.gen_bool(0.5)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_counts_match_paper_example() {
+        // §3.3 example: U₁ = 10 ⇒ ⌈log₂10⌉ = 4 (even, keep); U₂ = 100 ⇒ 7,
+        // odd ⇒ 8.
+        assert_eq!(chromosome_bits(10), 4);
+        assert_eq!(chromosome_bits(100), 8);
+        assert_eq!(chromosome_bits(2), 2);
+        assert_eq!(chromosome_bits(1), 2); // degenerate singleton domain
+        assert_eq!(chromosome_bits(16), 4);
+        assert_eq!(chromosome_bits(17), 6);
+        assert_eq!(chromosome_bits(2000), 12); // ⌈log₂2000⌉ = 11, odd ⇒ 12
+    }
+
+    #[test]
+    fn g_matches_paper_example() {
+        // "the value 12 (1100) and 74 (01001010) correspond to the tile
+        //  sizes 8 and 29".
+        assert_eq!(g(12, 4, 10), 8);
+        assert_eq!(g(74, 8, 100), 29);
+    }
+
+    #[test]
+    fn g_hits_domain_endpoints() {
+        for u in [1i64, 2, 7, 10, 100, 537, 2000] {
+            let k = chromosome_bits(u);
+            assert_eq!(g(0, k, u), 1, "u={u}");
+            assert_eq!(g((1 << k) - 1, k, u), u, "u={u}");
+        }
+    }
+
+    #[test]
+    fn every_value_reachable() {
+        // "every possible tile size has at least one representation".
+        for u in [1i64, 3, 10, 33, 100] {
+            let k = chromosome_bits(u);
+            let mut seen = vec![false; u as usize + 1];
+            for x in 0..(1u64 << k) {
+                let v = g(x, k, u);
+                assert!((1..=u).contains(&v));
+                seen[v as usize] = true;
+            }
+            assert!(seen[1..].iter().all(|&s| s), "u={u}: unreachable values");
+        }
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let domain = Domain::new(vec![10, 100]);
+        let enc = Encoding::for_domain(&domain);
+        assert_eq!(enc.total_bits, 12);
+        assert_eq!(enc.genes(), 6);
+        // 12 = 1100, 74 = 01001010 -> tiles (8, 29) per the paper.
+        let genome: Vec<bool> = [1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        assert_eq!(enc.decode(&genome), vec![8, 29]);
+    }
+
+    #[test]
+    fn monotone_in_x() {
+        let (k, u) = (8u32, 100i64);
+        let mut prev = 0;
+        for x in 0..(1u64 << k) {
+            let v = g(x, k, u);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

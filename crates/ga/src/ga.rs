@@ -1,0 +1,274 @@
+//! The GA driver: Fig. 4's simple GA with Fig. 7's termination rule.
+
+use crate::encoding::{Domain, Encoding};
+use crate::ops::{crossover, mutate};
+use crate::select::remainder_stochastic;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A minimisation objective over integer decision vectors.
+pub trait Objective: Sync {
+    /// Cost of a decoded decision vector (e.g. estimated replacement
+    /// misses of a tiling). Lower is better. Must be deterministic.
+    fn cost(&self, values: &[i64]) -> f64;
+}
+
+impl<F: Fn(&[i64]) -> f64 + Sync> Objective for F {
+    fn cost(&self, values: &[i64]) -> f64 {
+        self(values)
+    }
+}
+
+/// GA parameters; defaults are the paper's (§3.3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GaConfig {
+    pub population: usize,
+    pub crossover_prob: f64,
+    pub mutation_prob: f64,
+    pub min_generations: u32,
+    pub max_generations: u32,
+    /// Fig. 7 convergence: best within this fraction of the population
+    /// average.
+    pub convergence_margin: f64,
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 30,
+            crossover_prob: 0.9,
+            mutation_prob: 0.001,
+            min_generations: 15,
+            max_generations: 25,
+            convergence_margin: 0.02,
+            seed: 0xCE11,
+        }
+    }
+}
+
+/// Per-generation statistics (for the convergence studies).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GenStats {
+    pub generation: u32,
+    pub best: f64,
+    pub average: f64,
+    pub best_ever: f64,
+}
+
+/// GA outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaResult {
+    /// Best decision vector ever evaluated.
+    pub best_values: Vec<i64>,
+    pub best_cost: f64,
+    pub generations: u32,
+    /// Distinct objective evaluations performed (memoised).
+    pub evaluations: u64,
+    /// True when the Fig. 7 criterion stopped the run before the cap.
+    pub converged: bool,
+    pub history: Vec<GenStats>,
+}
+
+/// Run the GA over `domain` minimising `objective`.
+///
+/// ```
+/// use cme_ga::{run_ga, Domain, GaConfig};
+///
+/// // Minimise (x-11)² + (y-5)² over [1,16]².
+/// let domain = Domain::new(vec![16, 16]);
+/// let obj = |v: &[i64]| ((v[0] - 11).pow(2) + (v[1] - 5).pow(2)) as f64;
+/// let result = run_ga(&domain, &obj, &GaConfig::default());
+/// assert_eq!(result.best_values, vec![11, 5]);
+/// assert!(result.generations >= 15 && result.generations <= 25); // Fig. 7
+/// ```
+pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaResult {
+    let enc = Encoding::for_domain(domain);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut population: Vec<Vec<bool>> =
+        (0..cfg.population).map(|_| enc.random(&mut rng)).collect();
+
+    let memo: Mutex<HashMap<Vec<i64>, f64>> = Mutex::new(HashMap::new());
+    let evaluations = Mutex::new(0u64);
+    let evaluate = |pop: &[Vec<bool>]| -> Vec<(Vec<i64>, f64)> {
+        // Decode, dedupe, evaluate distinct genomes in parallel, then map
+        // back — deterministic regardless of thread count.
+        let decoded: Vec<Vec<i64>> = pop.iter().map(|g| enc.decode(g)).collect();
+        let mut todo: Vec<Vec<i64>> = Vec::new();
+        {
+            let memo = memo.lock();
+            for v in &decoded {
+                if !memo.contains_key(v) && !todo.contains(v) {
+                    todo.push(v.clone());
+                }
+            }
+        }
+        let fresh: Vec<(Vec<i64>, f64)> =
+            todo.into_par_iter().map(|v| { let c = objective.cost(&v); (v, c) }).collect();
+        {
+            let mut memo = memo.lock();
+            *evaluations.lock() += fresh.len() as u64;
+            for (v, c) in fresh {
+                memo.insert(v, c);
+            }
+        }
+        let memo = memo.lock();
+        decoded.into_iter().map(|v| { let c = memo[&v]; (v, c) }).collect()
+    };
+
+    let mut best_values: Vec<i64> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut history = Vec::new();
+    let mut generation = 0u32;
+    let mut converged = false;
+
+    loop {
+        let scored = evaluate(&population);
+        let costs: Vec<f64> = scored.iter().map(|(_, c)| *c).collect();
+        let gen_best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let average = costs.iter().sum::<f64>() / costs.len() as f64;
+        for (v, c) in &scored {
+            if *c < best_cost {
+                best_cost = *c;
+                best_values = v.clone();
+            }
+        }
+        history.push(GenStats { generation, best: gen_best, average, best_ever: best_cost });
+
+        // Fig. 7 termination.
+        generation += 1;
+        if generation >= cfg.max_generations {
+            break;
+        }
+        if generation >= cfg.min_generations {
+            let margin = cfg.convergence_margin * average;
+            if (average - gen_best) <= margin {
+                converged = true;
+                break;
+            }
+        }
+
+        // Selection (fitness = C_max − cost within the generation).
+        let worst = costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let fitness: Vec<f64> = costs.iter().map(|c| worst - c).collect();
+        let selected = remainder_stochastic(&fitness, cfg.population, &mut rng);
+
+        // Crossover on consecutive pairs, then mutation.
+        let mut next: Vec<Vec<bool>> = Vec::with_capacity(cfg.population);
+        let mut k = 0;
+        while k + 1 < selected.len() {
+            let (p1, p2) = (&population[selected[k]], &population[selected[k + 1]]);
+            if rng.gen_bool(cfg.crossover_prob) {
+                let (c1, c2) = crossover(p1, p2, &mut rng);
+                next.push(c1);
+                next.push(c2);
+            } else {
+                next.push(p1.clone());
+                next.push(p2.clone());
+            }
+            k += 2;
+        }
+        if k < selected.len() {
+            next.push(population[selected[k]].clone());
+        }
+        for genome in &mut next {
+            mutate(genome, cfg.mutation_prob, &mut rng);
+        }
+        population = next;
+    }
+
+    let total_evaluations = *evaluations.lock();
+    GaResult {
+        best_values,
+        best_cost,
+        generations: generation,
+        evaluations: total_evaluations,
+        converged,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Separable quadratic with known minimum.
+    fn quad(target: Vec<i64>) -> impl Fn(&[i64]) -> f64 {
+        move |v: &[i64]| {
+            v.iter().zip(&target).map(|(x, t)| ((x - t) * (x - t)) as f64).sum()
+        }
+    }
+
+    #[test]
+    fn finds_exact_optimum_on_small_domain() {
+        let domain = Domain::new(vec![16, 16]);
+        let obj = quad(vec![11, 5]);
+        let res = run_ga(&domain, &obj, &GaConfig::default());
+        assert_eq!(res.best_values, vec![11, 5], "cost {}", res.best_cost);
+        assert_eq!(res.best_cost, 0.0);
+    }
+
+    #[test]
+    fn near_optimal_on_larger_domain() {
+        let domain = Domain::new(vec![100, 100, 100]);
+        let obj = quad(vec![37, 82, 5]);
+        let res = run_ga(&domain, &obj, &GaConfig { seed: 7, ..GaConfig::default() });
+        // Near-optimal: within a small neighbourhood of the optimum.
+        assert!(res.best_cost <= 50.0, "best {:?} cost {}", res.best_values, res.best_cost);
+    }
+
+    #[test]
+    fn respects_generation_bounds() {
+        let domain = Domain::new(vec![8]);
+        let obj = |_: &[i64]| 1.0; // flat landscape: converges immediately
+        let res = run_ga(&domain, &obj, &GaConfig::default());
+        assert!(res.generations >= 15 && res.generations <= 25);
+        assert!(res.converged, "flat landscape must satisfy the 2% criterion at gen 15");
+        assert_eq!(res.generations, 15);
+    }
+
+    #[test]
+    fn hard_cap_at_25_generations() {
+        // A needle landscape keeps best far from average; the 2% rule
+        // rarely fires, so the cap must.
+        let domain = Domain::new(vec![1024, 1024]);
+        let obj = quad(vec![1000, 3]);
+        let res = run_ga(&domain, &obj, &GaConfig { seed: 3, ..GaConfig::default() });
+        assert!(res.generations <= 25);
+        assert_eq!(res.history.len() as u32, res.generations);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let domain = Domain::new(vec![64, 64]);
+        let obj = quad(vec![20, 40]);
+        let a = run_ga(&domain, &obj, &GaConfig::default());
+        let b = run_ga(&domain, &obj, &GaConfig::default());
+        assert_eq!(a.best_values, b.best_values);
+        assert_eq!(a.generations, b.generations);
+        let c = run_ga(&domain, &obj, &GaConfig { seed: 99, ..GaConfig::default() });
+        assert_eq!(c.history.len() as u32, c.generations);
+    }
+
+    #[test]
+    fn memoisation_bounds_evaluations() {
+        let domain = Domain::new(vec![4]); // only 4 distinct genotype values
+        let obj = quad(vec![2]);
+        let res = run_ga(&domain, &obj, &GaConfig::default());
+        assert!(res.evaluations <= 4, "evaluations {}", res.evaluations);
+    }
+
+    #[test]
+    fn best_ever_is_monotone_in_history() {
+        let domain = Domain::new(vec![128, 128]);
+        let obj = quad(vec![64, 17]);
+        let res = run_ga(&domain, &obj, &GaConfig { seed: 11, ..GaConfig::default() });
+        for w in res.history.windows(2) {
+            assert!(w[1].best_ever <= w[0].best_ever);
+        }
+    }
+}

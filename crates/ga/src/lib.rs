@@ -1,0 +1,31 @@
+//! The paper's genetic algorithm (§3.2–3.3), faithfully.
+//!
+//! * Individuals are concatenations of chromosomes, one per decision
+//!   variable; a chromosome is a sequence of *quaternary genes* (the
+//!   `{00, 01, 10, 11}` alphabet the authors found to work well), i.e.
+//!   `k/2` genes for `k = ⌈log₂ U⌉` bits, incremented to the next even
+//!   number.
+//! * Chromosome values map to the variable domain `[1, U]` through
+//!   `g(x) = ⌊x·(U−1)/(2^k−1)⌋ + 1` (eq. 2) — every value reachable.
+//! * Selection is *remainder stochastic selection without replacement*;
+//!   fitness is `C_max − cost` within the generation (minimisation).
+//! * Pairs of selected individuals undergo single-point crossover at a
+//!   gene boundary with probability 0.9; mutation flips individual bits
+//!   with probability 0.001.
+//! * Population 30; termination per Fig. 7: at least 15 generations, then
+//!   stop as soon as the best individual is within 2 % of the
+//!   generation's average cost, hard cap at 25 generations.
+//!
+//! The objective is abstract ([`Objective`]); `cme-tileopt` instantiates
+//! it with CME-estimated replacement misses for tile-size and padding
+//! searches. Distinct genomes of a generation are evaluated in parallel
+//! (Rayon) and memoised, and the best individual *ever evaluated* is
+//! returned.
+
+pub mod encoding;
+pub mod ga;
+pub mod ops;
+pub mod select;
+
+pub use encoding::{Domain, Encoding};
+pub use ga::{GaConfig, GaResult, GenStats, Objective, run_ga};

@@ -1,0 +1,81 @@
+//! Genetic operators: single-point crossover and per-bit mutation.
+
+use rand::Rng;
+
+/// Single-point crossover at a *gene* (2-bit) boundary across the whole
+/// concatenated genome (paper Fig. 5). Returns the two children.
+pub fn crossover(a: &[bool], b: &[bool], rng: &mut impl Rng) -> (Vec<bool>, Vec<bool>) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % 2, 0);
+    let genes = a.len() / 2;
+    if genes < 2 {
+        return (a.to_vec(), b.to_vec());
+    }
+    // Cross site strictly inside the genome: after gene 1..genes-1.
+    let site = rng.gen_range(1..genes) * 2;
+    let mut c1 = a[..site].to_vec();
+    c1.extend_from_slice(&b[site..]);
+    let mut c2 = b[..site].to_vec();
+    c2.extend_from_slice(&a[site..]);
+    (c1, c2)
+}
+
+/// Per-bit mutation with probability `pm` (paper: 0.001). Returns the
+/// number of flipped bits.
+pub fn mutate(genome: &mut [bool], pm: f64, rng: &mut impl Rng) -> usize {
+    let mut flips = 0;
+    for bit in genome.iter_mut() {
+        if rng.gen_bool(pm) {
+            *bit = !*bit;
+            flips += 1;
+        }
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crossover_preserves_material() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = vec![true; 12];
+        let b = vec![false; 12];
+        for _ in 0..50 {
+            let (c1, c2) = crossover(&a, &b, &mut rng);
+            // Each position: one child has a's bit, the other b's.
+            for t in 0..12 {
+                assert_ne!(c1[t], c2[t]);
+            }
+            // Cross site at a gene boundary: prefix of c1 all true, suffix
+            // all false, switch at even index.
+            let switch = c1.iter().position(|&x| !x).unwrap();
+            assert_eq!(switch % 2, 0);
+            assert!(c1[switch..].iter().all(|&x| !x));
+        }
+    }
+
+    #[test]
+    fn crossover_degenerate_single_gene() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (c1, c2) = crossover(&[true, true], &[false, false], &mut rng);
+        assert_eq!(c1, vec![true, true]);
+        assert_eq!(c2, vec![false, false]);
+    }
+
+    #[test]
+    fn mutation_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut genome = vec![false; 10_000];
+        let flips = mutate(&mut genome, 0.001, &mut rng);
+        // ~10 expected; allow generous slack.
+        assert!(flips > 0 && flips < 40, "flips = {flips}");
+        assert_eq!(genome.iter().filter(|&&b| b).count(), flips);
+        // pm = 0 flips nothing.
+        let mut g2 = vec![true; 100];
+        assert_eq!(mutate(&mut g2, 0.0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Remainder stochastic selection without replacement (paper §3.3,
+//! following Goldberg).
+//!
+//! Each individual's expected copy count is `e_i = N·f_i/Σf`. The integer
+//! part is awarded deterministically; the remaining slots are filled by
+//! Bernoulli trials on the fractional parts, each individual winning at
+//! most one remainder copy ("without replacement").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Select `n` indices from fitness values (larger = fitter). Returns the
+/// multiset of selected indices in shuffled order (ready for pairing).
+pub fn remainder_stochastic(fitness: &[f64], n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(!fitness.is_empty());
+    let sum: f64 = fitness.iter().sum();
+    let mut picked = Vec::with_capacity(n);
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(fitness.len());
+    if sum <= 0.0 {
+        // Degenerate: uniform selection.
+        while picked.len() < n {
+            picked.push(rng.gen_range(0..fitness.len()));
+        }
+        picked.shuffle(rng);
+        return picked;
+    }
+    for (i, &f) in fitness.iter().enumerate() {
+        let e = f / sum * n as f64;
+        let whole = e.floor() as usize;
+        for _ in 0..whole {
+            picked.push(i);
+        }
+        fracs.push((i, e - e.floor()));
+    }
+    // Remainder Bernoulli trials without replacement.
+    while picked.len() < n {
+        fracs.shuffle(rng);
+        let mut progressed = false;
+        for (i, frac) in fracs.iter_mut() {
+            if picked.len() >= n {
+                break;
+            }
+            if *frac > 0.0 && rng.gen_bool(frac.min(1.0)) {
+                picked.push(*i);
+                *frac = 0.0;
+                progressed = true;
+            }
+        }
+        if !progressed && fracs.iter().all(|(_, f)| *f == 0.0) {
+            // All fractional mass consumed; fill uniformly.
+            while picked.len() < n {
+                picked.push(rng.gen_range(0..fitness.len()));
+            }
+        }
+    }
+    picked.truncate(n);
+    picked.shuffle(rng);
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_part_guaranteed() {
+        // Fitness 3:1 over N = 4 → expected counts 3 and 1: individual 0
+        // gets at least 3 copies every time.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let sel = remainder_stochastic(&[3.0, 1.0], 4, &mut rng);
+            assert_eq!(sel.len(), 4);
+            assert_eq!(sel.iter().filter(|&&i| i == 0).count(), 3);
+            assert_eq!(sel.iter().filter(|&&i| i == 1).count(), 1);
+        }
+    }
+
+    #[test]
+    fn expected_counts_statistically() {
+        // Fitness 2:1:1 over N = 30: expectations 15, 7.5, 7.5.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        let rounds = 400;
+        for _ in 0..rounds {
+            for i in remainder_stochastic(&[2.0, 1.0, 1.0], 30, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        let avg0 = counts[0] as f64 / rounds as f64;
+        let avg1 = counts[1] as f64 / rounds as f64;
+        assert!((avg0 - 15.0).abs() < 0.5, "avg0 = {avg0}");
+        assert!((avg1 - 7.5).abs() < 0.5, "avg1 = {avg1}");
+    }
+
+    #[test]
+    fn zero_fitness_degenerates_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = remainder_stochastic(&[0.0, 0.0], 10, &mut rng);
+        assert_eq!(sel.len(), 10);
+        assert!(sel.iter().any(|&i| i == 0) || sel.iter().any(|&i| i == 1));
+    }
+
+    #[test]
+    fn without_replacement_caps_remainder_copies() {
+        // Fitness equal over N = 3 with 2 individuals: expectations 1.5
+        // each → each gets exactly 1 deterministic + at most 1 remainder.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let sel = remainder_stochastic(&[1.0, 1.0], 3, &mut rng);
+            for i in [0usize, 1] {
+                let c = sel.iter().filter(|&&x| x == i).count();
+                assert!((1..=2).contains(&c));
+            }
+        }
+    }
+}

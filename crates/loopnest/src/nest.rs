@@ -1,0 +1,188 @@
+//! The perfect loop nest: loops + arrays + ordered references.
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::error::NestError;
+use crate::refs::MemRef;
+use cme_polyhedra::{AffineForm, IntBox, Interval};
+use serde::{Deserialize, Serialize};
+
+/// One loop `do var = lo, hi` (step 1; constant bounds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopDef {
+    pub name: String,
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl LoopDef {
+    pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        LoopDef { name: name.into(), lo, hi }
+    }
+
+    /// Number of iterations.
+    pub fn span(&self) -> i64 {
+        self.hi - self.lo + 1
+    }
+}
+
+/// A perfectly nested affine loop nest (paper restriction: "only perfectly
+/// nested loops in which the array subscript expressions are affine
+/// functions of the induction variables").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Loops, outermost first.
+    pub loops: Vec<LoopDef>,
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Body references in execution order within one iteration.
+    pub refs: Vec<MemRef>,
+}
+
+impl LoopNest {
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The iteration-space box over the original loop variables.
+    pub fn iter_box(&self) -> IntBox {
+        IntBox::new(self.loops.iter().map(|l| Interval::new(l.lo, l.hi)).collect())
+    }
+
+    /// Total iterations of the nest.
+    pub fn iterations(&self) -> u64 {
+        self.iter_box().volume()
+    }
+
+    /// Total memory accesses (iterations × references).
+    pub fn accesses(&self) -> u64 {
+        self.iterations() * self.refs.len() as u64
+    }
+
+    /// Loop spans, outermost first (the `U_i` of the paper).
+    pub fn spans(&self) -> Vec<i64> {
+        self.loops.iter().map(LoopDef::span).collect()
+    }
+
+    /// Look up an array by id.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Validate structural invariants:
+    /// * every loop non-empty,
+    /// * every subscript over exactly `depth` variables,
+    /// * subscript count matches array rank,
+    /// * subscripts stay within declared extents over the whole iteration
+    ///   space (so traces never touch memory outside the arrays).
+    pub fn validate(&self) -> Result<(), NestError> {
+        for l in &self.loops {
+            if l.lo > l.hi {
+                return Err(NestError::EmptyLoop { loop_name: l.name.clone() });
+            }
+        }
+        for a in &self.arrays {
+            if a.elem_size <= 0 || a.extents.iter().any(|&e| e <= 0) {
+                return Err(NestError::BadArray { array: a.name.clone() });
+            }
+        }
+        let b = self.iter_box();
+        for r in &self.refs {
+            let arr = self.array(r.array);
+            if r.subscripts.len() != arr.rank() {
+                return Err(NestError::RankMismatch {
+                    array: arr.name.clone(),
+                    rank: arr.rank(),
+                    got: r.subscripts.len(),
+                });
+            }
+            for (d, s) in r.subscripts.iter().enumerate() {
+                if s.n_vars() != self.depth() {
+                    return Err(NestError::SubscriptArity {
+                        array: arr.name.clone(),
+                        expected: self.depth(),
+                        got: s.n_vars(),
+                    });
+                }
+                let range = s.range_over(&b);
+                if range.lo < 1 || range.hi > arr.extents[d] {
+                    return Err(NestError::OutOfBounds {
+                        array: arr.name.clone(),
+                        dim: d,
+                        range: (range.lo, range.hi),
+                        extent: arr.extents[d],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The subscript form of reference `r`, dimension `d`, as an affine
+    /// form over the loop variables.
+    pub fn subscript(&self, r: usize, d: usize) -> &AffineForm {
+        &self.refs[r].subscripts[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs::MemRef;
+
+    /// do i = 1,4 / do j = 1,6 : a(j, i) = b(i, j)
+    fn transpose_nest() -> LoopNest {
+        let a = ArrayDecl::real4("a", &[6, 4]);
+        let b = ArrayDecl::real4("b", &[4, 6]);
+        let i = AffineForm::new(vec![1, 0], 0);
+        let j = AffineForm::new(vec![0, 1], 0);
+        LoopNest {
+            name: "t2d".into(),
+            loops: vec![LoopDef::new("i", 1, 4), LoopDef::new("j", 1, 6)],
+            arrays: vec![a, b],
+            refs: vec![
+                MemRef::read(ArrayId(1), vec![i.clone(), j.clone()]),
+                MemRef::write(ArrayId(0), vec![j, i]),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_nest_passes() {
+        let n = transpose_nest();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.iterations(), 24);
+        assert_eq!(n.accesses(), 48);
+        assert_eq!(n.spans(), vec![4, 6]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut n = transpose_nest();
+        // Shift subscript of a(j, i) to j+1: max 7 > extent 6.
+        n.refs[1].subscripts[0] = n.refs[1].subscripts[0].shift(1);
+        match n.validate() {
+            Err(NestError::OutOfBounds { array, dim, .. }) => {
+                assert_eq!(array, "a");
+                assert_eq!(dim, 0);
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_loop_detected() {
+        let mut n = transpose_nest();
+        n.loops[0].hi = 0;
+        assert!(matches!(n.validate(), Err(NestError::EmptyLoop { .. })));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let mut n = transpose_nest();
+        n.refs[0].subscripts.pop();
+        assert!(matches!(n.validate(), Err(NestError::RankMismatch { .. })));
+    }
+}

@@ -1,0 +1,73 @@
+//! Memory references: affine subscripts into declared arrays.
+
+use crate::array::ArrayId;
+use cme_polyhedra::AffineForm;
+use serde::{Deserialize, Serialize};
+
+/// Read or write access. Both allocate a line on miss (write-allocate
+/// fetch-on-write), so the cache model treats them identically; the
+/// distinction matters for dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// A memory reference `array(sub_1(i), ..., sub_r(i))` appearing at a fixed
+/// position in the loop body. Body position is the index of the reference
+/// in [`crate::LoopNest::refs`]; references of one iteration are executed
+/// in that order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    pub array: ArrayId,
+    /// One affine form per array dimension, over the nest's loop variables.
+    pub subscripts: Vec<AffineForm>,
+    pub access: AccessKind,
+}
+
+impl MemRef {
+    pub fn read(array: ArrayId, subscripts: Vec<AffineForm>) -> Self {
+        MemRef { array, subscripts, access: AccessKind::Read }
+    }
+
+    pub fn write(array: ArrayId, subscripts: Vec<AffineForm>) -> Self {
+        MemRef { array, subscripts, access: AccessKind::Write }
+    }
+
+    pub fn is_write(&self) -> bool {
+        matches!(self.access, AccessKind::Write)
+    }
+
+    /// True iff two references are *uniformly generated*: same array and
+    /// identical subscript coefficients (constants may differ). Reuse
+    /// vectors between references are only defined within such sets.
+    pub fn uniform_with(&self, other: &MemRef) -> bool {
+        self.array == other.array
+            && self.subscripts.len() == other.subscripts.len()
+            && self
+                .subscripts
+                .iter()
+                .zip(&other.subscripts)
+                .all(|(a, b)| a.coeffs == b.coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniformity() {
+        let a = ArrayId(0);
+        // a(i, j) and a(i, j+1): uniform. a(i, j) and a(j, i): not.
+        let ij = vec![AffineForm::new(vec![1, 0], 0), AffineForm::new(vec![0, 1], 0)];
+        let ij1 = vec![AffineForm::new(vec![1, 0], 0), AffineForm::new(vec![0, 1], 1)];
+        let ji = vec![AffineForm::new(vec![0, 1], 0), AffineForm::new(vec![1, 0], 0)];
+        let r1 = MemRef::read(a, ij);
+        let r2 = MemRef::read(a, ij1);
+        let r3 = MemRef::read(a, ji);
+        assert!(r1.uniform_with(&r2));
+        assert!(!r1.uniform_with(&r3));
+        assert!(!r1.uniform_with(&MemRef::read(ArrayId(1), r1.subscripts.clone())));
+    }
+}

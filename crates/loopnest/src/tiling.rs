@@ -1,0 +1,94 @@
+//! Tile-size vectors and their validation.
+//!
+//! Tiling (paper §3) strip-mines every loop `i_t` by `T_t` and moves all
+//! block loops outermost, preserving the original relative order in both
+//! bands (Fig. 3(b)). The transformation itself is represented by
+//! [`crate::ExecSpace::tiled`]; this module holds the parameter vector.
+
+use crate::error::NestError;
+use crate::nest::LoopNest;
+use serde::{Deserialize, Serialize};
+
+/// Tile sizes `T_1..T_d`, one per loop, outermost first. `T_t ∈ [1, U_t]`
+/// where `U_t` is the loop span; `T_t = U_t` leaves loop `t` effectively
+/// untiled.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileSizes(pub Vec<i64>);
+
+impl TileSizes {
+    /// The trivial tiling (every tile spans the whole loop) — the identity
+    /// transformation.
+    pub fn trivial(nest: &LoopNest) -> Self {
+        TileSizes(nest.spans())
+    }
+
+    /// Validate against a nest: one entry per loop, each in `[1, span]`.
+    pub fn validate(&self, nest: &LoopNest) -> Result<(), NestError> {
+        if self.0.len() != nest.depth() {
+            return Err(NestError::TileArity { expected: nest.depth(), got: self.0.len() });
+        }
+        for (t, (&tile, span)) in self.0.iter().zip(nest.spans()).enumerate() {
+            if tile < 1 || tile > span {
+                return Err(NestError::TileRange { dim: t, tile, span });
+            }
+        }
+        Ok(())
+    }
+
+    /// True iff this is the identity tiling for the nest.
+    pub fn is_trivial(&self, nest: &LoopNest) -> bool {
+        self.0 == nest.spans()
+    }
+
+    /// Number of blocks per dimension: `⌈span_t / T_t⌉`.
+    pub fn blocks(&self, nest: &LoopNest) -> Vec<i64> {
+        self.0.iter().zip(nest.spans()).map(|(&t, s)| (s + t - 1) / t).collect()
+    }
+}
+
+impl std::fmt::Display for TileSizes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, t) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayDecl;
+    use crate::nest::{LoopDef, LoopNest};
+
+    fn nest() -> LoopNest {
+        LoopNest {
+            name: "n".into(),
+            loops: vec![LoopDef::new("i", 1, 10), LoopDef::new("j", 1, 7)],
+            arrays: vec![ArrayDecl::real4("a", &[10, 10])],
+            refs: vec![],
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let n = nest();
+        assert!(TileSizes(vec![3, 7]).validate(&n).is_ok());
+        assert!(matches!(TileSizes(vec![3]).validate(&n), Err(NestError::TileArity { .. })));
+        assert!(matches!(TileSizes(vec![0, 7]).validate(&n), Err(NestError::TileRange { .. })));
+        assert!(matches!(TileSizes(vec![3, 8]).validate(&n), Err(NestError::TileRange { .. })));
+    }
+
+    #[test]
+    fn trivial_and_blocks() {
+        let n = nest();
+        let t = TileSizes::trivial(&n);
+        assert!(t.is_trivial(&n));
+        assert_eq!(t.0, vec![10, 7]);
+        assert_eq!(TileSizes(vec![3, 3]).blocks(&n), vec![4, 3]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the loop-nest IR: tiled execution spaces must be
+//! exact partitions, traces must be permutations, and layouts must be
+//! collision-free.
+
+use cme_loopnest::builder::{sub, NestBuilder};
+use cme_loopnest::{ExecSpace, LoopNest, MemoryLayout, TileSizes};
+use proptest::prelude::*;
+
+fn nest_with_spans(spans: &[i64]) -> LoopNest {
+    let mut nb = NestBuilder::new("prop");
+    let vars: Vec<_> = spans
+        .iter()
+        .enumerate()
+        .map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s))
+        .collect();
+    // One array per dimension pattern to give the trace something to do.
+    let extents: Vec<i64> = spans.to_vec();
+    let a = nb.array("a", &extents);
+    let subs: Vec<_> = vars.iter().map(|&v| sub(v)).collect();
+    nb.read(a, &subs);
+    nb.write(a, &subs);
+    nb.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tiled spaces partition the iteration space exactly: volumes add up,
+    /// every point lies in exactly one region, and execution order visits
+    /// every original point exactly once.
+    #[test]
+    fn tiled_space_is_exact_partition(
+        (spans, tiles) in prop::collection::vec(1i64..=9, 1..=3).prop_flat_map(|spans| {
+            let tiles = spans.iter().map(|&s| 1i64..=s).collect::<Vec<_>>();
+            (Just(spans), tiles)
+        })
+    ) {
+        let nest = nest_with_spans(&spans);
+        let t = TileSizes(tiles);
+        let space = ExecSpace::tiled(&nest, &t);
+        prop_assert_eq!(space.volume(), nest.iterations());
+        // Regions are disjoint boxes.
+        let mut count = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        space.for_each_point(|v| {
+            count += 1;
+            let hits = space.regions.iter().filter(|r| r.vbox.contains(v)).count();
+            assert_eq!(hits, 1, "point {v:?} in {hits} regions");
+            assert!(seen.insert(space.to_orig(v)), "original point revisited");
+        });
+        prop_assert_eq!(count, nest.iterations());
+        prop_assert!(space.regions.len() <= 1 << spans.len(), "≤ 2^d regions (§2.4)");
+    }
+
+    /// The tiled trace is a permutation of the untiled trace; accesses are
+    /// preserved exactly.
+    #[test]
+    fn tiled_trace_is_permutation(
+        (spans, tiles) in prop::collection::vec(1i64..=7, 2..=3).prop_flat_map(|spans| {
+            let tiles = spans.iter().map(|&s| 1i64..=s).collect::<Vec<_>>();
+            (Just(spans), tiles)
+        })
+    ) {
+        let nest = nest_with_spans(&spans);
+        let layout = MemoryLayout::contiguous(&nest);
+        let mut orig = cme_loopnest::trace::collect_trace(&nest, &layout, None);
+        let mut tiled = cme_loopnest::trace::collect_trace(&nest, &layout, Some(&TileSizes(tiles)));
+        prop_assert_eq!(orig.len(), tiled.len());
+        orig.sort_by_key(|a| (a.ref_idx, a.addr));
+        tiled.sort_by_key(|a| (a.ref_idx, a.addr));
+        prop_assert_eq!(orig, tiled);
+    }
+
+    /// Layouts never overlap arrays, and padding only ever moves arrays
+    /// apart (monotone bases, growing footprint).
+    #[test]
+    fn layouts_are_collision_free(
+        (extents, inter, intra) in (1usize..=4).prop_flat_map(|n_arrays| (
+            prop::collection::vec((1i64..=12, 1i64..=12), n_arrays),
+            prop::collection::vec(0i64..=64, n_arrays),
+            prop::collection::vec(0i64..=5, n_arrays),
+        ))
+    ) {
+        let mut nb = NestBuilder::new("layout");
+        let i = nb.add_loop("i", 1, 1);
+        let _ = i;
+        let ids: Vec<_> = extents
+            .iter()
+            .enumerate()
+            .map(|(k, &(a, b))| nb.array(format!("a{k}"), &[a, b]))
+            .collect();
+        // Touch the first array so the nest validates.
+        nb.read(ids[0], &[sub(i), sub(i)]);
+        let nest = nb.finish().unwrap();
+        let intra_full: Vec<Vec<i64>> = intra.iter().map(|&p| vec![p, 0]).collect();
+        let layout = MemoryLayout::with_padding(&nest, &inter, &intra_full);
+        // Arrays occupy disjoint, increasing byte ranges.
+        let mut prev_end = 0i64;
+        for (k, arr) in nest.arrays.iter().enumerate() {
+            prop_assert!(layout.bases[k] >= prev_end, "array {} overlaps predecessor", k);
+            let size: i64 = layout.padded_extents[k].iter().product::<i64>() * arr.elem_size;
+            prev_end = layout.bases[k] + size;
+        }
+        prop_assert!(layout.footprint(&nest) >= prev_end);
+        // The unpadded layout is never larger.
+        let plain = MemoryLayout::contiguous(&nest);
+        prop_assert!(plain.footprint(&nest) <= layout.footprint(&nest));
+    }
+
+    /// Displacement lifting is consistent: for any point and any lift of a
+    /// displacement, subtracting the lift lands on the displaced original
+    /// point whenever the result is in the space.
+    #[test]
+    fn displacement_lifting_consistent(
+        (spans, tiles, disp) in prop::collection::vec(2i64..=8, 1..=3).prop_flat_map(|spans| {
+            let tiles = spans.iter().map(|&s| 1i64..=s).collect::<Vec<_>>();
+            let disp = spans.iter().map(|&s| -(s-1)..=(s-1)).collect::<Vec<_>>();
+            (Just(spans), tiles, disp)
+        })
+    ) {
+        let nest = nest_with_spans(&spans);
+        let space = ExecSpace::tiled(&nest, &TileSizes(tiles));
+        for lift in space.lift_displacement(&disp) {
+            space.for_each_point(|v| {
+                let src: Vec<i64> = v.iter().zip(&lift).map(|(a, b)| a - b).collect();
+                if space.contains_v(&src) {
+                    let o = space.to_orig(v);
+                    let so = space.to_orig(&src);
+                    for t in 0..spans.len() {
+                        assert_eq!(so[t], o[t] - disp[t]);
+                    }
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Affine forms `c0 + Σ c_t · x_t` over `i64` variables.
+//!
+//! Everything CMEs manipulate — array addresses, subscripts, loop bounds —
+//! is an affine function of the (possibly tiled) loop variables.
+
+use crate::interval::Interval;
+use crate::IntBox;
+use serde::{Deserialize, Serialize};
+
+/// An affine integer form `c0 + Σ coeffs[t] · x_t` over a fixed number of
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineForm {
+    /// Per-variable coefficients; length = number of variables in scope.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub c0: i64,
+}
+
+impl AffineForm {
+    /// The zero form over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        AffineForm { coeffs: vec![0; n_vars], c0: 0 }
+    }
+
+    /// The constant form `c` over `n_vars` variables.
+    pub fn constant(n_vars: usize, c: i64) -> Self {
+        AffineForm { coeffs: vec![0; n_vars], c0: c }
+    }
+
+    /// The single-variable form `x_v` over `n_vars` variables.
+    pub fn var(n_vars: usize, v: usize) -> Self {
+        let mut coeffs = vec![0; n_vars];
+        coeffs[v] = 1;
+        AffineForm { coeffs, c0: 0 }
+    }
+
+    /// Build from explicit parts.
+    pub fn new(coeffs: Vec<i64>, c0: i64) -> Self {
+        AffineForm { coeffs, c0 }
+    }
+
+    /// Number of variables in scope.
+    pub fn n_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate at an integer point. Panics if dimensions mismatch or the
+    /// result overflows `i64` (inputs are validated upstream so this is a
+    /// genuine internal error).
+    pub fn eval(&self, x: &[i64]) -> i64 {
+        debug_assert_eq!(x.len(), self.coeffs.len());
+        let mut acc = self.c0 as i128;
+        for (c, v) in self.coeffs.iter().zip(x) {
+            acc += (*c as i128) * (*v as i128);
+        }
+        i64::try_from(acc).expect("affine eval overflow")
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &AffineForm) -> AffineForm {
+        debug_assert_eq!(self.coeffs.len(), other.coeffs.len());
+        AffineForm {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            c0: self.c0 + other.c0,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &AffineForm) -> AffineForm {
+        debug_assert_eq!(self.coeffs.len(), other.coeffs.len());
+        AffineForm {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a - b).collect(),
+            c0: self.c0 - other.c0,
+        }
+    }
+
+    /// `k · self`.
+    pub fn scale(&self, k: i64) -> AffineForm {
+        AffineForm { coeffs: self.coeffs.iter().map(|c| c * k).collect(), c0: self.c0 * k }
+    }
+
+    /// Add `d` to the constant term.
+    pub fn shift(&self, d: i64) -> AffineForm {
+        AffineForm { coeffs: self.coeffs.clone(), c0: self.c0 + d }
+    }
+
+    /// True iff all variable coefficients are zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// The displacement of the form along a direction vector `r`:
+    /// `F(x + r) − F(x) = Σ c_t · r_t` (constant for affine forms).
+    pub fn displacement(&self, r: &[i64]) -> i64 {
+        debug_assert_eq!(r.len(), self.coeffs.len());
+        let mut acc: i128 = 0;
+        for (c, v) in self.coeffs.iter().zip(r) {
+            acc += (*c as i128) * (*v as i128);
+        }
+        i64::try_from(acc).expect("affine displacement overflow")
+    }
+
+    /// Substitute variables by affine forms over a new variable space:
+    /// `result(y) = c0 + Σ coeffs[t] · subst[t](y)`.
+    pub fn compose(&self, subst: &[AffineForm]) -> AffineForm {
+        debug_assert_eq!(subst.len(), self.coeffs.len());
+        let n_new = subst.first().map_or(0, AffineForm::n_vars);
+        let mut out = AffineForm::constant(n_new, self.c0);
+        for (c, s) in self.coeffs.iter().zip(subst) {
+            if *c != 0 {
+                out = out.add(&s.scale(*c));
+            }
+        }
+        out
+    }
+
+    /// The range of the form over an integer box (tightest interval).
+    pub fn range_over(&self, b: &IntBox) -> Interval {
+        debug_assert_eq!(b.dims.len(), self.coeffs.len());
+        if b.is_empty() {
+            return Interval::empty();
+        }
+        let mut lo = self.c0 as i128;
+        let mut hi = self.c0 as i128;
+        for (c, iv) in self.coeffs.iter().zip(&b.dims) {
+            let (a, b2) = ((*c as i128) * (iv.lo as i128), (*c as i128) * (iv.hi as i128));
+            lo += a.min(b2);
+            hi += a.max(b2);
+        }
+        Interval::new(
+            i64::try_from(lo).expect("range_over overflow"),
+            i64::try_from(hi).expect("range_over overflow"),
+        )
+    }
+
+    /// Restrict the form to a subset of variables, fixing the remaining
+    /// variables to the values given in `fixed` (entries `Some(v)` are
+    /// folded into the constant term; `None` variables are kept, in order).
+    pub fn partial_eval(&self, fixed: &[Option<i64>]) -> AffineForm {
+        debug_assert_eq!(fixed.len(), self.coeffs.len());
+        let mut coeffs = Vec::new();
+        let mut c0 = self.c0 as i128;
+        for (c, f) in self.coeffs.iter().zip(fixed) {
+            match f {
+                Some(v) => c0 += (*c as i128) * (*v as i128),
+                None => coeffs.push(*c),
+            }
+        }
+        AffineForm { coeffs, c0: i64::try_from(c0).expect("partial_eval overflow") }
+    }
+}
+
+impl std::fmt::Display for AffineForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (t, c) in self.coeffs.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if first {
+                write!(f, "{c}·x{t}")?;
+                first = false;
+            } else if *c < 0 {
+                write!(f, " - {}·x{t}", -c)?;
+            } else {
+                write!(f, " + {c}·x{t}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.c0)
+        } else if self.c0 < 0 {
+            write!(f, " - {}", -self.c0)
+        } else if self.c0 > 0 {
+            write!(f, " + {}", self.c0)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_ops() {
+        // F(x, y) = 3x - 2y + 7
+        let f = AffineForm::new(vec![3, -2], 7);
+        assert_eq!(f.eval(&[1, 2]), 6);
+        assert_eq!(f.displacement(&[1, 1]), 1);
+        let g = AffineForm::new(vec![1, 1], 0);
+        assert_eq!(f.add(&g).eval(&[2, 3]), f.eval(&[2, 3]) + g.eval(&[2, 3]));
+        assert_eq!(f.sub(&g).eval(&[2, 3]), f.eval(&[2, 3]) - g.eval(&[2, 3]));
+        assert_eq!(f.scale(-2).eval(&[1, 1]), -16);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        // F(i, j) = i + 10j ; i = 2a + 1, j = b  =>  F = 2a + 10b + 1
+        let f = AffineForm::new(vec![1, 10], 0);
+        let i = AffineForm::new(vec![2, 0], 1);
+        let j = AffineForm::new(vec![0, 1], 0);
+        let g = f.compose(&[i, j]);
+        assert_eq!(g, AffineForm::new(vec![2, 10], 1));
+    }
+
+    #[test]
+    fn range_over_box() {
+        let f = AffineForm::new(vec![2, -3], 1);
+        let b = IntBox::new(vec![Interval::new(0, 4), Interval::new(1, 2)]);
+        // min at x=0,y=2: 1-6=-5 ; max at x=4,y=1: 8-3+1=6
+        assert_eq!(f.range_over(&b), Interval::new(-5, 6));
+    }
+
+    #[test]
+    fn partial_eval_folds_constants() {
+        let f = AffineForm::new(vec![2, 5, -1], 3);
+        let g = f.partial_eval(&[None, Some(4), None]);
+        assert_eq!(g, AffineForm::new(vec![2, -1], 23));
+        assert_eq!(g.eval(&[1, 2]), f.eval(&[1, 4, 2]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = AffineForm::new(vec![1, -2], -3);
+        assert_eq!(format!("{f}"), "1·x0 - 2·x1 - 3");
+    }
+}

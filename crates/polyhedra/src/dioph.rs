@@ -1,0 +1,239 @@
+//! Elementary number theory: gcd, extended gcd, and bounded linear
+//! Diophantine solving. Reuse-vector generation (group-temporal reuse)
+//! reduces to solving `a·x + b·y = c` with `x, y` in bounded ranges.
+
+use crate::interval::Interval;
+
+/// Non-negative greatest common divisor; `gcd(0, 0) = 0`.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// gcd of a slice (0 for the empty slice).
+pub fn gcd_all(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Least common multiple (saturating to avoid overflow on extreme inputs).
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    ((a.unsigned_abs() / g.unsigned_abs()) as i128 * b.unsigned_abs() as i128)
+        .min(i64::MAX as i128) as i64
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`,
+/// `g ≥ 0`.
+pub fn egcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        if a < 0 {
+            (-a, -1, 0)
+        } else {
+            (a, 1, 0)
+        }
+    } else {
+        let (g, x, y) = egcd(b, a.rem_euclid(b));
+        // a = q*b + r, r = a - q*b ; g = b*x + r*y = a*y + b*(x - q*y)
+        let q = a.div_euclid(b);
+        (g, y, x - q * y)
+    }
+}
+
+/// All solutions of `a·x + b·y = c` with `x ∈ xr` and `y ∈ yr`, up to
+/// `limit` solutions, ordered by increasing `x`. Handles the degenerate
+/// cases `a = 0` and/or `b = 0`.
+pub fn solve_2var(a: i64, b: i64, c: i64, xr: Interval, yr: Interval, limit: usize) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    if xr.is_empty() || yr.is_empty() || limit == 0 {
+        return out;
+    }
+    match (a == 0, b == 0) {
+        (true, true) => {
+            if c == 0 {
+                // Everything solves; return the corners then grid points up
+                // to the limit (callers use small limits).
+                'outer: for x in xr.iter() {
+                    for y in yr.iter() {
+                        out.push((x, y));
+                        if out.len() >= limit {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            if c % b == 0 && yr.contains(c / b) {
+                for x in xr.iter() {
+                    out.push((x, c / b));
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            if c % a == 0 && xr.contains(c / a) {
+                for y in yr.iter() {
+                    out.push((c / a, y));
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            let (g, x0, y0) = egcd(a, b);
+            if c % g != 0 {
+                return out;
+            }
+            let k = c / g;
+            // Particular solution.
+            let (px, py) = ((x0 as i128) * (k as i128), (y0 as i128) * (k as i128));
+            // General: x = px + t*(b/g), y = py - t*(a/g).
+            let (bs, as_) = ((b / g) as i128, (a / g) as i128);
+            // Range of t from x ∈ xr.
+            let t_from = |lo: i128, hi: i128, p: i128, step: i128| -> Option<(i128, i128)> {
+                if step == 0 {
+                    return if lo <= p && p <= hi { Some((i128::MIN / 4, i128::MAX / 4)) } else { None };
+                }
+                let (a1, b1) = ((lo - p), (hi - p));
+                let (mut tlo, mut thi) = if step > 0 {
+                    (div_ceil_i128(a1, step), div_floor_i128(b1, step))
+                } else {
+                    (div_ceil_i128(b1, step), div_floor_i128(a1, step))
+                };
+                if tlo > thi {
+                    return None;
+                }
+                // Avoid absurd ranges.
+                tlo = tlo.max(i128::MIN / 4);
+                thi = thi.min(i128::MAX / 4);
+                Some((tlo, thi))
+            };
+            let Some((t1lo, t1hi)) = t_from(xr.lo as i128, xr.hi as i128, px, bs) else {
+                return out;
+            };
+            let Some((t2lo, t2hi)) = t_from(yr.lo as i128, yr.hi as i128, py, -as_) else {
+                return out;
+            };
+            let (tlo, thi) = (t1lo.max(t2lo), t1hi.min(t2hi));
+            let mut t = tlo;
+            while t <= thi && out.len() < limit {
+                let x = px + t * bs;
+                let y = py - t * as_;
+                out.push((x as i64, y as i64));
+                t += 1;
+            }
+            if bs < 0 {
+                // Ensure increasing x order.
+                out.reverse();
+            }
+        }
+    }
+    out
+}
+
+/// Floor division for i128.
+pub fn div_floor_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division for i128.
+pub fn div_ceil_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Floor division for i64.
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    div_floor_i128(a as i128, b as i128) as i64
+}
+
+/// Ceiling division for i64.
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    div_ceil_i128(a as i128, b as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd_all(&[8, 12, 20]), 4);
+        assert_eq!(lcm(4, 6), 12);
+    }
+
+    #[test]
+    fn egcd_identity() {
+        for (a, b) in [(12, 18), (-5, 7), (0, 4), (9, 0), (-6, -8), (240, 46)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(g, gcd(a, b), "g for {a},{b}");
+            assert_eq!(a as i128 * x as i128 + b as i128 * y as i128, g as i128, "bezout for {a},{b}");
+        }
+    }
+
+    #[test]
+    fn solve_2var_finds_all() {
+        // 3x + 5y = 1 with x,y in [-10, 10]
+        let sols = solve_2var(3, 5, 1, Interval::new(-10, 10), Interval::new(-10, 10), 100);
+        assert!(!sols.is_empty());
+        for (x, y) in &sols {
+            assert_eq!(3 * x + 5 * y, 1);
+        }
+        // Brute-force cross-check.
+        let mut brute = Vec::new();
+        for x in -10..=10 {
+            for y in -10..=10 {
+                if 3 * x + 5 * y == 1 {
+                    brute.push((x, y));
+                }
+            }
+        }
+        let mut got = sols.clone();
+        got.sort();
+        brute.sort();
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn solve_2var_degenerate() {
+        assert!(solve_2var(0, 0, 1, Interval::new(0, 3), Interval::new(0, 3), 10).is_empty());
+        assert_eq!(solve_2var(0, 0, 0, Interval::new(0, 1), Interval::new(0, 1), 99).len(), 4);
+        assert_eq!(solve_2var(0, 2, 4, Interval::new(0, 2), Interval::new(0, 9), 99), vec![(0, 2), (1, 2), (2, 2)]);
+        assert_eq!(solve_2var(2, 0, 4, Interval::new(0, 9), Interval::new(7, 7), 99), vec![(2, 7)]);
+        assert!(solve_2var(2, 4, 3, Interval::new(-9, 9), Interval::new(-9, 9), 99).is_empty());
+    }
+
+    #[test]
+    fn division_rounding() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_floor(6, 3), 2);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+}

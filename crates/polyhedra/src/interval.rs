@@ -1,0 +1,157 @@
+//! Closed integer intervals `[lo, hi]` with exact (widening) arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed integer interval `[lo, hi]`. Empty iff `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    pub const fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The single-point interval `[v, v]`.
+    pub const fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// A canonical empty interval.
+    pub const fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// True iff the interval contains no integers.
+    pub const fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of integers in the interval (0 if empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi as i128 - self.lo as i128 + 1) as u64
+        }
+    }
+
+    /// True iff `v` lies in the interval.
+    pub const fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Intersection of two intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Smallest interval containing both (the convex hull of the union).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Translate by `d`.
+    pub fn shift(&self, d: i64) -> Interval {
+        if self.is_empty() {
+            *self
+        } else {
+            Interval::new(self.lo + d, self.hi + d)
+        }
+    }
+
+    /// Pointwise multiplication by a scalar (may swap endpoints).
+    pub fn scale(&self, k: i64) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        let a = self.lo.checked_mul(k).expect("interval scale overflow");
+        let b = self.hi.checked_mul(k).expect("interval scale overflow");
+        Interval::new(a.min(b), a.max(b))
+    }
+
+    /// Minkowski sum `{ a + b : a ∈ self, b ∈ other }`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Tightest interval containing all multiples of `g` inside `self`
+    /// divided by `g`: `{ v/g : v ∈ self, g | v }`. Empty if no multiple of
+    /// `g > 0` lies in the interval.
+    pub fn div_exact(&self, g: i64) -> Interval {
+        assert!(g > 0, "div_exact requires positive divisor");
+        Interval::new(self.lo.div_euclid(g) + i64::from(self.lo.rem_euclid(g) != 0), self.hi.div_euclid(g))
+    }
+
+    /// Iterate the integers of the interval in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.lo..=self.hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Interval::new(2, 5);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(2) && a.contains(5) && !a.contains(6));
+        assert!(Interval::empty().is_empty());
+        assert_eq!(a.intersect(&Interval::new(4, 9)), Interval::new(4, 5));
+        assert!(a.intersect(&Interval::new(6, 9)).is_empty());
+        assert_eq!(a.hull(&Interval::new(7, 8)), Interval::new(2, 8));
+        assert_eq!(a.shift(-2), Interval::new(0, 3));
+    }
+
+    #[test]
+    fn scale_swaps_endpoints_for_negative_factor() {
+        assert_eq!(Interval::new(2, 5).scale(-3), Interval::new(-15, -6));
+        assert_eq!(Interval::new(-1, 4).scale(0), Interval::new(0, 0));
+    }
+
+    #[test]
+    fn div_exact_finds_multiples() {
+        // Multiples of 4 in [5, 14] are {8, 12} -> divided: [2, 3].
+        assert_eq!(Interval::new(5, 14).div_exact(4), Interval::new(2, 3));
+        // No multiple of 7 in [8, 13].
+        assert!(Interval::new(8, 13).div_exact(7).is_empty());
+        // Negative range: multiples of 3 in [-7, -2] are {-6, -3}.
+        assert_eq!(Interval::new(-7, -2).div_exact(3), Interval::new(-2, -1));
+    }
+
+    #[test]
+    fn empty_interval_len_zero() {
+        assert_eq!(Interval::empty().len(), 0);
+        assert_eq!(Interval::new(3, 3).len(), 1);
+    }
+
+    #[test]
+    fn minkowski_add() {
+        assert_eq!(Interval::new(1, 2).add(&Interval::new(-3, 4)), Interval::new(-2, 6));
+        assert!(Interval::empty().add(&Interval::new(0, 1)).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Decomposition of open lexicographic intervals into box-like pieces.
+//!
+//! Replacement equations quantify over "the iteration points between the
+//! reuse source and the current iteration" (paper §2.1). In a
+//! lexicographically ordered space of dimension `m`, the open interval
+//! `{ j : a ≺ j ≺ b }` is a union of at most `2m + 1` pieces, each of the
+//! shape *fixed prefix · one ranged coordinate · free suffix*. Intersected
+//! with the (box-shaped) convex regions of the iteration space these pieces
+//! become plain integer boxes, on which the `formhit` solver operates.
+
+use crate::boxes::{lex_cmp, IntBox};
+use crate::interval::Interval;
+use std::cmp::Ordering;
+
+/// One piece of a lexicographic interval: coordinates `0..fixed.len()` are
+/// pinned, coordinate `fixed.len()` (if any) is constrained to `range`, and
+/// all later coordinates are unconstrained (free within the ambient space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexPiece {
+    /// Values of the leading fixed coordinates.
+    pub fixed: Vec<i64>,
+    /// Constraint on the first non-fixed coordinate; `None` when every
+    /// coordinate is fixed (a single-point piece only arises in degenerate
+    /// inputs and is filtered out for open intervals).
+    pub range: Option<Interval>,
+}
+
+impl LexPiece {
+    /// Intersect this piece with an ambient box; `None` if empty. The
+    /// result constrains all `n` dimensions of `ambient`.
+    pub fn clip_to_box(&self, ambient: &IntBox) -> Option<IntBox> {
+        let mut dims = ambient.dims.clone();
+        for (t, v) in self.fixed.iter().enumerate() {
+            if !dims[t].contains(*v) {
+                return None;
+            }
+            dims[t] = Interval::point(*v);
+        }
+        if let Some(r) = self.range {
+            let t = self.fixed.len();
+            debug_assert!(t < dims.len(), "ranged coordinate out of bounds");
+            dims[t] = dims[t].intersect(&r);
+            if dims[t].is_empty() {
+                return None;
+            }
+        }
+        Some(IntBox::new(dims))
+    }
+}
+
+/// Pieces of `{ j : j ≻ a }` (tail-strictly-greater), unbounded above.
+fn strictly_greater(a: &[i64]) -> Vec<LexPiece> {
+    // For each t: prefix = a[0..t], coordinate t ∈ [a_t + 1, +inf).
+    (0..a.len())
+        .map(|t| LexPiece {
+            fixed: a[..t].to_vec(),
+            range: Some(Interval::new(a[t] + 1, i64::MAX)),
+        })
+        .collect()
+}
+
+/// Pieces of `{ j : j ≺ b }`.
+fn strictly_less(b: &[i64]) -> Vec<LexPiece> {
+    (0..b.len())
+        .map(|t| LexPiece {
+            fixed: b[..t].to_vec(),
+            range: Some(Interval::new(i64::MIN, b[t] - 1)),
+        })
+        .collect()
+}
+
+/// Decompose the open lexicographic interval `{ j : a ≺ j ≺ b }` into
+/// disjoint pieces. Returns an empty vector when `a ⪰ b` (no points).
+pub fn between_open(a: &[i64], b: &[i64]) -> Vec<LexPiece> {
+    debug_assert_eq!(a.len(), b.len());
+    if lex_cmp(a, b) != Ordering::Less {
+        return Vec::new();
+    }
+    let mut pieces = Vec::new();
+    // Find the first differing coordinate.
+    let mut d = 0;
+    while d < a.len() && a[d] == b[d] {
+        d += 1;
+    }
+    debug_assert!(d < a.len(), "a ≺ b with equal coordinates is impossible");
+    let prefix = &a[..d];
+    // Piece set (all share the common prefix):
+    // 1. j_d = a_d, tail ≻ a-tail  (pieces of the suffix problem)
+    for mut p in strictly_greater(&a[d + 1..]) {
+        let mut fixed = prefix.to_vec();
+        fixed.push(a[d]);
+        fixed.extend_from_slice(&p.fixed);
+        p.fixed = fixed;
+        pieces.push(p);
+    }
+    // 2. a_d < j_d < b_d, tail free
+    if b[d] - a[d] >= 2 {
+        pieces.push(LexPiece {
+            fixed: prefix.to_vec(),
+            range: Some(Interval::new(a[d] + 1, b[d] - 1)),
+        });
+    }
+    // 3. j_d = b_d, tail ≺ b-tail
+    for mut p in strictly_less(&b[d + 1..]) {
+        let mut fixed = prefix.to_vec();
+        fixed.push(b[d]);
+        fixed.extend_from_slice(&p.fixed);
+        p.fixed = fixed;
+        pieces.push(p);
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force membership check of the piece list against direct lex
+    /// comparison over a small ambient box.
+    fn check_cover(a: &[i64], b: &[i64], ambient: &IntBox) {
+        let pieces = between_open(a, b);
+        let boxes: Vec<IntBox> = pieces.iter().filter_map(|p| p.clip_to_box(ambient)).collect();
+        for p in ambient.iter_points() {
+            let inside = lex_cmp(a, &p) == Ordering::Less && lex_cmp(&p, b) == Ordering::Less;
+            let covered = boxes.iter().filter(|bx| bx.contains(&p)).count();
+            assert_eq!(covered, usize::from(inside), "point {p:?} for ({a:?}, {b:?})");
+        }
+    }
+
+    #[test]
+    fn covers_exactly_once_2d() {
+        let ambient = IntBox::from_sizes(&[5, 5]);
+        check_cover(&[1, 2], &[3, 1], &ambient);
+        check_cover(&[0, 0], &[4, 4], &ambient);
+        check_cover(&[2, 4], &[3, 0], &ambient);
+        check_cover(&[2, 2], &[2, 3], &ambient); // adjacent: empty interval
+        check_cover(&[3, 3], &[1, 1], &ambient); // reversed: empty
+    }
+
+    #[test]
+    fn covers_exactly_once_3d() {
+        let ambient = IntBox::from_sizes(&[3, 3, 3]);
+        check_cover(&[0, 1, 2], &[2, 1, 0], &ambient);
+        check_cover(&[1, 1, 1], &[1, 2, 2], &ambient);
+        check_cover(&[0, 0, 0], &[0, 0, 1], &ambient);
+        check_cover(&[0, 0, 0], &[2, 2, 2], &ambient);
+    }
+
+    #[test]
+    fn piece_count_bound() {
+        // For m dims, at most 2m - 1 pieces (d = 0 case: (m-1) + 1 + (m-1)).
+        for m in 1..=6 {
+            let a = vec![0i64; m];
+            let mut b = vec![9i64; m];
+            b[0] = 9;
+            let pieces = between_open(&a, &b);
+            assert!(pieces.len() <= 2 * m - 1, "m={m}: {} pieces", pieces.len());
+        }
+    }
+
+    #[test]
+    fn empty_for_adjacent_points() {
+        // (1,1) and (1,2) are consecutive: nothing strictly between.
+        let pieces = between_open(&[1, 1], &[1, 2]);
+        let ambient = IntBox::from_sizes(&[5, 5]);
+        assert!(pieces.iter().filter_map(|p| p.clip_to_box(&ambient)).all(|b| b.is_empty() || b.volume() == 0));
+    }
+}

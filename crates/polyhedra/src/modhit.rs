@@ -1,0 +1,260 @@
+//! Decide `∃ x ∈ Box : F(x) mod M ∈ [a, b]` exactly.
+//!
+//! This is the *set-mapping* form of a replacement equation: an address
+//! form hits a cache-set window modulo the cache size. `cme-core` uses it
+//! as a cheap pre-filter before the exact line-resolving query (which needs
+//! the wrap-around variable, see [`crate::formhit`]), and the solver
+//! benchmarks compare it against enumeration.
+//!
+//! Strategy: reduce coefficients modulo `M`, clip each variable's range to
+//! its residue period `M / gcd(c, M)` (longer ranges revisit the same
+//! residues), then either enumerate (small clipped boxes) or compute the
+//! exact attainable-residue set with a bitset sum-set ladder
+//! (`O(M/64 · Σ log R_t)` words).
+
+use crate::affine::AffineForm;
+use crate::boxes::IntBox;
+use crate::dioph::gcd;
+use crate::interval::Interval;
+
+/// Maximum modulus supported by the bitset path (64 MiB of bits).
+const MAX_MODULUS: i64 = 1 << 29;
+
+/// Dense bitset over residues `0..m`.
+#[derive(Debug, Clone)]
+struct ModBitset {
+    m: usize,
+    words: Vec<u64>,
+}
+
+impl ModBitset {
+    fn new(m: usize) -> Self {
+        ModBitset { m, words: vec![0; m.div_ceil(64)] }
+    }
+
+    fn set(&mut self, bit: usize) {
+        debug_assert!(bit < self.m);
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    fn or_assign(&mut self, other: &ModBitset) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// `self` rotated left by `s` positions in the `m`-residue ring.
+    fn rotate(&self, s: usize) -> ModBitset {
+        let s = s % self.m;
+        let mut out = ModBitset::new(self.m);
+        if s == 0 {
+            out.words.copy_from_slice(&self.words);
+            return out;
+        }
+        for i in 0..self.m {
+            if self.words[i / 64] >> (i % 64) & 1 == 1 {
+                let j = (i + s) % self.m;
+                out.words[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        out
+    }
+
+    fn any_in(&self, w: Interval) -> bool {
+        if w.is_empty() {
+            return false;
+        }
+        let (lo, hi) = (w.lo.max(0) as usize, (w.hi as usize).min(self.m - 1));
+        if lo > hi {
+            return false;
+        }
+        // Word-wise scan with boundary masks.
+        let (wl, wh) = (lo / 64, hi / 64);
+        for wi in wl..=wh {
+            let mut word = self.words[wi];
+            if wi == wl {
+                word &= u64::MAX << (lo % 64);
+            }
+            if wi == wh && (hi % 64) != 63 {
+                word &= (1u64 << (hi % 64 + 1)) - 1;
+            }
+            if word != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// `OR_{k=0}^{n-1} rotate(a, k·c mod m)` via a doubling ladder (exactly `n`
+/// shifts covered — no overshoot).
+fn ap_closure(a: &ModBitset, c: usize, n: u64) -> ModBitset {
+    debug_assert!(n >= 1);
+    let m = a.m;
+    // Ladder: l[j] = OR_{k < 2^j} rot(a, k c).
+    let mut ladder = vec![a.clone()];
+    let mut span: u64 = 1;
+    while span * 2 <= n {
+        let last = ladder.last().expect("nonempty ladder");
+        let mut next = last.clone();
+        let rot = last.rotate((span as u128 * c as u128 % m as u128) as usize);
+        next.or_assign(&rot);
+        ladder.push(next);
+        span *= 2;
+    }
+    // Compose n from binary digits, highest first.
+    let mut out: Option<ModBitset> = None;
+    let mut offset: u64 = 0;
+    for j in (0..ladder.len()).rev() {
+        let p = 1u64 << j;
+        if offset + p <= n {
+            let shifted = ladder[j].rotate((offset as u128 * c as u128 % m as u128) as usize);
+            match &mut out {
+                None => out = Some(shifted),
+                Some(acc) => acc.or_assign(&shifted),
+            }
+            offset += p;
+        }
+    }
+    debug_assert_eq!(offset, n);
+    out.expect("n >= 1")
+}
+
+/// Decide `∃ x ∈ b : form(x) mod m ∈ window` (`window ⊆ [0, m)`,
+/// non-wrapping). Exact.
+pub fn mod_hit(form: &AffineForm, b: &IntBox, m: i64, window: Interval) -> bool {
+    assert!(m > 0 && m <= MAX_MODULUS, "modulus out of supported range");
+    assert!(window.lo >= 0 && window.hi < m, "window must lie within [0, m)");
+    if b.is_empty() || window.is_empty() {
+        return false;
+    }
+    if window.len() >= m as u64 {
+        return true;
+    }
+    // Normalise coefficients into [0, m) and clip ranges to residue periods.
+    let mut c0 = form.c0.rem_euclid(m);
+    let mut terms: Vec<(i64, u64)> = Vec::new(); // (coeff mod m, value count)
+    for (c, iv) in form.coeffs.iter().zip(&b.dims) {
+        let cm = c.rem_euclid(m);
+        let count = iv.len();
+        if cm == 0 || count <= 1 {
+            c0 = (c0 + (cm as i128 * iv.lo.rem_euclid(m) as i128 % m as i128) as i64).rem_euclid(m);
+            continue;
+        }
+        // Fold the lower bound into the constant.
+        c0 = (c0 as i128 + cm as i128 * iv.lo.rem_euclid(m) as i128).rem_euclid(m as i128) as i64;
+        let period = (m / gcd(cm, m)) as u64;
+        terms.push((cm, count.min(period)));
+    }
+    if terms.is_empty() {
+        return window.contains(c0);
+    }
+    // Small clipped boxes: enumerate residues directly.
+    let total: u128 = terms.iter().map(|&(_, n)| n as u128).product();
+    if total <= 4096 {
+        return enum_residues(c0, &terms, m, window);
+    }
+    // Exact attainable-set DP.
+    let mut attain = ModBitset::new(m as usize);
+    attain.set(c0 as usize);
+    for &(c, n) in &terms {
+        attain = ap_closure(&attain, c as usize, n);
+    }
+    attain.any_in(window)
+}
+
+fn enum_residues(c0: i64, terms: &[(i64, u64)], m: i64, window: Interval) -> bool {
+    fn rec(acc: i64, terms: &[(i64, u64)], m: i64, window: Interval) -> bool {
+        match terms.split_first() {
+            None => window.contains(acc),
+            Some((&(c, n), rest)) => {
+                let mut v = acc;
+                for _ in 0..n {
+                    if rec(v, rest, m, window) {
+                        return true;
+                    }
+                    v = (v + c).rem_euclid(m);
+                }
+                false
+            }
+        }
+    }
+    rec(c0, terms, m, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumhit::enum_mod_hit;
+
+    fn bx(ranges: &[(i64, i64)]) -> IntBox {
+        IntBox::new(ranges.iter().map(|&(a, b)| Interval::new(a, b)).collect())
+    }
+
+    #[test]
+    fn matches_enumeration_small() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for case in 0..400 {
+            let n = rng.gen_range(1..=3usize);
+            let m = *[4i64, 8, 12, 16, 32, 48, 64].iter().collect::<Vec<_>>()[rng.gen_range(0..7)];
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-30..=30i64)).collect();
+            let c0 = rng.gen_range(-20..=20);
+            let f = AffineForm::new(coeffs, c0);
+            let dims: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let lo = rng.gen_range(-5..=5i64);
+                    Interval::new(lo, lo + rng.gen_range(0..=9i64))
+                })
+                .collect();
+            let b = IntBox::new(dims);
+            let wlo = rng.gen_range(0..m);
+            let whi = (wlo + rng.gen_range(0..=(m / 2))).min(m - 1);
+            let w = Interval::new(wlo, whi);
+            assert_eq!(mod_hit(&f, &b, m, w), enum_mod_hit(&f, &b, m, w), "case {case}: f={f} m={m} w={w} box={b:?}");
+        }
+    }
+
+    #[test]
+    fn dp_path_large_ranges() {
+        // Stride 4096 over a large range modulo 8192 only reaches {0, 4096}.
+        let f = AffineForm::new(vec![4096], 0);
+        let b = bx(&[(0, 1_000_000)]);
+        assert!(mod_hit(&f, &b, 8192, Interval::new(4096, 4096)));
+        assert!(!mod_hit(&f, &b, 8192, Interval::new(1, 4095)));
+        // Stride 4 reaches every multiple of 4.
+        let f = AffineForm::new(vec![4], 1);
+        assert!(mod_hit(&f, &b, 8192, Interval::new(33, 33)));
+        assert!(!mod_hit(&f, &b, 8192, Interval::new(34, 35)));
+    }
+
+    #[test]
+    fn full_window_always_hits() {
+        let f = AffineForm::new(vec![12345], 7);
+        let b = bx(&[(0, 0)]);
+        assert!(mod_hit(&f, &b, 64, Interval::new(0, 63)));
+    }
+
+    #[test]
+    fn mixed_strides_dp() {
+        // 4·i + 1000·j mod 256: j contributes multiples of 8 (1000 mod 256 = 232, gcd 8),
+        // i fine-tunes by 4: attainable = multiples of 4.
+        let f = AffineForm::new(vec![4, 1000], 0);
+        let b = bx(&[(0, 5000), (0, 5000)]);
+        assert!(mod_hit(&f, &b, 256, Interval::new(100, 100))); // 100 = 4·25
+        assert!(!mod_hit(&f, &b, 256, Interval::new(101, 102)));
+    }
+
+    #[test]
+    fn ap_closure_no_overshoot() {
+        // Base {0}, step 3 mod 16, n = 3 covers exactly {0, 3, 6}.
+        let mut a = ModBitset::new(16);
+        a.set(0);
+        let r = ap_closure(&a, 3, 3);
+        assert!(r.any_in(Interval::new(0, 0)));
+        assert!(r.any_in(Interval::new(3, 3)));
+        assert!(r.any_in(Interval::new(6, 6)));
+        assert!(!r.any_in(Interval::new(9, 9)), "overshoot: k=3 must not be included");
+        assert!(!r.any_in(Interval::new(1, 2)));
+    }
+}

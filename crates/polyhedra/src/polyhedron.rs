@@ -1,0 +1,265 @@
+//! General integer constraint systems (`Σ c_t·x_t + c0 ≥ 0`).
+//!
+//! This is the explicit, inspectable representation of Cache Miss
+//! Equations: a compulsory or replacement equation *is* such a polyhedron
+//! (paper §2.1 — "the term equation is loosely used to refer to a set of
+//! simultaneous equalities and inequalities"). The fast solver in
+//! `cme-core` avoids materialising these systems on its hot path, but the
+//! equation objects are still generated for documentation, testing, and
+//! the explicit-solver baseline.
+
+use crate::affine::AffineForm;
+use crate::boxes::IntBox;
+use crate::dioph::{div_ceil_i128, div_floor_i128};
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// A single linear constraint `form ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    pub form: AffineForm,
+}
+
+impl Constraint {
+    /// `form ≥ 0`.
+    pub fn ge0(form: AffineForm) -> Self {
+        Constraint { form }
+    }
+
+    /// `lhs ≥ rhs`.
+    pub fn ge(lhs: AffineForm, rhs: AffineForm) -> Self {
+        Constraint { form: lhs.sub(&rhs) }
+    }
+
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: AffineForm, rhs: AffineForm) -> Self {
+        Constraint { form: rhs.sub(&lhs) }
+    }
+
+    /// True iff the point satisfies the constraint.
+    pub fn holds(&self, x: &[i64]) -> bool {
+        self.form.eval(x) >= 0
+    }
+}
+
+/// A conjunction of linear constraints over `n_vars` integer variables,
+/// optionally pre-seeded with per-variable bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Polyhedron {
+    pub n_vars: usize,
+    pub constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The unconstrained polyhedron over `n_vars` variables.
+    pub fn universe(n_vars: usize) -> Self {
+        Polyhedron { n_vars, constraints: Vec::new() }
+    }
+
+    /// Constraints `lo_t ≤ x_t ≤ hi_t` from a box.
+    pub fn from_box(b: &IntBox) -> Self {
+        let n = b.n_dims();
+        let mut p = Polyhedron::universe(n);
+        for (t, iv) in b.dims.iter().enumerate() {
+            let x = AffineForm::var(n, t);
+            p.constraints.push(Constraint::ge(x.clone(), AffineForm::constant(n, iv.lo)));
+            p.constraints.push(Constraint::le(x, AffineForm::constant(n, iv.hi)));
+        }
+        p
+    }
+
+    /// Add a constraint.
+    pub fn and(&mut self, c: Constraint) -> &mut Self {
+        debug_assert_eq!(c.form.n_vars(), self.n_vars);
+        self.constraints.push(c);
+        self
+    }
+
+    /// Add equality `form = 0` (two inequalities).
+    pub fn and_eq0(&mut self, form: AffineForm) -> &mut Self {
+        self.constraints.push(Constraint::ge0(form.clone()));
+        self.constraints.push(Constraint::ge0(form.scale(-1)));
+        self
+    }
+
+    /// True iff the point satisfies every constraint.
+    pub fn contains(&self, x: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.holds(x))
+    }
+
+    /// Interval bound propagation: iteratively tighten per-variable bounds
+    /// using each constraint. Returns the tightened box, or `None` if
+    /// infeasibility is detected. Starts from `start` (use a generous box
+    /// for unbounded problems). Sound but not complete (a returned box does
+    /// not guarantee an integer point exists).
+    pub fn propagate_bounds(&self, start: &IntBox) -> Option<IntBox> {
+        debug_assert_eq!(start.n_dims(), self.n_vars);
+        let mut b = start.clone();
+        if b.is_empty() {
+            return None;
+        }
+        // Fixpoint with an iteration cap to guarantee termination.
+        for _round in 0..(4 * self.n_vars.max(1)) {
+            let mut changed = false;
+            for c in &self.constraints {
+                // Σ c_t x_t + c0 ≥ 0: bound each variable using the ranges
+                // of the others.
+                let f = &c.form;
+                // Precompute the maximal attainable value of the form.
+                let mut hi_sum: i128 = f.c0 as i128;
+                for (t, &ct) in f.coeffs.iter().enumerate() {
+                    if ct == 0 {
+                        continue;
+                    }
+                    let iv = b.dims[t];
+                    let (a, bb) = ((ct as i128) * iv.lo as i128, (ct as i128) * iv.hi as i128);
+                    hi_sum += a.max(bb);
+                }
+                if hi_sum < 0 {
+                    return None; // constraint unsatisfiable over the box
+                }
+                for (t, &ct) in f.coeffs.iter().enumerate() {
+                    if ct == 0 {
+                        continue;
+                    }
+                    let iv = b.dims[t];
+                    let (a, bb) = ((ct as i128) * iv.lo as i128, (ct as i128) * iv.hi as i128);
+                    let others_hi = hi_sum - a.max(bb);
+                    // Need ct·x_t ≥ -others_hi  ⇒ bound on x_t.
+                    let new_iv = if ct > 0 {
+                        let min_x = div_ceil_i128(-others_hi, ct as i128);
+                        Interval::new(min_x.clamp(i64::MIN as i128, i64::MAX as i128) as i64, iv.hi)
+                    } else {
+                        let max_x = div_floor_i128(others_hi, (-ct) as i128);
+                        Interval::new(iv.lo, max_x.clamp(i64::MIN as i128, i64::MAX as i128) as i64)
+                    };
+                    let tight = iv.intersect(&new_iv);
+                    if tight != iv {
+                        if tight.is_empty() {
+                            return None;
+                        }
+                        b.dims[t] = tight;
+                        changed = true;
+                        // Recompute sums with the tightened interval.
+                        let (a2, b2) = ((ct as i128) * tight.lo as i128, (ct as i128) * tight.hi as i128);
+                        hi_sum += a2.max(b2) - a.max(bb);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(b)
+    }
+
+    /// Exact integer emptiness over a bounding box: bound propagation plus
+    /// branching on the variable with the smallest domain. `node_cap`
+    /// bounds the search; on exhaustion the result is `None` (unknown).
+    pub fn is_empty_int(&self, start: &IntBox, node_cap: &mut u64) -> Option<bool> {
+        let Some(b) = self.propagate_bounds(start) else {
+            return Some(true);
+        };
+        // Fully determined?
+        if b.dims.iter().all(|iv| iv.lo == iv.hi) {
+            let p: Vec<i64> = b.dims.iter().map(|iv| iv.lo).collect();
+            return Some(!self.contains(&p));
+        }
+        if *node_cap == 0 {
+            return None;
+        }
+        *node_cap -= 1;
+        // Branch on the smallest non-singleton domain.
+        let (t, iv) = b
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.lo < iv.hi)
+            .min_by_key(|(_, iv)| iv.len())
+            .map(|(t, iv)| (t, *iv))
+            .expect("non-singleton dim exists");
+        let mid = iv.lo + (iv.hi - iv.lo) / 2;
+        for half in [Interval::new(iv.lo, mid), Interval::new(mid + 1, iv.hi)] {
+            let mut sub = b.clone();
+            sub.dims[t] = half;
+            match self.is_empty_int(&sub, node_cap) {
+                Some(true) => continue,
+                Some(false) => return Some(false),
+                None => return None,
+            }
+        }
+        Some(true)
+    }
+
+    /// Exact integer point count by enumeration over the propagated box
+    /// (`None` if the box volume exceeds `cap`).
+    pub fn count_int(&self, start: &IntBox, cap: u64) -> Option<u64> {
+        let Some(b) = self.propagate_bounds(start) else {
+            return Some(0);
+        };
+        if b.volume() > cap {
+            return None;
+        }
+        Some(b.iter_points().filter(|p| self.contains(p)).count() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(ranges: &[(i64, i64)]) -> IntBox {
+        IntBox::new(ranges.iter().map(|&(a, b)| Interval::new(a, b)).collect())
+    }
+
+    #[test]
+    fn propagation_tightens() {
+        // x + y ≤ 3, x,y ∈ [0,10] -> both ≤ 3.
+        let mut p = Polyhedron::from_box(&bx(&[(0, 10), (0, 10)]));
+        p.and(Constraint::le(
+            AffineForm::new(vec![1, 1], 0),
+            AffineForm::constant(2, 3),
+        ));
+        let b = p.propagate_bounds(&bx(&[(0, 10), (0, 10)])).unwrap();
+        assert_eq!(b, bx(&[(0, 3), (0, 3)]));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x ≥ 5 and x ≤ 3.
+        let mut p = Polyhedron::universe(1);
+        p.and(Constraint::ge(AffineForm::var(1, 0), AffineForm::constant(1, 5)));
+        p.and(Constraint::le(AffineForm::var(1, 0), AffineForm::constant(1, 3)));
+        assert!(p.propagate_bounds(&bx(&[(-100, 100)])).is_none());
+        let mut cap = 1000;
+        assert_eq!(p.is_empty_int(&bx(&[(-100, 100)]), &mut cap), Some(true));
+    }
+
+    #[test]
+    fn emptiness_needs_branching() {
+        // 2x + 2y = 5 has no integer solutions though bounds are fine.
+        let mut p = Polyhedron::from_box(&bx(&[(0, 10), (0, 10)]));
+        p.and_eq0(AffineForm::new(vec![2, 2], -5));
+        let mut cap = 10_000;
+        assert_eq!(p.is_empty_int(&bx(&[(0, 10), (0, 10)]), &mut cap), Some(true));
+    }
+
+    #[test]
+    fn finds_integer_point() {
+        // x = 2y, x + y = 9 -> y = 3, x = 6.
+        let mut p = Polyhedron::from_box(&bx(&[(0, 10), (0, 10)]));
+        p.and_eq0(AffineForm::new(vec![1, -2], 0));
+        p.and_eq0(AffineForm::new(vec![1, 1], -9));
+        let mut cap = 10_000;
+        assert_eq!(p.is_empty_int(&bx(&[(0, 10), (0, 10)]), &mut cap), Some(false));
+        assert!(p.contains(&[6, 3]));
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        // x + y ≤ 4 over [0,4]² : C(6,2) = 15 points.
+        let mut p = Polyhedron::from_box(&bx(&[(0, 4), (0, 4)]));
+        p.and(Constraint::le(AffineForm::new(vec![1, 1], 0), AffineForm::constant(2, 4)));
+        assert_eq!(p.count_int(&bx(&[(0, 4), (0, 4)]), 1_000), Some(15));
+    }
+}

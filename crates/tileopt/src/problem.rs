@@ -1,0 +1,220 @@
+//! The tiling search problem and GA-driven optimiser.
+
+use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
+use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
+use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+use serde::{Deserialize, Serialize};
+
+/// Objective: estimated replacement misses of the nest tiled with the
+/// candidate tile vector (paper §3.1's function `f`).
+pub struct TilingObjective<'a> {
+    pub nest: &'a LoopNest,
+    pub layout: &'a MemoryLayout,
+    pub model: CmeModel,
+    pub sampling: SamplingConfig,
+    /// Base seed; each tile vector derives its own deterministic sampling
+    /// seed so memoised costs are reproducible.
+    pub seed: u64,
+}
+
+impl TilingObjective<'_> {
+    fn seed_for(&self, values: &[i64]) -> u64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &v in values {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v as u64);
+        }
+        h
+    }
+
+    /// Full estimate for a tile vector (the identity tiling analyses the
+    /// original nest).
+    pub fn estimate(&self, tiles: &TileSizes) -> MissEstimate {
+        let an = if tiles.is_trivial(self.nest) {
+            self.model.analyze(self.nest, self.layout, None)
+        } else {
+            self.model.analyze(self.nest, self.layout, Some(tiles))
+        };
+        an.estimate(&self.sampling, self.seed_for(&tiles.0))
+    }
+}
+
+impl Objective for TilingObjective<'_> {
+    fn cost(&self, values: &[i64]) -> f64 {
+        self.estimate(&TileSizes(values.to_vec())).replacement_misses()
+    }
+}
+
+/// Result of a tiling optimisation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TilingOutcome {
+    pub tiles: TileSizes,
+    /// Estimate for the original (untiled) nest.
+    pub before: MissEstimate,
+    /// Estimate for the chosen tiling.
+    pub after: MissEstimate,
+    pub ga: GaSummary,
+}
+
+/// Serialisable digest of a GA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaSummary {
+    pub generations: u32,
+    pub evaluations: u64,
+    pub converged: bool,
+    pub best_cost: f64,
+}
+
+impl From<&GaResult> for GaSummary {
+    fn from(r: &GaResult) -> Self {
+        GaSummary {
+            generations: r.generations,
+            evaluations: r.evaluations,
+            converged: r.converged,
+            best_cost: r.best_cost,
+        }
+    }
+}
+
+/// GA-driven tile-size selection (paper §3).
+///
+/// ```
+/// use cme_core::CacheSpec;
+/// use cme_loopnest::builder::{sub, NestBuilder};
+/// use cme_loopnest::MemoryLayout;
+/// use cme_tileopt::TilingOptimizer;
+///
+/// // A 64×64 transpose thrashing a 1 KB cache.
+/// let mut nb = NestBuilder::new("t2d");
+/// let i = nb.add_loop("i", 1, 64);
+/// let j = nb.add_loop("j", 1, 64);
+/// let a = nb.array("a", &[64, 64]);
+/// let b = nb.array("b", &[64, 64]);
+/// nb.read(b, &[sub(i), sub(j)]);
+/// nb.write(a, &[sub(j), sub(i)]);
+/// let nest = nb.finish().unwrap();
+/// let layout = MemoryLayout::contiguous(&nest);
+///
+/// let out = TilingOptimizer::new(CacheSpec::direct_mapped(1024, 32))
+///     .optimize(&nest, &layout)
+///     .unwrap();
+/// assert!(out.after.replacement_ratio() < out.before.replacement_ratio() / 3.0);
+/// ```
+pub struct TilingOptimizer {
+    pub cache: CacheSpec,
+    pub sampling: SamplingConfig,
+    pub ga: GaConfig,
+}
+
+impl TilingOptimizer {
+    pub fn new(cache: CacheSpec) -> Self {
+        TilingOptimizer { cache, sampling: SamplingConfig::paper(), ga: GaConfig::default() }
+    }
+
+    /// Search near-optimal tile sizes. Errors when rectangular tiling is
+    /// illegal for the nest.
+    pub fn optimize(&self, nest: &LoopNest, layout: &MemoryLayout) -> Result<TilingOutcome, String> {
+        if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
+            return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
+        }
+        let objective = TilingObjective {
+            nest,
+            layout,
+            model: CmeModel::new(self.cache),
+            sampling: self.sampling,
+            seed: self.ga.seed,
+        };
+        let domain = Domain::new(nest.spans());
+        let ga = run_ga(&domain, &objective, &self.ga);
+        let tiles = TileSizes(ga.best_values.clone());
+        let before = objective.estimate(&TileSizes::trivial(nest));
+        let after = objective.estimate(&tiles);
+        Ok(TilingOutcome { tiles, before, after, ga: GaSummary::from(&ga) })
+    }
+
+    /// As [`Self::optimize`] but also returning the full GA trace (for the
+    /// convergence experiments).
+    pub fn optimize_traced(
+        &self,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+    ) -> Result<(TilingOutcome, GaResult), String> {
+        if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
+            return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
+        }
+        let objective = TilingObjective {
+            nest,
+            layout,
+            model: CmeModel::new(self.cache),
+            sampling: self.sampling,
+            seed: self.ga.seed,
+        };
+        let domain = Domain::new(nest.spans());
+        let ga = run_ga(&domain, &objective, &self.ga);
+        let tiles = TileSizes(ga.best_values.clone());
+        let before = objective.estimate(&TileSizes::trivial(nest));
+        let after = objective.estimate(&tiles);
+        Ok((TilingOutcome { tiles, before, after, ga: GaSummary::from(&ga) }, ga))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_loopnest::builder::{sub, NestBuilder};
+
+    /// Small transpose with heavy replacement misses in a tiny cache.
+    fn t2d(n: i64) -> LoopNest {
+        let mut nb = NestBuilder::new(format!("t2d_{n}"));
+        let i = nb.add_loop("i", 1, n);
+        let j = nb.add_loop("j", 1, n);
+        let a = nb.array("a", &[n, n]);
+        let b = nb.array("b", &[n, n]);
+        nb.read(b, &[sub(i), sub(j)]);
+        nb.write(a, &[sub(j), sub(i)]);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn ga_tiling_removes_transpose_misses() {
+        let nest = t2d(64);
+        let layout = MemoryLayout::contiguous(&nest);
+        // 1 KB cache, 32 B lines: untiled 64×64 transpose thrashes.
+        let opt = TilingOptimizer::new(CacheSpec::direct_mapped(1024, 32));
+        let out = opt.optimize(&nest, &layout).expect("legal");
+        let before = out.before.replacement_ratio();
+        let after = out.after.replacement_ratio();
+        assert!(before > 0.2, "untiled transpose must thrash (got {before})");
+        assert!(after < before / 3.0, "tiling must slash replacement misses: {before} -> {after} tiles {}", out.tiles);
+    }
+
+    #[test]
+    fn illegal_nest_is_rejected() {
+        // x(i,j) = x(i-1,j+1): distance (1,-1) — not fully permutable.
+        let mut nb = NestBuilder::new("skew");
+        let i = nb.add_loop("i", 2, 10);
+        let j = nb.add_loop("j", 1, 9);
+        let x = nb.array("x", &[10, 10]);
+        nb.read(x, &[sub(i).minus(1), sub(j).plus(1)]);
+        nb.write(x, &[sub(i), sub(j)]);
+        let nest = nb.finish().unwrap();
+        let layout = MemoryLayout::contiguous(&nest);
+        let opt = TilingOptimizer::new(CacheSpec::direct_mapped(1024, 32));
+        assert!(opt.optimize(&nest, &layout).is_err());
+    }
+
+    #[test]
+    fn objective_is_deterministic() {
+        let nest = t2d(32);
+        let layout = MemoryLayout::contiguous(&nest);
+        let obj = TilingObjective {
+            nest: &nest,
+            layout: &layout,
+            model: CmeModel::new(CacheSpec::direct_mapped(512, 32)),
+            sampling: SamplingConfig::paper(),
+            seed: 42,
+        };
+        assert_eq!(obj.cost(&[8, 8]), obj.cost(&[8, 8]));
+        assert_eq!(obj.cost(&[32, 5]), obj.cost(&[32, 5]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Serialisable per-kernel experiment records (consumed by `cme-bench`
+//! and `EXPERIMENTS.md` generation).
+
+use cme_loopnest::TileSizes;
+use serde::{Deserialize, Serialize};
+
+/// One kernel × cache experiment row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelReport {
+    pub kernel: String,
+    pub cache_kb: i64,
+    /// Miss ratios in percent (to match the paper's tables).
+    pub total_before_pct: f64,
+    pub repl_before_pct: f64,
+    pub total_after_pct: f64,
+    pub repl_after_pct: f64,
+    pub tiles: Option<TileSizes>,
+    pub ga_generations: u32,
+    pub ga_evaluations: u64,
+    pub ga_converged: bool,
+}
+
+impl KernelReport {
+    /// Render as a fixed-width table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}%  {:<18} {:>3} gen {:>5} evals",
+            self.kernel,
+            self.total_before_pct,
+            self.repl_before_pct,
+            self.total_after_pct,
+            self.repl_after_pct,
+            self.tiles.as_ref().map_or("-".to_string(), |t| t.to_string()),
+            self.ga_generations,
+            self.ga_evaluations,
+        )
+    }
+
+    /// Table header matching [`Self::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<14} {:>8} {:>8} {:>10} {:>8}  {:<18} {}",
+            "kernel", "tot.pre", "rep.pre", "tot.post", "rep.post", "tiles", "GA"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_renders() {
+        let r = KernelReport {
+            kernel: "MM_500".into(),
+            cache_kb: 8,
+            total_before_pct: 48.3,
+            repl_before_pct: 35.1,
+            total_after_pct: 7.2,
+            repl_after_pct: 0.4,
+            tiles: Some(TileSizes(vec![10, 20, 30])),
+            ga_generations: 15,
+            ga_evaluations: 430,
+            ga_converged: true,
+        };
+        let row = r.row();
+        assert!(row.contains("MM_500"));
+        assert!(row.contains("(10, 20, 30)"));
+        assert!(KernelReport::header().contains("kernel"));
+        // Round-trips through serde.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: KernelReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kernel, "MM_500");
+    }
+}

@@ -1,0 +1,57 @@
+//! Domain study: matrix-multiply tile tuning across cache sizes, with
+//! baseline comparisons and a look at the GA's convergence trace.
+//!
+//! ```text
+//! cargo run --release --example matmul_tuning
+//! ```
+
+use cme_suite::cme::{CacheSpec, CmeModel, SamplingConfig};
+use cme_suite::ga::GaConfig;
+use cme_suite::kernels::linalg::mm;
+use cme_suite::loopnest::{MemoryLayout, TileSizes};
+use cme_suite::tileopt::baselines::{fixed_fraction, lrw_square, tss_coleman_mckinley};
+use cme_suite::tileopt::TilingOptimizer;
+
+fn repl_pct(model: &CmeModel, nest: &cme_suite::loopnest::LoopNest, layout: &MemoryLayout, tiles: &TileSizes) -> f64 {
+    let an = if tiles.is_trivial(nest) {
+        model.analyze(nest, layout, None)
+    } else {
+        model.analyze(nest, layout, Some(tiles))
+    };
+    an.estimate(&SamplingConfig::paper(), 5).replacement_ratio() * 100.0
+}
+
+fn main() {
+    let nest = mm(500);
+    let layout = MemoryLayout::contiguous(&nest);
+
+    for cache in [CacheSpec::paper_8k(), CacheSpec::paper_32k()] {
+        let model = CmeModel::new(cache);
+        println!("=== MM_500 on {} KB direct-mapped, 32 B lines ===", cache.size / 1024);
+        let untiled = repl_pct(&model, &nest, &layout, &TileSizes::trivial(&nest));
+        println!("untiled            : {untiled:5.1}% replacement");
+
+        for (name, tiles) in [
+            ("LRW square", lrw_square(&nest, &layout, cache)),
+            ("TSS", tss_coleman_mckinley(&nest, &layout, cache)),
+            ("fixed 1/2 cache", fixed_fraction(&nest, cache, 0.5)),
+        ] {
+            println!("{name:<19}: {:5.1}% with tiles {tiles}", repl_pct(&model, &nest, &layout, &tiles));
+        }
+
+        let mut opt = TilingOptimizer::new(cache);
+        opt.ga = GaConfig { seed: 99, ..GaConfig::default() };
+        let (out, trace) = opt.optimize_traced(&nest, &layout).expect("legal");
+        println!(
+            "CME + GA           : {:5.1}% with tiles {} ({} generations)",
+            out.after.replacement_ratio() * 100.0,
+            out.tiles,
+            trace.generations
+        );
+        println!("GA convergence (generation: best / average replacement misses):");
+        for h in trace.history.iter().step_by(4) {
+            println!("  gen {:>2}: best {:>12.0}  avg {:>12.0}", h.generation, h.best, h.average);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Domain study: conflict misses that tiling cannot fix (paper §4.3).
+//!
+//! The NAS kernels ADD and VPENTA use arrays whose sizes are multiples of
+//! the cache size, so corresponding elements alias perfectly in a
+//! direct-mapped cache. Tiling cannot help (there is no reuse to block
+//! for); inter-array padding moves the bases apart and removes the
+//! conflicts; tiling then cleans up whatever capacity misses remain.
+//!
+//! ```text
+//! cargo run --release --example padding_conflicts
+//! ```
+
+use cme_suite::cme::CacheSpec;
+use cme_suite::ga::GaConfig;
+use cme_suite::kernels::nas;
+use cme_suite::tileopt::{PaddingOptimizer, TilingOptimizer};
+use cme_suite::loopnest::MemoryLayout;
+
+fn study(name: &str, nest: cme_suite::loopnest::LoopNest) {
+    let cache = CacheSpec::paper_8k();
+    let layout = MemoryLayout::contiguous(&nest);
+
+    // Tiling alone.
+    let tiler = TilingOptimizer::new(cache);
+    let tiled = tiler.optimize(&nest, &layout).expect("legal");
+
+    // Padding, then padding + tiling (Table 3 pipeline).
+    let mut padder = PaddingOptimizer::new(cache);
+    padder.ga = GaConfig { seed: 1234, ..GaConfig::default() };
+    let out = padder.optimize_then_tile(&nest).expect("legal");
+    let pt = out.tiled.as_ref().unwrap();
+
+    println!(
+        "{name:>8}: original {:5.1}%  | tiling alone {:5.1}%  | padding {:5.1}%  | padding+tiling {:5.1}%",
+        out.original.replacement_ratio() * 100.0,
+        tiled.after.replacement_ratio() * 100.0,
+        out.padded.replacement_ratio() * 100.0,
+        pt.after.replacement_ratio() * 100.0,
+    );
+}
+
+fn main() {
+    println!("Replacement miss ratios (8 KB direct-mapped cache):\n");
+    study("ADD", nas::add(nas::ADD_N));
+    study("VPENTA1", nas::vpenta1(nas::VPENTA_N));
+    study("VPENTA2", nas::vpenta2(nas::VPENTA_N));
+    study("BTRIX", nas::btrix(nas::BTRIX_N));
+    println!(
+        "\nThe pattern of paper Table 3: tiling alone leaves these kernels' miss\n\
+         ratios high; padding (searched with the same GA over layout parameters)\n\
+         plus tiling removes practically all replacement misses."
+    );
+}

@@ -1,0 +1,15 @@
+//! `cme-suite` — facade crate re-exporting the whole workspace.
+//!
+//! This is the crate downstream users depend on: it bundles the loop-nest
+//! IR, the Cache Miss Equations analyser, the genetic-algorithm optimiser,
+//! the ground-truth cache simulator and the benchmark kernels behind one
+//! import. See the workspace `README.md` for a guided tour and
+//! `examples/quickstart.rs` for the 5-minute version.
+
+pub use cme_cachesim as cachesim;
+pub use cme_core as cme;
+pub use cme_ga as ga;
+pub use cme_kernels as kernels;
+pub use cme_loopnest as loopnest;
+pub use cme_polyhedra as polyhedra;
+pub use cme_tileopt as tileopt;

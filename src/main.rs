@@ -1,0 +1,319 @@
+//! `cme` — command-line driver for the loop-tiling suite.
+//!
+//! ```text
+//! cme kernels                               list the Table 1 kernels
+//! cme show KERNEL [N]                       print a kernel as pseudo-Fortran
+//! cme analyze KERNEL [N] [opts]             CME miss-ratio analysis
+//! cme tile KERNEL [N] [opts]                GA tile-size search (§3)
+//! cme pad KERNEL [N] [opts]                 GA padding search (§4.3)
+//! cme simulate KERNEL [N] [opts]            exact LRU simulation (oracle)
+//!
+//! options:
+//!   --cache 8k | 32k | SIZE,LINE,ASSOC      cache geometry (default 8k DM/32B)
+//!   --tiles T1,T2,...                       analyse/simulate a specific tiling
+//!   --exhaustive                            classify every point (no sampling)
+//!   --interchange                           also search loop permutations
+//!   --tile-after                            pad: run tiling on the padded layout
+//!   --joint                                 pad: joint padding+tiling GA
+//!   --seed S                                GA / sampling seed
+//! ```
+
+use cme_suite::cachesim::{simulate_nest, CacheGeometry};
+use cme_suite::cme::{CacheSpec, CmeModel, SamplingConfig};
+use cme_suite::ga::GaConfig;
+use cme_suite::loopnest::{display, LoopNest, MemoryLayout, TileSizes};
+use cme_suite::tileopt::{optimize_with_interchange, PaddingOptimizer, TilingOptimizer};
+use std::process::exit;
+
+struct Args {
+    positional: Vec<String>,
+    cache: CacheSpec,
+    tiles: Option<TileSizes>,
+    exhaustive: bool,
+    interchange: bool,
+    tile_after: bool,
+    joint: bool,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!("{}", include_str!("main.rs").lines().skip(2).take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//! ").trim_start_matches("//!")).collect::<Vec<_>>().join("\n"));
+    exit(2)
+}
+
+fn parse_cache(s: &str) -> CacheSpec {
+    match s {
+        "8k" | "8K" => CacheSpec::paper_8k(),
+        "32k" | "32K" => CacheSpec::paper_32k(),
+        other => {
+            let parts: Vec<i64> = other.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            match parts.as_slice() {
+                [size, line] => CacheSpec::direct_mapped(*size, *line),
+                [size, line, assoc] => CacheSpec { size: *size, line: *line, assoc: *assoc },
+                _ => {
+                    eprintln!("bad --cache value `{other}` (want 8k, 32k or SIZE,LINE[,ASSOC])");
+                    exit(2)
+                }
+            }
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        cache: CacheSpec::paper_8k(),
+        tiles: None,
+        exhaustive: false,
+        interchange: false,
+        tile_after: false,
+        joint: false,
+        seed: 0xCE11,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache" => args.cache = parse_cache(&it.next().unwrap_or_else(|| usage())),
+            "--tiles" => {
+                let v: Vec<i64> = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .filter_map(|p| p.trim().parse().ok())
+                    .collect();
+                args.tiles = Some(TileSizes(v));
+            }
+            "--exhaustive" => args.exhaustive = true,
+            "--interchange" => args.interchange = true,
+            "--tile-after" => args.tile_after = true,
+            "--joint" => args.joint = true,
+            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            _ => args.positional.push(a),
+        }
+    }
+    args
+}
+
+fn build_kernel(args: &Args) -> LoopNest {
+    let name = args.positional.get(1).unwrap_or_else(|| usage());
+    let Some(spec) = cme_suite::kernels::kernel_by_name(name) else {
+        eprintln!("unknown kernel `{name}`; run `cme kernels` for the list");
+        exit(2)
+    };
+    let n = args
+        .positional
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(spec.default_size);
+    (spec.build)(n)
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+fn cmd_kernels() {
+    for k in cme_suite::kernels::all_kernels() {
+        println!(
+            "{:<9} {:<10} depth {}  default n={:<5} {}",
+            k.name, k.program, k.depth, k.default_size, k.description
+        );
+    }
+}
+
+fn cmd_show(args: &Args) {
+    let nest = build_kernel(args);
+    println!("{}", display::render(&nest));
+    let layout = MemoryLayout::contiguous(&nest);
+    println!(
+        "iterations {}  accesses {}  footprint {} KB  tileable: {:?}",
+        nest.iterations(),
+        nest.accesses(),
+        layout.footprint(&nest) / 1024,
+        cme_suite::loopnest::deps::rectangular_tiling_legality(&nest)
+    );
+    if let Some(tiles) = &args.tiles {
+        println!("tiled by {tiles}:\n{}", display::render_tiled(&nest, tiles));
+    }
+}
+
+fn cmd_analyze(args: &Args) {
+    let nest = build_kernel(args);
+    let layout = MemoryLayout::contiguous(&nest);
+    let model = CmeModel::new(args.cache);
+    let analysis = model.analyze(&nest, &layout, args.tiles.as_ref());
+    println!(
+        "cache {} B / {} B lines / {}-way; {} convex region(s)",
+        args.cache.size,
+        args.cache.line,
+        args.cache.assoc,
+        analysis.space.regions.len()
+    );
+    if args.exhaustive {
+        let rep = analysis.exhaustive();
+        for (r, c) in rep.per_ref.iter().enumerate() {
+            println!(
+                "ref {r}: accesses {:>10}  cold {:>9}  replacement {:>9}  hits {:>10}",
+                c.points,
+                c.cold,
+                c.replacement,
+                c.hits()
+            );
+        }
+        let t = rep.totals();
+        println!(
+            "TOTAL: miss ratio {}  (cold {}, replacement {})",
+            pct(t.misses() as f64 / t.points as f64),
+            pct(t.cold as f64 / t.points as f64),
+            pct(t.replacement as f64 / t.points as f64),
+        );
+    } else {
+        let est = analysis.estimate(&SamplingConfig::paper(), args.seed);
+        println!(
+            "sampled {} of {} points{}",
+            est.n_samples,
+            est.volume,
+            if est.exact { " (exhaustive: space smaller than sample)" } else { "" }
+        );
+        println!(
+            "miss ratio {} ± {}  (cold {}, replacement {})",
+            pct(est.miss_ratio()),
+            pct(est.replacement_ci_half_width()),
+            pct(est.cold_ratio()),
+            pct(est.replacement_ratio()),
+        );
+    }
+}
+
+fn cmd_tile(args: &Args) {
+    let nest = build_kernel(args);
+    let layout = MemoryLayout::contiguous(&nest);
+    let mut opt = TilingOptimizer::new(args.cache);
+    opt.ga = GaConfig { seed: args.seed, ..GaConfig::default() };
+    if args.interchange {
+        match optimize_with_interchange(&opt, &nest) {
+            Ok(out) => {
+                println!(
+                    "best order {:?} (of {} legal), tiles {}",
+                    out.permutation, out.explored, out.tiling.tiles
+                );
+                println!(
+                    "replacement ratio {} -> {}",
+                    pct(out.tiling.before.replacement_ratio()),
+                    pct(out.tiling.after.replacement_ratio())
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+    match opt.optimize(&nest, &layout) {
+        Ok(out) => {
+            println!(
+                "tiles {} after {} generations, {} distinct evaluations (converged: {})",
+                out.tiles, out.ga.generations, out.ga.evaluations, out.ga.converged
+            );
+            println!(
+                "total miss ratio {} -> {}   replacement {} -> {}",
+                pct(out.before.miss_ratio()),
+                pct(out.after.miss_ratio()),
+                pct(out.before.replacement_ratio()),
+                pct(out.after.replacement_ratio())
+            );
+            println!("\n{}", display::render_tiled(&nest, &out.tiles));
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_pad(args: &Args) {
+    let nest = build_kernel(args);
+    let mut opt = PaddingOptimizer::new(args.cache);
+    opt.ga = GaConfig { seed: args.seed, ..GaConfig::default() };
+    if args.joint {
+        match opt.optimize_joint(&nest) {
+            Ok((pads, tiles, est)) => {
+                println!(
+                    "joint search: pads {:?}, tiles {}, replacement ratio {}",
+                    pads,
+                    tiles,
+                    pct(est.replacement_ratio())
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+    let out = if args.tile_after {
+        opt.optimize_then_tile(&nest).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        })
+    } else {
+        opt.optimize(&nest)
+    };
+    println!(
+        "original replacement {}  ->  padded {}",
+        pct(out.original.replacement_ratio()),
+        pct(out.padded.replacement_ratio())
+    );
+    println!("pad parameters (1-based GA values: inter-lines then intra-elems): {:?}", out.values);
+    if let Some(t) = &out.tiled {
+        println!(
+            "after padding + tiling {}: replacement {}",
+            t.tiles,
+            pct(t.after.replacement_ratio())
+        );
+    }
+}
+
+fn cmd_simulate(args: &Args) {
+    let nest = build_kernel(args);
+    let layout = MemoryLayout::contiguous(&nest);
+    let geo = CacheGeometry { size: args.cache.size, line: args.cache.line, assoc: args.cache.assoc };
+    let accesses = nest.accesses();
+    if accesses > 2_000_000_000 {
+        eprintln!("refusing to simulate {accesses} accesses; pick a smaller N");
+        exit(1)
+    }
+    let rep = simulate_nest(&nest, &layout, args.tiles.as_ref(), geo);
+    for (r, s) in rep.per_ref.iter().enumerate() {
+        println!(
+            "ref {r}: accesses {:>10}  cold {:>9}  replacement {:>9}  hits {:>10}",
+            s.accesses,
+            s.cold,
+            s.replacement,
+            s.hits()
+        );
+    }
+    let t = rep.totals();
+    println!(
+        "TOTAL (simulated): miss ratio {}  (cold {}, replacement {})",
+        pct(t.miss_ratio()),
+        pct(t.cold as f64 / t.accesses as f64),
+        pct(t.replacement_ratio()),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.positional.first().map(String::as_str) {
+        Some("kernels") => cmd_kernels(),
+        Some("show") => cmd_show(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("tile") => cmd_tile(&args),
+        Some("pad") => cmd_pad(&args),
+        Some("simulate") => cmd_simulate(&args),
+        _ => usage(),
+    }
+}
