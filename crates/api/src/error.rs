@@ -1,0 +1,33 @@
+//! The one error type every API entry point returns.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a request could not produce an [`crate::Outcome`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// The request named a kernel the registry does not know.
+    UnknownKernel(String),
+    /// The request was structurally invalid (bad sizes, empty nest, …).
+    BadRequest(String),
+    /// The requested transformation is illegal for the nest (e.g.
+    /// rectangular tiling of a non-permutable dependence).
+    IllegalTransform(String),
+    /// The search was refused because it would exceed a declared budget
+    /// (e.g. an exhaustive sweep past `max_evals`).
+    TooLarge(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::UnknownKernel(name) => {
+                write!(f, "unknown kernel `{name}` (run `cme kernels` for the registry)")
+            }
+            ApiError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ApiError::IllegalTransform(msg) => write!(f, "illegal transform: {msg}"),
+            ApiError::TooLarge(msg) => write!(f, "search too large: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}

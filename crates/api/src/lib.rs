@@ -1,0 +1,148 @@
+//! `cme-api` — the unified request/outcome layer over every optimiser in
+//! the suite.
+//!
+//! The paper's contribution is one idea — minimise CME-predicted
+//! replacement misses over a transform space — but the underlying crates
+//! grew four differently-shaped entry points (tiling, padding,
+//! interchange, exhaustive/baseline sweeps). This crate redesigns the
+//! public surface around three pieces:
+//!
+//! * **Requests** ([`OptimizeRequest`], [`AnalyzeRequest`]): plain values
+//!   that round-trip losslessly through JSON. A request carries its nest
+//!   (registry kernel or inline IR), cache geometry, sampling
+//!   configuration, GA parameters (including the seed) and a
+//!   [`StrategySpec`] selector — everything needed to reproduce a search
+//!   bit-for-bit.
+//! * **Strategies** ([`SearchStrategy`]): one trait,
+//!   `search(&Problem) -> Result<Outcome, ApiError>`, with adapters for
+//!   all five search families. New strategies plug in without touching
+//!   callers.
+//! * **Sessions** ([`Session`]): the execution seam. `run` for one
+//!   request, `run_batch` for a rayon-parallel batch with
+//!   order-preserving, bit-deterministic results — the interface a
+//!   service layer binds to.
+//!
+//! ```
+//! use cme_api::{NestSource, OptimizeRequest, Session, StrategySpec};
+//! use cme_api::cme::CacheSpec;
+//!
+//! let req = OptimizeRequest::new(
+//!     NestSource::kernel_sized("MM", 64),
+//!     StrategySpec::Tiling,
+//! )
+//! .with_cache(CacheSpec::direct_mapped(1024, 32))
+//! .with_seed(7);
+//!
+//! // Requests are values: they survive the wire.
+//! let wire = serde_json::to_string(&req).unwrap();
+//! let back: OptimizeRequest = serde_json::from_str(&wire).unwrap();
+//! assert_eq!(req, back);
+//!
+//! let outcome = Session::default().run(&back).unwrap();
+//! assert_eq!(outcome.strategy, "tiling");
+//! assert!(outcome.after.replacement_ratio() <= outcome.before.replacement_ratio());
+//! ```
+
+pub mod error;
+pub mod outcome;
+pub mod problem;
+pub mod request;
+pub mod session;
+pub mod strategy;
+
+pub use error::ApiError;
+pub use outcome::{AnalyzeOutcome, Outcome, Transform};
+pub use problem::validate_cache;
+pub use problem::Problem;
+pub use request::{
+    AnalyzeRequest, BaselineKind, NestSource, OptimizeRequest, PaddingMode, StrategySpec,
+};
+pub use session::{Session, SessionBuilder};
+pub use strategy::{build_strategy, SearchStrategy};
+
+// Re-exported so API consumers can name every type a request or outcome
+// embeds without depending on the whole workspace.
+pub use cme_core as cme;
+pub use cme_ga::GaConfig;
+pub use cme_loopnest::TileSizes;
+pub use cme_tileopt::problem::GaSummary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_core::CacheSpec;
+
+    fn tiny_request(strategy: StrategySpec) -> OptimizeRequest {
+        OptimizeRequest::new(NestSource::kernel_sized("T2D", 32), strategy)
+            .with_cache(CacheSpec::direct_mapped(1024, 32))
+            .with_seed(11)
+    }
+
+    #[test]
+    fn unknown_kernel_is_reported() {
+        let req = OptimizeRequest::new(NestSource::kernel("NOPE"), StrategySpec::Tiling);
+        match Session::default().run(&req) {
+            Err(ApiError::UnknownKernel(name)) => assert_eq!(name, "NOPE"),
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_cache_is_rejected() {
+        let mut req = tiny_request(StrategySpec::Tiling);
+        req.cache = CacheSpec { size: 100, line: 32, assoc: 1 };
+        assert!(matches!(Session::default().run(&req), Err(ApiError::BadRequest(_))));
+    }
+
+    #[test]
+    fn analyze_rejects_bad_cache_too() {
+        // Both session entry points share the geometry validation; a zero
+        // line size would otherwise divide by zero inside the model.
+        for cache in
+            [CacheSpec { size: 0, line: 32, assoc: 1 }, CacheSpec { size: 100, line: 32, assoc: 1 }]
+        {
+            let mut req = AnalyzeRequest::new(NestSource::kernel_sized("T2D", 16));
+            req.cache = cache;
+            assert!(matches!(Session::default().analyze(&req), Err(ApiError::BadRequest(_))));
+        }
+    }
+
+    #[test]
+    fn oversized_exhaustive_is_refused_not_paniced() {
+        let req = tiny_request(StrategySpec::Exhaustive { step: 1, max_evals: 10 });
+        assert!(matches!(Session::default().run(&req), Err(ApiError::TooLarge(_))));
+    }
+
+    #[test]
+    fn baseline_fraction_is_validated() {
+        let req = tiny_request(StrategySpec::Baseline {
+            kind: BaselineKind::FixedFraction { fraction: 0.0 },
+        });
+        assert!(matches!(Session::default().run(&req), Err(ApiError::BadRequest(_))));
+    }
+
+    #[test]
+    fn tiling_outcome_reduces_transpose_misses() {
+        let out = Session::default().run(&tiny_request(StrategySpec::Tiling)).unwrap();
+        assert_eq!(out.kernel, "T2D_32");
+        assert!(out.transform.tiles.is_some());
+        assert!(out.ga.is_some());
+        assert!(out.replacement_gain() > 0.0, "tiling must help a thrashing transpose");
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        // These identifiers appear in serialised outcomes; changing them
+        // is a wire-format break.
+        assert_eq!(StrategySpec::Tiling.name(), "tiling");
+        assert_eq!(StrategySpec::Padding { mode: PaddingMode::Pad }.name(), "padding");
+        assert_eq!(
+            StrategySpec::Padding { mode: PaddingMode::PadThenTile }.name(),
+            "padding:then-tile"
+        );
+        assert_eq!(StrategySpec::Padding { mode: PaddingMode::Joint }.name(), "padding:joint");
+        assert_eq!(StrategySpec::Interchange.name(), "interchange");
+        assert_eq!(StrategySpec::Exhaustive { step: 1, max_evals: 1 }.name(), "exhaustive");
+        assert_eq!(StrategySpec::Baseline { kind: BaselineKind::LrwSquare }.name(), "baseline:lrw");
+    }
+}

@@ -1,0 +1,109 @@
+//! The unified outcome type every strategy returns.
+
+use cme_core::{CacheSpec, MissEstimate, MissReport};
+use cme_loopnest::TileSizes;
+use cme_tileopt::problem::GaSummary;
+use serde::{Deserialize, Serialize};
+
+/// The transformation a search chose, in application order: permute the
+/// loops, pad the layout, tile the (permuted) nest. Unset components mean
+/// "leave unchanged", so every strategy family fits one shape.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transform {
+    /// Loop permutation (new level `k` runs old loop `permutation[k]`).
+    pub permutation: Option<Vec<usize>>,
+    /// Raw padding parameters (1-based GA values: one inter-array pad per
+    /// array, then one intra-array pad per array when searched); decode
+    /// with [`cme_tileopt::PaddingSpace::layout_for`].
+    pub pads: Option<Vec<i64>>,
+    /// Tile sizes, outermost loop first.
+    pub tiles: Option<TileSizes>,
+}
+
+impl Transform {
+    pub fn tiles(tiles: TileSizes) -> Self {
+        Transform { tiles: Some(tiles), ..Transform::default() }
+    }
+
+    /// True when the search chose to change nothing.
+    pub fn is_identity(&self) -> bool {
+        self.permutation.is_none() && self.pads.is_none() && self.tiles.is_none()
+    }
+}
+
+/// What a [`crate::SearchStrategy`] produced: the chosen transform, the
+/// CME estimates on both sides of it, and the search telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Strategy identifier (see [`crate::StrategySpec::name`]).
+    pub strategy: String,
+    /// Nest name (kernel registry name or inline nest name).
+    pub kernel: String,
+    pub cache: CacheSpec,
+    pub transform: Transform,
+    /// Estimate for the original nest and layout.
+    pub before: MissEstimate,
+    /// Estimate after applying [`Self::transform`].
+    pub after: MissEstimate,
+    /// GA telemetry, when the strategy ran one.
+    pub ga: Option<GaSummary>,
+    /// Candidates explored beyond the GA: legal permutations tried
+    /// (interchange) or tile vectors evaluated (exhaustive).
+    pub explored: Option<u64>,
+    /// Wall-clock time of the search in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl Outcome {
+    /// Replacement-miss improvement in ratio points (positive = better).
+    pub fn replacement_gain(&self) -> f64 {
+        self.before.replacement_ratio() - self.after.replacement_ratio()
+    }
+
+    /// A copy with the wall-clock field zeroed — everything else is
+    /// deterministic for a fixed request, so this is the canonical form
+    /// for comparisons and caching.
+    pub fn without_timing(&self) -> Outcome {
+        Outcome { wall_ms: 0, ..self.clone() }
+    }
+}
+
+/// Result of an [`crate::AnalyzeRequest`]: no search, just the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzeOutcome {
+    pub kernel: String,
+    pub cache: CacheSpec,
+    /// The tiling that was analysed (None = original nest).
+    pub tiles: Option<TileSizes>,
+    /// Sampled estimate (absent when exhaustive classification was
+    /// requested instead).
+    pub estimate: Option<MissEstimate>,
+    /// Exact per-reference counts (present iff the request set
+    /// `exhaustive`).
+    pub exact: Option<MissReport>,
+    pub wall_ms: u64,
+}
+
+impl AnalyzeOutcome {
+    /// Total miss ratio from whichever analysis ran.
+    pub fn miss_ratio(&self) -> f64 {
+        match (&self.exact, &self.estimate) {
+            (Some(report), _) => report.miss_ratio(),
+            (None, Some(est)) => est.miss_ratio(),
+            (None, None) => 0.0,
+        }
+    }
+
+    /// Replacement miss ratio from whichever analysis ran.
+    pub fn replacement_ratio(&self) -> f64 {
+        match (&self.exact, &self.estimate) {
+            (Some(report), _) => report.replacement_ratio(),
+            (None, Some(est)) => est.replacement_ratio(),
+            (None, None) => 0.0,
+        }
+    }
+
+    pub fn without_timing(&self) -> AnalyzeOutcome {
+        AnalyzeOutcome { wall_ms: 0, ..self.clone() }
+    }
+}

@@ -1,0 +1,66 @@
+//! The resolved search problem handed to every strategy.
+
+use crate::error::ApiError;
+use crate::request::OptimizeRequest;
+use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use cme_ga::GaConfig;
+use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+
+/// Reject geometries the model cannot represent (non-positive fields, a
+/// size that is not a whole number of sets) before they reach arithmetic
+/// that would panic or silently truncate. Both session entry points call
+/// this.
+pub fn validate_cache(cache: &CacheSpec) -> Result<(), ApiError> {
+    if cache.size <= 0 || cache.line <= 0 || cache.assoc <= 0 {
+        return Err(ApiError::BadRequest(format!(
+            "cache geometry must be positive, got {cache:?}"
+        )));
+    }
+    if cache.size % (cache.line * cache.assoc) != 0 {
+        return Err(ApiError::BadRequest(format!(
+            "cache size {} is not a multiple of line × assoc = {}",
+            cache.size,
+            cache.line * cache.assoc
+        )));
+    }
+    Ok(())
+}
+
+/// An [`OptimizeRequest`] with its nest source resolved and the default
+/// layout materialised: the single input type of
+/// [`crate::SearchStrategy::search`].
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub nest: LoopNest,
+    /// The unpadded baseline layout (padding strategies derive their own).
+    pub layout: MemoryLayout,
+    pub cache: CacheSpec,
+    pub sampling: SamplingConfig,
+    pub ga: GaConfig,
+}
+
+impl Problem {
+    /// Resolve a request into a concrete problem.
+    pub fn from_request(req: &OptimizeRequest) -> Result<Problem, ApiError> {
+        let nest = req.nest.resolve()?;
+        validate_cache(&req.cache)?;
+        let layout = MemoryLayout::contiguous(&nest);
+        Ok(Problem { nest, layout, cache: req.cache, sampling: req.sampling, ga: req.ga })
+    }
+
+    pub fn model(&self) -> CmeModel {
+        CmeModel::new(self.cache)
+    }
+
+    /// CME estimate of this problem's nest under `layout` with an optional
+    /// tiling, using the problem's sampling configuration and a seed
+    /// derived deterministically from the GA seed and the tile vector.
+    pub fn estimate(&self, layout: &MemoryLayout, tiles: Option<&TileSizes>) -> MissEstimate {
+        self.model().estimate_nest(&self.nest, layout, tiles, &self.sampling, self.ga.seed)
+    }
+
+    /// Estimate of the untransformed nest (the `before` of every outcome).
+    pub fn baseline_estimate(&self) -> MissEstimate {
+        self.estimate(&self.layout, None)
+    }
+}

@@ -1,0 +1,185 @@
+//! Serde-able request types: everything needed to reproduce a search.
+//!
+//! A request is a *value*: it round-trips losslessly through JSON, so it
+//! can be logged, queued, shipped to a service and replayed byte-for-byte
+//! (every optimiser in the suite is deterministic for a fixed seed).
+
+use crate::error::ApiError;
+use cme_core::{CacheSpec, SamplingConfig};
+use cme_ga::GaConfig;
+use cme_loopnest::{LoopNest, TileSizes};
+use serde::{Deserialize, Serialize};
+
+/// Where the loop nest comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NestSource {
+    /// A Table 1 kernel by registry name, optionally at an explicit
+    /// problem size (`None` ⇒ the kernel's default size).
+    Kernel { name: String, size: Option<i64> },
+    /// A fully inlined nest specification (the IR is itself serde-able).
+    Inline(LoopNest),
+}
+
+impl NestSource {
+    /// Shorthand for a registry kernel at its default size.
+    pub fn kernel(name: impl Into<String>) -> Self {
+        NestSource::Kernel { name: name.into(), size: None }
+    }
+
+    /// Shorthand for a registry kernel at an explicit size.
+    pub fn kernel_sized(name: impl Into<String>, size: i64) -> Self {
+        NestSource::Kernel { name: name.into(), size: Some(size) }
+    }
+
+    /// Build the concrete nest this source describes.
+    pub fn resolve(&self) -> Result<LoopNest, ApiError> {
+        match self {
+            NestSource::Kernel { name, size } => {
+                let spec = cme_kernels::kernel_by_name(name)
+                    .ok_or_else(|| ApiError::UnknownKernel(name.clone()))?;
+                let n = size.unwrap_or(spec.default_size);
+                if n < 1 {
+                    return Err(ApiError::BadRequest(format!(
+                        "kernel `{name}`: size must be ≥ 1, got {n}"
+                    )));
+                }
+                Ok((spec.build)(n))
+            }
+            NestSource::Inline(nest) => {
+                nest.validate().map_err(|e| {
+                    ApiError::BadRequest(format!("inline nest `{}`: {e}", nest.name))
+                })?;
+                Ok(nest.clone())
+            }
+        }
+    }
+}
+
+/// Which padding search variant to run (paper §4.3 / Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaddingMode {
+    /// Padding parameters only.
+    Pad,
+    /// Table 3's sequential pipeline: padding first, then tiling on the
+    /// padded layout.
+    PadThenTile,
+    /// Joint padding + tiling in a single GA (the paper's future work).
+    Joint,
+}
+
+/// Which §5 related-work heuristic to score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// Lam/Rothberg/Wolf-style largest non-self-interfering square.
+    LrwSquare,
+    /// Coleman/McKinley TSS-style Euclidean-sequence selection.
+    Tss,
+    /// Folklore fixed cache-fraction tiles.
+    FixedFraction { fraction: f64 },
+}
+
+/// Which search to run over the transform space — the strategy selector
+/// resolved by [`crate::strategy::build_strategy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// §3: GA tile-size search.
+    Tiling,
+    /// §4.3: GA padding search in one of three modes.
+    Padding { mode: PaddingMode },
+    /// Extension: legal loop permutations × GA tile search.
+    Interchange,
+    /// Ground truth: sweep every tile vector (stride `step`), refusing
+    /// sweeps above `max_evals` objective evaluations.
+    Exhaustive { step: i64, max_evals: u64 },
+    /// §5 related-work heuristic, scored by the same estimator.
+    Baseline { kind: BaselineKind },
+}
+
+impl StrategySpec {
+    /// Stable human-readable identifier (also recorded in the outcome).
+    pub fn name(&self) -> String {
+        match self {
+            StrategySpec::Tiling => "tiling".into(),
+            StrategySpec::Padding { mode: PaddingMode::Pad } => "padding".into(),
+            StrategySpec::Padding { mode: PaddingMode::PadThenTile } => "padding:then-tile".into(),
+            StrategySpec::Padding { mode: PaddingMode::Joint } => "padding:joint".into(),
+            StrategySpec::Interchange => "interchange".into(),
+            StrategySpec::Exhaustive { .. } => "exhaustive".into(),
+            StrategySpec::Baseline { kind: BaselineKind::LrwSquare } => "baseline:lrw".into(),
+            StrategySpec::Baseline { kind: BaselineKind::Tss } => "baseline:tss".into(),
+            StrategySpec::Baseline { kind: BaselineKind::FixedFraction { .. } } => {
+                "baseline:fixed-fraction".into()
+            }
+        }
+    }
+}
+
+/// One complete optimisation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeRequest {
+    pub nest: NestSource,
+    pub cache: CacheSpec,
+    pub sampling: SamplingConfig,
+    /// GA parameters, including the seed every stochastic stage derives
+    /// from. Strategies that do not run a GA (exhaustive, baselines) still
+    /// use `ga.seed` for their sampling seeds.
+    pub ga: GaConfig,
+    pub strategy: StrategySpec,
+}
+
+impl OptimizeRequest {
+    /// A request with the paper's defaults: 8 KB direct-mapped cache,
+    /// 164-point sampling, the §3.3 GA configuration.
+    pub fn new(nest: NestSource, strategy: StrategySpec) -> Self {
+        OptimizeRequest {
+            nest,
+            cache: CacheSpec::paper_8k(),
+            sampling: SamplingConfig::paper(),
+            ga: GaConfig::default(),
+            strategy,
+        }
+    }
+
+    pub fn with_cache(mut self, cache: CacheSpec) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.ga.seed = seed;
+        self
+    }
+
+    pub fn with_sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.sampling = sampling;
+        self
+    }
+}
+
+/// A pure analysis request: estimate (or exactly classify) a nest's miss
+/// behaviour under an optional explicit tiling — no search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeRequest {
+    pub nest: NestSource,
+    pub cache: CacheSpec,
+    pub sampling: SamplingConfig,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Analyse this tiling instead of the original nest.
+    pub tiles: Option<TileSizes>,
+    /// Classify every iteration point instead of sampling.
+    pub exhaustive: bool,
+}
+
+impl AnalyzeRequest {
+    pub fn new(nest: NestSource) -> Self {
+        AnalyzeRequest {
+            nest,
+            cache: CacheSpec::paper_8k(),
+            sampling: SamplingConfig::paper(),
+            seed: 0xCE11,
+            tiles: None,
+            exhaustive: false,
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The execution seam: a [`Session`] turns requests into outcomes, one at
+//! a time or as a parallel batch — the surface a future service layer
+//! (HTTP handler, queue worker) binds to.
+
+use crate::error::ApiError;
+use crate::outcome::{AnalyzeOutcome, Outcome};
+use crate::problem::Problem;
+use crate::request::{AnalyzeRequest, OptimizeRequest};
+use crate::strategy::build_strategy;
+use cme_core::CmeModel;
+use cme_loopnest::MemoryLayout;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    parallel: bool,
+}
+
+impl SessionBuilder {
+    /// Run batches on all available cores (default) or sequentially.
+    /// Results are bit-identical either way — parallelism only changes
+    /// wall-clock time.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    pub fn build(self) -> Session {
+        Session { parallel: self.parallel }
+    }
+}
+
+/// Stateless executor for API requests. Cheap to build and `Sync`: one
+/// session can serve many threads.
+#[derive(Debug, Clone)]
+pub struct Session {
+    parallel: bool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder { parallel: true }
+    }
+
+    /// Run one optimisation request through its selected strategy.
+    pub fn run(&self, req: &OptimizeRequest) -> Result<Outcome, ApiError> {
+        let problem = Problem::from_request(req)?;
+        build_strategy(&req.strategy).search(&problem)
+    }
+
+    /// Run a batch of independent requests, in parallel unless the session
+    /// was built with `.parallel(false)`. The result order matches the
+    /// request order, and every outcome equals what [`Self::run`] would
+    /// return for that request alone (modulo `wall_ms`).
+    pub fn run_batch(&self, reqs: &[OptimizeRequest]) -> Vec<Result<Outcome, ApiError>> {
+        if self.parallel {
+            reqs.par_iter().map(|req| self.run(req)).collect()
+        } else {
+            reqs.iter().map(|req| self.run(req)).collect()
+        }
+    }
+
+    /// Run a pure analysis request (no search).
+    pub fn analyze(&self, req: &AnalyzeRequest) -> Result<AnalyzeOutcome, ApiError> {
+        let started = Instant::now();
+        crate::problem::validate_cache(&req.cache)?;
+        let nest = req.nest.resolve()?;
+        if let Some(tiles) = &req.tiles {
+            tiles.validate(&nest).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        }
+        let layout = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(req.cache);
+        let effective = req.tiles.as_ref().filter(|t| !t.is_trivial(&nest));
+        let (estimate, exact) = if req.exhaustive {
+            (None, Some(model.analyze(&nest, &layout, effective).exhaustive()))
+        } else {
+            (Some(model.estimate_nest(&nest, &layout, effective, &req.sampling, req.seed)), None)
+        };
+        Ok(AnalyzeOutcome {
+            kernel: nest.name.clone(),
+            cache: req.cache,
+            tiles: req.tiles.clone(),
+            estimate,
+            exact,
+            wall_ms: started.elapsed().as_millis() as u64,
+        })
+    }
+}

@@ -13,11 +13,8 @@ use std::hint::black_box;
 /// interval plus the cache wrap variable.
 fn cache_query() -> (AffineForm, IntBox, Vec<Interval>) {
     let form = AffineForm::new(vec![4, 2000, -8192], 64);
-    let bx = IntBox::new(vec![
-        Interval::new(0, 499),
-        Interval::new(0, 499),
-        Interval::new(-40, 140),
-    ]);
+    let bx =
+        IntBox::new(vec![Interval::new(0, 499), Interval::new(0, 499), Interval::new(-40, 140)]);
     let windows = (0..64).map(|s| Interval::new(s * 32, s * 32 + 31)).collect();
     (form, bx, windows)
 }
@@ -36,7 +33,9 @@ fn bench_formhit(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0;
             for w in &windows {
-                if interval_hit(black_box(&form), black_box(&bx), *w, &mut budget).as_conservative_bool() {
+                if interval_hit(black_box(&form), black_box(&bx), *w, &mut budget)
+                    .as_conservative_bool()
+                {
                     hits += 1;
                 }
             }
@@ -50,7 +49,9 @@ fn bench_formhit(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0;
             for w in &swindows {
-                if interval_hit(black_box(&sform), black_box(&sbx), *w, &mut budget).as_conservative_bool() {
+                if interval_hit(black_box(&sform), black_box(&sbx), *w, &mut budget)
+                    .as_conservative_bool()
+                {
                     hits += 1;
                 }
             }
@@ -76,7 +77,12 @@ fn bench_formhit(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0;
             for s in 0..16i64 {
-                if mod_hit(black_box(&mform), black_box(&mbx), 512, Interval::new(s * 16, s * 16 + 15)) {
+                if mod_hit(
+                    black_box(&mform),
+                    black_box(&mbx),
+                    512,
+                    Interval::new(s * 16, s * 16 + 15),
+                ) {
                     hits += 1;
                 }
             }
@@ -87,7 +93,12 @@ fn bench_formhit(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0;
             for s in 0..16i64 {
-                if enum_mod_hit(black_box(&mform), black_box(&mbx), 512, Interval::new(s * 16, s * 16 + 15)) {
+                if enum_mod_hit(
+                    black_box(&mform),
+                    black_box(&mbx),
+                    512,
+                    Interval::new(s * 16, s * 16 + 15),
+                ) {
                     hits += 1;
                 }
             }

@@ -36,7 +36,12 @@ fn main() {
                 let cache = CacheSpec { size: 8192, line: 32, assoc };
                 let model = CmeModel::new(cache);
                 let rep = model.analyze(&nest, &layout, None).exhaustive();
-                let sim = simulate_nest(&nest, &layout, None, CacheGeometry { size: 8192, line: 32, assoc });
+                let sim = simulate_nest(
+                    &nest,
+                    &layout,
+                    None,
+                    CacheGeometry { size: 8192, line: 32, assoc },
+                );
                 let (c, s) = (rep.miss_ratio() * 100.0, sim.miss_ratio() * 100.0);
                 if exact {
                     assert!((c - s).abs() < 1e-9, "{name}_{n} assoc {assoc}: CME {c} != sim {s}");
@@ -48,9 +53,6 @@ fn main() {
             row
         })
         .collect();
-    println!(
-        "{}",
-        cme_bench::format_table(&["kernel", "1-way", "2-way", "4-way", "8-way"], &rows)
-    );
+    println!("{}", cme_bench::format_table(&["kernel", "1-way", "2-way", "4-way", "8-way"], &rows));
     println!("Higher associativity removes conflict misses; capacity misses remain.");
 }

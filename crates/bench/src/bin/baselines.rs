@@ -10,7 +10,12 @@ use cme_tileopt::baselines::{fixed_fraction, lrw_square, tss_coleman_mckinley};
 use cme_tileopt::TilingOptimizer;
 use rayon::prelude::*;
 
-fn repl_pct(model: &CmeModel, nest: &cme_loopnest::LoopNest, layout: &MemoryLayout, tiles: &TileSizes) -> f64 {
+fn repl_pct(
+    model: &CmeModel,
+    nest: &cme_loopnest::LoopNest,
+    layout: &MemoryLayout,
+    tiles: &TileSizes,
+) -> f64 {
     let an = if tiles.is_trivial(nest) {
         model.analyze(nest, layout, None)
     } else {
@@ -31,7 +36,8 @@ fn main() {
             let layout = MemoryLayout::contiguous(&nest);
             let none = repl_pct(&model, &nest, &layout, &TileSizes::trivial(&nest));
             let lrw = repl_pct(&model, &nest, &layout, &lrw_square(&nest, &layout, cache));
-            let tss = repl_pct(&model, &nest, &layout, &tss_coleman_mckinley(&nest, &layout, cache));
+            let tss =
+                repl_pct(&model, &nest, &layout, &tss_coleman_mckinley(&nest, &layout, cache));
             let fix = repl_pct(&model, &nest, &layout, &fixed_fraction(&nest, cache, 0.5));
             let mut opt = TilingOptimizer::new(cache);
             opt.ga = GaConfig { seed: seed_for(&cfg.sized_name), ..GaConfig::default() };
@@ -51,10 +57,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        cme_bench::format_table(
-            &["kernel", "untiled", "LRW", "TSS", "fixed 1/2", "CME+GA"],
-            &rows
-        )
+        cme_bench::format_table(&["kernel", "untiled", "LRW", "TSS", "fixed 1/2", "CME+GA"], &rows)
     );
     // Aggregate: how often the GA matches or beats each baseline.
     let mut wins = [0usize; 3];

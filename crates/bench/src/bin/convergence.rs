@@ -21,8 +21,7 @@ fn main() {
             opt.ga = GaConfig { seed: seed_for(&cfg.sized_name), ..GaConfig::default() };
             let (out, ga) = opt.optimize_traced(&nest, &layout).expect("legal");
             let _ = out;
-            let hist =
-                ga.history.iter().map(|h| (h.generation, h.best, h.average)).collect();
+            let hist = ga.history.iter().map(|h| (h.generation, h.best, h.average)).collect();
             (cfg.sized_name.clone(), ga.generations, ga.evaluations, ga.converged, hist)
         })
         .collect();
@@ -56,10 +55,6 @@ fn main() {
         evals.iter().sum::<u64>() as f64 / evals.len() as f64,
         evals.iter().max().unwrap()
     );
-    println!(
-        "stopped by the 2% convergence criterion: {}/{} kernels",
-        converged,
-        results.len()
-    );
+    println!("stopped by the 2% convergence criterion: {}/{} kernels", converged, results.len());
     assert!(gens.iter().all(|&g| (15..=25).contains(&g)), "Fig. 7 bounds violated");
 }

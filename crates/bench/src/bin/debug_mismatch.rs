@@ -43,7 +43,11 @@ fn main() {
                 mismatches += 1;
                 println!("point {v:?} ref {r}: cme={cme:?} sim={simr:?}");
                 let addr0 = an.addr[r].eval(v);
-                println!("  addr {addr0} line {} set {}", spec.line_of(addr0), spec.set_of_line(spec.line_of(addr0)));
+                println!(
+                    "  addr {addr0} line {} set {}",
+                    spec.line_of(addr0),
+                    spec.set_of_line(spec.line_of(addr0))
+                );
                 for c in &an.candidates[r] {
                     let src: Vec<i64> = v.iter().zip(&c.rv).map(|(a, b)| a - b).collect();
                     let valid = c.rv.iter().all(|&x| x == 0) || an.space.contains_v(&src);
@@ -55,7 +59,11 @@ fn main() {
                             c.src_ref,
                             saddr,
                             spec.line_of(saddr),
-                            if spec.line_of(saddr) == spec.line_of(addr0) { "SAME-LINE" } else { "" }
+                            if spec.line_of(saddr) == spec.line_of(addr0) {
+                                "SAME-LINE"
+                            } else {
+                                ""
+                            }
                         );
                     }
                 }

@@ -20,7 +20,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        cme_bench::format_table(&["kernel", "repl% NO tiling", "repl% tiling", "tiles", "GA"], &rows)
+        cme_bench::format_table(
+            &["kernel", "repl% NO tiling", "repl% tiling", "tiles", "GA"],
+            &rows
+        )
     );
     if std::env::args().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&reports).expect("serialise"));

@@ -31,10 +31,7 @@ fn main() {
             .map(|&s| an.estimate(&SamplingConfig::paper(), s).miss_ratio())
             .collect();
         let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-        let max_err = estimates
-            .iter()
-            .map(|e| (e - exact_ratio).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = estimates.iter().map(|e| (e - exact_ratio).abs()).fold(0.0f64, f64::max);
         let covered = estimates.iter().filter(|e| (*e - exact_ratio).abs() <= 0.05).count();
         let coverage = covered as f64 / estimates.len() as f64 * 100.0;
         coverage_all.push(coverage);
@@ -59,6 +56,8 @@ fn main() {
         "mean CI coverage: {:.1}% (target ≥ ~90%)",
         coverage_all.iter().sum::<f64>() / coverage_all.len() as f64
     );
-    println!("\nsample-size formula: n = ceil(z^2*p(1-p)/h^2) = {} points (paper: 164)",
-        SamplingConfig::paper().sample_size());
+    println!(
+        "\nsample-size formula: n = ceil(z^2*p(1-p)/h^2) = {} points (paper: 164)",
+        SamplingConfig::paper().sample_size()
+    );
 }

@@ -2,8 +2,8 @@
 //! (8 KB direct-mapped, 32 B lines).
 
 use cme_bench::{cache_8k, run_tiling};
-use cme_kernels::paper::TABLE2;
 use cme_kernels::kernel_by_name;
+use cme_kernels::paper::TABLE2;
 
 fn main() {
     println!("Table 2 — miss ratio before/after GA tiling (8KB direct-mapped, 32B lines)");
@@ -29,7 +29,14 @@ fn main() {
     println!(
         "{}",
         cme_bench::format_table(
-            &["kernel", "total% no-tiling", "repl% no-tiling", "total% tiling", "repl% tiling", "tiles"],
+            &[
+                "kernel",
+                "total% no-tiling",
+                "repl% no-tiling",
+                "total% tiling",
+                "repl% tiling",
+                "tiles"
+            ],
             &rows
         )
     );

@@ -27,7 +27,11 @@ fn run_rows(cache: CacheSpec, rows: &'static [Table3Row]) -> Vec<Vec<String>> {
                 label,
                 format!("{:.1} ({:.1})", out.original.replacement_ratio() * 100.0, row.original),
                 format!("{:.1} ({:.1})", out.padded.replacement_ratio() * 100.0, row.padding),
-                format!("{:.1} ({:.1})", tiled.after.replacement_ratio() * 100.0, row.padding_tiling),
+                format!(
+                    "{:.1} ({:.1})",
+                    tiled.after.replacement_ratio() * 100.0,
+                    row.padding_tiling
+                ),
             ]
         })
         .collect()

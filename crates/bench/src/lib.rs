@@ -111,10 +111,8 @@ pub fn table3_kernels(cache_kb: i64) -> Vec<String> {
 /// post-tiling replacement ratio below each threshold, in percent.
 pub fn table4_fractions(reports: &[KernelReport], cache_kb: i64) -> (f64, f64, f64) {
     let excluded = table3_kernels(cache_kb);
-    let rows: Vec<&KernelReport> = reports
-        .iter()
-        .filter(|r| !excluded.iter().any(|e| r.kernel == *e))
-        .collect();
+    let rows: Vec<&KernelReport> =
+        reports.iter().filter(|r| !excluded.contains(&r.kernel)).collect();
     let n = rows.len().max(1) as f64;
     let frac = |thr: f64| rows.iter().filter(|r| r.repl_after_pct < thr).count() as f64 / n * 100.0;
     (frac(1.0), frac(2.0), frac(5.0))
@@ -138,10 +136,7 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     };
     out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
     out.push('\n');
-    out.push_str(&fmt_row(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(), &widths));
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row, &widths));

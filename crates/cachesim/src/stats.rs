@@ -89,7 +89,8 @@ mod tests {
         let mut a = RefStats { accesses: 10, cold: 2, replacement: 1 };
         a.merge(&RefStats { accesses: 30, cold: 3, replacement: 6 });
         assert_eq!(a, RefStats { accesses: 40, cold: 5, replacement: 7 });
-        let rep = SimReport { per_ref: vec![a, RefStats { accesses: 60, cold: 0, replacement: 0 }] };
+        let rep =
+            SimReport { per_ref: vec![a, RefStats { accesses: 60, cold: 0, replacement: 0 }] };
         assert_eq!(rep.totals().accesses, 100);
         assert!((rep.replacement_ratio() - 0.07).abs() < 1e-12);
     }

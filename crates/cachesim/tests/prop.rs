@@ -18,7 +18,12 @@ struct RefCache {
 
 impl RefCache {
     fn new(geo: CacheGeometry) -> Self {
-        RefCache { geo, time: 0, resident: vec![Vec::new(); geo.sets() as usize], touched: HashSet::new() }
+        RefCache {
+            geo,
+            time: 0,
+            resident: vec![Vec::new(); geo.sets() as usize],
+            touched: HashSet::new(),
+        }
     }
 
     fn access(&mut self, addr: i64) -> AccessOutcome {

@@ -154,7 +154,12 @@ impl ReplacementEq {
 /// same exact lexmax search as the fast classifier; the interference test
 /// then builds the replacement polyhedra concretely and decides emptiness
 /// with the generic [`Polyhedron`] solver (direct-mapped caches).
-pub fn classify_explicit(an: &NestAnalysis, _eqs: &CmeEquations, v0: &[i64], subject: usize) -> Classification {
+pub fn classify_explicit(
+    an: &NestAnalysis,
+    _eqs: &CmeEquations,
+    v0: &[i64],
+    subject: usize,
+) -> Classification {
     assert_eq!(an.cache.assoc, 1, "the explicit path models direct-mapped caches");
     let cache = an.cache;
     let addr0 = an.addr[subject].eval(v0);
@@ -170,8 +175,14 @@ pub fn classify_explicit(an: &NestAnalysis, _eqs: &CmeEquations, v0: &[i64], sub
     for s in (0..v0.len()).rev() {
         let mut best: Option<(Vec<i64>, usize)> = None;
         for &b in &an.uniform_sources[subject] {
-            let Some(j) = crate::lexmax::lexmax_at_level(&an.space, &an.addr[b], &an.suffix[b], v0, window, s)
-            else {
+            let Some(j) = crate::lexmax::lexmax_at_level(
+                &an.space,
+                &an.addr[b],
+                &an.suffix[b],
+                v0,
+                window,
+                s,
+            ) else {
                 continue;
             };
             let better = match &best {
@@ -259,7 +270,14 @@ fn explicit_between_conflict(an: &NestAnalysis, src: &[i64], v0: &[i64], l0: i64
     false
 }
 
-fn endpoint_conflict(an: &NestAnalysis, src: &[i64], src_pos: usize, v0: &[i64], cur_pos: usize, l0: i64) -> bool {
+fn endpoint_conflict(
+    an: &NestAnalysis,
+    src: &[i64],
+    src_pos: usize,
+    v0: &[i64],
+    cur_pos: usize,
+    l0: i64,
+) -> bool {
     let cache = an.cache;
     let s0 = cache.set_of_line(l0);
     let same = lex_cmp(src, v0) == std::cmp::Ordering::Equal;

@@ -187,7 +187,13 @@ pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstima
                 half_width: 0.0,
             })
             .collect();
-        return MissEstimate { n_samples: volume, volume, exact: true, per_ref, solver: rep.solver };
+        return MissEstimate {
+            n_samples: volume,
+            volume,
+            exact: true,
+            per_ref,
+            solver: rep.solver,
+        };
     }
     // Draw distinct ranks.
     let mut rng = StdRng::seed_from_u64(seed);
@@ -285,7 +291,11 @@ mod tests {
         let est = sampled(&an, &SamplingConfig::paper(), 42);
         assert!(!est.exact);
         assert_eq!(est.n_samples, 164);
-        assert!((est.miss_ratio() - exact).abs() < 0.1, "estimate {} vs exact {exact}", est.miss_ratio());
+        assert!(
+            (est.miss_ratio() - exact).abs() < 0.1,
+            "estimate {} vs exact {exact}",
+            est.miss_ratio()
+        );
     }
 
     #[test]

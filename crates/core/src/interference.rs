@@ -92,8 +92,9 @@ impl InterferenceEngine {
         }
 
         // (c): strictly-between iterations.
-        let m = (self.cache.sets() * self.cache.line) as i64; // way size
-        let window = Interval::new(s0 * self.cache.line, s0 * self.cache.line + self.cache.line - 1);
+        let m = self.cache.sets() * self.cache.line; // way size
+        let window =
+            Interval::new(s0 * self.cache.line, s0 * self.cache.line + self.cache.line - 1);
         let n0 = l0.div_euclid(self.cache.sets());
         let pieces = between_open(v_src, v_cur);
         for piece in &pieces {
@@ -115,7 +116,10 @@ impl InterferenceEngine {
                     }
                     if assoc == 1 {
                         // Direct-mapped: existence of any conflicting line.
-                        for n_iv in [Interval::new(n_min, (n0 - 1).min(n_max)), Interval::new((n0 + 1).max(n_min), n_max)] {
+                        for n_iv in [
+                            Interval::new(n_min, (n0 - 1).min(n_max)),
+                            Interval::new((n0 + 1).max(n_min), n_max),
+                        ] {
                             if n_iv.is_empty() {
                                 continue;
                             }
@@ -152,7 +156,14 @@ impl InterferenceEngine {
 
     /// `∃ j ∈ bx, n ∈ n_iv : form(j) − n·m ∈ window` via the interval-hit
     /// solver with `n` as an extra variable.
-    fn piece_hits(&mut self, form: &AffineForm, bx: &IntBox, n_iv: Interval, m: i64, window: Interval) -> bool {
+    fn piece_hits(
+        &mut self,
+        form: &AffineForm,
+        bx: &IntBox,
+        n_iv: Interval,
+        m: i64,
+        window: Interval,
+    ) -> bool {
         let mut coeffs = form.coeffs.clone();
         coeffs.push(-m);
         let ext_form = AffineForm::new(coeffs, form.c0);

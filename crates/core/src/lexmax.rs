@@ -133,7 +133,12 @@ mod tests {
     use cme_loopnest::{MemoryLayout, TileSizes};
 
     /// Brute-force oracle: scan all points before v0 in execution order.
-    fn brute_lexmax(space: &ExecSpace, form: &AffineForm, v0: &[i64], window: Interval) -> Option<Vec<i64>> {
+    fn brute_lexmax(
+        space: &ExecSpace,
+        form: &AffineForm,
+        v0: &[i64],
+        window: Interval,
+    ) -> Option<Vec<i64>> {
         let mut best: Option<Vec<i64>> = None;
         space.for_each_point(|p| {
             if cme_polyhedra::boxes::lex_cmp(p, v0) == std::cmp::Ordering::Less
@@ -145,7 +150,12 @@ mod tests {
         best
     }
 
-    fn search_all_levels(space: &ExecSpace, form: &AffineForm, v0: &[i64], window: Interval) -> Option<Vec<i64>> {
+    fn search_all_levels(
+        space: &ExecSpace,
+        form: &AffineForm,
+        v0: &[i64],
+        window: Interval,
+    ) -> Option<Vec<i64>> {
         let suffix = SuffixRanges::of(form, &space.relaxed_dims());
         for s in (0..v0.len()).rev() {
             if let Some(j) = lexmax_at_level(space, form, &suffix, v0, window, s) {

@@ -44,13 +44,41 @@ impl CmeModel {
         CmeModel { cache, solver_nodes: 20_000 }
     }
 
+    /// One-shot sampled estimate of a (possibly tiled) nest under a
+    /// layout. The sampling seed is derived deterministically from `seed`
+    /// and the tile vector, so identical inputs give bit-identical
+    /// estimates — the contract the `cme-api` layer builds on. A trivial
+    /// tiling (every tile spanning its loop) analyses the original nest.
+    pub fn estimate_nest(
+        &self,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        tiles: Option<&TileSizes>,
+        sampling: &crate::SamplingConfig,
+        seed: u64,
+    ) -> crate::MissEstimate {
+        let effective = tiles.filter(|t| !t.is_trivial(nest));
+        let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if let Some(t) = effective {
+            for &v in &t.0 {
+                h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v as u64);
+            }
+        }
+        self.analyze(nest, layout, effective).estimate(sampling, h)
+    }
+
     /// Build the analysis for a nest under a layout, optionally tiled.
     /// This precomputes the execution space (with its convex regions), the
     /// lifted address forms, the uniform source groups with their suffix
     /// ranges (for the most-recent-source search) and the explicit reuse
     /// candidates (for the equation objects) — the parameterised equation
     /// system of §3.1.
-    pub fn analyze(&self, nest: &LoopNest, layout: &MemoryLayout, tiles: Option<&TileSizes>) -> NestAnalysis {
+    pub fn analyze(
+        &self,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        tiles: Option<&TileSizes>,
+    ) -> NestAnalysis {
         let space = match tiles {
             None => ExecSpace::untiled(nest),
             Some(t) => ExecSpace::tiled(nest, t),

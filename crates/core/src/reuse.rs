@@ -207,16 +207,25 @@ mod tests {
         // write (ref 3) at r = 0.
         assert!(cands[0].iter().any(|c| c.rv == vec![0, 0, 1]), "a(i,j) temporal along k");
         // c(k,j) (ref 2): temporal along i = (1,0,0) — the outer-loop reuse.
-        assert!(cands[2].iter().any(|c| c.rv == vec![1, 0, 0] && c.src_ref == 2), "c(k,j) temporal along i");
+        assert!(
+            cands[2].iter().any(|c| c.rv == vec![1, 0, 0] && c.src_ref == 2),
+            "c(k,j) temporal along i"
+        );
         // b(i,k) (ref 1): temporal along j = (0,1,0); spatial along i
         // (stride 4 < line 32). At n = 8 the k-stride is exactly one line
         // (8·4 = 32 bytes), so there is *no* spatial reuse along k.
         assert!(cands[1].iter().any(|c| c.rv == vec![0, 1, 0]), "b(i,k) temporal along j");
         assert!(cands[1].iter().any(|c| c.rv == vec![1, 0, 0]), "b(i,k) spatial along i");
-        assert!(!cands[1].iter().any(|c| c.rv == vec![0, 0, 1]), "no same-line reuse along k at n=8");
+        assert!(
+            !cands[1].iter().any(|c| c.rv == vec![0, 0, 1]),
+            "no same-line reuse along k at n=8"
+        );
         // The write a(i,j) (ref 3) can reuse the read a(i,j) (ref 0)
         // within the same iteration.
-        assert!(cands[3].iter().any(|c| c.rv == vec![0, 0, 0] && c.src_ref == 0), "intra-iteration group reuse");
+        assert!(
+            cands[3].iter().any(|c| c.rv == vec![0, 0, 0] && c.src_ref == 0),
+            "intra-iteration group reuse"
+        );
         // And the read cannot claim reuse from the (later) write at r = 0.
         assert!(!cands[0].iter().any(|c| c.rv == vec![0, 0, 0] && c.src_ref == 3));
     }
@@ -261,7 +270,10 @@ mod tests {
         for k in 1..=7 {
             assert!(cands[0].iter().any(|c| c.rv == vec![k]), "missing spatial multiple {k}");
         }
-        assert!(!cands[0].iter().any(|c| c.rv == vec![8]), "8 elements apart is never the same line");
+        assert!(
+            !cands[0].iter().any(|c| c.rv == vec![8]),
+            "8 elements apart is never the same line"
+        );
     }
 
     #[test]
@@ -277,7 +289,7 @@ mod tests {
         let layout = MemoryLayout::contiguous(&nest);
         let space = ExecSpace::untiled(&nest);
         let cands = candidates_with_line(&nest, &layout, &space, 4); // 1 element per line
-        // Temporal group reuse of ref 1 (x(i)) from ref 0 (x(i+2)) at r=2.
+                                                                     // Temporal group reuse of ref 1 (x(i)) from ref 0 (x(i+2)) at r=2.
         assert!(cands[1].iter().any(|c| c.rv == vec![2] && c.src_ref == 0));
         // Intra-iteration: ref 1 from ref 0 at r = 0 is only same-line when
         // lines are wider; with 4-byte lines it is not generated... but the

@@ -23,12 +23,8 @@ struct NestPlan {
 
 fn build(plan: &NestPlan) -> Option<(LoopNest, TileSizes)> {
     let mut nb = NestBuilder::new("prop");
-    let vars: Vec<_> = plan
-        .spans
-        .iter()
-        .enumerate()
-        .map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s))
-        .collect();
+    let vars: Vec<_> =
+        plan.spans.iter().enumerate().map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s)).collect();
     let arr_ids: Vec<_> = plan
         .arrays
         .iter()
@@ -81,10 +77,7 @@ fn arb_plan() -> impl Strategy<Value = NestPlan> {
                     })
                     .collect::<Vec<_>>()
             });
-            let tiles = spans
-                .iter()
-                .map(|&s| 1i64..=s)
-                .collect::<Vec<_>>();
+            let tiles = spans.iter().map(|&s| 1i64..=s).collect::<Vec<_>>();
             (Just(spans), Just(arrays), refs, tiles)
         })
         .prop_map(|(spans, arrays, refs, tiles)| NestPlan { spans, arrays, refs, tiles })

@@ -13,7 +13,14 @@ use cme_kernels::{linalg, stencils, transposes};
 use cme_loopnest::builder::{sub, NestBuilder};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 
-fn check(nest: &LoopNest, layout: &MemoryLayout, tiles: Option<&TileSizes>, size: i64, line: i64, assoc: i64) {
+fn check(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+    size: i64,
+    line: i64,
+    assoc: i64,
+) {
     let spec = CacheSpec { size, line, assoc };
     let geo = CacheGeometry { size, line, assoc };
     let model = CmeModel::new(spec);
@@ -40,7 +47,7 @@ fn check_all_caches(nest: &LoopNest, tiles: Option<&TileSizes>) {
     let layout = MemoryLayout::contiguous(nest);
     for (size, line) in [(128, 16), (256, 32), (512, 32)] {
         for assoc in [1, 2] {
-            check(nest, &layout, tiles, size, line, assoc, );
+            check(nest, &layout, tiles, size, line, assoc);
         }
     }
 }

@@ -144,7 +144,8 @@ mod tests {
         assert_eq!(enc.total_bits, 12);
         assert_eq!(enc.genes(), 6);
         // 12 = 1100, 74 = 01001010 -> tiles (8, 29) per the paper.
-        let genome: Vec<bool> = [1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        let genome: Vec<bool> =
+            [1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0].iter().map(|&b| b == 1).collect();
         assert_eq!(enc.decode(&genome), vec![8, 29]);
     }
 

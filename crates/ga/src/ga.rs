@@ -24,7 +24,7 @@ impl<F: Fn(&[i64]) -> f64 + Sync> Objective for F {
 }
 
 /// GA parameters; defaults are the paper's (§3.3).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
     pub population: usize,
     pub crossover_prob: f64,
@@ -107,8 +107,13 @@ pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaR
                 }
             }
         }
-        let fresh: Vec<(Vec<i64>, f64)> =
-            todo.into_par_iter().map(|v| { let c = objective.cost(&v); (v, c) }).collect();
+        let fresh: Vec<(Vec<i64>, f64)> = todo
+            .into_par_iter()
+            .map(|v| {
+                let c = objective.cost(&v);
+                (v, c)
+            })
+            .collect();
         {
             let mut memo = memo.lock();
             *evaluations.lock() += fresh.len() as u64;
@@ -117,7 +122,13 @@ pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaR
             }
         }
         let memo = memo.lock();
-        decoded.into_iter().map(|v| { let c = memo[&v]; (v, c) }).collect()
+        decoded
+            .into_iter()
+            .map(|v| {
+                let c = memo[&v];
+                (v, c)
+            })
+            .collect()
     };
 
     let mut best_values: Vec<i64> = Vec::new();
@@ -198,9 +209,7 @@ mod tests {
 
     /// Separable quadratic with known minimum.
     fn quad(target: Vec<i64>) -> impl Fn(&[i64]) -> f64 {
-        move |v: &[i64]| {
-            v.iter().zip(&target).map(|(x, t)| ((x - t) * (x - t)) as f64).sum()
-        }
+        move |v: &[i64]| v.iter().zip(&target).map(|(x, t)| ((x - t) * (x - t)) as f64).sum()
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod ops;
 pub mod select;
 
 pub use encoding::{Domain, Encoding};
-pub use ga::{GaConfig, GaResult, GenStats, Objective, run_ga};
+pub use ga::{run_ga, GaConfig, GaResult, GenStats, Objective};

@@ -99,7 +99,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sel = remainder_stochastic(&[0.0, 0.0], 10, &mut rng);
         assert_eq!(sel.len(), 10);
-        assert!(sel.iter().any(|&i| i == 0) || sel.iter().any(|&i| i == 1));
+        assert!(sel.contains(&0) || sel.contains(&1));
     }
 
     #[test]

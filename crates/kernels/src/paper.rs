@@ -18,10 +18,38 @@ pub struct Table2Row {
 
 /// Table 2 as printed in the paper.
 pub const TABLE2: &[Table2Row] = &[
-    Table2Row { kernel: "T2D", size: 2000, no_tiling_total: 63.3, no_tiling_repl: 36.4, tiling_total: 27.7, tiling_repl: 0.9 },
-    Table2Row { kernel: "T3DJIK", size: 200, no_tiling_total: 63.4, no_tiling_repl: 36.7, tiling_total: 30.2, tiling_repl: 3.6 },
-    Table2Row { kernel: "T3DIKJ", size: 200, no_tiling_total: 34.6, no_tiling_repl: 7.0, tiling_total: 27.9, tiling_repl: 0.3 },
-    Table2Row { kernel: "JACOBI3D", size: 200, no_tiling_total: 25.6, no_tiling_repl: 7.2, tiling_total: 19.8, tiling_repl: 1.3 },
+    Table2Row {
+        kernel: "T2D",
+        size: 2000,
+        no_tiling_total: 63.3,
+        no_tiling_repl: 36.4,
+        tiling_total: 27.7,
+        tiling_repl: 0.9,
+    },
+    Table2Row {
+        kernel: "T3DJIK",
+        size: 200,
+        no_tiling_total: 63.4,
+        no_tiling_repl: 36.7,
+        tiling_total: 30.2,
+        tiling_repl: 3.6,
+    },
+    Table2Row {
+        kernel: "T3DIKJ",
+        size: 200,
+        no_tiling_total: 34.6,
+        no_tiling_repl: 7.0,
+        tiling_total: 27.9,
+        tiling_repl: 0.3,
+    },
+    Table2Row {
+        kernel: "JACOBI3D",
+        size: 200,
+        no_tiling_total: 25.6,
+        no_tiling_repl: 7.2,
+        tiling_total: 19.8,
+        tiling_repl: 1.3,
+    },
 ];
 
 /// One row of Table 3: replacement miss ratios for the conflict-dominated
@@ -42,8 +70,20 @@ pub const TABLE3_8K: &[Table3Row] = &[
     Table3Row { kernel: "BTRIX", size: None, original: 50.1, padding: 0.2, padding_tiling: 0.2 },
     Table3Row { kernel: "VPENTA1", size: None, original: 78.3, padding: 52.4, padding_tiling: 0.0 },
     Table3Row { kernel: "VPENTA2", size: None, original: 86.0, padding: 11.9, padding_tiling: 0.0 },
-    Table3Row { kernel: "ADI", size: Some(1000), original: 26.2, padding: 12.3, padding_tiling: 4.1 },
-    Table3Row { kernel: "ADI", size: Some(2000), original: 25.7, padding: 12.4, padding_tiling: 3.4 },
+    Table3Row {
+        kernel: "ADI",
+        size: Some(1000),
+        original: 26.2,
+        padding: 12.3,
+        padding_tiling: 4.1,
+    },
+    Table3Row {
+        kernel: "ADI",
+        size: Some(2000),
+        original: 25.7,
+        padding: 12.4,
+        padding_tiling: 3.4,
+    },
 ];
 
 /// Table 3, 32 KB cache.

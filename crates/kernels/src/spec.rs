@@ -33,11 +33,19 @@ impl KernelSpec {
     /// to Figs. 8/9.
     pub fn configs(&self) -> Vec<KernelConfig> {
         if self.sizes.is_empty() {
-            vec![KernelConfig { spec: *self, size: self.default_size, sized_name: self.name.to_string() }]
+            vec![KernelConfig {
+                spec: *self,
+                size: self.default_size,
+                sized_name: self.name.to_string(),
+            }]
         } else {
             self.sizes
                 .iter()
-                .map(|&s| KernelConfig { spec: *self, size: s, sized_name: format!("{}_{s}", self.name) })
+                .map(|&s| KernelConfig {
+                    spec: *self,
+                    size: s,
+                    sized_name: format!("{}_{s}", self.name),
+                })
                 .collect()
         }
     }
@@ -163,7 +171,8 @@ pub fn all_kernels() -> Vec<KernelSpec> {
         KernelSpec {
             name: "DPSSB",
             program: "BIHAR",
-            description: "unnormalised inverse of a forward transform of a complex periodic sequence",
+            description:
+                "unnormalised inverse of a forward transform of a complex periodic sequence",
             depth: 3,
             sizes: &[],
             default_size: bihar::BIHAR_N,
@@ -247,7 +256,7 @@ mod tests {
         let ks = all_kernels();
         assert_eq!(ks.len(), 17, "Table 1 lists 17 kernels");
         for k in &ks {
-            let nest = (k.build)(k.sizes.first().copied().unwrap_or(k.default_size).min(20).max(8));
+            let nest = (k.build)(k.sizes.first().copied().unwrap_or(k.default_size).clamp(8, 20));
             assert_eq!(nest.depth(), k.depth, "{}: depth must match Table 1", k.name);
             assert!(nest.validate().is_ok(), "{}", k.name);
         }

@@ -9,9 +9,10 @@ use serde::{Deserialize, Serialize};
 pub struct ArrayId(pub usize);
 
 /// Storage order of a multi-dimensional array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Layout {
     /// Fortran order: the *first* subscript is contiguous.
+    #[default]
     ColumnMajor,
     /// C order: the *last* subscript is contiguous.
     RowMajor,
@@ -31,12 +32,22 @@ pub struct ArrayDecl {
 impl ArrayDecl {
     /// A column-major REAL*4 array.
     pub fn real4(name: impl Into<String>, extents: &[i64]) -> Self {
-        ArrayDecl { name: name.into(), extents: extents.to_vec(), elem_size: 4, layout: Layout::ColumnMajor }
+        ArrayDecl {
+            name: name.into(),
+            extents: extents.to_vec(),
+            elem_size: 4,
+            layout: Layout::ColumnMajor,
+        }
     }
 
     /// A column-major REAL*8 array.
     pub fn real8(name: impl Into<String>, extents: &[i64]) -> Self {
-        ArrayDecl { name: name.into(), extents: extents.to_vec(), elem_size: 8, layout: Layout::ColumnMajor }
+        ArrayDecl {
+            name: name.into(),
+            extents: extents.to_vec(),
+            elem_size: 8,
+            layout: Layout::ColumnMajor,
+        }
     }
 
     /// Array rank.

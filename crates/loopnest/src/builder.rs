@@ -172,12 +172,6 @@ impl NestBuilder {
     }
 }
 
-impl Default for Layout {
-    fn default() -> Self {
-        Layout::ColumnMajor
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,7 +59,8 @@ pub fn rectangular_tiling_legality(nest: &LoopNest) -> TilingLegality {
             // i + r touching the same element).
             // Search for a violating r: lex-positive with a negative
             // component.
-            let window = IntBox::new(spans.iter().map(|&s| Interval::new(-(s - 1), s - 1)).collect());
+            let window =
+                IntBox::new(spans.iter().map(|&s| Interval::new(-(s - 1), s - 1)).collect());
             for lead in 0..d {
                 // Lex-positive piece: r_0..r_{lead-1} = 0, r_lead ≥ 1.
                 for neg in lead + 1..d {
@@ -128,7 +129,8 @@ pub fn permutation_legality(nest: &LoopNest, perm: &[usize]) -> TilingLegality {
                     ),
                 };
             }
-            let window = IntBox::new(spans.iter().map(|&s| Interval::new(-(s - 1), s - 1)).collect());
+            let window =
+                IntBox::new(spans.iter().map(|&s| Interval::new(-(s - 1), s - 1)).collect());
             // Violation: r lex-positive originally, lex-negative after
             // permutation. Decompose both orders into leading-zero pieces.
             for lead in 0..d {
@@ -207,7 +209,11 @@ pub fn apply_permutation(nest: &LoopNest, perm: &[usize]) -> LoopNest {
 /// Sanity oracle for tests: replay the element-level touches of two
 /// references and verify the reported legality on a tiny nest by brute
 /// force (every pair of iterations in both schedules).
-pub fn brute_force_legality(nest: &LoopNest, layout: &MemoryLayout, tiles: &crate::TileSizes) -> bool {
+pub fn brute_force_legality(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: &crate::TileSizes,
+) -> bool {
     use crate::trace::collect_trace;
     // A tiling is legal iff for every pair of accesses (a before b in the
     // original order) where one writes the same address the other touches,

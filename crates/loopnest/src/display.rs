@@ -60,10 +60,13 @@ pub fn render(nest: &LoopNest) -> String {
     }
     let indent = "  ".repeat(nest.loops.len());
     let writes: Vec<usize> = (0..nest.refs.len()).filter(|&r| nest.refs[r].is_write()).collect();
-    let reads: Vec<String> =
-        (0..nest.refs.len()).filter(|&r| !nest.refs[r].is_write()).map(|r| fmt_ref(nest, r, &names)).collect();
+    let reads: Vec<String> = (0..nest.refs.len())
+        .filter(|&r| !nest.refs[r].is_write())
+        .map(|r| fmt_ref(nest, r, &names))
+        .collect();
     if writes.len() == 1 {
-        let _ = writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
+        let _ =
+            writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
     } else {
         for w in writes {
             let _ = writeln!(out, "{indent}{} = ...", fmt_ref(nest, w, &names));
@@ -85,7 +88,16 @@ pub fn render_tiled(nest: &LoopNest, tiles: &TileSizes) -> String {
     let d = nest.depth();
     for (lvl, l) in nest.loops.iter().enumerate() {
         let t = tiles.0[lvl];
-        let _ = writeln!(out, "{}do {}{} = {}, {}, {}", "  ".repeat(lvl), l.name, l.name, l.lo, l.hi, t);
+        let _ = writeln!(
+            out,
+            "{}do {}{} = {}, {}, {}",
+            "  ".repeat(lvl),
+            l.name,
+            l.name,
+            l.lo,
+            l.hi,
+            t
+        );
     }
     for (lvl, l) in nest.loops.iter().enumerate() {
         let t = tiles.0[lvl];
@@ -105,10 +117,13 @@ pub fn render_tiled(nest: &LoopNest, tiles: &TileSizes) -> String {
     let names: Vec<&str> = nest.loops.iter().map(|l| l.name.as_str()).collect();
     let indent = "  ".repeat(2 * d);
     let writes: Vec<usize> = (0..nest.refs.len()).filter(|&r| nest.refs[r].is_write()).collect();
-    let reads: Vec<String> =
-        (0..nest.refs.len()).filter(|&r| !nest.refs[r].is_write()).map(|r| fmt_ref(nest, r, &names)).collect();
+    let reads: Vec<String> = (0..nest.refs.len())
+        .filter(|&r| !nest.refs[r].is_write())
+        .map(|r| fmt_ref(nest, r, &names))
+        .collect();
     if writes.len() == 1 {
-        let _ = writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
+        let _ =
+            writeln!(out, "{indent}{} = f({})", fmt_ref(nest, writes[0], &names), reads.join(", "));
     } else {
         for w in writes {
             let _ = writeln!(out, "{indent}{} = ...", fmt_ref(nest, w, &names));

@@ -26,12 +26,17 @@ pub enum NestError {
 impl fmt::Display for NestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NestError::EmptyLoop { loop_name } => write!(f, "loop `{loop_name}` has an empty range"),
+            NestError::EmptyLoop { loop_name } => {
+                write!(f, "loop `{loop_name}` has an empty range")
+            }
             NestError::SubscriptArity { array, expected, got } => {
                 write!(f, "subscript of `{array}` spans {got} variables, nest has {expected}")
             }
             NestError::RankMismatch { array, rank, got } => {
-                write!(f, "array `{array}` has rank {rank} but was subscripted with {got} expressions")
+                write!(
+                    f,
+                    "array `{array}` has rank {rank} but was subscripted with {got} expressions"
+                )
             }
             NestError::OutOfBounds { array, dim, range, extent } => write!(
                 f,
@@ -45,7 +50,9 @@ impl fmt::Display for NestError {
                 write!(f, "tile size {tile} for loop {dim} outside [1, {span}]")
             }
             NestError::IllegalTiling { reason } => write!(f, "tiling is illegal: {reason}"),
-            NestError::BadArray { array } => write!(f, "array `{array}` has non-positive extent or element size"),
+            NestError::BadArray { array } => {
+                write!(f, "array `{array}` has non-positive extent or element size")
+            }
         }
     }
 }

@@ -85,7 +85,9 @@ impl MemoryLayout {
         nest.arrays
             .iter()
             .enumerate()
-            .map(|(k, a)| self.bases[k] + self.padded_extents[k].iter().product::<i64>() * a.elem_size)
+            .map(|(k, a)| {
+                self.bases[k] + self.padded_extents[k].iter().product::<i64>() * a.elem_size
+            })
             .max()
             .unwrap_or(0)
     }
@@ -181,7 +183,7 @@ mod tests {
     }
 
     #[test]
-    fn address_forms_match_pointwise_eval(){
+    fn address_forms_match_pointwise_eval() {
         let n = nest();
         let l = MemoryLayout::contiguous(&n);
         let forms = l.address_forms(&n);

@@ -44,11 +44,7 @@ impl MemRef {
     pub fn uniform_with(&self, other: &MemRef) -> bool {
         self.array == other.array
             && self.subscripts.len() == other.subscripts.len()
-            && self
-                .subscripts
-                .iter()
-                .zip(&other.subscripts)
-                .all(|(a, b)| a.coeffs == b.coeffs)
+            && self.subscripts.iter().zip(&other.subscripts).all(|(a, b)| a.coeffs == b.coeffs)
     }
 }
 

@@ -201,7 +201,7 @@ impl ExecSpace {
                     let db0 = r[t].div_euclid(tile);
                     for db in [db0, db0 + 1] {
                         let du = r[t] - db * tile;
-                        if du.abs() <= tile - 1 {
+                        if du.abs() < tile {
                             opts.push((db, du));
                         }
                     }

@@ -34,11 +34,8 @@ pub fn for_each_access(
         None => ExecSpace::untiled(nest),
         Some(t) => ExecSpace::tiled(nest, t),
     };
-    let forms: Vec<_> = layout
-        .address_forms(nest)
-        .into_iter()
-        .map(|af| space.lift_form(&af))
-        .collect();
+    let forms: Vec<_> =
+        layout.address_forms(nest).into_iter().map(|af| space.lift_form(&af)).collect();
     space.for_each_point(|v| {
         for (r, form) in forms.iter().enumerate() {
             f(Access { ref_idx: r, addr: form.eval(v) });
@@ -48,7 +45,11 @@ pub fn for_each_access(
 
 /// Collect the full trace into a vector (small nests only; the streaming
 /// [`for_each_access`] is preferred for simulation).
-pub fn collect_trace(nest: &LoopNest, layout: &MemoryLayout, tiles: Option<&TileSizes>) -> Vec<Access> {
+pub fn collect_trace(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+) -> Vec<Access> {
     let mut v = Vec::with_capacity(nest.accesses() as usize);
     for_each_access(nest, layout, tiles, |a| v.push(a));
     v

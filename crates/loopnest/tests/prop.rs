@@ -8,11 +8,8 @@ use proptest::prelude::*;
 
 fn nest_with_spans(spans: &[i64]) -> LoopNest {
     let mut nb = NestBuilder::new("prop");
-    let vars: Vec<_> = spans
-        .iter()
-        .enumerate()
-        .map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s))
-        .collect();
+    let vars: Vec<_> =
+        spans.iter().enumerate().map(|(t, &s)| nb.add_loop(format!("v{t}"), 1, s)).collect();
     // One array per dimension pattern to give the trace something to do.
     let extents: Vec<i64> = spans.to_vec();
     let a = nb.array("a", &extents);

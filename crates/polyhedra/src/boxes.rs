@@ -55,9 +55,7 @@ impl IntBox {
     /// Component-wise intersection (possibly empty).
     pub fn intersect(&self, other: &IntBox) -> IntBox {
         debug_assert_eq!(self.dims.len(), other.dims.len());
-        IntBox {
-            dims: self.dims.iter().zip(&other.dims).map(|(a, b)| a.intersect(b)).collect(),
-        }
+        IntBox { dims: self.dims.iter().zip(&other.dims).map(|(a, b)| a.intersect(b)).collect() }
     }
 
     /// Clamp one dimension to an interval, returning `None` if the result
@@ -106,7 +104,14 @@ impl IntBox {
     /// Iterate every point of the box in lexicographic order. Intended for
     /// small boxes (tests, enumeration baselines).
     pub fn iter_points(&self) -> BoxPointIter<'_> {
-        BoxPointIter { b: self, next: if self.is_empty() { None } else { Some(self.dims.iter().map(|iv| iv.lo).collect()) } }
+        BoxPointIter {
+            b: self,
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(self.dims.iter().map(|iv| iv.lo).collect())
+            },
+        }
     }
 
     /// The first (lexicographically smallest) point, if non-empty.

@@ -26,8 +26,8 @@ pub fn lcm(a: i64, b: i64) -> i64 {
         return 0;
     }
     let g = gcd(a, b);
-    ((a.unsigned_abs() / g.unsigned_abs()) as i128 * b.unsigned_abs() as i128)
-        .min(i64::MAX as i128) as i64
+    ((a.unsigned_abs() / g.unsigned_abs()) as i128 * b.unsigned_abs() as i128).min(i64::MAX as i128)
+        as i64
 }
 
 /// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`,
@@ -50,7 +50,14 @@ pub fn egcd(a: i64, b: i64) -> (i64, i64, i64) {
 /// All solutions of `a·x + b·y = c` with `x ∈ xr` and `y ∈ yr`, up to
 /// `limit` solutions, ordered by increasing `x`. Handles the degenerate
 /// cases `a = 0` and/or `b = 0`.
-pub fn solve_2var(a: i64, b: i64, c: i64, xr: Interval, yr: Interval, limit: usize) -> Vec<(i64, i64)> {
+pub fn solve_2var(
+    a: i64,
+    b: i64,
+    c: i64,
+    xr: Interval,
+    yr: Interval,
+    limit: usize,
+) -> Vec<(i64, i64)> {
     let mut out = Vec::new();
     if xr.is_empty() || yr.is_empty() || limit == 0 {
         return out;
@@ -103,7 +110,11 @@ pub fn solve_2var(a: i64, b: i64, c: i64, xr: Interval, yr: Interval, limit: usi
             // Range of t from x ∈ xr.
             let t_from = |lo: i128, hi: i128, p: i128, step: i128| -> Option<(i128, i128)> {
                 if step == 0 {
-                    return if lo <= p && p <= hi { Some((i128::MIN / 4, i128::MAX / 4)) } else { None };
+                    return if lo <= p && p <= hi {
+                        Some((i128::MIN / 4, i128::MAX / 4))
+                    } else {
+                        None
+                    };
                 }
                 let (a1, b1) = ((lo - p), (hi - p));
                 let (mut tlo, mut thi) = if step > 0 {
@@ -191,7 +202,11 @@ mod tests {
         for (a, b) in [(12, 18), (-5, 7), (0, 4), (9, 0), (-6, -8), (240, 46)] {
             let (g, x, y) = egcd(a, b);
             assert_eq!(g, gcd(a, b), "g for {a},{b}");
-            assert_eq!(a as i128 * x as i128 + b as i128 * y as i128, g as i128, "bezout for {a},{b}");
+            assert_eq!(
+                a as i128 * x as i128 + b as i128 * y as i128,
+                g as i128,
+                "bezout for {a},{b}"
+            );
         }
     }
 
@@ -222,7 +237,10 @@ mod tests {
     fn solve_2var_degenerate() {
         assert!(solve_2var(0, 0, 1, Interval::new(0, 3), Interval::new(0, 3), 10).is_empty());
         assert_eq!(solve_2var(0, 0, 0, Interval::new(0, 1), Interval::new(0, 1), 99).len(), 4);
-        assert_eq!(solve_2var(0, 2, 4, Interval::new(0, 2), Interval::new(0, 9), 99), vec![(0, 2), (1, 2), (2, 2)]);
+        assert_eq!(
+            solve_2var(0, 2, 4, Interval::new(0, 2), Interval::new(0, 9), 99),
+            vec![(0, 2), (1, 2), (2, 2)]
+        );
         assert_eq!(solve_2var(2, 0, 4, Interval::new(0, 9), Interval::new(7, 7), 99), vec![(2, 7)]);
         assert!(solve_2var(2, 4, 3, Interval::new(-9, 9), Interval::new(-9, 9), 99).is_empty());
     }

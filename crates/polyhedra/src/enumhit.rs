@@ -39,7 +39,12 @@ pub fn enum_mod_hit(form: &AffineForm, b: &IntBox, m: i64, window: Interval) -> 
 /// Collect the distinct values of `(form(x) - base).div_euclid(m)` over the
 /// box for points whose residue falls in `window` — used as the oracle for
 /// distinct-conflicting-line counting in set-associative analysis.
-pub fn enum_distinct_quotients(form: &AffineForm, b: &IntBox, m: i64, window: Interval) -> Vec<i64> {
+pub fn enum_distinct_quotients(
+    form: &AffineForm,
+    b: &IntBox,
+    m: i64,
+    window: Interval,
+) -> Vec<i64> {
     let mut out = std::collections::BTreeSet::new();
     for p in b.iter_points() {
         let v = form.eval(&p);

@@ -71,7 +71,13 @@ pub struct Budget {
 impl Budget {
     /// A budget allowing `per_query_nodes` branch nodes per query.
     pub fn new(per_query_nodes: u64) -> Self {
-        Budget { nodes_left: per_query_nodes, queries: 0, fallbacks: 0, nodes_used: 0, per_query_nodes }
+        Budget {
+            nodes_left: per_query_nodes,
+            queries: 0,
+            fallbacks: 0,
+            nodes_used: 0,
+            per_query_nodes,
+        }
     }
 
     fn refill(&mut self) {
@@ -217,7 +223,12 @@ fn solve_norm(mut terms: Vec<(i64, i64)>, window: Interval, budget: &mut Budget)
 ///
 /// `Yes`/`No` are exact; `MaybeYes` only occurs when the node budget is
 /// exhausted (conservatively treated as a hit by miss analysis).
-pub fn interval_hit(form: &AffineForm, b: &IntBox, window: Interval, budget: &mut Budget) -> HitResult {
+pub fn interval_hit(
+    form: &AffineForm,
+    b: &IntBox,
+    window: Interval,
+    budget: &mut Budget,
+) -> HitResult {
     budget.refill();
     let Some(norm) = normalize(form, b, window) else {
         return HitResult::No;
@@ -339,7 +350,10 @@ mod tests {
     fn empty_box_or_window() {
         let f = AffineForm::new(vec![1], 0);
         let mut bud = Budget::default();
-        assert_eq!(interval_hit(&f, &IntBox::new(vec![Interval::empty()]), Interval::new(0, 10), &mut bud), HitResult::No);
+        assert_eq!(
+            interval_hit(&f, &IntBox::new(vec![Interval::empty()]), Interval::new(0, 10), &mut bud),
+            HitResult::No
+        );
         assert_eq!(interval_hit(&f, &bx(&[(0, 5)]), Interval::empty(), &mut bud), HitResult::No);
     }
 }

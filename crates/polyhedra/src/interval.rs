@@ -92,7 +92,10 @@ impl Interval {
     /// `g > 0` lies in the interval.
     pub fn div_exact(&self, g: i64) -> Interval {
         assert!(g > 0, "div_exact requires positive divisor");
-        Interval::new(self.lo.div_euclid(g) + i64::from(self.lo.rem_euclid(g) != 0), self.hi.div_euclid(g))
+        Interval::new(
+            self.lo.div_euclid(g) + i64::from(self.lo.rem_euclid(g) != 0),
+            self.hi.div_euclid(g),
+        )
     }
 
     /// Iterate the integers of the interval in increasing order.

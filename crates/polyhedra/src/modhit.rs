@@ -197,7 +197,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         for case in 0..400 {
             let n = rng.gen_range(1..=3usize);
-            let m = *[4i64, 8, 12, 16, 32, 48, 64].iter().collect::<Vec<_>>()[rng.gen_range(0..7)];
+            let m = [4i64, 8, 12, 16, 32, 48, 64][rng.gen_range(0..7usize)];
             let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-30..=30i64)).collect();
             let c0 = rng.gen_range(-20..=20);
             let f = AffineForm::new(coeffs, c0);
@@ -211,7 +211,11 @@ mod tests {
             let wlo = rng.gen_range(0..m);
             let whi = (wlo + rng.gen_range(0..=(m / 2))).min(m - 1);
             let w = Interval::new(wlo, whi);
-            assert_eq!(mod_hit(&f, &b, m, w), enum_mod_hit(&f, &b, m, w), "case {case}: f={f} m={m} w={w} box={b:?}");
+            assert_eq!(
+                mod_hit(&f, &b, m, w),
+                enum_mod_hit(&f, &b, m, w),
+                "case {case}: f={f} m={m} w={w} box={b:?}"
+            );
         }
     }
 

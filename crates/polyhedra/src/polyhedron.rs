@@ -141,7 +141,8 @@ impl Polyhedron {
                         b.dims[t] = tight;
                         changed = true;
                         // Recompute sums with the tightened interval.
-                        let (a2, b2) = ((ct as i128) * tight.lo as i128, (ct as i128) * tight.hi as i128);
+                        let (a2, b2) =
+                            ((ct as i128) * tight.lo as i128, (ct as i128) * tight.hi as i128);
                         hi_sum += a2.max(b2) - a.max(bb);
                     }
                 }
@@ -216,10 +217,7 @@ mod tests {
     fn propagation_tightens() {
         // x + y ≤ 3, x,y ∈ [0,10] -> both ≤ 3.
         let mut p = Polyhedron::from_box(&bx(&[(0, 10), (0, 10)]));
-        p.and(Constraint::le(
-            AffineForm::new(vec![1, 1], 0),
-            AffineForm::constant(2, 3),
-        ));
+        p.and(Constraint::le(AffineForm::new(vec![1, 1], 0), AffineForm::constant(2, 3)));
         let b = p.propagate_bounds(&bx(&[(0, 10), (0, 10)])).unwrap();
         assert_eq!(b, bx(&[(0, 3), (0, 3)]));
     }

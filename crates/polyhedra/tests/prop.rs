@@ -11,12 +11,14 @@ use cme_polyhedra::{AffineForm, IntBox, Interval};
 use proptest::prelude::*;
 
 fn arb_box(max_dims: usize, max_len: i64) -> impl Strategy<Value = IntBox> {
-    prop::collection::vec((-8i64..8, 0i64..max_len), 1..=max_dims)
-        .prop_map(|dims| IntBox::new(dims.into_iter().map(|(lo, len)| Interval::new(lo, lo + len)).collect()))
+    prop::collection::vec((-8i64..8, 0i64..max_len), 1..=max_dims).prop_map(|dims| {
+        IntBox::new(dims.into_iter().map(|(lo, len)| Interval::new(lo, lo + len)).collect())
+    })
 }
 
 fn arb_form(n: usize, max_coeff: i64) -> impl Strategy<Value = AffineForm> {
-    (prop::collection::vec(-max_coeff..=max_coeff, n), -60i64..60).prop_map(|(c, c0)| AffineForm::new(c, c0))
+    (prop::collection::vec(-max_coeff..=max_coeff, n), -60i64..60)
+        .prop_map(|(c, c0)| AffineForm::new(c, c0))
 }
 
 proptest! {

@@ -115,7 +115,8 @@ pub fn fixed_fraction(nest: &LoopNest, cache: CacheSpec, fraction: f64) -> TileS
     let d = nest.depth();
     let spans = nest.spans();
     let es = nest.arrays.first().map_or(4, |a| a.elem_size);
-    let budget = (cache.size as f64 * fraction / es as f64 / nest.arrays.len().max(1) as f64).max(1.0);
+    let budget =
+        (cache.size as f64 * fraction / es as f64 / nest.arrays.len().max(1) as f64).max(1.0);
     let side = (budget.sqrt() as i64).max(1);
     let mut tiles = spans.clone();
     if d >= 2 {

@@ -18,8 +18,9 @@ pub struct ExhaustiveResult {
 }
 
 /// Evaluate every tile vector in `[1,U_1]×…×[1,U_d]` (or a strided subset
-/// via `step`) and return the optimum. Panics if the sweep would exceed
-/// `max_evals`.
+/// via `step`) and return the optimum, with a fixed sampling seed. Panics
+/// if the sweep would exceed `max_evals`; use [`try_exhaustive_search`]
+/// for the fallible, seedable variant.
 pub fn exhaustive_search(
     nest: &LoopNest,
     layout: &MemoryLayout,
@@ -28,11 +29,32 @@ pub fn exhaustive_search(
     step: i64,
     max_evals: u64,
 ) -> ExhaustiveResult {
+    try_exhaustive_search(nest, layout, cache, sampling, step, max_evals, 0xEE)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`exhaustive_search`], but refusing oversized sweeps (and degenerate
+/// strides) with an error instead of panicking, and taking the base
+/// sampling `seed` explicitly (per-tile seeds derive from it) — the entry
+/// point the `cme-api` strategy adapter uses with the request's seed.
+pub fn try_exhaustive_search(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    cache: CacheSpec,
+    sampling: SamplingConfig,
+    step: i64,
+    max_evals: u64,
+    seed: u64,
+) -> Result<ExhaustiveResult, String> {
+    if step < 1 {
+        return Err(format!("exhaustive sweep stride must be ≥ 1, got {step}"));
+    }
     let spans = nest.spans();
     let total: u64 = spans.iter().map(|&s| ((s + step - 1) / step) as u64).product();
-    assert!(total <= max_evals, "exhaustive sweep of {total} tilings exceeds cap {max_evals}");
-    let objective =
-        TilingObjective { nest, layout, model: CmeModel::new(cache), sampling, seed: 0xEE };
+    if total > max_evals {
+        return Err(format!("exhaustive sweep of {total} tilings exceeds cap {max_evals}"));
+    }
+    let objective = TilingObjective { nest, layout, model: CmeModel::new(cache), sampling, seed };
     let mut landscape = Vec::with_capacity(total as usize);
     let mut tiles: Vec<i64> = vec![1; spans.len()];
     loop {
@@ -47,7 +69,11 @@ pub fn exhaustive_search(
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
                     .expect("nonempty landscape")
                     .clone();
-                return ExhaustiveResult { best_tiles: TileSizes(bt), best_cost: bc, landscape };
+                return Ok(ExhaustiveResult {
+                    best_tiles: TileSizes(bt),
+                    best_cost: bc,
+                    landscape,
+                });
             }
             d -= 1;
             if tiles[d] < spans[d] {

@@ -24,8 +24,8 @@ pub mod padding;
 pub mod problem;
 pub mod report;
 
-pub use exhaustive::exhaustive_search;
+pub use exhaustive::{exhaustive_search, try_exhaustive_search, ExhaustiveResult};
 pub use interchange::{optimize_with_interchange, InterchangeOutcome};
-pub use padding::{PaddingOptimizer, PaddingOutcome, PaddingSpace};
-pub use problem::{TilingObjective, TilingOptimizer, TilingOutcome};
+pub use padding::{JointOutcome, PaddingOptimizer, PaddingOutcome, PaddingSpace};
+pub use problem::{GaSummary, TilingObjective, TilingOptimizer, TilingOutcome};
 pub use report::KernelReport;

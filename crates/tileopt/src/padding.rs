@@ -131,10 +131,15 @@ impl PaddingOptimizer {
             seed: self.ga.seed,
         };
         let ga = run_ga(&self.space.domain(nest), &objective, &self.ga);
+        // Both estimates use `CmeModel::estimate_nest`'s canonical
+        // seeding, so `original` equals the baseline the `cme-api` layer
+        // reports (no re-estimation there) and the before/after pair is
+        // drawn from the same sample points.
         let original_layout = MemoryLayout::contiguous(nest);
-        let original = model.analyze(nest, &original_layout, None).estimate(&self.sampling, 7);
+        let original =
+            model.estimate_nest(nest, &original_layout, None, &self.sampling, self.ga.seed);
         let padded_layout = self.space.layout_for(nest, self.cache.line, &ga.best_values);
-        let padded = model.analyze(nest, &padded_layout, None).estimate(&self.sampling, 7);
+        let padded = model.estimate_nest(nest, &padded_layout, None, &self.sampling, self.ga.seed);
         PaddingOutcome {
             values: ga.best_values.clone(),
             original,
@@ -160,7 +165,16 @@ impl PaddingOptimizer {
 
     /// Joint padding + tiling in a single GA (the paper's future work):
     /// the genome concatenates padding variables and tile sizes.
-    pub fn optimize_joint(&self, nest: &LoopNest) -> Result<(Vec<i64>, TileSizes, MissEstimate), String> {
+    pub fn optimize_joint(
+        &self,
+        nest: &LoopNest,
+    ) -> Result<(Vec<i64>, TileSizes, MissEstimate), String> {
+        self.optimize_joint_full(nest).map(|out| (out.pads, out.tiles, out.after))
+    }
+
+    /// As [`Self::optimize_joint`] but returning the full record the
+    /// `cme-api` strategy adapter needs: both estimates and the GA digest.
+    pub fn optimize_joint_full(&self, nest: &LoopNest) -> Result<JointOutcome, String> {
         if let cme_loopnest::deps::TilingLegality::Illegal { reason } =
             cme_loopnest::deps::rectangular_tiling_legality(nest)
         {
@@ -185,11 +199,31 @@ impl PaddingOptimizer {
         let ga = run_ga(&domain, &objective, &self.ga);
         let layout = self.space.layout_for(nest, self.cache.line, &ga.best_values[..n_pad]);
         let tiles = TileSizes(ga.best_values[n_pad..].to_vec());
-        let est = model
-            .analyze(nest, &layout, if tiles.is_trivial(nest) { None } else { Some(&tiles) })
-            .estimate(&self.sampling, 7);
-        Ok((ga.best_values[..n_pad].to_vec(), tiles, est))
+        let original_layout = MemoryLayout::contiguous(nest);
+        let before =
+            model.estimate_nest(nest, &original_layout, None, &self.sampling, self.ga.seed);
+        let after = model.estimate_nest(nest, &layout, Some(&tiles), &self.sampling, self.ga.seed);
+        Ok(JointOutcome {
+            pads: ga.best_values[..n_pad].to_vec(),
+            tiles,
+            before,
+            after,
+            ga: GaSummary::from(&ga),
+        })
     }
+}
+
+/// Outcome of the joint padding + tiling search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointOutcome {
+    /// Raw padding GA values (decode with [`PaddingSpace::layout_for`]).
+    pub pads: Vec<i64>,
+    pub tiles: TileSizes,
+    /// Estimate of the original layout, untiled.
+    pub before: MissEstimate,
+    /// Estimate of the padded layout with the chosen tiling.
+    pub after: MissEstimate,
+    pub ga: GaSummary,
 }
 
 #[cfg(test)]
@@ -206,8 +240,8 @@ mod tests {
         nb.read(x, &[sub(i)]);
         nb.read(y, &[sub(i)]);
         nb.write(x, &[sub(i)]);
-        let nest = nb.finish().unwrap();
-        nest
+
+        nb.finish().unwrap()
     }
 
     #[test]

@@ -37,6 +37,14 @@ impl TilingObjective<'_> {
         };
         an.estimate(&self.sampling, self.seed_for(&tiles.0))
     }
+
+    /// Estimate of the untransformed nest, seeded identically to
+    /// [`CmeModel::estimate_nest`] with no tiling — so optimiser `before`
+    /// fields equal the canonical baseline the `cme-api` layer reports,
+    /// and the adapter can reuse them instead of re-estimating.
+    pub fn estimate_untiled(&self) -> MissEstimate {
+        self.model.estimate_nest(self.nest, self.layout, None, &self.sampling, self.seed)
+    }
 }
 
 impl Objective for TilingObjective<'_> {
@@ -113,7 +121,11 @@ impl TilingOptimizer {
 
     /// Search near-optimal tile sizes. Errors when rectangular tiling is
     /// illegal for the nest.
-    pub fn optimize(&self, nest: &LoopNest, layout: &MemoryLayout) -> Result<TilingOutcome, String> {
+    pub fn optimize(
+        &self,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+    ) -> Result<TilingOutcome, String> {
         if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
             return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
         }
@@ -127,7 +139,7 @@ impl TilingOptimizer {
         let domain = Domain::new(nest.spans());
         let ga = run_ga(&domain, &objective, &self.ga);
         let tiles = TileSizes(ga.best_values.clone());
-        let before = objective.estimate(&TileSizes::trivial(nest));
+        let before = objective.estimate_untiled();
         let after = objective.estimate(&tiles);
         Ok(TilingOutcome { tiles, before, after, ga: GaSummary::from(&ga) })
     }
@@ -152,7 +164,7 @@ impl TilingOptimizer {
         let domain = Domain::new(nest.spans());
         let ga = run_ga(&domain, &objective, &self.ga);
         let tiles = TileSizes(ga.best_values.clone());
-        let before = objective.estimate(&TileSizes::trivial(nest));
+        let before = objective.estimate_untiled();
         let after = objective.estimate(&tiles);
         Ok((TilingOutcome { tiles, before, after, ga: GaSummary::from(&ga) }, ga))
     }
@@ -185,7 +197,11 @@ mod tests {
         let before = out.before.replacement_ratio();
         let after = out.after.replacement_ratio();
         assert!(before > 0.2, "untiled transpose must thrash (got {before})");
-        assert!(after < before / 3.0, "tiling must slash replacement misses: {before} -> {after} tiles {}", out.tiles);
+        assert!(
+            after < before / 3.0,
+            "tiling must slash replacement misses: {before} -> {after} tiles {}",
+            out.tiles
+        );
     }
 
     #[test]

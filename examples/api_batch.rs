@@ -1,0 +1,72 @@
+//! Batch optimisation through the unified API: one `Session`, many
+//! requests across every strategy family, executed in parallel with
+//! deterministic results — the shape of a future service's request loop.
+//!
+//! ```text
+//! cargo run --release --example api_batch
+//! ```
+
+use cme_suite::api::{
+    BaselineKind, NestSource, OptimizeRequest, PaddingMode, Session, StrategySpec,
+};
+use cme_suite::cme::CacheSpec;
+
+fn main() {
+    let cache = CacheSpec::paper_8k();
+    let mk = |nest: NestSource, strategy: StrategySpec, seed: u64| {
+        OptimizeRequest::new(nest, strategy).with_cache(cache).with_seed(seed)
+    };
+
+    // One batch mixing all five strategy families. A deployment would
+    // receive exactly this, as JSON, from `cme batch -` or a queue.
+    let requests = vec![
+        mk(NestSource::kernel_sized("MM", 100), StrategySpec::Tiling, 1),
+        mk(NestSource::kernel_sized("T2D", 100), StrategySpec::Tiling, 2),
+        mk(NestSource::kernel_sized("T2D", 64), StrategySpec::Interchange, 3),
+        mk(
+            NestSource::kernel("VPENTA2"),
+            StrategySpec::Padding { mode: PaddingMode::PadThenTile },
+            4,
+        ),
+        mk(
+            NestSource::kernel_sized("T2D", 16),
+            StrategySpec::Exhaustive { step: 1, max_evals: 1000 },
+            5,
+        ),
+        mk(
+            NestSource::kernel_sized("MM", 100),
+            StrategySpec::Baseline { kind: BaselineKind::Tss },
+            6,
+        ),
+    ];
+    println!("batch request JSON:\n{}\n", serde_json::to_string_pretty(&requests).unwrap());
+
+    let session = Session::builder().parallel(true).build();
+    let results = session.run_batch(&requests);
+
+    println!("{:<10} {:<22} {:>9} {:>9}  transform", "kernel", "strategy", "repl.pre", "repl.post");
+    for result in &results {
+        match result {
+            Ok(out) => {
+                let transform = [
+                    out.transform.permutation.as_ref().map(|p| format!("order {p:?}")),
+                    out.transform.pads.as_ref().map(|p| format!("pads {p:?}")),
+                    out.transform.tiles.as_ref().map(|t| format!("tiles {t}")),
+                ]
+                .into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .join(", ");
+                println!(
+                    "{:<10} {:<22} {:>8.1}% {:>8.1}%  {}",
+                    out.kernel,
+                    out.strategy,
+                    out.before.replacement_ratio() * 100.0,
+                    out.after.replacement_ratio() * 100.0,
+                    transform
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -66,12 +66,19 @@ fn main() {
 
     // Joint padding + tiling (the paper's future-work extension) fixes the
     // alignment conflict *and* blocks the remaining capacity misses.
-    let padder = cme_suite::tileopt::PaddingOptimizer::new(cache);
-    let (pads, tiles, est) = padder.optimize_joint(&nest).expect("legal");
+    // Custom kernels go through the same unified API as registry kernels:
+    // the nest IR is serde-able, so the whole request survives the wire.
+    use cme_suite::api::{NestSource, OptimizeRequest, PaddingMode, Session, StrategySpec};
+    let request = OptimizeRequest::new(
+        NestSource::Inline(nest),
+        StrategySpec::Padding { mode: PaddingMode::Joint },
+    )
+    .with_cache(cache);
+    let joint = Session::default().run(&request).expect("legal");
     println!(
         "joint padding+tiling: replacement ratio {:.2}% with pads {:?} and tiles {}",
-        est.replacement_ratio() * 100.0,
-        pads,
-        tiles
+        joint.after.replacement_ratio() * 100.0,
+        joint.transform.pads.as_ref().expect("joint search pads"),
+        joint.transform.tiles.as_ref().expect("joint search tiles")
     );
 }

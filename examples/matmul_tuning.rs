@@ -12,7 +12,12 @@ use cme_suite::loopnest::{MemoryLayout, TileSizes};
 use cme_suite::tileopt::baselines::{fixed_fraction, lrw_square, tss_coleman_mckinley};
 use cme_suite::tileopt::TilingOptimizer;
 
-fn repl_pct(model: &CmeModel, nest: &cme_suite::loopnest::LoopNest, layout: &MemoryLayout, tiles: &TileSizes) -> f64 {
+fn repl_pct(
+    model: &CmeModel,
+    nest: &cme_suite::loopnest::LoopNest,
+    layout: &MemoryLayout,
+    tiles: &TileSizes,
+) -> f64 {
     let an = if tiles.is_trivial(nest) {
         model.analyze(nest, layout, None)
     } else {
@@ -36,7 +41,10 @@ fn main() {
             ("TSS", tss_coleman_mckinley(&nest, &layout, cache)),
             ("fixed 1/2 cache", fixed_fraction(&nest, cache, 0.5)),
         ] {
-            println!("{name:<19}: {:5.1}% with tiles {tiles}", repl_pct(&model, &nest, &layout, &tiles));
+            println!(
+                "{name:<19}: {:5.1}% with tiles {tiles}",
+                repl_pct(&model, &nest, &layout, &tiles)
+            );
         }
 
         let mut opt = TilingOptimizer::new(cache);

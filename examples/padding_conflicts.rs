@@ -13,8 +13,8 @@
 use cme_suite::cme::CacheSpec;
 use cme_suite::ga::GaConfig;
 use cme_suite::kernels::nas;
-use cme_suite::tileopt::{PaddingOptimizer, TilingOptimizer};
 use cme_suite::loopnest::MemoryLayout;
+use cme_suite::tileopt::{PaddingOptimizer, TilingOptimizer};
 
 fn study(name: &str, nest: cme_suite::loopnest::LoopNest) {
     let cache = CacheSpec::paper_8k();

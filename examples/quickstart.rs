@@ -1,39 +1,37 @@
-//! Quickstart: tile matrix multiply for an 8 KB cache in ~100 ms.
+//! Quickstart: tile matrix multiply for an 8 KB cache through the
+//! unified `cme-api` layer in ~100 ms.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use cme_suite::cme::{CacheSpec, CmeModel};
-use cme_suite::kernels::linalg::mm;
-use cme_suite::loopnest::{display, MemoryLayout};
-use cme_suite::tileopt::TilingOptimizer;
+use cme_suite::api::{NestSource, OptimizeRequest, Session, StrategySpec};
+use cme_suite::loopnest::display;
 
 fn main() {
-    // 1. A kernel: the paper's motivating matrix multiply (Fig. 1).
-    let nest = mm(500);
-    let layout = MemoryLayout::contiguous(&nest);
-    println!("kernel:\n{}", display::render(&nest));
+    // 1. One request = one reproducible search: the kernel (the paper's
+    //    motivating matrix multiply, Fig. 1), the paper's 8 KB cache and
+    //    164-point sampling, the §3.3 GA parameters, and the strategy.
+    let request = OptimizeRequest::new(NestSource::kernel_sized("MM", 500), StrategySpec::Tiling);
 
-    // 2. Ask the Cache Miss Equations how it behaves on an 8 KB
-    //    direct-mapped cache with 32-byte lines (the paper's setup).
-    let cache = CacheSpec::paper_8k();
-    let model = CmeModel::new(cache);
-    let before = model.analyze(&nest, &layout, None).estimate_paper(1);
+    // Requests are values — this JSON line is everything a service would
+    // need to replay the search bit-for-bit.
+    println!("request: {}\n", serde_json::to_string(&request).unwrap());
+
+    // 2. Run it. `Session` is the same entry point the CLI and the batch
+    //    runner use; `cme tile MM 500 --json` prints this outcome.
+    let outcome = Session::default().run(&request).expect("MM is tileable");
+
     println!(
         "untiled:  total miss ratio {:5.1}%   replacement {:5.1}%",
-        before.miss_ratio() * 100.0,
-        before.replacement_ratio() * 100.0
+        outcome.before.miss_ratio() * 100.0,
+        outcome.before.replacement_ratio() * 100.0
     );
-
-    // 3. Let the genetic algorithm pick near-optimal tile sizes
-    //    (population 30, crossover 0.9, mutation 0.001, ≤ 25 generations —
-    //    all the paper's parameters).
-    let optimizer = TilingOptimizer::new(cache);
-    let outcome = optimizer.optimize(&nest, &layout).expect("mm is tileable");
+    let tiles = outcome.transform.tiles.as_ref().expect("tiling chooses tiles");
+    let ga = outcome.ga.as_ref().expect("tiling runs a GA");
     println!(
         "GA chose tiles {} after {} generations ({} distinct objective evaluations)",
-        outcome.tiles, outcome.ga.generations, outcome.ga.evaluations
+        tiles, ga.generations, ga.evaluations
     );
     println!(
         "tiled:    total miss ratio {:5.1}%   replacement {:5.1}%",
@@ -41,6 +39,7 @@ fn main() {
         outcome.after.replacement_ratio() * 100.0
     );
 
-    // 4. Show the transformed loop nest (Fig. 3(b) shape).
-    println!("\ntiled loop nest:\n{}", display::render_tiled(&nest, &outcome.tiles));
+    // 3. Show the transformed loop nest (Fig. 3(b) shape).
+    let nest = request.nest.resolve().unwrap();
+    println!("\ntiled loop nest:\n{}", display::render_tiled(&nest, tiles));
 }

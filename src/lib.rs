@@ -6,6 +6,7 @@
 //! import. See the workspace `README.md` for a guided tour and
 //! `examples/quickstart.rs` for the 5-minute version.
 
+pub use cme_api as api;
 pub use cme_cachesim as cachesim;
 pub use cme_core as cme;
 pub use cme_ga as ga;

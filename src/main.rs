@@ -1,44 +1,72 @@
-//! `cme` — command-line driver for the loop-tiling suite.
-//!
-//! ```text
-//! cme kernels                               list the Table 1 kernels
-//! cme show KERNEL [N]                       print a kernel as pseudo-Fortran
-//! cme analyze KERNEL [N] [opts]             CME miss-ratio analysis
-//! cme tile KERNEL [N] [opts]                GA tile-size search (§3)
-//! cme pad KERNEL [N] [opts]                 GA padding search (§4.3)
-//! cme simulate KERNEL [N] [opts]            exact LRU simulation (oracle)
-//!
-//! options:
-//!   --cache 8k | 32k | SIZE,LINE,ASSOC      cache geometry (default 8k DM/32B)
-//!   --tiles T1,T2,...                       analyse/simulate a specific tiling
-//!   --exhaustive                            classify every point (no sampling)
-//!   --interchange                           also search loop permutations
-//!   --tile-after                            pad: run tiling on the padded layout
-//!   --joint                                 pad: joint padding+tiling GA
-//!   --seed S                                GA / sampling seed
-//! ```
+//! `cme` — command-line driver for the loop-tiling suite, a thin shell
+//! over the `cme-api` request/outcome layer: every search subcommand
+//! builds an `OptimizeRequest`, runs it through a `Session`, and renders
+//! the unified `Outcome` as text or (with `--json`) as its canonical
+//! serialised form.
 
+use cme_suite::api::{
+    AnalyzeRequest, ApiError, BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode,
+    Session, StrategySpec,
+};
 use cme_suite::cachesim::{simulate_nest, CacheGeometry};
-use cme_suite::cme::{CacheSpec, CmeModel, SamplingConfig};
-use cme_suite::ga::GaConfig;
-use cme_suite::loopnest::{display, LoopNest, MemoryLayout, TileSizes};
-use cme_suite::tileopt::{optimize_with_interchange, PaddingOptimizer, TilingOptimizer};
+use cme_suite::cme::{CacheSpec, SamplingConfig};
+use cme_suite::loopnest::{display, MemoryLayout, TileSizes};
 use std::process::exit;
+
+const USAGE: &str = "cme — near-optimal loop tiling via Cache Miss Equations + genetic algorithms
+
+usage:
+  cme kernels                              list the Table 1 kernels
+  cme show KERNEL [N]                      print a kernel as pseudo-Fortran
+  cme analyze KERNEL [N] [opts]            CME miss-ratio analysis
+  cme tile KERNEL [N] [opts]               GA tile-size search (§3)
+  cme pad KERNEL [N] [opts]                GA padding search (§4.3)
+  cme simulate KERNEL [N] [opts]           exact LRU simulation (oracle)
+  cme batch FILE                           run a JSON array of OptimizeRequests
+                                           (FILE of `-` reads stdin)
+
+KERNEL defaults to MM (the paper's headline kernel) when omitted.
+
+options:
+  --cache 8k | 32k | SIZE,LINE[,ASSOC]     cache geometry (default 8k DM/32B)
+  --tiles T1,T2,...                        analyse/simulate a specific tiling
+  --exhaustive                             analyze: classify every point
+                                           tile: exhaustive sweep instead of GA
+  --max-evals N                            cap for the exhaustive sweep (default 100000)
+  --step S                                 stride for the exhaustive sweep (default 1)
+  --baseline lrw | tss | fixed[:FRAC]      tile: score a §5 heuristic instead of GA
+  --interchange                            tile: also search loop permutations
+  --tile-after                             pad: run tiling on the padded layout
+  --joint                                  pad: joint padding+tiling GA
+  --seed S                                 GA / sampling seed
+  --json                                   emit the serialised request outcome
+  --sequential                             batch: disable parallel execution
+";
+
+fn usage() -> ! {
+    eprint!("{USAGE}");
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(2)
+}
 
 struct Args {
     positional: Vec<String>,
     cache: CacheSpec,
     tiles: Option<TileSizes>,
     exhaustive: bool,
+    max_evals: u64,
+    step: i64,
+    baseline: Option<BaselineKind>,
     interchange: bool,
     tile_after: bool,
     joint: bool,
     seed: u64,
-}
-
-fn usage() -> ! {
-    eprintln!("{}", include_str!("main.rs").lines().skip(2).take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//! ").trim_start_matches("//!")).collect::<Vec<_>>().join("\n"));
-    exit(2)
+    json: bool,
+    sequential: bool,
 }
 
 fn parse_cache(s: &str) -> CacheSpec {
@@ -46,16 +74,53 @@ fn parse_cache(s: &str) -> CacheSpec {
         "8k" | "8K" => CacheSpec::paper_8k(),
         "32k" | "32K" => CacheSpec::paper_32k(),
         other => {
-            let parts: Vec<i64> = other.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            let parts: Vec<i64> = other
+                .split(',')
+                .map(|p| {
+                    p.trim().parse().unwrap_or_else(|_| {
+                        fail(format!(
+                            "bad --cache value `{other}`: `{p}` is not an integer \
+                             (want 8k, 32k or SIZE,LINE[,ASSOC])"
+                        ))
+                    })
+                })
+                .collect();
             match parts.as_slice() {
                 [size, line] => CacheSpec::direct_mapped(*size, *line),
                 [size, line, assoc] => CacheSpec { size: *size, line: *line, assoc: *assoc },
-                _ => {
-                    eprintln!("bad --cache value `{other}` (want 8k, 32k or SIZE,LINE[,ASSOC])");
-                    exit(2)
-                }
+                _ => fail(format!(
+                    "bad --cache value `{other}`: want 2 or 3 comma-separated integers, got {}",
+                    parts.len()
+                )),
             }
         }
+    }
+}
+
+fn parse_tiles(s: &str) -> TileSizes {
+    let tiles: Vec<i64> = s
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                fail(format!("bad --tiles value `{s}`: `{p}` is not an integer"))
+            })
+        })
+        .collect();
+    if tiles.is_empty() {
+        fail(format!("bad --tiles value `{s}`: no tile sizes"));
+    }
+    TileSizes(tiles)
+}
+
+fn parse_baseline(s: &str) -> BaselineKind {
+    match s {
+        "lrw" => BaselineKind::LrwSquare,
+        "tss" => BaselineKind::Tss,
+        "fixed" => BaselineKind::FixedFraction { fraction: 0.5 },
+        other => match other.strip_prefix("fixed:").map(str::parse::<f64>) {
+            Some(Ok(fraction)) => BaselineKind::FixedFraction { fraction },
+            _ => fail(format!("bad --baseline value `{other}` (want lrw, tss or fixed[:FRAC])")),
+        },
     }
 }
 
@@ -65,52 +130,119 @@ fn parse_args() -> Args {
         cache: CacheSpec::paper_8k(),
         tiles: None,
         exhaustive: false,
+        max_evals: 100_000,
+        step: 1,
+        baseline: None,
         interchange: false,
         tile_after: false,
         joint: false,
         seed: 0xCE11,
+        json: false,
+        sequential: false,
     };
     let mut it = std::env::args().skip(1);
+    let value_of = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| fail(format!("{flag} needs a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--cache" => args.cache = parse_cache(&it.next().unwrap_or_else(|| usage())),
-            "--tiles" => {
-                let v: Vec<i64> = it
-                    .next()
-                    .unwrap_or_else(|| usage())
-                    .split(',')
-                    .filter_map(|p| p.trim().parse().ok())
-                    .collect();
-                args.tiles = Some(TileSizes(v));
-            }
+            "--cache" => args.cache = parse_cache(&value_of("--cache", &mut it)),
+            "--tiles" => args.tiles = Some(parse_tiles(&value_of("--tiles", &mut it))),
             "--exhaustive" => args.exhaustive = true,
+            "--max-evals" => {
+                let v = value_of("--max-evals", &mut it);
+                args.max_evals =
+                    v.parse().unwrap_or_else(|_| fail(format!("bad --max-evals value `{v}`")));
+            }
+            "--step" => {
+                let v = value_of("--step", &mut it);
+                args.step = v.parse().unwrap_or_else(|_| fail(format!("bad --step value `{v}`")));
+            }
+            "--baseline" => args.baseline = Some(parse_baseline(&value_of("--baseline", &mut it))),
             "--interchange" => args.interchange = true,
             "--tile-after" => args.tile_after = true,
             "--joint" => args.joint = true,
-            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
-            "-h" | "--help" => usage(),
+            "--seed" => {
+                let v = value_of("--seed", &mut it);
+                args.seed = v.parse().unwrap_or_else(|_| fail(format!("bad --seed value `{v}`")));
+            }
+            "--json" => args.json = true,
+            "--sequential" => args.sequential = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                exit(0)
+            }
+            flag if flag.starts_with("--") => fail(format!("unknown option `{flag}`")),
             _ => args.positional.push(a),
         }
     }
     args
 }
 
-fn build_kernel(args: &Args) -> LoopNest {
-    let name = args.positional.get(1).unwrap_or_else(|| usage());
-    let Some(spec) = cme_suite::kernels::kernel_by_name(name) else {
-        eprintln!("unknown kernel `{name}`; run `cme kernels` for the list");
-        exit(2)
-    };
-    let n = args
-        .positional
-        .get(2)
-        .map(|s| s.parse().unwrap_or_else(|_| usage()))
-        .unwrap_or(spec.default_size);
-    (spec.build)(n)
+impl Args {
+    /// The nest named on the command line (`KERNEL [N]`; MM when omitted).
+    fn nest_source(&self) -> NestSource {
+        let name = self.positional.get(1).cloned().unwrap_or_else(|| "MM".to_string());
+        let size = self
+            .positional
+            .get(2)
+            .map(|s| s.parse().unwrap_or_else(|_| fail(format!("bad problem size `{s}`"))));
+        NestSource::Kernel { name, size }
+    }
+
+    fn optimize_request(&self, strategy: StrategySpec) -> OptimizeRequest {
+        OptimizeRequest::new(self.nest_source(), strategy)
+            .with_cache(self.cache)
+            .with_seed(self.seed)
+    }
+
+    fn session(&self) -> Session {
+        Session::builder().parallel(!self.sequential).build()
+    }
 }
 
 fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
+}
+
+fn or_die<T>(result: Result<T, ApiError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    })
+}
+
+fn print_outcome(out: &Outcome, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(out).expect("serialise outcome"));
+        return;
+    }
+    println!("strategy {}  kernel {}  ({} ms)", out.strategy, out.kernel, out.wall_ms);
+    if let Some(perm) = &out.transform.permutation {
+        println!("loop order {perm:?}");
+    }
+    if let Some(pads) = &out.transform.pads {
+        println!("pad parameters (1-based GA values: inter-lines then intra-elems): {pads:?}");
+    }
+    if let Some(tiles) = &out.transform.tiles {
+        println!("tiles {tiles}");
+    }
+    println!(
+        "total miss ratio {} -> {}   replacement {} -> {}",
+        pct(out.before.miss_ratio()),
+        pct(out.after.miss_ratio()),
+        pct(out.before.replacement_ratio()),
+        pct(out.after.replacement_ratio())
+    );
+    if let Some(ga) = &out.ga {
+        println!(
+            "GA: {} generations, {} distinct evaluations (converged: {})",
+            ga.generations, ga.evaluations, ga.converged
+        );
+    }
+    if let Some(explored) = out.explored {
+        println!("explored {explored} candidates");
+    }
 }
 
 fn cmd_kernels() {
@@ -123,7 +255,7 @@ fn cmd_kernels() {
 }
 
 fn cmd_show(args: &Args) {
-    let nest = build_kernel(args);
+    let nest = or_die(args.nest_source().resolve());
     println!("{}", display::render(&nest));
     let layout = MemoryLayout::contiguous(&nest);
     println!(
@@ -139,19 +271,21 @@ fn cmd_show(args: &Args) {
 }
 
 fn cmd_analyze(args: &Args) {
-    let nest = build_kernel(args);
-    let layout = MemoryLayout::contiguous(&nest);
-    let model = CmeModel::new(args.cache);
-    let analysis = model.analyze(&nest, &layout, args.tiles.as_ref());
-    println!(
-        "cache {} B / {} B lines / {}-way; {} convex region(s)",
-        args.cache.size,
-        args.cache.line,
-        args.cache.assoc,
-        analysis.space.regions.len()
-    );
-    if args.exhaustive {
-        let rep = analysis.exhaustive();
+    let req = AnalyzeRequest {
+        nest: args.nest_source(),
+        cache: args.cache,
+        sampling: SamplingConfig::paper(),
+        seed: args.seed,
+        tiles: args.tiles.clone(),
+        exhaustive: args.exhaustive,
+    };
+    let out = or_die(args.session().analyze(&req));
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialise analysis"));
+        return;
+    }
+    println!("cache {} B / {} B lines / {}-way", out.cache.size, out.cache.line, out.cache.assoc);
+    if let Some(rep) = &out.exact {
         for (r, c) in rep.per_ref.iter().enumerate() {
             println!(
                 "ref {r}: accesses {:>10}  cold {:>9}  replacement {:>9}  hits {:>10}",
@@ -168,8 +302,8 @@ fn cmd_analyze(args: &Args) {
             pct(t.cold as f64 / t.points as f64),
             pct(t.replacement as f64 / t.points as f64),
         );
-    } else {
-        let est = analysis.estimate(&SamplingConfig::paper(), args.seed);
+    }
+    if let Some(est) = &out.estimate {
         println!(
             "sampled {} of {} points{}",
             est.n_samples,
@@ -187,104 +321,49 @@ fn cmd_analyze(args: &Args) {
 }
 
 fn cmd_tile(args: &Args) {
-    let nest = build_kernel(args);
-    let layout = MemoryLayout::contiguous(&nest);
-    let mut opt = TilingOptimizer::new(args.cache);
-    opt.ga = GaConfig { seed: args.seed, ..GaConfig::default() };
-    if args.interchange {
-        match optimize_with_interchange(&opt, &nest) {
-            Ok(out) => {
-                println!(
-                    "best order {:?} (of {} legal), tiles {}",
-                    out.permutation, out.explored, out.tiling.tiles
-                );
-                println!(
-                    "replacement ratio {} -> {}",
-                    pct(out.tiling.before.replacement_ratio()),
-                    pct(out.tiling.after.replacement_ratio())
-                );
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                exit(1)
-            }
-        }
-        return;
+    let modes = [args.baseline.is_some(), args.exhaustive, args.interchange];
+    if modes.iter().filter(|&&on| on).count() > 1 {
+        fail("--baseline, --exhaustive and --interchange are mutually exclusive");
     }
-    match opt.optimize(&nest, &layout) {
-        Ok(out) => {
-            println!(
-                "tiles {} after {} generations, {} distinct evaluations (converged: {})",
-                out.tiles, out.ga.generations, out.ga.evaluations, out.ga.converged
-            );
-            println!(
-                "total miss ratio {} -> {}   replacement {} -> {}",
-                pct(out.before.miss_ratio()),
-                pct(out.after.miss_ratio()),
-                pct(out.before.replacement_ratio()),
-                pct(out.after.replacement_ratio())
-            );
-            println!("\n{}", display::render_tiled(&nest, &out.tiles));
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1)
+    let strategy = if let Some(kind) = args.baseline {
+        StrategySpec::Baseline { kind }
+    } else if args.exhaustive {
+        StrategySpec::Exhaustive { step: args.step, max_evals: args.max_evals }
+    } else if args.interchange {
+        StrategySpec::Interchange
+    } else {
+        StrategySpec::Tiling
+    };
+    let out = or_die(args.session().run(&args.optimize_request(strategy)));
+    print_outcome(&out, args.json);
+    if !args.json {
+        if let (Some(tiles), None) = (&out.transform.tiles, &out.transform.permutation) {
+            let nest = or_die(args.nest_source().resolve());
+            println!("\n{}", display::render_tiled(&nest, tiles));
         }
     }
 }
 
 fn cmd_pad(args: &Args) {
-    let nest = build_kernel(args);
-    let mut opt = PaddingOptimizer::new(args.cache);
-    opt.ga = GaConfig { seed: args.seed, ..GaConfig::default() };
-    if args.joint {
-        match opt.optimize_joint(&nest) {
-            Ok((pads, tiles, est)) => {
-                println!(
-                    "joint search: pads {:?}, tiles {}, replacement ratio {}",
-                    pads,
-                    tiles,
-                    pct(est.replacement_ratio())
-                );
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                exit(1)
-            }
-        }
-        return;
-    }
-    let out = if args.tile_after {
-        opt.optimize_then_tile(&nest).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            exit(1)
-        })
+    let mode = if args.joint {
+        PaddingMode::Joint
+    } else if args.tile_after {
+        PaddingMode::PadThenTile
     } else {
-        opt.optimize(&nest)
+        PaddingMode::Pad
     };
-    println!(
-        "original replacement {}  ->  padded {}",
-        pct(out.original.replacement_ratio()),
-        pct(out.padded.replacement_ratio())
-    );
-    println!("pad parameters (1-based GA values: inter-lines then intra-elems): {:?}", out.values);
-    if let Some(t) = &out.tiled {
-        println!(
-            "after padding + tiling {}: replacement {}",
-            t.tiles,
-            pct(t.after.replacement_ratio())
-        );
-    }
+    let out = or_die(args.session().run(&args.optimize_request(StrategySpec::Padding { mode })));
+    print_outcome(&out, args.json);
 }
 
 fn cmd_simulate(args: &Args) {
-    let nest = build_kernel(args);
+    let nest = or_die(args.nest_source().resolve());
     let layout = MemoryLayout::contiguous(&nest);
-    let geo = CacheGeometry { size: args.cache.size, line: args.cache.line, assoc: args.cache.assoc };
+    let geo =
+        CacheGeometry { size: args.cache.size, line: args.cache.line, assoc: args.cache.assoc };
     let accesses = nest.accesses();
     if accesses > 2_000_000_000 {
-        eprintln!("refusing to simulate {accesses} accesses; pick a smaller N");
-        exit(1)
+        fail(format!("refusing to simulate {accesses} accesses; pick a smaller N"));
     }
     let rep = simulate_nest(&nest, &layout, args.tiles.as_ref(), geo);
     for (r, s) in rep.per_ref.iter().enumerate() {
@@ -305,6 +384,43 @@ fn cmd_simulate(args: &Args) {
     );
 }
 
+fn cmd_batch(args: &Args) {
+    let path = args.positional.get(1).unwrap_or_else(|| usage());
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| fail(e));
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+    };
+    let reqs: Vec<OptimizeRequest> =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+    let results = args.session().run_batch(&reqs);
+    if args.json {
+        let values: Vec<serde::Value> = results
+            .iter()
+            .map(|r| match r {
+                Ok(out) => serde_json::to_value(out),
+                Err(e) => serde::Value::Object(vec![("error".into(), serde_json::to_value(e))]),
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&values).expect("serialise batch"));
+    } else {
+        for (k, result) in results.iter().enumerate() {
+            println!("--- request {k} ---");
+            match result {
+                Ok(out) => print_outcome(out, false),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+    // Scripts chain on the exit code: any failed request fails the batch.
+    if results.iter().any(Result::is_err) {
+        exit(1)
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.positional.first().map(String::as_str) {
@@ -314,6 +430,7 @@ fn main() {
         Some("tile") => cmd_tile(&args),
         Some("pad") => cmd_pad(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("batch") => cmd_batch(&args),
         _ => usage(),
     }
 }

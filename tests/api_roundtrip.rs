@@ -1,0 +1,202 @@
+//! The unified API's contract, end to end:
+//!
+//! * every strategy family's `OptimizeRequest` round-trips losslessly
+//!   through JSON,
+//! * every strategy family produces one shared `Outcome` type that
+//!   round-trips losslessly through JSON,
+//! * `run_batch` is deterministic for fixed seeds and bit-identical to
+//!   running the same requests sequentially.
+
+use cme_suite::api::{
+    BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
+};
+use cme_suite::cme::CacheSpec;
+use cme_suite::loopnest::builder::{sub, NestBuilder};
+use cme_suite::loopnest::LoopNest;
+
+/// A small transpose that thrashes a 1 KB cache — tiling-friendly.
+fn t2d(n: i64) -> LoopNest {
+    let mut nb = NestBuilder::new(format!("t2d_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let j = nb.add_loop("j", 1, n);
+    let a = nb.array("a", &[n, n]);
+    let b = nb.array("b", &[n, n]);
+    nb.read(b, &[sub(i), sub(j)]);
+    nb.write(a, &[sub(j), sub(i)]);
+    nb.finish().unwrap()
+}
+
+/// Two exactly aliased arrays — padding-friendly.
+fn aliased(n: i64) -> LoopNest {
+    let mut nb = NestBuilder::new(format!("aliased_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let x = nb.array("x", &[n]);
+    let y = nb.array("y", &[n]);
+    nb.read(x, &[sub(i)]);
+    nb.read(y, &[sub(i)]);
+    nb.write(x, &[sub(i)]);
+    nb.finish().unwrap()
+}
+
+/// One small request per strategy family, mixing registry and inline
+/// nest sources.
+fn family_requests() -> Vec<OptimizeRequest> {
+    let cache = CacheSpec::direct_mapped(1024, 32);
+    vec![
+        OptimizeRequest::new(NestSource::Inline(t2d(32)), StrategySpec::Tiling)
+            .with_cache(cache)
+            .with_seed(21),
+        OptimizeRequest::new(
+            NestSource::Inline(aliased(256)),
+            StrategySpec::Padding { mode: PaddingMode::Pad },
+        )
+        .with_cache(cache)
+        .with_seed(22),
+        OptimizeRequest::new(
+            NestSource::Inline(aliased(128)),
+            StrategySpec::Padding { mode: PaddingMode::PadThenTile },
+        )
+        .with_cache(CacheSpec::direct_mapped(512, 32))
+        .with_seed(23),
+        OptimizeRequest::new(
+            NestSource::Inline(aliased(128)),
+            StrategySpec::Padding { mode: PaddingMode::Joint },
+        )
+        .with_cache(CacheSpec::direct_mapped(512, 32))
+        .with_seed(24),
+        OptimizeRequest::new(NestSource::kernel_sized("T2D", 24), StrategySpec::Interchange)
+            .with_cache(CacheSpec::direct_mapped(512, 32))
+            .with_seed(25),
+        OptimizeRequest::new(
+            NestSource::kernel_sized("T2D", 12),
+            StrategySpec::Exhaustive { step: 1, max_evals: 1000 },
+        )
+        .with_cache(CacheSpec::direct_mapped(256, 16))
+        .with_seed(26),
+        OptimizeRequest::new(
+            NestSource::kernel_sized("MM", 48),
+            StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+        )
+        .with_cache(cache)
+        .with_seed(27),
+        OptimizeRequest::new(
+            NestSource::kernel_sized("MM", 48),
+            StrategySpec::Baseline { kind: BaselineKind::Tss },
+        )
+        .with_cache(cache)
+        .with_seed(28),
+        OptimizeRequest::new(
+            NestSource::kernel_sized("MM", 48),
+            StrategySpec::Baseline { kind: BaselineKind::FixedFraction { fraction: 0.5 } },
+        )
+        .with_cache(cache)
+        .with_seed(29),
+    ]
+}
+
+#[test]
+fn every_request_round_trips_through_json() {
+    for req in family_requests() {
+        let json = serde_json::to_string(&req).expect("serialise request");
+        let back: OptimizeRequest = serde_json::from_str(&json).expect("parse request");
+        assert_eq!(req, back, "request must round-trip losslessly:\n{json}");
+        // And the round-trip is a fixed point of serialisation.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}
+
+#[test]
+fn every_strategy_outcome_round_trips_through_json() {
+    let session = Session::default();
+    for req in family_requests() {
+        let out = session
+            .run(&req)
+            .unwrap_or_else(|e| panic!("strategy {} must succeed: {e}", req.strategy.name()));
+        assert_eq!(out.strategy, req.strategy.name());
+        let json = serde_json::to_string(&out).expect("serialise outcome");
+        let back: Outcome = serde_json::from_str(&json).expect("parse outcome");
+        assert_eq!(
+            json,
+            serde_json::to_string(&back).unwrap(),
+            "outcome of {} must survive JSON",
+            out.strategy
+        );
+        // Unified shape: every family reports both estimates, and search
+        // families that transform the program say how.
+        assert!(out.before.n_samples > 0);
+        assert!(out.after.n_samples > 0);
+        assert!(
+            !out.transform.is_identity() || out.after.replacement_ratio() <= 1.0,
+            "transform may be identity only with a valid estimate"
+        );
+    }
+}
+
+#[test]
+fn run_batch_is_deterministic_and_equals_sequential() {
+    let reqs = family_requests();
+    let parallel = Session::builder().parallel(true).build();
+    let sequential = Session::builder().parallel(false).build();
+
+    let canon = |results: &[Result<Outcome, cme_suite::api::ApiError>]| -> Vec<String> {
+        results
+            .iter()
+            .map(|r| match r {
+                Ok(out) => serde_json::to_string(&out.without_timing()).unwrap(),
+                Err(e) => format!("error: {e}"),
+            })
+            .collect()
+    };
+
+    let a = canon(&parallel.run_batch(&reqs));
+    let b = canon(&parallel.run_batch(&reqs));
+    assert_eq!(a, b, "parallel batches must be bit-deterministic");
+
+    let c = canon(&sequential.run_batch(&reqs));
+    assert_eq!(a, c, "parallel and sequential batches must agree");
+
+    let d: Vec<String> = canon(&reqs.iter().map(|r| sequential.run(r)).collect::<Vec<_>>());
+    assert_eq!(a, d, "batch must equal one-at-a-time runs");
+}
+
+#[test]
+fn before_estimate_is_identical_across_strategy_families() {
+    // One nest, one cache, one seed — the untransformed baseline every
+    // strategy reports must be the same estimate, or replacement_gain()
+    // is not comparable across strategies.
+    let session = Session::default();
+    let mk = |strategy: StrategySpec| {
+        OptimizeRequest::new(NestSource::Inline(t2d(24)), strategy)
+            .with_cache(CacheSpec::direct_mapped(512, 32))
+            .with_seed(77)
+    };
+    let strategies = vec![
+        StrategySpec::Tiling,
+        StrategySpec::Padding { mode: PaddingMode::Pad },
+        StrategySpec::Padding { mode: PaddingMode::Joint },
+        StrategySpec::Interchange,
+        StrategySpec::Exhaustive { step: 4, max_evals: 100 },
+        StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+    ];
+    let befores: Vec<String> = strategies
+        .into_iter()
+        .map(|s| {
+            let out = session.run(&mk(s)).unwrap();
+            serde_json::to_string(&out.before).unwrap()
+        })
+        .collect();
+    for pair in befores.windows(2) {
+        assert_eq!(pair[0], pair[1], "baseline estimates must match across strategies");
+    }
+}
+
+#[test]
+fn batch_reports_per_request_errors_in_order() {
+    let good = OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::Tiling)
+        .with_cache(CacheSpec::direct_mapped(256, 16));
+    let bad = OptimizeRequest::new(NestSource::kernel("NOPE"), StrategySpec::Tiling);
+    let results = Session::default().run_batch(&[bad.clone(), good.clone(), bad]);
+    assert!(results[0].is_err());
+    assert!(results[1].is_ok());
+    assert!(results[2].is_err());
+}

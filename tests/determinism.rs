@@ -14,8 +14,10 @@ fn estimates_are_deterministic() {
     let layout = MemoryLayout::contiguous(&nest);
     let model = CmeModel::new(CacheSpec::paper_8k());
     for tiles in [None, Some(TileSizes(vec![40, 20, 10]))] {
-        let a = model.analyze(&nest, &layout, tiles.as_ref()).estimate(&SamplingConfig::paper(), 77);
-        let b = model.analyze(&nest, &layout, tiles.as_ref()).estimate(&SamplingConfig::paper(), 77);
+        let a =
+            model.analyze(&nest, &layout, tiles.as_ref()).estimate(&SamplingConfig::paper(), 77);
+        let b =
+            model.analyze(&nest, &layout, tiles.as_ref()).estimate(&SamplingConfig::paper(), 77);
         assert_eq!(serde_json_eq(&a), serde_json_eq(&b), "estimate must be reproducible");
     }
 }

@@ -16,8 +16,14 @@ fn tiling_removes_capacity_misses() {
     // Note: T2D at N=200 is a threshold case — one sweep's working set
     // (≈225 lines) just fits the 256-line cache, so the untiled kernel
     // barely misses; N=100 thrashes (Fig. 8).
-    let cases: Vec<(&str, i64)> =
-        vec![("T2D", 100), ("T3DJIK", 48), ("MATMUL", 100), ("MM", 100), ("DPSSB", 32), ("DRADFG1", 32)];
+    let cases: Vec<(&str, i64)> = vec![
+        ("T2D", 100),
+        ("T3DJIK", 48),
+        ("MATMUL", 100),
+        ("MM", 100),
+        ("DPSSB", 32),
+        ("DRADFG1", 32),
+    ];
     for (name, n) in cases {
         let spec = cme_suite::kernels::kernel_by_name(name).unwrap();
         let nest = (spec.build)(n);
@@ -25,8 +31,14 @@ fn tiling_removes_capacity_misses() {
         let out = TilingOptimizer::new(cache).optimize(&nest, &layout).expect("legal");
         let before = out.before.replacement_ratio();
         let after = out.after.replacement_ratio();
-        assert!(before > 0.10, "{name}_{n}: expected capacity misses before tiling, got {before:.3}");
-        assert!(after < 0.05, "{name}_{n}: replacement ratio after tiling must be <5%, got {after:.3}");
+        assert!(
+            before > 0.10,
+            "{name}_{n}: expected capacity misses before tiling, got {before:.3}"
+        );
+        assert!(
+            after < 0.05,
+            "{name}_{n}: replacement ratio after tiling must be <5%, got {after:.3}"
+        );
     }
 }
 

@@ -12,7 +12,12 @@ use cme_suite::loopnest::{MemoryLayout, TileSizes};
 use cme_suite::tileopt::{PaddingOptimizer, TilingOptimizer};
 
 /// Simulated replacement ratio of a (possibly tiled) schedule.
-fn sim_repl(nest: &cme_suite::loopnest::LoopNest, layout: &MemoryLayout, tiles: Option<&TileSizes>, geo: CacheGeometry) -> f64 {
+fn sim_repl(
+    nest: &cme_suite::loopnest::LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+    geo: CacheGeometry,
+) -> f64 {
     simulate_nest(nest, layout, tiles, geo).replacement_ratio()
 }
 
@@ -26,7 +31,10 @@ fn ga_tiling_verified_by_simulator_t2d() {
     let before = sim_repl(&nest, &layout, None, geo);
     let after = sim_repl(&nest, &layout, Some(&out.tiles), geo);
     assert!(before > 0.30, "untiled T2D_128 must thrash ({before})");
-    assert!(after < 0.05, "GA tiling must remove replacement misses in the real schedule ({after})");
+    assert!(
+        after < 0.05,
+        "GA tiling must remove replacement misses in the real schedule ({after})"
+    );
     // The model's estimate of the tiled schedule must be accurate.
     assert!(
         (out.after.replacement_ratio() - after).abs() < 0.05,
@@ -47,7 +55,10 @@ fn ga_tiling_verified_by_simulator_mm() {
     let before = sim_repl(&nest, &layout, None, geo);
     let after = sim_repl(&nest, &layout, Some(&out.tiles), geo);
     assert!(before > 0.10, "untiled MM_96 has capacity misses ({before})");
-    assert!(after < before / 2.0, "tiling must at least halve replacement misses ({before} -> {after})");
+    assert!(
+        after < before / 2.0,
+        "tiling must at least halve replacement misses ({before} -> {after})"
+    );
 }
 
 #[test]
@@ -87,9 +98,8 @@ fn estimates_track_simulator_across_tilings() {
         Some(TileSizes(vec![24, 4, 2])),
         Some(TileSizes(vec![5, 24, 3])),
     ] {
-        let est = model
-            .analyze(&nest, &layout, tiles.as_ref())
-            .estimate(&SamplingConfig::paper(), 3);
+        let est =
+            model.analyze(&nest, &layout, tiles.as_ref()).estimate(&SamplingConfig::paper(), 3);
         let sim = sim_repl(&nest, &layout, tiles.as_ref(), geo);
         assert!(
             (est.replacement_ratio() - sim).abs() <= 0.06,

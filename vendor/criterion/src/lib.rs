@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion`: the same bench-definition surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, throughput annotation) with a simple
+//! warmup-then-median timer instead of criterion's statistical engine.
+//! `cargo bench` prints one line per benchmark; no reports are written.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside the timing when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Time `f`, warming up once, then collecting a handful of samples.
+    pub fn iter<U, F: FnMut() -> U>(&mut self, mut f: F) {
+        black_box(f()); // warmup + forces compilation of the path
+                        // Aim for samples of at least ~10 ms so cheap bodies are timed in
+                        // batches rather than per-call.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 10_000);
+        self.iters_per_sample = per_sample as u32;
+        for _ in 0..self.samples.capacity() {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut ns: Vec<u128> =
+            self.samples.iter().map(|d| d.as_nanos() / self.iters_per_sample as u128).collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            return 0.0;
+        }
+        ns[ns.len() / 2] as f64
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::with_capacity(7), iters_per_sample: 1 };
+    f(&mut b);
+    let ns = b.median_ns();
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.1} MB/s)", n as f64 / ns * 1_000.0)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {:>12}/iter{extra}", human(ns));
+}
+
+/// Entry point collected by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.to_string(), throughput: None, _c: std::marker::PhantomData }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    throughput: Option<Throughput>,
+    _c: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.prefix), self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for `rayon`: genuinely parallel `par_iter` /
+//! `into_par_iter` / `par_chunks` with `map`, `collect` and `reduce`,
+//! built on scoped OS threads and an atomic work counter.
+//!
+//! Semantics the workspace relies on and this implementation guarantees:
+//!
+//! * **Determinism** — `collect` preserves input order, and `reduce` folds
+//!   mapped results in input order, so outcomes are identical to a
+//!   sequential run regardless of thread count or scheduling (stronger
+//!   than rayon's own guarantee, which requires an associative operator).
+//! * **Eagerness** — the mapped results are materialised once; there is no
+//!   work-stealing or laziness. Fine for this workspace, whose parallel
+//!   regions are coarse-grained objective evaluations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Run `f` over `0..len` on as many threads as the host offers, gathering
+/// results back in index order.
+fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(len: usize, f: F) -> Vec<U> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                gathered.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = gathered.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `vec.into_par_iter()` — parallel iteration over owned items.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// `slice.par_iter()` / `vec.par_iter()` — parallel iteration by reference.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// `slice.par_chunks(n)` — parallel iteration over sub-slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        ParChunks { items: self, chunk_size }
+    }
+}
+
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<T: Send + Sync> ParVec<T> {
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMapped<U> {
+        let slots: Vec<Mutex<Option<T>>> =
+            self.items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results = par_map_indexed(slots.len(), |i| {
+            let item = slots[i].lock().unwrap().take().expect("item taken once");
+            f(item)
+        });
+        ParMapped { results }
+    }
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    pub fn map<U: Send, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMapped<U> {
+        let items = self.items;
+        ParMapped { results: par_map_indexed(items.len(), |i| f(&items[i])) }
+    }
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn map<U: Send, F: Fn(&'a [T]) -> U + Sync>(self, f: F) -> ParMapped<U> {
+        let items = self.items;
+        let size = self.chunk_size;
+        let n_chunks = items.len().div_ceil(size).max(1);
+        ParMapped {
+            results: par_map_indexed(if items.is_empty() { 0 } else { n_chunks }, |i| {
+                f(&items[i * size..((i + 1) * size).min(items.len())])
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Eagerly-evaluated mapped results; sinks below consume them in order.
+pub struct ParMapped<U> {
+    results: Vec<U>,
+}
+
+impl<U: Send> ParMapped<U> {
+    pub fn collect<C: FromParMapped<U>>(self) -> C {
+        C::from_par_mapped(self.results)
+    }
+
+    /// Fold in input order starting from `identity()` — deterministic for
+    /// any operator, associative or not.
+    pub fn reduce<Id: Fn() -> U, Op: Fn(U, U) -> U>(self, identity: Id, op: Op) -> U {
+        self.results.into_iter().fold(identity(), op)
+    }
+}
+
+pub trait FromParMapped<U> {
+    fn from_par_mapped(results: Vec<U>) -> Self;
+}
+
+impl<U> FromParMapped<U> for Vec<U> {
+    fn from_par_mapped(results: Vec<U>) -> Self {
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let input: Vec<i64> = (0..1000).collect();
+        let doubled: Vec<i64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes_owned_items() {
+        let input: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[10], 3);
+        assert_eq!(lens.len(), 64);
+    }
+
+    #[test]
+    fn par_chunks_reduce_matches_sequential() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let total = data.par_chunks(37).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<i64> = Vec::new();
+        let out: Vec<i64> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly on the compiler's `proc_macro` token stream (no
+//! `syn`/`quote` available without a registry).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * structs with named fields (any visibility),
+//! * tuple structs (a 1-field newtype serialises transparently as its
+//!   inner value, matching serde; wider tuples as arrays),
+//! * enums with unit variants (serialised as the variant-name string),
+//!   newtype variants (`{"Variant": value}`) and struct variants
+//!   (`{"Variant": {fields...}}`) — serde's externally-tagged default.
+//!
+//! Generic parameters are intentionally rejected with a clear error: no
+//! derived type in this workspace is generic, and silent wrong code would
+//! be worse than a loud unsupported-shape panic at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` shape.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Named { name: String, fields: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Object(::std::vec![{}])\
+                   }}\
+                 }}",
+                pairs.join(",")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\
+               fn to_value(&self) -> ::serde::Value {{\
+                 ::serde::Serialize::to_value(&self.0)\
+               }}\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Value::Array(::std::vec![{}])\
+                   }}\
+                 }}",
+                items.join(",")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Variant::Newtype(v) => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                           (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(inner))]),"
+                    ),
+                    Variant::Named { name: v, fields } => {
+                        let binds = fields.join(",");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{v}\"), \
+                                ::serde::Value::Object(::std::vec![{}]))]),",
+                            pairs.join(",")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     match self {{ {} }}\
+                   }}\
+                 }}",
+                arms.join("")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                           ::serde::get_field(obj, \"{f}\")\
+                             .ok_or_else(|| ::serde::DeError::missing(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\", v))?;\
+                     ::std::result::Result::Ok({name} {{ {} }})\
+                   }}\
+                 }}",
+                inits.join(",")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+               fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\
+               }}\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", v))?;\
+                     if items.len() != {arity} {{\
+                       return ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"expected {arity} items for {name}, got {{}}\", items.len())));\
+                     }}\
+                     ::std::result::Result::Ok({name}({}))\
+                   }}\
+                 }}",
+                items.join(",")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => {
+                        Some(format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                           ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Variant::Named { name: v, fields } => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                       ::serde::get_field(vf, \"{f}\")\
+                                         .ok_or_else(|| ::serde::DeError::missing(\"{name}::{v}\", \"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\
+                               let vf = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object for {name}::{v}\", inner))?;\
+                               ::std::result::Result::Ok({name}::{v} {{ {} }})\
+                             }},",
+                            inits.join(",")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     match v {{\
+                       ::serde::Value::Str(tag) => match tag.as_str() {{\
+                         {}\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                           format!(\"unknown variant `{{other}}` for {name}\"))),\
+                       }},\
+                       ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                         let (tag, inner) = &fields[0];\
+                         match tag.as_str() {{\
+                           {}\
+                           other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\
+                         }}\
+                       }},\
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", other)),\
+                     }}\
+                   }}\
+                 }}",
+                unit_arms.join(""),
+                tagged_arms.join("")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            _ => panic!("serde_derive: unit struct `{name}` is not supported"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the following `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token stream on commas that sit outside `<...>` nesting.
+/// Delimited groups (parens, brackets, braces) are single trees, so only
+/// angle brackets need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body: in each comma-separated chunk, the
+/// name is the last ident before the top-level `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut name = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) if id.to_string() != "pub" => {
+                        name = Some(id.to_string());
+                    }
+                    _ => {}
+                }
+            }
+            name.unwrap_or_else(|| panic!("serde_derive: could not find field name"))
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).into_iter().filter(|chunk| !chunk.is_empty()).count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found `{other}`"),
+            };
+            match chunk.get(i + 1) {
+                None => Variant::Unit(name),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = count_tuple_fields(g.stream());
+                    if arity != 1 {
+                        panic!("serde_derive (vendored): {arity}-field tuple variant `{name}` is not supported");
+                    }
+                    Variant::Newtype(name)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Variant::Named {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                },
+                Some(other) => {
+                    panic!("serde_derive: unsupported tokens after variant `{name}`: `{other}`")
+                }
+            }
+        })
+        .collect()
+}
