@@ -131,6 +131,20 @@ mod tests {
     }
 
     #[test]
+    fn without_timing_is_the_canonical_comparison_form() {
+        // Two runs of one deterministic request may legitimately differ
+        // only in `wall_ms`; structural equality is therefore defined on
+        // the timing-stripped form (this is also what the service-layer
+        // outcome cache stores and compares).
+        let out = Session::default().run(&tiny_request(StrategySpec::Tiling)).unwrap();
+        let mut rerun = out.clone();
+        rerun.wall_ms = out.wall_ms + 5;
+        assert_ne!(out, rerun, "raw outcomes embed wall-clock time");
+        assert_eq!(out.without_timing(), rerun.without_timing());
+        assert_eq!(out.without_timing().wall_ms, 0);
+    }
+
+    #[test]
     fn strategy_names_are_stable() {
         // These identifiers appear in serialised outcomes; changing them
         // is a wire-format break.

@@ -33,7 +33,12 @@ impl Transform {
 
 /// What a [`crate::SearchStrategy`] produced: the chosen transform, the
 /// CME estimates on both sides of it, and the search telemetry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field *including* `wall_ms`; two outcomes
+/// of the same deterministic request differ only there, so compare
+/// [`Self::without_timing`] forms (tests and caches must never compare
+/// raw outcomes, or they inherit wall-clock flakiness).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Outcome {
     /// Strategy identifier (see [`crate::StrategySpec::name`]).
     pub strategy: String,
@@ -69,7 +74,8 @@ impl Outcome {
 }
 
 /// Result of an [`crate::AnalyzeRequest`]: no search, just the model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// As with [`Outcome`], compare [`Self::without_timing`] forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalyzeOutcome {
     pub kernel: String,
     pub cache: CacheSpec,

@@ -1,0 +1,131 @@
+//! Service throughput: requests/second through a real `cme serve`
+//! loopback server, cold (every request unique — the GA runs) versus
+//! cache-hot (the same canonical request repeated — the sharded LRU
+//! answers). Writes `BENCH_serve.json` so the cold/hot ratio is tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release -p cme-bench --bin serve_throughput
+//! ```
+
+use cme_api::{NestSource, OptimizeRequest, StrategySpec};
+use cme_serve::{HttpClient, ServeConfig};
+use std::time::{Duration, Instant};
+
+const COLD_REQUESTS: usize = 16;
+const HOT_REQUESTS: usize = 2_000;
+const CLIENTS: usize = 4;
+
+/// A mid-weight tiling search: enough GA work that memoisation matters,
+/// small enough that the cold phase stays in seconds.
+fn request(seed: u64) -> String {
+    let req = OptimizeRequest::new(NestSource::kernel_sized("T2D", 64), StrategySpec::Tiling)
+        .with_seed(seed);
+    serde_json::to_string(&req).expect("requests serialise")
+}
+
+struct Phase {
+    label: &'static str,
+    requests: usize,
+    wall: Duration,
+}
+
+impl Phase {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64()
+    }
+
+    fn mean_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3 / self.requests as f64
+    }
+
+    fn json(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("requests".into(), serde::Value::UInt(self.requests as u64)),
+            ("wall_ms".into(), serde::Value::Float(self.wall.as_secs_f64() * 1e3)),
+            ("requests_per_sec".into(), serde::Value::Float(self.rps())),
+            ("mean_ms".into(), serde::Value::Float(self.mean_ms())),
+        ])
+    }
+}
+
+/// Fire `bodies` at the server round-robin over `CLIENTS` keep-alive
+/// connections on worker threads; every response must be a 200.
+fn run_phase(label: &'static str, addr: std::net::SocketAddr, bodies: &[String]) -> Phase {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for body in bodies.iter().skip(chunk).step_by(CLIENTS) {
+                    let (status, resp) = client.post("/optimize", body).expect("optimize");
+                    assert_eq!(status, 200, "{resp}");
+                }
+            });
+        }
+    });
+    Phase { label, requests: bodies.len(), wall: started.elapsed() }
+}
+
+fn main() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: CLIENTS,
+        queue_depth: 64,
+        cache_entries: 1024,
+        ..ServeConfig::default()
+    };
+    let handle = cme_serve::start(&config).expect("bind ephemeral port");
+    let addr = handle.addr();
+    println!("serve_throughput against http://{addr}  ({CLIENTS} workers / {CLIENTS} clients)\n");
+
+    // Cold: every request has a distinct seed, so every canonical key is
+    // new and the GA runs each time.
+    let cold_bodies: Vec<String> = (0..COLD_REQUESTS as u64).map(|s| request(1_000 + s)).collect();
+    let cold = run_phase("cold", addr, &cold_bodies);
+    println!(
+        "cold : {:>5} requests in {:>8.1} ms  → {:>9.1} req/s  ({:.2} ms/request)",
+        cold.requests,
+        cold.wall.as_secs_f64() * 1e3,
+        cold.rps(),
+        cold.mean_ms()
+    );
+
+    // Hot: one canonical request repeated. Its seed is one of the cold
+    // phase's, so the entry is already warm and every hot request is a
+    // cache hit.
+    let hot_bodies: Vec<String> = (0..HOT_REQUESTS).map(|_| request(1_000)).collect();
+    let hot = run_phase("hot", addr, &hot_bodies);
+    println!(
+        "hot  : {:>5} requests in {:>8.1} ms  → {:>9.1} req/s  ({:.3} ms/request)",
+        hot.requests,
+        hot.wall.as_secs_f64() * 1e3,
+        hot.rps(),
+        hot.mean_ms()
+    );
+
+    let speedup = hot.rps() / cold.rps();
+    println!("\ncache-hot speedup: {speedup:.0}× requests/sec");
+
+    // Confirm the hot phase really hit the cache before reporting it.
+    let app = handle.app();
+    let hits = app.cache.hits();
+    assert!(hits >= HOT_REQUESTS as u64, "hot phase must be cache-served (hits = {hits})");
+
+    let doc = serde::Value::Object(vec![
+        ("bench".into(), serde::Value::Str("serve_throughput".into())),
+        ("kernel".into(), serde::Value::Str("T2D_64 tiling GA".into())),
+        ("workers".into(), serde::Value::UInt(CLIENTS as u64)),
+        ("clients".into(), serde::Value::UInt(CLIENTS as u64)),
+        (cold.label.into(), cold.json()),
+        (hot.label.into(), hot.json()),
+        ("hot_over_cold_rps".into(), serde::Value::Float(speedup)),
+        ("cache_hits".into(), serde::Value::UInt(hits)),
+        ("cache_misses".into(), serde::Value::UInt(app.cache.misses())),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serialises");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    handle.shutdown_and_join();
+}

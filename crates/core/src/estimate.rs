@@ -51,7 +51,7 @@ pub struct SolverStats {
 }
 
 /// Result of an exhaustive (every-point) analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MissReport {
     pub per_ref: Vec<Counts>,
     pub solver: SolverStats,
@@ -86,7 +86,7 @@ impl MissReport {
 }
 
 /// Per-reference sampled estimate.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RefEstimate {
     /// Estimated probability that an access of this reference is a cold
     /// miss / replacement miss.
@@ -97,7 +97,7 @@ pub struct RefEstimate {
 }
 
 /// Result of a sampled analysis (paper §2.3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MissEstimate {
     /// Points sampled (equals the space volume when `exact`).
     pub n_samples: u64,

@@ -1,0 +1,109 @@
+//! A minimal blocking HTTP/1.1 client, just enough to exercise the
+//! server: used by the loopback integration tests, the throughput
+//! benchmark, and as the library-grade sibling of the raw-bytes demo in
+//! `examples/http_client.rs`. One client holds one keep-alive connection;
+//! `send` calls on it are sequential requests on that connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+impl HttpClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// One request/response exchange; returns `(status, body)`.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: cme-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.send("GET", path, None)
+    }
+
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.send("POST", path, Some(body))
+    }
+}
+
+/// Read one `HTTP/1.x` response with a `Content-Length` body.
+pub fn read_response<R: BufRead>(reader: &mut R) -> std::io::Result<(u16, String)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(invalid("connection closed before a response"));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("bad status line `{}`", line.trim_end())))?;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(invalid("connection closed inside response headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid(format!("bad Content-Length `{value}`")))?;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map(|b| (status, b)).map_err(|_| invalid("non-UTF-8 response body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_a_response_off_a_buffer() {
+        let raw: &[u8] =
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 14\r\nConnection: close\r\n\r\n{\"error\":\"x\"}!";
+        let (status, body) = read_response(&mut BufReader::new(raw)).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"error\":\"x\"}!");
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        let raw: &[u8] = b"garbage\r\n\r\n";
+        assert!(read_response(&mut BufReader::new(raw)).is_err());
+    }
+}

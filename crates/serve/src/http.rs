@@ -1,0 +1,348 @@
+//! HTTP/1.1 framing over any `BufRead`/`Write` pair — no sockets in this
+//! module, so the parser and writer are unit-testable on byte buffers.
+//!
+//! Supports exactly what the service needs: request line + headers +
+//! `Content-Length` bodies (transfer encodings are rejected), hard caps
+//! on header and body size, and HTTP/1.0 / 1.1 keep-alive semantics.
+
+use std::io::{BufRead, Write};
+
+/// Total bytes allowed for the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path as sent; no route uses query strings, so they are not split.
+    pub path: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header pairs; names are lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Look up a header by (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(c) if c.contains("close") => false,
+            Some(c) if c.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum HttpParseError {
+    /// Clean EOF before the first byte of a request: the peer ended a
+    /// keep-alive connection. Not an error to report.
+    ConnectionClosed,
+    /// Read failure (including read timeouts) mid-stream.
+    Io(std::io::Error),
+    /// Structurally invalid request — the response is a 400.
+    Malformed(String),
+    /// Declared body above the configured cap — the response is a 413.
+    /// The body is *not* read, so a hostile `Content-Length` cannot make
+    /// the server buffer it.
+    BodyTooLarge { declared: usize, cap: usize },
+}
+
+/// Read one line (CRLF- or LF-terminated), charging its bytes against the
+/// shared head budget. The read itself goes through a `Take` of the
+/// remaining budget, so a newline-free flood can never buffer more than
+/// `MAX_HEAD_BYTES` — the cap bounds memory, not just parsed size.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    head_bytes: &mut usize,
+    first: bool,
+) -> Result<String, HttpParseError> {
+    let mut buf = Vec::new();
+    let budget = (MAX_HEAD_BYTES + 1 - *head_bytes) as u64;
+    let mut limited = std::io::Read::take(&mut *reader, budget);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => {
+            return Err(if first {
+                HttpParseError::ConnectionClosed
+            } else {
+                HttpParseError::Malformed("unexpected EOF inside request head".into())
+            });
+        }
+        Ok(_) => {}
+        Err(e) => return Err(HttpParseError::Io(e)),
+    }
+    *head_bytes += buf.len();
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpParseError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpParseError::Malformed("non-UTF-8 request head".into()))
+}
+
+/// Parse one request from the stream. Blocks until a full request (or an
+/// error) is available; `max_body` caps the accepted `Content-Length`.
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<HttpRequest, HttpParseError> {
+    let mut head_bytes = 0usize;
+    let request_line = read_line(reader, &mut head_bytes, true)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpParseError::Malformed(format!("bad request line `{request_line}`")));
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpParseError::Malformed(format!("unsupported version `{other}`")));
+        }
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head_bytes, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpParseError::Malformed(format!("header without `:`: `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpParseError::Malformed(
+            "transfer encodings are not supported; send a Content-Length body".into(),
+        ));
+    }
+    let declared = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpParseError::Malformed(format!("bad Content-Length `{v}`")))?,
+    };
+    if declared > max_body {
+        return Err(HttpParseError::BodyTooLarge { declared, cap: max_body });
+    }
+    let mut body = vec![0u8; declared];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpParseError::Malformed("body shorter than Content-Length".into())
+        } else {
+            HttpParseError::Io(e)
+        }
+    })?;
+    Ok(HttpRequest { body, ..req })
+}
+
+/// A response ready for the wire. Every route answers JSON, so the
+/// content type is fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse { status, body: body.into() }
+    }
+
+    /// An error body: `{"error": <JSON-escaped message>}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let escaped = serde_json::to_string(&message).expect("strings always serialise");
+        HttpResponse { status, body: format!("{{\"error\":{escaped}}}") }
+    }
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise a response, with the `Connection` header reflecting whether
+/// the server will keep the stream open.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    resp: &HttpResponse,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        status_reason(resp.status),
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(resp.body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<HttpRequest, HttpParseError> {
+        parse_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_case_insensitive_headers() {
+        let req = parse(b"POST /optimize HTTP/1.1\r\ncontent-LENGTH: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let k = |raw: &[u8]| parse(raw).unwrap().keep_alive();
+        assert!(k(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!k(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(!k(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(k(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_from_one_stream() {
+        let raw: &[u8] = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let a = parse_request(&mut reader, 1024).unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", b"hi".as_slice()));
+        let b = parse_request(&mut reader, 1024).unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(matches!(parse_request(&mut reader, 1024), Err(HttpParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        assert!(matches!(
+            parse(b"NOT A VALID REQUEST LINE\r\n\r\n"),
+            Err(HttpParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(b"GET /\r\n\r\n"), Err(HttpParseError::Malformed(_))));
+        assert!(matches!(parse(b"GET / HTTP/2\r\n\r\n"), Err(HttpParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_body_is_refused_without_reading_it() {
+        // Declared 9999 > cap 1024, and the body bytes are absent — the
+        // parser must refuse on the declaration alone.
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        match err {
+            HttpParseError::BodyTooLarge { declared, cap } => {
+                assert_eq!((declared, cap), (9999, 1024));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_and_bad_length_are_malformed() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(
+            std::iter::repeat_n(b"X-Filler: aaaaaaaaaaaaaaaaaaaa\r\n".as_slice(), 600).flatten(),
+        );
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(HttpParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn newline_free_flood_is_rejected_without_buffering_it() {
+        // A request line with no terminator must fail at the head cap,
+        // not accumulate the peer's entire stream in memory. The reader
+        // below would hand out 1 GiB if asked; the parser must stop at
+        // MAX_HEAD_BYTES + 1 bytes consumed.
+        struct Flood {
+            served: usize,
+        }
+        impl std::io::Read for Flood {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(1 << 30);
+                buf[..n].fill(b'a');
+                self.served += n;
+                Ok(n)
+            }
+        }
+        let mut reader = BufReader::new(Flood { served: 0 });
+        assert!(matches!(parse_request(&mut reader, 1024), Err(HttpParseError::Malformed(_))));
+        assert!(
+            reader.get_ref().served <= MAX_HEAD_BYTES + 8 * 1024 + 1,
+            "parser consumed {} bytes — the head cap did not bound the read",
+            reader.get_ref().served
+        );
+    }
+
+    #[test]
+    fn response_wire_format_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, &HttpResponse::json(200, "{\"ok\":true}"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &HttpResponse::error(503, "queue full"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

@@ -1,0 +1,81 @@
+//! `cme-serve` — the network service layer over [`cme_api`]: a
+//! dependency-free HTTP/1.1 JSON server on `std::net` that turns the
+//! PR-1 `Session` seam into `POST /optimize`, `POST /analyze`,
+//! `POST /batch`, `GET /healthz`, `GET /metrics` and `POST /shutdown`.
+//!
+//! The design goals, in order:
+//!
+//! * **Bounded everything.** A fixed worker pool drains a fixed-capacity
+//!   connection queue; when the queue is full the accept thread answers
+//!   `503` immediately ([`pool`]). Arrival rate can never grow memory.
+//! * **Memoised outcomes.** CME analysis + GA search dominates request
+//!   cost and every search is deterministic for a fixed request, so a
+//!   sharded LRU keyed by the *canonical* serialised request answers
+//!   repeats without running anything ([`cache`]). Hits and evictions are
+//!   visible in `GET /metrics` ([`metrics`]).
+//! * **Layers testable without sockets.** HTTP framing ([`http`]),
+//!   routing ([`router`]), the queue/pool and the cache are all plain
+//!   data-in/data-out modules; only [`server`] owns a `TcpListener`.
+//!
+//! ```
+//! use cme_serve::{HttpClient, ServeConfig};
+//!
+//! let config = ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() };
+//! let handle = cme_serve::start(&config).unwrap();
+//!
+//! let mut client = HttpClient::connect(handle.addr()).unwrap();
+//! let (status, body) = client.get("/healthz").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"status\":\"ok\""));
+//!
+//! handle.shutdown_and_join();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use cache::{canonical_key, OutcomeCache};
+pub use client::HttpClient;
+pub use http::{HttpRequest, HttpResponse};
+pub use metrics::Metrics;
+pub use pool::{BoundedQueue, WorkerPool};
+pub use router::App;
+pub use server::{install_signal_handlers, start, ServerHandle};
+
+use std::time::Duration;
+
+/// Server configuration; the defaults suit an interactive `cme serve`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads handling connections (≥ 1).
+    pub workers: usize,
+    /// Connections that may wait for a worker before `503`s begin (≥ 1).
+    pub queue_depth: usize,
+    /// Outcome-cache capacity in entries; 0 disables caching.
+    pub cache_entries: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout, so an idle or stalled peer cannot
+    /// hold a worker forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            cache_entries: 1024,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Service telemetry: atomic counters and fixed-bucket latency
+//! histograms, rendered as the `/metrics` JSON document. Everything here
+//! is lock-free on the hot path — handlers only touch atomics.
+
+use crate::cache::OutcomeCache;
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bucket bounds in microseconds; one overflow bucket follows.
+pub const LATENCY_BOUNDS_US: [u64; 10] =
+    [100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000];
+
+/// A fixed-bucket latency histogram (cumulative-free: each bucket counts
+/// samples at or under its bound that exceeded the previous bound).
+pub struct Histogram {
+    counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn record_us(&self, us: u64) {
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    pub fn snapshot(&self) -> Value {
+        Value::Object(vec![
+            (
+                "bounds_us".into(),
+                Value::Array(LATENCY_BOUNDS_US.iter().map(|&b| Value::UInt(b)).collect()),
+            ),
+            (
+                "counts".into(),
+                Value::Array(
+                    self.counts.iter().map(|c| Value::UInt(c.load(Ordering::Relaxed))).collect(),
+                ),
+            ),
+            ("count".into(), Value::UInt(self.count())),
+            ("sum_us".into(), Value::UInt(self.sum_us.load(Ordering::Relaxed))),
+            ("mean_us".into(), Value::Float(self.mean_us())),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Per-route request counters.
+#[derive(Default)]
+pub struct RouteCounters {
+    pub optimize: AtomicU64,
+    pub analyze: AtomicU64,
+    pub batch: AtomicU64,
+    pub healthz: AtomicU64,
+    pub metrics: AtomicU64,
+    pub shutdown: AtomicU64,
+    pub unmatched: AtomicU64,
+}
+
+/// Everything `/metrics` reports (cache statistics live on the cache
+/// itself and are merged at snapshot time).
+pub struct Metrics {
+    started: Instant,
+    /// Requests parsed and routed.
+    pub requests_total: AtomicU64,
+    /// Connections answered 503 because the bounded queue was full.
+    pub rejected_total: AtomicU64,
+    /// Routed requests that produced a non-2xx response.
+    pub errors_total: AtomicU64,
+    /// Connections currently waiting for a worker (gauge).
+    pub queue_depth: AtomicU64,
+    pub routes: RouteCounters,
+    /// `/optimize` latency when the search actually ran.
+    pub optimize_cold_us: Histogram,
+    /// `/optimize` latency when the outcome cache answered.
+    pub optimize_hit_us: Histogram,
+    /// Latency of every routed request.
+    pub request_us: Histogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            routes: RouteCounters::default(),
+            optimize_cold_us: Histogram::new(),
+            optimize_hit_us: Histogram::new(),
+            request_us: Histogram::new(),
+        }
+    }
+
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The `/metrics` document (see the README field glossary).
+    pub fn snapshot(&self, workers: usize, cache: &OutcomeCache) -> Value {
+        let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        Value::Object(vec![
+            ("uptime_ms".into(), Value::UInt(self.uptime_ms())),
+            ("workers".into(), Value::UInt(workers as u64)),
+            ("requests_total".into(), load(&self.requests_total)),
+            ("rejected_total".into(), load(&self.rejected_total)),
+            ("errors_total".into(), load(&self.errors_total)),
+            ("queue_depth".into(), load(&self.queue_depth)),
+            (
+                "routes".into(),
+                Value::Object(vec![
+                    ("optimize".into(), load(&self.routes.optimize)),
+                    ("analyze".into(), load(&self.routes.analyze)),
+                    ("batch".into(), load(&self.routes.batch)),
+                    ("healthz".into(), load(&self.routes.healthz)),
+                    ("metrics".into(), load(&self.routes.metrics)),
+                    ("shutdown".into(), load(&self.routes.shutdown)),
+                    ("unmatched".into(), load(&self.routes.unmatched)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Value::Object(vec![
+                    ("entries".into(), Value::UInt(cache.len() as u64)),
+                    ("capacity".into(), Value::UInt(cache.capacity() as u64)),
+                    ("hits".into(), Value::UInt(cache.hits())),
+                    ("misses".into(), Value::UInt(cache.misses())),
+                    ("evictions".into(), Value::UInt(cache.evictions())),
+                ]),
+            ),
+            (
+                "latency_us".into(),
+                Value::Object(vec![
+                    ("optimize_cold".into(), self.optimize_cold_us.snapshot()),
+                    ("optimize_hit".into(), self.optimize_hit_us.snapshot()),
+                    ("all".into(), self.request_us.snapshot()),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let h = Histogram::new();
+        h.record_us(1); // ≤ 100 → bucket 0
+        h.record_us(100); // ≤ 100 → bucket 0
+        h.record_us(101); // ≤ 500 → bucket 1
+        h.record_us(6_000_000); // overflow bucket
+        assert_eq!(h.count(), 4);
+        let snap = h.snapshot();
+        let counts = snap.get("counts").and_then(Value::as_array).unwrap();
+        assert_eq!(counts[0], Value::UInt(2));
+        assert_eq!(counts[1], Value::UInt(1));
+        assert_eq!(counts[LATENCY_BOUNDS_US.len()], Value::UInt(1));
+        assert!((h.mean_us() - (1.0 + 100.0 + 101.0 + 6_000_000.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_has_every_documented_field() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot(4, &OutcomeCache::new(8));
+        for field in [
+            "uptime_ms",
+            "workers",
+            "requests_total",
+            "rejected_total",
+            "errors_total",
+            "queue_depth",
+            "routes",
+            "cache",
+            "latency_us",
+        ] {
+            assert!(snap.get(field).is_some(), "missing `{field}`");
+        }
+        assert_eq!(snap.get("requests_total"), Some(&Value::UInt(3)));
+        assert_eq!(snap.get("cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+    }
+}

@@ -1,0 +1,473 @@
+//! Method + path dispatch over the shared [`App`] state. Handlers take a
+//! parsed [`HttpRequest`] and return an [`HttpResponse`], so the whole
+//! routing layer is unit-testable without opening a socket.
+//!
+//! Routes:
+//!
+//! | Route             | Body                      | Result                          |
+//! |-------------------|---------------------------|---------------------------------|
+//! | `POST /optimize`  | one `OptimizeRequest`     | `Outcome` (memo-cached)         |
+//! | `POST /analyze`   | one `AnalyzeRequest`      | `AnalyzeOutcome`                |
+//! | `POST /batch`     | `[OptimizeRequest, ...]`  | array of outcomes / errors      |
+//! | `GET /healthz`    | —                         | liveness + uptime               |
+//! | `GET /metrics`    | —                         | the telemetry document          |
+//! | `POST /shutdown`  | —                         | begins graceful shutdown        |
+//!
+//! Request bodies may omit `cache`, `sampling` and `ga` (and the analyze
+//! extras); the paper's defaults are filled in **before** parsing, so a
+//! minimal `{"nest": ..., "strategy": ...}` is a complete request and maps
+//! to the same cache entry as its fully spelled-out form.
+
+use crate::cache::{canonical_key, OutcomeCache};
+use crate::http::{HttpRequest, HttpResponse};
+use crate::metrics::Metrics;
+use cme_api::cme::{CacheSpec, SamplingConfig};
+use cme_api::{ApiError, GaConfig, OptimizeRequest, Outcome, Session};
+use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Shared service state: one [`Session`], the outcome cache, telemetry,
+/// and the graceful-shutdown flag. One `App` serves every worker thread.
+pub struct App {
+    pub session: Session,
+    pub cache: OutcomeCache,
+    pub metrics: Metrics,
+    workers: usize,
+    shutdown: AtomicBool,
+}
+
+impl App {
+    pub fn new(workers: usize, cache_entries: usize) -> App {
+        App {
+            session: Session::default(),
+            cache: OutcomeCache::new(cache_entries),
+            metrics: Metrics::new(),
+            workers,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Route one request, maintaining the request counters and the
+    /// whole-request latency histogram.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let started = Instant::now();
+        self.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let resp = self.route(req);
+        if resp.status >= 400 {
+            self.metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.request_us.record(started.elapsed());
+        resp
+    }
+
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
+        let bump = |c: &std::sync::atomic::AtomicU64| {
+            c.fetch_add(1, Ordering::Relaxed);
+        };
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/optimize") => {
+                bump(&self.metrics.routes.optimize);
+                self.optimize(&req.body)
+            }
+            ("POST", "/analyze") => {
+                bump(&self.metrics.routes.analyze);
+                self.analyze(&req.body)
+            }
+            ("POST", "/batch") => {
+                bump(&self.metrics.routes.batch);
+                self.batch(&req.body)
+            }
+            ("GET", "/healthz") => {
+                bump(&self.metrics.routes.healthz);
+                HttpResponse::json(
+                    200,
+                    format!("{{\"status\":\"ok\",\"uptime_ms\":{}}}", self.metrics.uptime_ms()),
+                )
+            }
+            ("GET", "/metrics") => {
+                bump(&self.metrics.routes.metrics);
+                let doc = self.metrics.snapshot(self.workers, &self.cache);
+                HttpResponse::json(200, serde_json::to_string(&doc).expect("metrics serialise"))
+            }
+            ("POST", "/shutdown") => {
+                bump(&self.metrics.routes.shutdown);
+                self.request_shutdown();
+                HttpResponse::json(200, "{\"status\":\"shutting down\"}")
+            }
+            (_, "/optimize" | "/analyze" | "/batch" | "/shutdown") => {
+                bump(&self.metrics.routes.unmatched);
+                HttpResponse::error(405, "use POST for this route")
+            }
+            (_, "/healthz" | "/metrics") => {
+                bump(&self.metrics.routes.unmatched);
+                HttpResponse::error(405, "use GET for this route")
+            }
+            (_, path) => {
+                bump(&self.metrics.routes.unmatched);
+                HttpResponse::error(404, &format!("no route `{path}`"))
+            }
+        }
+    }
+
+    /// `POST /optimize`: parse → canonicalise → cache lookup → run on a
+    /// miss. A hit skips the GA entirely; its outcome is the stored
+    /// timing-stripped form re-stamped with the (near-zero) lookup time.
+    fn optimize(&self, body: &[u8]) -> HttpResponse {
+        let started = Instant::now();
+        let req = match parse_optimize_request(body) {
+            Ok(req) => req,
+            Err(resp) => return resp,
+        };
+        let key = canonical_key(&req);
+        if let Some(mut out) = self.cache.get(&key) {
+            out.wall_ms = started.elapsed().as_millis() as u64;
+            self.metrics.optimize_hit_us.record(started.elapsed());
+            return ok_json(&out);
+        }
+        match self.session.run(&req) {
+            Ok(out) => {
+                self.cache.insert(key, &out);
+                self.metrics.optimize_cold_us.record(started.elapsed());
+                ok_json(&out)
+            }
+            Err(e) => api_error_response(&e),
+        }
+    }
+
+    /// `POST /analyze`: pure model queries are already fast (no GA), so
+    /// they bypass the outcome cache.
+    fn analyze(&self, body: &[u8]) -> HttpResponse {
+        let mut value = match parse_json_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        fill_defaults(
+            &mut value,
+            &[
+                ("cache", serde_json::to_value(&CacheSpec::paper_8k())),
+                ("sampling", serde_json::to_value(&SamplingConfig::paper())),
+                ("seed", Value::Int(0xCE11)),
+                ("tiles", Value::Null),
+                ("exhaustive", Value::Bool(false)),
+            ],
+        );
+        let req: cme_api::AnalyzeRequest = match serde_json::from_value(&value) {
+            Ok(req) => req,
+            Err(e) => return HttpResponse::error(400, &format!("bad analyze request: {e}")),
+        };
+        match self.session.analyze(&req) {
+            Ok(out) => ok_json(&out),
+            Err(e) => api_error_response(&e),
+        }
+    }
+
+    /// `POST /batch`: a JSON array of optimize requests. Hits come from
+    /// the cache; the misses run through `Session::run_batch` (rayon) in
+    /// request order. Per-request failures do not fail the batch — each
+    /// slot is either an `Outcome` or an error object.
+    fn batch(&self, body: &[u8]) -> HttpResponse {
+        let value = match parse_json_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(items) = value.as_array() else {
+            return HttpResponse::error(400, "batch body must be a JSON array of requests");
+        };
+        let mut reqs = Vec::with_capacity(items.len());
+        for (k, item) in items.iter().enumerate() {
+            let mut item = item.clone();
+            fill_optimize_defaults(&mut item);
+            match serde_json::from_value::<OptimizeRequest>(&item) {
+                Ok(req) => reqs.push(req),
+                Err(e) => {
+                    return HttpResponse::error(400, &format!("bad request at index {k}: {e}"));
+                }
+            }
+        }
+
+        // Cache pass: hits are re-stamped with their (near-zero) lookup
+        // time, exactly like the single-request route.
+        let keys: Vec<String> = reqs.iter().map(canonical_key).collect();
+        let mut slots: Vec<Option<Result<Outcome, ApiError>>> = keys
+            .iter()
+            .map(|key| {
+                let started = Instant::now();
+                self.cache.get(key).map(|mut out| {
+                    out.wall_ms = started.elapsed().as_millis() as u64;
+                    Ok(out)
+                })
+            })
+            .collect();
+
+        // Deduplicate the misses by canonical key so `[X, X, X]` runs the
+        // search once and fans the outcome back out to every slot.
+        let mut unique_reqs: Vec<OptimizeRequest> = Vec::new();
+        let mut unique_keys: Vec<String> = Vec::new();
+        let mut slot_unique: Vec<(usize, usize)> = Vec::new();
+        let mut by_key: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for k in 0..slots.len() {
+            if slots[k].is_none() {
+                let u = *by_key.entry(keys[k].as_str()).or_insert_with(|| {
+                    unique_reqs.push(reqs[k].clone());
+                    unique_keys.push(keys[k].clone());
+                    unique_reqs.len() - 1
+                });
+                slot_unique.push((k, u));
+            }
+        }
+        let unique_results = self.session.run_batch(&unique_reqs);
+        for (key, result) in unique_keys.iter().zip(&unique_results) {
+            if let Ok(out) = result {
+                self.cache.insert(key.clone(), out);
+            }
+        }
+        for (k, u) in slot_unique {
+            slots[k] = Some(unique_results[u].clone());
+        }
+
+        let results: Vec<Value> = slots
+            .into_iter()
+            .map(|slot| match slot.expect("every slot filled") {
+                Ok(out) => serde_json::to_value(&out),
+                Err(e) => Value::Object(vec![
+                    ("error".into(), serde_json::to_value(&e)),
+                    ("message".into(), Value::Str(e.to_string())),
+                ]),
+            })
+            .collect();
+        HttpResponse::json(200, serde_json::to_string(&results).expect("batch serialises"))
+    }
+}
+
+fn ok_json<T: serde::Serialize>(value: &T) -> HttpResponse {
+    HttpResponse::json(200, serde_json::to_string(value).expect("outcomes serialise"))
+}
+
+/// The HTTP status an [`ApiError`] maps to.
+pub fn api_error_status(e: &ApiError) -> u16 {
+    match e {
+        ApiError::UnknownKernel(_) => 404,
+        ApiError::BadRequest(_) => 400,
+        ApiError::IllegalTransform(_) | ApiError::TooLarge(_) => 422,
+    }
+}
+
+fn api_error_response(e: &ApiError) -> HttpResponse {
+    let body = Value::Object(vec![
+        ("error".into(), serde_json::to_value(e)),
+        ("message".into(), Value::Str(e.to_string())),
+    ]);
+    HttpResponse::json(api_error_status(e), serde_json::to_string(&body).expect("errors serialise"))
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Value, HttpResponse> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| HttpResponse::error(400, "body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| HttpResponse::error(400, &format!("bad JSON: {e}")))
+}
+
+/// Add defaults for absent top-level fields (no-op on non-objects — the
+/// parse that follows reports the real error).
+fn fill_defaults(value: &mut Value, defaults: &[(&str, Value)]) {
+    if let Value::Object(fields) = value {
+        for (name, default) in defaults {
+            if serde::get_field(fields, name).is_none() {
+                fields.push(((*name).to_string(), default.clone()));
+            }
+        }
+    }
+}
+
+fn fill_optimize_defaults(value: &mut Value) {
+    fill_defaults(
+        value,
+        &[
+            ("cache", serde_json::to_value(&CacheSpec::paper_8k())),
+            ("sampling", serde_json::to_value(&SamplingConfig::paper())),
+            ("ga", serde_json::to_value(&GaConfig::default())),
+        ],
+    );
+}
+
+/// Parse an `/optimize` body: JSON → defaults → typed request.
+pub fn parse_optimize_request(body: &[u8]) -> Result<OptimizeRequest, HttpResponse> {
+    let mut value = parse_json_body(body)?;
+    fill_optimize_defaults(&mut value);
+    serde_json::from_value(&value)
+        .map_err(|e| HttpResponse::error(400, &format!("bad optimize request: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn post(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            http11: true,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            http11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A cheap deterministic request: exhaustive sweep of a tiny
+    /// transpose (no GA, a few hundred evaluations).
+    const TINY: &str = r#"{
+        "nest": {"Kernel": {"name": "T2D", "size": 12}},
+        "cache": {"size": 256, "line": 16, "assoc": 1},
+        "strategy": {"Exhaustive": {"step": 4, "max_evals": 500}}
+    }"#;
+
+    #[test]
+    fn healthz_and_metrics_answer() {
+        let app = App::new(2, 8);
+        let h = app.handle(&get("/healthz"));
+        assert_eq!(h.status, 200);
+        assert!(h.body.contains("\"status\":\"ok\""));
+        let m = app.handle(&get("/metrics"));
+        assert_eq!(m.status, 200);
+        let doc: Value = serde_json::from_str(&m.body).unwrap();
+        // (The wire parser reads small numbers back as `Int`. The count
+        // is 2: the `/metrics` request itself is tallied before the
+        // snapshot is taken.)
+        assert_eq!(doc.get("requests_total"), Some(&Value::Int(2)), "healthz was counted");
+        assert_eq!(doc.get("workers"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn optimize_with_defaults_matches_session_run_timing_stripped() {
+        let app = App::new(1, 8);
+        let resp = app.handle(&post("/optimize", TINY));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let served: Outcome = serde_json::from_str(&resp.body).unwrap();
+
+        let direct =
+            Session::default().run(&parse_optimize_request(TINY.as_bytes()).unwrap()).unwrap();
+        assert_eq!(served.without_timing(), direct.without_timing());
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache() {
+        let app = App::new(1, 8);
+        let cold = app.handle(&post("/optimize", TINY));
+        assert_eq!(app.cache.hits(), 0);
+        // Different key order and spelled-out defaults — still the same
+        // canonical request.
+        let reordered = format!(
+            r#"{{"strategy": {{"Exhaustive": {{"max_evals": 500, "step": 4}}}},
+                "cache": {{"assoc": 1, "size": 256, "line": 16}},
+                "nest": {{"Kernel": {{"size": 12, "name": "T2D"}}}},
+                "ga": {ga}}}"#,
+            ga = serde_json::to_string(&GaConfig::default()).unwrap()
+        );
+        let hot = app.handle(&post("/optimize", &reordered));
+        assert_eq!(hot.status, 200, "{}", hot.body);
+        assert_eq!(app.cache.hits(), 1);
+        let a: Outcome = serde_json::from_str(&cold.body).unwrap();
+        let b: Outcome = serde_json::from_str(&hot.body).unwrap();
+        assert_eq!(a.without_timing(), b.without_timing());
+    }
+
+    #[test]
+    fn api_errors_map_to_http_statuses() {
+        let app = App::new(1, 8);
+        let unknown = app.handle(&post(
+            "/optimize",
+            r#"{"nest": {"Kernel": {"name": "NOPE", "size": null}}, "strategy": "Tiling"}"#,
+        ));
+        assert_eq!(unknown.status, 404, "{}", unknown.body);
+        assert!(unknown.body.contains("UnknownKernel"));
+
+        let too_large = app.handle(&post(
+            "/optimize",
+            r#"{"nest": {"Kernel": {"name": "T2D", "size": 64}},
+                "strategy": {"Exhaustive": {"step": 1, "max_evals": 2}}}"#,
+        ));
+        assert_eq!(too_large.status, 422, "{}", too_large.body);
+
+        assert_eq!(app.handle(&post("/optimize", "not json")).status, 400);
+        assert_eq!(app.handle(&post("/optimize", "[1,2]")).status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_refused() {
+        let app = App::new(1, 8);
+        assert_eq!(app.handle(&get("/nope")).status, 404);
+        assert_eq!(app.handle(&get("/optimize")).status, 405);
+        assert_eq!(app.handle(&post("/metrics", "")).status, 405);
+        let m = app.handle(&get("/metrics"));
+        let doc: Value = serde_json::from_str(&m.body).unwrap();
+        assert_eq!(doc.get("errors_total"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn batch_mixes_cache_hits_errors_and_fresh_runs() {
+        let app = App::new(1, 8);
+        app.handle(&post("/optimize", TINY)); // warm one entry
+                                              // Slot 3 duplicates slot 2's cold request: the dedup pass must run
+                                              // the search once and fan the outcome out to both slots.
+        let fresh = r#"{"nest": {"Kernel": {"name": "T2D", "size": 8}},
+                        "cache": {"size": 256, "line": 16, "assoc": 1},
+                        "strategy": {"Exhaustive": {"step": 4, "max_evals": 500}}}"#;
+        let body = format!(
+            r#"[{TINY},
+                {{"nest": {{"Kernel": {{"name": "NOPE", "size": null}}}}, "strategy": "Tiling"}},
+                {fresh}, {fresh}]"#
+        );
+        let resp = app.handle(&post("/batch", &body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let results: Vec<Value> = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(results[0].get("strategy").is_some(), "slot 0 is an outcome");
+        assert!(results[1].get("error").is_some(), "slot 1 is an error");
+        assert!(results[2].get("strategy").is_some(), "slot 2 is an outcome");
+        assert_eq!(results[2], results[3], "duplicate slots share one search's outcome");
+        assert_eq!(app.cache.hits(), 1, "slot 0 came from the cache");
+
+        // The batch's (deduplicated) fresh run is now cached too.
+        assert_eq!(app.cache.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_route_sets_the_flag() {
+        let app = App::new(1, 8);
+        assert!(!app.shutdown_requested());
+        let resp = app.handle(&post("/shutdown", ""));
+        assert_eq!(resp.status, 200);
+        assert!(app.shutdown_requested());
+    }
+
+    #[test]
+    fn analyze_answers_with_defaults() {
+        let app = App::new(1, 8);
+        let resp = app.handle(&post(
+            "/analyze",
+            r#"{"nest": {"Kernel": {"name": "T2D", "size": 16}},
+                "cache": {"size": 256, "line": 16, "assoc": 1},
+                "exhaustive": true}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let out: cme_api::AnalyzeOutcome = serde_json::from_str(&resp.body).unwrap();
+        assert!(out.exact.is_some());
+        assert!(out.miss_ratio() > 0.0);
+    }
+}

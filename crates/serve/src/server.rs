@@ -1,0 +1,280 @@
+//! The TCP layer: a polling accept loop, bounded hand-off to the worker
+//! pool (full queue ⇒ immediate 503, written by the accept thread), a
+//! per-connection keep-alive driver, and graceful shutdown on
+//! `POST /shutdown` or SIGINT/SIGTERM.
+//!
+//! Shutdown sequence: the flag flips (route handler or signal), the
+//! accept loop notices within its poll interval and stops accepting, the
+//! queue closes, and the read side of every registered connection is shut
+//! down — workers blocked waiting for the *next* request on an idle
+//! keep-alive socket wake immediately with EOF, while a worker mid-search
+//! still writes its response (the write side stays open). Then
+//! [`ServerHandle::join`] returns.
+
+use crate::http::{parse_request, write_response, HttpParseError, HttpResponse};
+use crate::pool::{BoundedQueue, WorkerPool};
+use crate::router::App;
+use crate::ServeConfig;
+use std::collections::HashMap;
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Set by the signal handler; checked alongside the per-server flag so
+/// one handler installation covers any number of servers.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGINT/SIGTERM handlers that flip the shared shutdown flag
+/// (the handler only stores to an atomic — async-signal-safe). Call once
+/// from the binary entry point; a no-op off Unix.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    unsafe extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Clones of every connection a worker currently holds, so shutdown can
+/// interrupt reads that would otherwise block until the read timeout.
+struct ConnectionRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    closing: AtomicBool,
+}
+
+impl ConnectionRegistry {
+    fn new() -> Self {
+        ConnectionRegistry {
+            streams: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            closing: AtomicBool::new(false),
+        }
+    }
+
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        if self.closing.load(Ordering::SeqCst) {
+            // Shutdown already began: cut the read side right away so the
+            // worker serves at most the bytes already in flight.
+            let _ = clone.shutdown(Shutdown::Read);
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().unwrap_or_else(PoisonError::into_inner).insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+    }
+
+    /// Stop the read side of every live connection. Blocked
+    /// `parse_request` calls return EOF immediately; responses already
+    /// being computed still go out on the intact write side.
+    fn shutdown_reads(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let streams =
+            std::mem::take(&mut *self.streams.lock().unwrap_or_else(PoisonError::into_inner));
+        for stream in streams.into_values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A running server: its bound address, shared [`App`] state (metrics and
+/// cache are readable from here), and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    app: Arc<App>,
+    accept: JoinHandle<()>,
+    pool: WorkerPool,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Begin graceful shutdown (idempotent; `join` completes it).
+    pub fn shutdown(&self) {
+        self.app.request_shutdown();
+    }
+
+    /// Wait until the accept loop and every worker have exited.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        self.pool.join();
+    }
+
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Bind, spawn the accept loop and the worker pool, and return
+/// immediately. The server runs until shutdown is requested.
+pub fn start(config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr.as_str())?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let app = Arc::new(App::new(config.workers, config.cache_entries));
+    let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+    let registry = Arc::new(ConnectionRegistry::new());
+
+    let pool = {
+        let app = Arc::clone(&app);
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let read_timeout = config.read_timeout;
+        let max_body = config.max_body_bytes;
+        WorkerPool::spawn(config.workers, Arc::clone(&queue), move |stream: TcpStream| {
+            app.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
+            let id = registry.register(&stream);
+            handle_connection(&app, stream, read_timeout, max_body);
+            if let Some(id) = id {
+                registry.deregister(id);
+            }
+        })
+    };
+
+    let accept = {
+        let app = Arc::clone(&app);
+        std::thread::Builder::new()
+            .name("cme-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &app, &queue, &registry))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle { addr, app, accept, pool })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    app: &Arc<App>,
+    queue: &Arc<BoundedQueue<TcpStream>>,
+    registry: &ConnectionRegistry,
+) {
+    loop {
+        if app.shutdown_requested() || signalled() {
+            // Fold the signal into the app flag so workers mid-keep-alive
+            // stop after their current response instead of serving an
+            // active client forever.
+            app.request_shutdown();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets must be blocking regardless of what
+                // they inherit from the non-blocking listener.
+                let _ = stream.set_nonblocking(false);
+                match queue.try_push(stream) {
+                    Ok(()) => {
+                        app.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(stream) => {
+                        app.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                        reject_overloaded(stream);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept failures (EMFILE, ECONNABORTED, …): back
+            // off briefly instead of spinning or dying.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    queue.close();
+    // Wake workers parked on idle keep-alive reads; see module docs.
+    registry.shutdown_reads();
+}
+
+/// Backpressure: answer 503 from the accept thread and drop the
+/// connection — memory stays bounded by the queue, never by the arrival
+/// rate. The client's request bytes are drained (without blocking accept)
+/// before closing: unread receive-buffer data would otherwise turn the
+/// close into a TCP RST that can discard the 503 in flight.
+fn reject_overloaded(mut stream: TcpStream) {
+    let drain = |stream: &mut TcpStream| {
+        // Bounded and non-blocking: stop at WouldBlock, EOF, or a cap, so
+        // neither a silent nor a flooding client can stall the accept
+        // thread.
+        let mut scratch = [0u8; 4096];
+        let mut drained = 0usize;
+        while drained < 64 * 1024 {
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    };
+    let _ = stream.set_nonblocking(true);
+    drain(&mut stream);
+    let resp = HttpResponse::error(503, "server overloaded: request queue is full, retry later");
+    let _ = stream.set_nonblocking(false);
+    let _ = write_response(&mut stream, &resp, false);
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_nonblocking(true);
+    drain(&mut stream);
+}
+
+/// Drive one connection: parse → route → respond, looping while
+/// keep-alive holds and shutdown has not begun.
+fn handle_connection(app: &App, stream: TcpStream, read_timeout: Duration, max_body: usize) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match parse_request(&mut reader, max_body) {
+            Ok(req) => {
+                let resp = app.handle(&req);
+                // Evaluated after handling so a `/shutdown` response
+                // closes its own connection.
+                let keep = req.keep_alive() && !app.shutdown_requested();
+                if write_response(&mut writer, &resp, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            // Peer closed (or timed out) — nothing useful to answer.
+            Err(HttpParseError::ConnectionClosed | HttpParseError::Io(_)) => return,
+            Err(HttpParseError::Malformed(msg)) => {
+                let _ = write_response(&mut writer, &HttpResponse::error(400, &msg), false);
+                return;
+            }
+            Err(HttpParseError::BodyTooLarge { declared, cap }) => {
+                let msg = format!("body of {declared} bytes exceeds the {cap}-byte cap");
+                let _ = write_response(&mut writer, &HttpResponse::error(413, &msg), false);
+                return;
+            }
+        }
+    }
+}

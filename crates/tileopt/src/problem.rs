@@ -65,7 +65,7 @@ pub struct TilingOutcome {
 }
 
 /// Serialisable digest of a GA run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaSummary {
     pub generations: u32,
     pub evaluations: u64,

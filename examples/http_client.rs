@@ -1,0 +1,59 @@
+//! Talk to a running `cme serve` with nothing but a TCP socket — the
+//! whole wire protocol is visible in one screen: write an HTTP/1.1
+//! request whose body is a serialised `OptimizeRequest`, read back the
+//! serialised `Outcome`.
+//!
+//! ```text
+//! cme serve &                                   # default 127.0.0.1:7878
+//! cargo run --release --example http_client     # or: … -- HOST:PORT
+//! ```
+
+use cme_suite::api::{NestSource, OptimizeRequest, Outcome, StrategySpec};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
+    // The body is an ordinary API request value; `cme serve` fills in the
+    // paper's defaults for any omitted fields (cache, sampling, ga).
+    let request = OptimizeRequest::new(NestSource::kernel_sized("MM", 100), StrategySpec::Tiling)
+        .with_seed(7);
+    let body = serde_json::to_string(&request).expect("requests serialise");
+
+    let mut stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}\nstart the server first: cme serve");
+        std::process::exit(1);
+    });
+
+    // Raw HTTP/1.1: request line, headers, blank line, JSON body.
+    let wire = format!(
+        "POST /optimize HTTP/1.1\r\n\
+         Host: {addr}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len()
+    );
+    println!("--- request ---\n{}", wire.replace("\r\n", "\\r\\n\n"));
+    stream.write_all(wire.as_bytes()).expect("write request");
+
+    // `Connection: close` means the response ends at EOF.
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, json) = response.split_once("\r\n\r\n").expect("response has a header block");
+    println!("--- response head ---\n{head}\n");
+
+    let outcome: Outcome = serde_json::from_str(json).expect("body is an Outcome");
+    println!(
+        "{} on {}: replacement {:.1}% → {:.1}% with tiles {} ({} ms server-side)",
+        outcome.strategy,
+        outcome.kernel,
+        outcome.before.replacement_ratio() * 100.0,
+        outcome.after.replacement_ratio() * 100.0,
+        outcome.transform.tiles.as_ref().map_or("-".to_string(), ToString::to_string),
+        outcome.wall_ms
+    );
+}

@@ -1,65 +1,61 @@
 //! Domain study: matrix-multiply tile tuning across cache sizes, with
-//! baseline comparisons and a look at the GA's convergence trace.
+//! baseline comparisons — written against the unified `cme-api` surface
+//! (`Session` + `OptimizeRequest`), so every row is one request away
+//! from being a service call.
 //!
 //! ```text
 //! cargo run --release --example matmul_tuning
 //! ```
 
-use cme_suite::cme::{CacheSpec, CmeModel, SamplingConfig};
-use cme_suite::ga::GaConfig;
-use cme_suite::kernels::linalg::mm;
-use cme_suite::loopnest::{MemoryLayout, TileSizes};
-use cme_suite::tileopt::baselines::{fixed_fraction, lrw_square, tss_coleman_mckinley};
-use cme_suite::tileopt::TilingOptimizer;
+use cme_suite::api::{BaselineKind, NestSource, OptimizeRequest, Outcome, Session, StrategySpec};
+use cme_suite::cme::CacheSpec;
 
-fn repl_pct(
-    model: &CmeModel,
-    nest: &cme_suite::loopnest::LoopNest,
-    layout: &MemoryLayout,
-    tiles: &TileSizes,
-) -> f64 {
-    let an = if tiles.is_trivial(nest) {
-        model.analyze(nest, layout, None)
-    } else {
-        model.analyze(nest, layout, Some(tiles))
-    };
-    an.estimate(&SamplingConfig::paper(), 5).replacement_ratio() * 100.0
+fn repl_pct(out: &Outcome) -> f64 {
+    out.after.replacement_ratio() * 100.0
 }
 
 fn main() {
-    let nest = mm(500);
-    let layout = MemoryLayout::contiguous(&nest);
+    let session = Session::default();
+    let nest = NestSource::kernel_sized("MM", 500);
 
     for cache in [CacheSpec::paper_8k(), CacheSpec::paper_32k()] {
-        let model = CmeModel::new(cache);
         println!("=== MM_500 on {} KB direct-mapped, 32 B lines ===", cache.size / 1024);
-        let untiled = repl_pct(&model, &nest, &layout, &TileSizes::trivial(&nest));
-        println!("untiled            : {untiled:5.1}% replacement");
+        let mk = |strategy: StrategySpec| {
+            OptimizeRequest::new(nest.clone(), strategy).with_cache(cache).with_seed(99)
+        };
 
-        for (name, tiles) in [
-            ("LRW square", lrw_square(&nest, &layout, cache)),
-            ("TSS", tss_coleman_mckinley(&nest, &layout, cache)),
-            ("fixed 1/2 cache", fixed_fraction(&nest, cache, 0.5)),
-        ] {
-            println!(
-                "{name:<19}: {:5.1}% with tiles {tiles}",
-                repl_pct(&model, &nest, &layout, &tiles)
-            );
+        // The §5 related-work heuristics, scored by the same estimator.
+        let baselines = [
+            ("LRW square", BaselineKind::LrwSquare),
+            ("TSS", BaselineKind::Tss),
+            ("fixed 1/2 cache", BaselineKind::FixedFraction { fraction: 0.5 }),
+        ];
+        let mut untiled_printed = false;
+        for (name, kind) in baselines {
+            let out = session.run(&mk(StrategySpec::Baseline { kind })).expect("baseline");
+            if !untiled_printed {
+                // Every strategy reports the identical canonical baseline.
+                println!(
+                    "untiled            : {:5.1}% replacement",
+                    out.before.replacement_ratio() * 100.0
+                );
+                untiled_printed = true;
+            }
+            let tiles = out.transform.tiles.as_ref().expect("baselines tile");
+            println!("{name:<19}: {:5.1}% with tiles {tiles}", repl_pct(&out));
         }
 
-        let mut opt = TilingOptimizer::new(cache);
-        opt.ga = GaConfig { seed: 99, ..GaConfig::default() };
-        let (out, trace) = opt.optimize_traced(&nest, &layout).expect("legal");
+        // The paper's CME + GA search.
+        let out = session.run(&mk(StrategySpec::Tiling)).expect("legal");
+        let ga = out.ga.as_ref().expect("tiling runs a GA");
         println!(
-            "CME + GA           : {:5.1}% with tiles {} ({} generations)",
-            out.after.replacement_ratio() * 100.0,
-            out.tiles,
-            trace.generations
+            "CME + GA           : {:5.1}% with tiles {} ({} generations, {} evaluations{})",
+            repl_pct(&out),
+            out.transform.tiles.as_ref().expect("tiling tiles"),
+            ga.generations,
+            ga.evaluations,
+            if ga.converged { ", converged" } else { "" },
         );
-        println!("GA convergence (generation: best / average replacement misses):");
-        for h in trace.history.iter().step_by(4) {
-            println!("  gen {:>2}: best {:>12.0}  avg {:>12.0}", h.generation, h.best, h.average);
-        }
         println!();
     }
 }

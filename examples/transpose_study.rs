@@ -1,20 +1,23 @@
-//! Domain study: matrix transposition, the classic capacity-miss kernel.
+//! Domain study: matrix transposition, the classic capacity-miss kernel,
+//! driven through the unified `cme-api` surface.
 //!
-//! Demonstrates (1) per-reference miss breakdown, (2) the multi-convex-
-//! region structure tiling creates (paper Fig. 2 / §2.4), and (3) exact
-//! validation of the analytical model against the trace-driven simulator.
+//! Demonstrates (1) per-reference miss breakdown via `Session::analyze`,
+//! (2) the multi-convex-region structure tiling creates (paper Fig. 2 /
+//! §2.4), and (3) exact validation of the analytical model against the
+//! trace-driven simulator — the one step that stays on the in-crate
+//! simulator API, because the oracle is deliberately not a service.
 //!
 //! ```text
 //! cargo run --release --example transpose_study
 //! ```
 
+use cme_suite::api::{AnalyzeRequest, NestSource, OptimizeRequest, Session, StrategySpec};
 use cme_suite::cachesim::{simulate_nest, CacheGeometry};
-use cme_suite::cme::{CacheSpec, CmeModel};
-use cme_suite::kernels::transposes::t2d;
 use cme_suite::loopnest::{ExecSpace, MemoryLayout, TileSizes};
-use cme_suite::tileopt::TilingOptimizer;
 
 fn main() {
+    let session = Session::default();
+
     // --- Region structure (Fig. 2): 1-D loop of 7 iterations, tile 3. ---
     let demo = {
         use cme_suite::loopnest::builder::{sub, NestBuilder};
@@ -30,15 +33,13 @@ fn main() {
         println!("  region {k}: block {} × offset {}", r.vbox.dims[0], r.vbox.dims[1]);
     }
 
-    // --- The transpose itself. ---
+    // --- The transpose itself: exhaustive CME classification. ---
     let n = 128;
-    let nest = t2d(n);
-    let layout = MemoryLayout::contiguous(&nest);
-    let cache = CacheSpec::paper_8k();
-    let model = CmeModel::new(cache);
-
-    let analysis = model.analyze(&nest, &layout, None);
-    let report = analysis.exhaustive();
+    let nest_src = NestSource::kernel_sized("T2D", n);
+    let mut analyze = AnalyzeRequest::new(nest_src.clone());
+    analyze.exhaustive = true;
+    let untiled = session.analyze(&analyze).expect("analyzable");
+    let report = untiled.exact.as_ref().expect("exhaustive analysis");
     println!("\nT2D N={n}, untiled, per-reference (CME exhaustive):");
     for (r, c) in report.per_ref.iter().enumerate() {
         println!(
@@ -51,27 +52,33 @@ fn main() {
     }
 
     // Exact cross-check against the simulator (the ground-truth oracle).
+    let nest = nest_src.resolve().expect("registry kernel");
+    let layout = MemoryLayout::contiguous(&nest);
     let sim = simulate_nest(&nest, &layout, None, CacheGeometry::paper_8k());
     for (r, (c, s)) in report.per_ref.iter().zip(&sim.per_ref).enumerate() {
         assert_eq!((c.cold, c.replacement), (s.cold, s.replacement), "ref {r}");
     }
     println!("  ✓ matches the exact LRU simulator, reference by reference");
 
-    // --- Tile it. ---
-    let optimizer = TilingOptimizer::new(cache);
-    let out = optimizer.optimize(&nest, &layout).expect("legal");
+    // --- Tile it: one GA tiling request. ---
+    let out =
+        session.run(&OptimizeRequest::new(nest_src.clone(), StrategySpec::Tiling)).expect("legal");
+    let tiles = out.transform.tiles.as_ref().expect("tiling tiles").clone();
     println!(
-        "\nGA tiles {}: replacement ratio {:.2}% → {:.2}%",
-        out.tiles,
+        "\nGA tiles {tiles}: replacement ratio {:.2}% → {:.2}%",
         out.before.replacement_ratio() * 100.0,
         out.after.replacement_ratio() * 100.0
     );
 
-    // Validate the *chosen* tiling against the simulator too.
-    let sim_tiled = simulate_nest(&nest, &layout, Some(&out.tiles), CacheGeometry::paper_8k());
-    let cme_tiled = model.analyze(&nest, &layout, Some(&out.tiles)).exhaustive();
+    // Validate the *chosen* tiling against the simulator too, using the
+    // same analyze entry point with the tiles filled in.
+    let mut tiled_req = AnalyzeRequest::new(nest_src);
+    tiled_req.tiles = Some(tiles.clone());
+    tiled_req.exhaustive = true;
+    let cme_tiled = session.analyze(&tiled_req).expect("analyzable");
+    let sim_tiled = simulate_nest(&nest, &layout, Some(&tiles), CacheGeometry::paper_8k());
     assert_eq!(
-        cme_tiled.totals().replacement,
+        cme_tiled.exact.as_ref().expect("exhaustive").totals().replacement,
         sim_tiled.totals().replacement,
         "tiled schedule must match the simulator"
     );

@@ -13,4 +13,5 @@ pub use cme_ga as ga;
 pub use cme_kernels as kernels;
 pub use cme_loopnest as loopnest;
 pub use cme_polyhedra as polyhedra;
+pub use cme_serve as serve;
 pub use cme_tileopt as tileopt;

@@ -24,6 +24,9 @@ usage:
   cme simulate KERNEL [N] [opts]           exact LRU simulation (oracle)
   cme batch FILE                           run a JSON array of OptimizeRequests
                                            (FILE of `-` reads stdin)
+  cme serve                                HTTP/JSON service over the same API
+                                           (POST /optimize /analyze /batch,
+                                            GET /healthz /metrics, POST /shutdown)
 
 KERNEL defaults to MM (the paper's headline kernel) when omitted.
 
@@ -41,6 +44,12 @@ options:
   --seed S                                 GA / sampling seed
   --json                                   emit the serialised request outcome
   --sequential                             batch: disable parallel execution
+  --addr HOST:PORT                         serve: bind address (default 127.0.0.1:7878)
+  --workers N                              serve: worker threads (default 4)
+  --queue N                                serve: waiting-connection cap; beyond it
+                                           requests get 503 (default 64)
+  --cache-entries N                        serve: outcome-cache entries, 0 disables
+                                           (default 1024)
 ";
 
 fn usage() -> ! {
@@ -67,6 +76,10 @@ struct Args {
     seed: u64,
     json: bool,
     sequential: bool,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache_entries: Option<usize>,
 }
 
 fn parse_cache(s: &str) -> CacheSpec {
@@ -139,6 +152,10 @@ fn parse_args() -> Args {
         seed: 0xCE11,
         json: false,
         sequential: false,
+        addr: None,
+        workers: None,
+        queue: None,
+        cache_entries: None,
     };
     let mut it = std::env::args().skip(1);
     let value_of = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -168,6 +185,23 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = true,
             "--sequential" => args.sequential = true,
+            "--addr" => args.addr = Some(value_of("--addr", &mut it)),
+            "--workers" => {
+                let v = value_of("--workers", &mut it);
+                args.workers =
+                    Some(v.parse().unwrap_or_else(|_| fail(format!("bad --workers value `{v}`"))));
+            }
+            "--queue" => {
+                let v = value_of("--queue", &mut it);
+                args.queue =
+                    Some(v.parse().unwrap_or_else(|_| fail(format!("bad --queue value `{v}`"))));
+            }
+            "--cache-entries" => {
+                let v = value_of("--cache-entries", &mut it);
+                args.cache_entries = Some(
+                    v.parse().unwrap_or_else(|_| fail(format!("bad --cache-entries value `{v}`"))),
+                );
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 exit(0)
@@ -421,6 +455,36 @@ fn cmd_batch(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    use cme_suite::serve::{install_signal_handlers, start, ServeConfig};
+    let mut config = ServeConfig::default();
+    if let Some(addr) = &args.addr {
+        config.addr.clone_from(addr);
+    }
+    if let Some(workers) = args.workers {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = args.queue {
+        config.queue_depth = queue.max(1);
+    }
+    if let Some(entries) = args.cache_entries {
+        config.cache_entries = entries;
+    }
+    install_signal_handlers();
+    let handle = start(&config).unwrap_or_else(|e| fail(format!("bind {}: {e}", config.addr)));
+    eprintln!(
+        "cme serve listening on http://{}  ({} workers, queue {}, cache {} entries; \
+         POST /shutdown or SIGINT to stop)",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+        config.cache_entries
+    );
+    // Blocks until `/shutdown` or a signal; workers drain before exit.
+    handle.join();
+    eprintln!("cme serve: shut down cleanly");
+}
+
 fn main() {
     let args = parse_args();
     match args.positional.first().map(String::as_str) {
@@ -431,6 +495,7 @@ fn main() {
         Some("pad") => cmd_pad(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("batch") => cmd_batch(&args),
+        Some("serve") => cmd_serve(&args),
         _ => usage(),
     }
 }

@@ -1,0 +1,172 @@
+//! End-to-end service tests: a real `cme-serve` server on an ephemeral
+//! loopback port, exercised over real sockets.
+//!
+//! Covers the acceptance contract of the service layer:
+//! * `POST /optimize` parity with `Session::run` — byte-identical
+//!   timing-stripped outcomes (`Outcome::without_timing` is the
+//!   canonical comparison form);
+//! * a repeated identical request is served from the outcome cache and
+//!   the `/metrics` hit counter increments;
+//! * a filled bounded queue answers `503` instead of queueing further
+//!   connections;
+//! * keep-alive connections serve sequential requests;
+//! * malformed input gets a `400`, not a hung or dropped connection.
+
+use cme_suite::api::{Outcome, Session};
+use cme_suite::serve::{HttpClient, ServeConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Start a server on an ephemeral port with a small, test-friendly shape.
+fn start(workers: usize, queue_depth: usize) -> cme_suite::serve::ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+        cache_entries: 64,
+        read_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    cme_suite::serve::start(&config).expect("bind ephemeral port")
+}
+
+/// A cheap deterministic request: exhaustive sweep of a tiny transpose.
+const TINY: &str = r#"{
+    "nest": {"Kernel": {"name": "T2D", "size": 12}},
+    "cache": {"size": 256, "line": 16, "assoc": 1},
+    "strategy": {"Exhaustive": {"step": 4, "max_evals": 500}}
+}"#;
+
+#[test]
+fn optimize_parity_with_session_and_cache_hit_metrics() {
+    let handle = start(2, 16);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    // Cold request.
+    let (status, body) = client.post("/optimize", TINY).expect("cold optimize");
+    assert_eq!(status, 200, "{body}");
+    let served: Outcome = serde_json::from_str(&body).expect("outcome JSON");
+
+    // Parity: byte-identical to a direct Session::run once timing is
+    // stripped on both sides.
+    let req =
+        cme_suite::serve::router::parse_optimize_request(TINY.as_bytes()).expect("request parses");
+    let direct = Session::default().run(&req).expect("direct run");
+    assert_eq!(
+        serde_json::to_string(&served.without_timing()).unwrap(),
+        serde_json::to_string(&direct.without_timing()).unwrap(),
+        "served outcome must be byte-identical to Session::run modulo wall_ms"
+    );
+
+    // Hot request: same canonical request, different JSON spelling.
+    let reordered = r#"{
+        "strategy": {"Exhaustive": {"max_evals": 500, "step": 4}},
+        "cache": {"assoc": 1, "line": 16, "size": 256},
+        "nest": {"Kernel": {"size": 12, "name": "T2D"}}
+    }"#;
+    let (status, hot_body) = client.post("/optimize", reordered).expect("hot optimize");
+    assert_eq!(status, 200, "{hot_body}");
+    let hot: Outcome = serde_json::from_str(&hot_body).expect("outcome JSON");
+    assert_eq!(hot.without_timing(), served.without_timing());
+
+    // The hit is visible in /metrics.
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+    let cache = doc.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits"), Some(&serde::Value::Int(1)), "{metrics}");
+    assert_eq!(cache.get("entries"), Some(&serde::Value::Int(1)), "{metrics}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let handle = start(1, 4);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    for _ in 0..3 {
+        let (status, body) = client.get("/healthz").expect("healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn full_queue_answers_503_immediately() {
+    // One worker, queue of one: the worker blocks on a connection that
+    // never sends a full request, the queue holds a second, so a third
+    // connection must be rejected with 503 by the accept thread.
+    let handle = start(1, 1);
+    let addr = handle.addr();
+
+    let mut hog = TcpStream::connect(addr).expect("hog connects");
+    hog.write_all(b"POST /optimize HTTP/1.1\r\n").expect("partial request");
+    // Let the worker pop the hog off the queue before filling it.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let _queued = TcpStream::connect(addr).expect("queued connection");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut rejected = HttpClient::connect(addr).expect("third connection");
+    let (status, body) = rejected.get("/healthz").expect("503 response");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("queue is full"), "{body}");
+
+    // Release the worker (EOF on the hog) so shutdown drains quickly.
+    drop(hog);
+    drop(_queued);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The rejection is counted.
+    let mut client = HttpClient::connect(addr).expect("connect after release");
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(doc.get("rejected_total"), Some(&serde::Value::Int(1)), "{metrics}");
+
+    handle.shutdown_and_join();
+}
+
+/// Write raw bytes on a fresh connection and read the one response back.
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write raw request");
+    cme_suite::serve::client::read_response(&mut std::io::BufReader::new(stream))
+        .expect("a response")
+}
+
+#[test]
+fn malformed_requests_get_400_and_oversized_bodies_413() {
+    let handle = start(1, 4);
+    let addr = handle.addr();
+
+    let (status, _) = raw_exchange(addr, b"THIS IS NOT HTTP\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let mut bad_json = HttpClient::connect(addr).expect("connect");
+    let (status, body) = bad_json.post("/optimize", "{not json").expect("response");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, body) =
+        raw_exchange(addr, b"POST /optimize HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+    assert_eq!(status, 413, "{body}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn batch_route_round_trips_over_the_wire() {
+    let handle = start(2, 8);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    let body = format!(
+        r#"[{TINY}, {{"nest": {{"Kernel": {{"name": "NOPE", "size": null}}}}, "strategy": "Tiling"}}]"#
+    );
+    let (status, resp) = client.post("/batch", &body).expect("batch");
+    assert_eq!(status, 200, "{resp}");
+    let results: Vec<serde::Value> = serde_json::from_str(&resp).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].get("strategy").is_some());
+    assert!(results[1].get("error").is_some());
+    handle.shutdown_and_join();
+}
