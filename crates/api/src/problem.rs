@@ -2,7 +2,7 @@
 
 use crate::error::ApiError;
 use crate::request::OptimizeRequest;
-use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::GaConfig;
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 
@@ -50,6 +50,14 @@ impl Problem {
 
     pub fn model(&self) -> CmeModel {
         CmeModel::new(self.cache)
+    }
+
+    /// Build this problem's shared evaluation engine — one per strategy
+    /// run; every candidate the search evaluates borrows its precomputed
+    /// per-kernel analysis (and its before/after estimates come from the
+    /// same state).
+    pub fn engine(&self) -> EvalEngine {
+        EvalEngine::new(self.model(), &self.nest, &self.layout, self.sampling, self.ga.seed)
     }
 
     /// CME estimate of this problem's nest under `layout` with an optional

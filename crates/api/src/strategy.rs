@@ -15,7 +15,7 @@ use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
 use cme_loopnest::TileSizes;
 use cme_tileopt::problem::GaSummary;
 use cme_tileopt::{
-    baselines, optimize_with_interchange, try_exhaustive_search, PaddingOptimizer, TilingOptimizer,
+    baselines, exhaustive_search_on, optimize_with_interchange, PaddingOptimizer, TilingOptimizer,
 };
 use std::time::Instant;
 
@@ -182,8 +182,9 @@ impl SearchStrategy for InterchangeStrategy {
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
         let b = OutcomeBuilder::new(self, problem);
         // `before` is the *source order* untiled — the interchange search
-        // itself reports its best permutation's estimates.
-        let before = problem.baseline_estimate();
+        // itself reports its best permutation's estimates (each legal
+        // permutation gets its own engine: the analysis is per-order).
+        let before = problem.engine().estimate_canonical(None);
         let out = optimize_with_interchange(&tiling_optimizer(problem), &problem.nest)
             .map_err(ApiError::IllegalTransform)?;
         let transform = Transform {
@@ -218,18 +219,13 @@ impl SearchStrategy for ExhaustiveStrategy {
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
         let b = OutcomeBuilder::new(self, problem);
         require_tileable(problem)?;
-        let res = try_exhaustive_search(
-            &problem.nest,
-            &problem.layout,
-            problem.cache,
-            problem.sampling,
-            self.step,
-            self.max_evals,
-            problem.ga.seed,
-        )
-        .map_err(ApiError::TooLarge)?;
-        let before = problem.baseline_estimate();
-        let after = problem.estimate(&problem.layout, Some(&res.best_tiles));
+        // One shared engine: the whole sweep, the baseline and the final
+        // estimate borrow the same per-kernel analysis.
+        let engine = problem.engine();
+        let res =
+            exhaustive_search_on(&engine, self.step, self.max_evals).map_err(ApiError::TooLarge)?;
+        let before = engine.estimate_canonical(None);
+        let after = engine.estimate_canonical(Some(&res.best_tiles));
         let explored = res.landscape.len() as u64;
         Ok(b.finish(Transform::tiles(res.best_tiles), before, after, None, Some(explored)))
     }
@@ -268,8 +264,9 @@ impl SearchStrategy for BaselineStrategy {
             }
         };
         tiles.validate(&problem.nest).map_err(|e| ApiError::IllegalTransform(e.to_string()))?;
-        let before = problem.baseline_estimate();
-        let after = problem.estimate(&problem.layout, Some(&tiles));
+        let engine = problem.engine();
+        let before = engine.estimate_canonical(None);
+        let after = engine.estimate_canonical(Some(&tiles));
         Ok(b.finish(Transform::tiles(tiles), before, after, None, None))
     }
 }

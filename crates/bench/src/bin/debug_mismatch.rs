@@ -48,7 +48,7 @@ fn main() {
                     spec.line_of(addr0),
                     spec.set_of_line(spec.line_of(addr0))
                 );
-                for c in &an.candidates[r] {
+                for c in &an.candidates()[r] {
                     let src: Vec<i64> = v.iter().zip(&c.rv).map(|(a, b)| a - b).collect();
                     let valid = c.rv.iter().all(|&x| x == 0) || an.space.contains_v(&src);
                     if valid {

@@ -1,0 +1,368 @@
+//! The shared evaluation engine — the search hot path's per-request
+//! state.
+//!
+//! A GA run evaluates hundreds of candidate transforms of **one** nest.
+//! Building a [`NestAnalysis`] from scratch per candidate spends most of
+//! its time in [`crate::reuse::original_displacements`] — Diophantine
+//! window enumeration that is completely independent of the candidate's
+//! tile sizes and, for same-array reference pairs, independent of its
+//! padding too. The engine computes that work once per request and lets
+//! every candidate borrow it:
+//!
+//! * the **candidate base** (uniform pairs + original-space displacement
+//!   sets) for the request's base layout is built eagerly; per candidate
+//!   only the cheap lift/sort/truncate step runs,
+//! * a displacement cache keyed by `(address coefficients, base-address
+//!   delta)` serves padding searches, where candidate layouts differ but
+//!   most pairs (all self-pairs and same-array pairs) keep their key,
+//! * the untiled analysis is cached whole — trivial tile vectors and
+//!   baseline estimates reuse it directly.
+//!
+//! Results are **byte-identical** to the from-scratch path: the engine
+//! assembles analyses from the same `reuse::candidate_base` /
+//! `reuse::lift_base` primitives [`CmeModel::analyze`] itself uses, and
+//! reproduces [`CmeModel::estimate_nest`]'s seed derivation exactly.
+//! Optional approximation (early-abandon sampling, see
+//! [`SamplingConfig::early_abandon`]) only engages through the
+//! incumbent-aware [`EvalEngine::cost`] path used by search objectives.
+
+use crate::estimate::{sampled_vs_incumbent, MissEstimate};
+use crate::lexmax::SuffixRanges;
+use crate::model::{CmeModel, NestAnalysis};
+use crate::reuse::{candidate_base_with, original_displacements, CandidateBase};
+use crate::sampling::SamplingConfig;
+use cme_loopnest::{ExecSpace, LoopNest, MemoryLayout, TileSizes};
+use cme_polyhedra::AffineForm;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Seed-mixing constants shared with [`CmeModel::estimate_nest`] and the
+/// search objectives: every candidate derives its sampling seed as
+/// `(base ^ SEED_SPLIT)` folded over its decision values with
+/// `h·SEED_FOLD + v`.
+pub const SEED_SPLIT: u64 = 0x9E37_79B9_7F4A_7C15;
+pub const SEED_FOLD: u64 = 0x100_0000_01B3;
+
+/// Fold decision values into a base seed (the canonical derivation used
+/// across the suite — identical inputs give identical sampling seeds, so
+/// memoised costs are reproducible).
+pub fn fold_seed(mut h: u64, values: &[i64]) -> u64 {
+    for &v in values {
+        h = h.wrapping_mul(SEED_FOLD).wrapping_add(v as u64);
+    }
+    h
+}
+
+/// Shared evaluation state for one optimisation request: one nest, one
+/// base layout, one cache model, one sampling configuration, one seed.
+/// `Sync` — rayon-parallel GA evaluation borrows it from every worker.
+pub struct EvalEngine {
+    model: CmeModel,
+    sampling: SamplingConfig,
+    seed: u64,
+    nest: LoopNest,
+    layout: MemoryLayout,
+    spans: Vec<i64>,
+    /// Candidate base for the base layout (tile-independent).
+    base: Arc<CandidateBase>,
+    /// Untiled analysis of the base layout, shared by trivial-tile
+    /// candidates and baseline estimates.
+    untiled: Arc<NestAnalysis>,
+    /// Cross-layout displacement cache: `(subject coefficients, source c0
+    /// − subject c0) → displacement set`. Line size and spans are fixed
+    /// per engine, so the key is complete.
+    displacements: Mutex<HashMap<(Vec<i64>, i64), Arc<Vec<Vec<i64>>>>>,
+}
+
+impl EvalEngine {
+    /// Build the engine, precomputing everything candidate-independent.
+    pub fn new(
+        model: CmeModel,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        sampling: SamplingConfig,
+        seed: u64,
+    ) -> Self {
+        let spans = nest.spans();
+        let displacements = Mutex::new(HashMap::new());
+        let addr = layout.address_forms(nest);
+        let base = Arc::new(candidate_base_with(nest, &addr, |a, b| {
+            cached_displacements(&displacements, &addr[a], &addr[b], model.cache.line, &spans)
+        }));
+        let untiled = Arc::new(assemble(model, nest, layout, None, Arc::clone(&base)));
+        EvalEngine {
+            model,
+            sampling,
+            seed,
+            nest: nest.clone(),
+            layout: layout.clone(),
+            spans,
+            base,
+            untiled,
+            displacements,
+        }
+    }
+
+    pub fn model(&self) -> CmeModel {
+        self.model
+    }
+
+    pub fn sampling(&self) -> &SamplingConfig {
+        &self.sampling
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn nest(&self) -> &LoopNest {
+        &self.nest
+    }
+
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The shared untiled analysis of the base layout.
+    pub fn untiled_analysis(&self) -> &NestAnalysis {
+        &self.untiled
+    }
+
+    /// Analysis of the base layout under an optional tiling, assembled
+    /// from the shared candidate base. Byte-identical to
+    /// [`CmeModel::analyze`] with the same arguments.
+    pub fn analysis(&self, tiles: Option<&TileSizes>) -> NestAnalysis {
+        match tiles.filter(|t| !t.is_trivial(&self.nest)) {
+            None => (*self.untiled).clone(),
+            Some(t) => {
+                assemble(self.model, &self.nest, &self.layout, Some(t), Arc::clone(&self.base))
+            }
+        }
+    }
+
+    /// Analysis of an arbitrary layout (padding candidates), served by the
+    /// cross-layout displacement cache.
+    pub fn analysis_for_layout(
+        &self,
+        layout: &MemoryLayout,
+        tiles: Option<&TileSizes>,
+    ) -> NestAnalysis {
+        if *layout == self.layout {
+            return self.analysis(tiles);
+        }
+        let addr = layout.address_forms(&self.nest);
+        let base = Arc::new(candidate_base_with(&self.nest, &addr, |a, b| {
+            cached_displacements(
+                &self.displacements,
+                &addr[a],
+                &addr[b],
+                self.model.cache.line,
+                &self.spans,
+            )
+        }));
+        let effective = tiles.filter(|t| !t.is_trivial(&self.nest));
+        assemble(self.model, &self.nest, layout, effective, base)
+    }
+
+    /// Canonical estimate — the drop-in replacement for
+    /// [`CmeModel::estimate_nest`] on the engine's nest and base layout:
+    /// same seed derivation (fold only when the tiling is effective),
+    /// same sampling, byte-identical result.
+    pub fn estimate_canonical(&self, tiles: Option<&TileSizes>) -> MissEstimate {
+        let effective = tiles.filter(|t| !t.is_trivial(&self.nest));
+        let mut h = self.seed ^ SEED_SPLIT;
+        if let Some(t) = effective {
+            h = fold_seed(h, &t.0);
+        }
+        self.analysis(effective).estimate(&self.sampling, h)
+    }
+
+    /// Estimate under an explicit layout and sampling seed — the
+    /// lower-level entry for objectives with their own seed conventions
+    /// (padding folds raw GA values, joint search folds tile values).
+    /// `incumbent` enables early abandonment when the sampling
+    /// configuration allows it.
+    pub fn estimate_seeded(
+        &self,
+        layout: Option<&MemoryLayout>,
+        tiles: Option<&TileSizes>,
+        sample_seed: u64,
+        incumbent: Option<f64>,
+    ) -> MissEstimate {
+        let an = match layout {
+            None => self.analysis(tiles),
+            Some(l) => self.analysis_for_layout(l, tiles),
+        };
+        sampled_vs_incumbent(&an, &self.sampling, sample_seed, incumbent)
+    }
+
+    /// The §3.1 objective value for a candidate tile vector on the base
+    /// layout: estimated replacement misses, with the tiling-objective
+    /// seed convention (fold the raw values, trivial or not). `incumbent`
+    /// enables early abandonment when configured.
+    pub fn cost(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
+        let tiles = TileSizes(values.to_vec());
+        let effective = (!tiles.is_trivial(&self.nest)).then_some(&tiles);
+        let seed = fold_seed(self.seed ^ SEED_SPLIT, values);
+        self.estimate_seeded(None, effective, seed, incumbent).replacement_misses()
+    }
+}
+
+/// Cache lookup with the Diophantine enumeration kept *outside* the
+/// lock: rayon workers evaluating padding candidates in parallel must not
+/// serialize on a miss. Two workers racing on the same key compute the
+/// same (deterministic) value; the first insert wins and both return it.
+fn cached_displacements(
+    cache: &Mutex<HashMap<(Vec<i64>, i64), Arc<Vec<Vec<i64>>>>>,
+    addr_a: &AffineForm,
+    addr_b: &AffineForm,
+    line: i64,
+    spans: &[i64],
+) -> Arc<Vec<Vec<i64>>> {
+    let key = (addr_a.coeffs.clone(), addr_b.c0 - addr_a.c0);
+    if let Some(hit) = cache.lock().get(&key) {
+        return Arc::clone(hit);
+    }
+    let fresh = Arc::new(original_displacements(addr_a, addr_b, line, spans));
+    Arc::clone(cache.lock().entry(key).or_insert(fresh))
+}
+
+/// Assemble a [`NestAnalysis`] from a prebuilt candidate base. This is
+/// *the* analysis constructor: [`CmeModel::analyze`] delegates here with
+/// a fresh base, the engine with its shared/cached one. The explicit
+/// equation-object candidates are lifted lazily (see
+/// [`NestAnalysis::candidates`]) — the classifier never reads them.
+pub(crate) fn assemble(
+    model: CmeModel,
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+    base: Arc<CandidateBase>,
+) -> NestAnalysis {
+    let space = match tiles {
+        None => ExecSpace::untiled(nest),
+        Some(t) => ExecSpace::tiled(nest, t),
+    };
+    let addr: Vec<AffineForm> =
+        layout.address_forms(nest).iter().map(|f| space.lift_form(f)).collect();
+    let relaxed = space.relaxed_dims();
+    let suffix = addr.iter().map(|f| SuffixRanges::of(f, &relaxed)).collect();
+    let uniform_sources = (0..nest.refs.len())
+        .map(|a| {
+            (0..nest.refs.len())
+                .filter(|&b| {
+                    nest.refs[a].array == nest.refs[b].array && addr[a].coeffs == addr[b].coeffs
+                })
+                .collect()
+        })
+        .collect();
+    NestAnalysis {
+        cache: model.cache,
+        solver_nodes: model.solver_nodes,
+        space,
+        addr,
+        base,
+        lifted: std::sync::OnceLock::new(),
+        uniform_sources,
+        suffix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheSpec;
+    use cme_loopnest::builder::{sub, NestBuilder};
+
+    fn mm(n: i64) -> LoopNest {
+        let mut nb = NestBuilder::new(format!("mm_{n}"));
+        let i = nb.add_loop("i", 1, n);
+        let j = nb.add_loop("j", 1, n);
+        let k = nb.add_loop("k", 1, n);
+        let a = nb.array("a", &[n, n]);
+        let b = nb.array("b", &[n, n]);
+        let c = nb.array("c", &[n, n]);
+        nb.read(a, &[sub(i), sub(j)]);
+        nb.read(b, &[sub(i), sub(k)]);
+        nb.read(c, &[sub(k), sub(j)]);
+        nb.write(a, &[sub(i), sub(j)]);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn engine_estimates_match_model_byte_for_byte() {
+        let nest = mm(20);
+        let layout = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(CacheSpec::direct_mapped(1024, 32));
+        let cfg = SamplingConfig::paper();
+        let engine = EvalEngine::new(model, &nest, &layout, cfg, 0xCE11);
+        for tiles in [None, Some(TileSizes(vec![5, 7, 3])), Some(TileSizes(vec![20, 20, 20]))] {
+            let from_scratch = model.estimate_nest(&nest, &layout, tiles.as_ref(), &cfg, 0xCE11);
+            let engined = engine.estimate_canonical(tiles.as_ref());
+            assert_eq!(from_scratch, engined, "tiles {tiles:?}");
+        }
+    }
+
+    #[test]
+    fn engine_cost_matches_from_scratch_objective_seeding() {
+        let nest = mm(16);
+        let layout = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(CacheSpec::direct_mapped(512, 32));
+        let cfg = SamplingConfig::paper();
+        let engine = EvalEngine::new(model, &nest, &layout, cfg, 42);
+        for values in [vec![4i64, 4, 4], vec![16, 16, 16], vec![1, 16, 2]] {
+            let tiles = TileSizes(values.clone());
+            let effective = (!tiles.is_trivial(&nest)).then_some(&tiles);
+            let an = model.analyze(&nest, &layout, effective);
+            let seed = fold_seed(42 ^ SEED_SPLIT, &values);
+            let want = an.estimate(&cfg, seed).replacement_misses();
+            assert_eq!(engine.cost(&values, None), want, "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn engine_handles_foreign_layouts_via_displacement_cache() {
+        let nest = mm(12);
+        let base = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(CacheSpec::direct_mapped(512, 32));
+        let cfg = SamplingConfig::paper();
+        let engine = EvalEngine::new(model, &nest, &base, cfg, 7);
+        // A padded layout: displace arrays by whole lines.
+        let padded = MemoryLayout::with_padding(&nest, &[0, 32, 64], &vec![vec![0i64; 2]; 3]);
+        let want = model.analyze(&nest, &padded, None).estimate(&cfg, 99);
+        let got = engine.estimate_seeded(Some(&padded), None, 99, None);
+        assert_eq!(want, got);
+        // And tiled on the padded layout.
+        let t = TileSizes(vec![3, 12, 5]);
+        let want = model.analyze(&nest, &padded, Some(&t)).estimate(&cfg, 99);
+        let got = engine.estimate_seeded(Some(&padded), Some(&t), 99, None);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn early_abandon_stops_hopeless_candidates_deterministically() {
+        let nest = mm(20);
+        let layout = MemoryLayout::contiguous(&nest);
+        let model = CmeModel::new(CacheSpec::direct_mapped(512, 32));
+        let cfg = SamplingConfig::paper()
+            .with_early_abandon(crate::sampling::EarlyAbandonConfig { check_every: 16 });
+        let engine = EvalEngine::new(model, &nest, &layout, cfg, 3);
+        // The untransformed nest thrashes; give an incumbent of zero
+        // misses so any thrashing candidate is provably worse early.
+        let full = engine.estimate_seeded(None, None, 11, None);
+        assert!(full.replacement_misses() > 0.0);
+        let partial = engine.estimate_seeded(None, None, 11, Some(0.0));
+        assert!(
+            partial.n_samples < full.n_samples,
+            "hopeless candidate must abandon ({} vs {})",
+            partial.n_samples,
+            full.n_samples
+        );
+        // Deterministic: same inputs, same partial result.
+        assert_eq!(partial, engine.estimate_seeded(None, None, 11, Some(0.0)));
+        // And a *good* incumbent never triggers on a good candidate: with
+        // no incumbent the estimate equals the plain sampled path.
+        assert_eq!(full, engine.estimate_seeded(None, None, 11, None));
+    }
+}

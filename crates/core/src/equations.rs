@@ -63,7 +63,7 @@ impl CmeEquations {
         let mut compulsory = Vec::new();
         let mut replacement = Vec::new();
         for subject in 0..n_refs {
-            for cand in &an.candidates[subject] {
+            for cand in &an.candidates()[subject] {
                 for region in 0..n_regions {
                     compulsory.push(CompulsoryEq { subject, cand: cand.clone(), region });
                     for j_region in 0..n_regions {
@@ -333,8 +333,8 @@ mod tests {
         // Per subject & candidate: compulsory ∝ n, replacement ∝ n²·refs.
         // Candidate counts differ between spaces, so compare the ratio per
         // candidate instance instead.
-        let cands1: usize = an1.candidates.iter().map(Vec::len).sum();
-        let cands4: usize = an4.candidates.iter().map(Vec::len).sum();
+        let cands1: usize = an1.candidates().iter().map(Vec::len).sum();
+        let cands4: usize = an4.candidates().iter().map(Vec::len).sum();
         assert_eq!(e1.compulsory.len(), cands1);
         assert_eq!(e4.compulsory.len(), cands4 * 4);
         assert_eq!(e1.replacement.len(), cands1 * 2);

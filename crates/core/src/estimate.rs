@@ -154,6 +154,95 @@ impl MissEstimate {
     }
 }
 
+/// Sampled estimate that may stop early against an incumbent (early-
+/// abandon sequential sampling — the `SamplingConfig::early_abandon`
+/// knob). `incumbent_misses` is the best replacement-miss count seen so
+/// far by the surrounding search.
+///
+/// The sampled point set is the same as [`sampled`]'s for the same seed,
+/// but points are classified *sequentially in sorted rank order*, and
+/// every `check_every` points the candidate's CI lower bound on
+/// replacement misses is compared against the incumbent's CI upper bound:
+/// once the candidate provably (at the configured confidence) cannot beat
+/// the incumbent, the remaining points are abandoned and the partial
+/// estimate is returned (`n_samples` records how many points were
+/// actually classified). Deterministic: the rank sequence and check
+/// schedule depend only on the seed and configuration.
+///
+/// With the knob disabled or no incumbent available this is exactly
+/// [`sampled`].
+pub fn sampled_vs_incumbent(
+    an: &NestAnalysis,
+    cfg: &SamplingConfig,
+    seed: u64,
+    incumbent_misses: Option<f64>,
+) -> MissEstimate {
+    let (Some(abandon), Some(incumbent)) = (cfg.early_abandon, incumbent_misses) else {
+        return sampled(an, cfg, seed);
+    };
+    let volume = an.space.volume();
+    let want = cfg.sample_size();
+    if volume <= want || !incumbent.is_finite() {
+        return sampled(an, cfg, seed);
+    }
+    let n_refs = an.addr.len();
+    if n_refs == 0 {
+        return sampled(an, cfg, seed);
+    }
+    // Same rank set as `sampled`, in sorted order so the sequential
+    // prefix is independent of the draw-set's iteration order.
+    let mut ranks = draw_ranks(volume, want, seed);
+    ranks.sort_unstable();
+    // The incumbent's CI upper bound, reconstructed from its point
+    // estimate at the full sample size (misses → ratio → +half-width).
+    let scale = (volume as f64) * n_refs as f64;
+    let r_inc = (incumbent / scale).clamp(0.0, 1.0);
+    let upper = (r_inc + cfg.ci_half_width(r_inc, want)) * scale;
+    let check_every = abandon.check_every.max(1);
+    let mut engine = an.engine();
+    let mut per_ref = vec![Counts::default(); n_refs];
+    let mut repl_total = 0u64;
+    let mut done = 0u64;
+    for &rank in &ranks {
+        let v = an.space.point_at_global_rank(rank);
+        for r in 0..n_refs {
+            let c = classify_point(an, &mut engine, &v, r);
+            per_ref[r].add(c);
+            if c == Classification::Replacement {
+                repl_total += 1;
+            }
+        }
+        done += 1;
+        if done.is_multiple_of(check_every) && done < want {
+            let p = repl_total as f64 / (done * n_refs as u64) as f64;
+            let lower = (p - cfg.ci_half_width(p, done)) * scale;
+            if lower > upper {
+                break; // provably cannot beat the incumbent
+            }
+        }
+    }
+    let per_ref = per_ref
+        .iter()
+        .map(|c| {
+            let p_cold = c.cold as f64 / done as f64;
+            let p_repl = c.replacement as f64 / done as f64;
+            RefEstimate { p_cold, p_repl, half_width: cfg.ci_half_width(p_cold + p_repl, done) }
+        })
+        .collect();
+    MissEstimate { n_samples: done, volume, exact: false, per_ref, solver: an.stats_of(&engine) }
+}
+
+/// Draw `want` distinct point ranks in `[0, volume)` — the shared sample
+/// set of [`sampled`] and [`sampled_vs_incumbent`] for a given seed.
+fn draw_ranks(volume: u64, want: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ranks = std::collections::HashSet::with_capacity(want as usize);
+    while (ranks.len() as u64) < want {
+        ranks.insert(rng.gen_range(0..volume));
+    }
+    ranks.into_iter().collect()
+}
+
 /// Exhaustively classify every (point, reference) pair.
 pub fn exhaustive(an: &NestAnalysis) -> MissReport {
     let n_refs = an.addr.len();
@@ -195,13 +284,7 @@ pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstima
             solver: rep.solver,
         };
     }
-    // Draw distinct ranks.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ranks = std::collections::HashSet::with_capacity(want as usize);
-    while (ranks.len() as u64) < want {
-        ranks.insert(rng.gen_range(0..volume));
-    }
-    let ranks: Vec<u64> = ranks.into_iter().collect();
+    let ranks = draw_ranks(volume, want, seed);
     let n_refs = an.addr.len();
     let (counts, solver) = ranks
         .par_chunks(16.max(ranks.len() / 64))

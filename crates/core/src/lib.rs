@@ -35,6 +35,7 @@
 //! [`equations`] for inspection and the §2.4 region-count properties.
 
 pub mod classify;
+pub mod engine;
 pub mod equations;
 pub mod estimate;
 pub mod interference;
@@ -44,9 +45,10 @@ pub mod reuse;
 pub mod sampling;
 
 pub use classify::Classification;
+pub use engine::EvalEngine;
 pub use estimate::{Counts, MissEstimate, MissReport};
 pub use model::{CmeModel, NestAnalysis};
-pub use sampling::SamplingConfig;
+pub use sampling::{EarlyAbandonConfig, SamplingConfig};
 
 /// Cache geometry parameters used by the analysis. Mirrors
 /// `cme_cachesim::CacheGeometry` without depending on the simulator crate

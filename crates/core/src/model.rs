@@ -4,7 +4,7 @@ use crate::classify::{classify_point, Classification};
 use crate::estimate::{exhaustive, sampled, MissEstimate, MissReport, SolverStats};
 use crate::interference::InterferenceEngine;
 use crate::lexmax::SuffixRanges;
-use crate::reuse::{candidates_with_line, ReuseCandidate};
+use crate::reuse::ReuseCandidate;
 use crate::sampling::SamplingConfig;
 use crate::CacheSpec;
 use cme_loopnest::{ExecSpace, LoopNest, MemoryLayout, TileSizes};
@@ -58,11 +58,9 @@ impl CmeModel {
         seed: u64,
     ) -> crate::MissEstimate {
         let effective = tiles.filter(|t| !t.is_trivial(nest));
-        let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut h = seed ^ crate::engine::SEED_SPLIT;
         if let Some(t) = effective {
-            for &v in &t.0 {
-                h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v as u64);
-            }
+            h = crate::engine::fold_seed(h, &t.0);
         }
         self.analyze(nest, layout, effective).estimate(sampling, h)
     }
@@ -79,33 +77,12 @@ impl CmeModel {
         layout: &MemoryLayout,
         tiles: Option<&TileSizes>,
     ) -> NestAnalysis {
-        let space = match tiles {
-            None => ExecSpace::untiled(nest),
-            Some(t) => ExecSpace::tiled(nest, t),
-        };
-        let addr: Vec<AffineForm> =
-            layout.address_forms(nest).iter().map(|f| space.lift_form(f)).collect();
-        let candidates = candidates_with_line(nest, layout, &space, self.cache.line);
-        let relaxed = space.relaxed_dims();
-        let suffix = addr.iter().map(|f| SuffixRanges::of(f, &relaxed)).collect();
-        let uniform_sources = (0..nest.refs.len())
-            .map(|a| {
-                (0..nest.refs.len())
-                    .filter(|&b| {
-                        nest.refs[a].array == nest.refs[b].array && addr[a].coeffs == addr[b].coeffs
-                    })
-                    .collect()
-            })
-            .collect();
-        NestAnalysis {
-            cache: self.cache,
-            solver_nodes: self.solver_nodes,
-            space,
-            addr,
-            candidates,
-            uniform_sources,
-            suffix,
-        }
+        // Delegates to the evaluation engine's assembly step with a
+        // freshly built candidate base — the engine's cached path and
+        // this from-scratch path share one implementation, so they
+        // cannot drift apart.
+        let base = crate::reuse::candidate_base(nest, layout, self.cache.line);
+        crate::engine::assemble(*self, nest, layout, tiles, std::sync::Arc::new(base))
     }
 }
 
@@ -117,9 +94,14 @@ pub struct NestAnalysis {
     pub space: ExecSpace,
     /// Per-reference byte-address forms over analysis coordinates.
     pub addr: Vec<AffineForm>,
-    /// Per-reference explicit reuse candidates (equation objects; the fast
-    /// classifier uses the lexmax search instead).
-    pub candidates: Vec<Vec<ReuseCandidate>>,
+    /// Tile-independent candidate base (shared with the evaluation
+    /// engine); lifted lazily into [`Self::candidates`].
+    pub(crate) base: std::sync::Arc<crate::reuse::CandidateBase>,
+    /// Lazily lifted explicit reuse candidates — only the equation-object
+    /// path ([`crate::equations::CmeEquations`]) reads them; the fast
+    /// classifier uses the lexmax search instead, so the search hot path
+    /// never pays for the lift.
+    pub(crate) lifted: std::sync::OnceLock<Vec<Vec<ReuseCandidate>>>,
     /// Per-reference list of uniformly generated source references
     /// (same array, equal address coefficients — includes the reference
     /// itself).
@@ -129,6 +111,11 @@ pub struct NestAnalysis {
 }
 
 impl NestAnalysis {
+    /// Per-reference explicit reuse candidates (equation objects),
+    /// recency-sorted — lifted from the candidate base on first use.
+    pub fn candidates(&self) -> &[Vec<ReuseCandidate>] {
+        self.lifted.get_or_init(|| crate::reuse::lift_base(&self.base, &self.space))
+    }
     /// A fresh per-thread interference engine.
     pub fn engine(&self) -> InterferenceEngine {
         InterferenceEngine::new(self.cache, self.solver_nodes)

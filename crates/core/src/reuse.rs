@@ -27,6 +27,7 @@ use cme_polyhedra::boxes::lex_cmp;
 use cme_polyhedra::dioph::{div_ceil, div_floor, solve_2var};
 use cme_polyhedra::{AffineForm, Interval};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A candidate reuse: reference `src_ref` at `v − rv` may hold the line
 /// touched by the subject reference at `v`.
@@ -50,7 +51,12 @@ const MAX_2VAR_SOLUTIONS: usize = 12;
 /// Generate candidate original-space displacements for reuse of subject
 /// reference with address form `addr_a` from source with `addr_b`
 /// (uniform: equal coefficients), line size `ls`, loop spans `spans`.
-fn original_displacements(
+///
+/// This is the expensive, **tile-independent** half of candidate
+/// generation (Diophantine window enumeration); its result depends only
+/// on `(addr_a.coeffs, addr_b.c0 − addr_a.c0, ls, spans)` — the key the
+/// evaluation engine caches it under across search candidates.
+pub fn original_displacements(
     addr_a: &AffineForm,
     addr_b: &AffineForm,
     ls: i64,
@@ -126,53 +132,96 @@ fn original_displacements(
     out
 }
 
+/// The tile-independent candidate base of a nest under a layout: per
+/// subject reference, the uniform source pairs with their original-space
+/// displacement sets. Lift it into any execution space with
+/// [`lift_base`]; the `Arc`s let the evaluation engine share one
+/// displacement set across many candidates and layouts.
+pub type CandidateBase = Vec<Vec<(usize, Arc<Vec<Vec<i64>>>)>>;
+
+/// Build the candidate base with a caller-supplied displacement source —
+/// the seam where the evaluation engine injects its cross-candidate
+/// displacement cache. `displacements(a, b)` must return
+/// [`original_displacements`]`(&addr[a], &addr[b], line, spans)`.
+pub fn candidate_base_with(
+    nest: &LoopNest,
+    addr: &[AffineForm],
+    mut displacements: impl FnMut(usize, usize) -> Arc<Vec<Vec<i64>>>,
+) -> CandidateBase {
+    (0..nest.refs.len())
+        .map(|a| {
+            (0..nest.refs.len())
+                // Uniform pairs only (same array, equal subscript/address
+                // coefficients); non-uniform same-array reuse is
+                // conservatively ignored, as in the original CME framework.
+                .filter(|&b| {
+                    nest.refs[a].array == nest.refs[b].array && addr[a].coeffs == addr[b].coeffs
+                })
+                .map(|b| (b, displacements(a, b)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the candidate base from scratch (no cross-candidate cache).
+pub fn candidate_base(nest: &LoopNest, layout: &MemoryLayout, line: i64) -> CandidateBase {
+    let spans = nest.spans();
+    let addr = layout.address_forms(nest);
+    candidate_base_with(nest, &addr, |a, b| {
+        Arc::new(original_displacements(&addr[a], &addr[b], line, &spans))
+    })
+}
+
+/// Lift a candidate base into an execution space: displacements decompose
+/// into (block, offset) realisations, then are recency-sorted, deduped
+/// and truncated. This is the cheap per-candidate half of generation.
+pub fn lift_base(base: &CandidateBase, space: &ExecSpace) -> Vec<Vec<ReuseCandidate>> {
+    base.iter()
+        .enumerate()
+        .map(|(a, pairs)| {
+            let mut cands: Vec<ReuseCandidate> = Vec::new();
+            for (b, displacements) in pairs {
+                for r in displacements.iter() {
+                    for rv in space.lift_displacement(r) {
+                        match lex_cmp(&rv, &vec![0; rv.len()]) {
+                            Ordering::Greater => {
+                                cands.push(ReuseCandidate { rv, src_ref: *b });
+                            }
+                            Ordering::Equal => {
+                                // Intra-iteration reuse: source must
+                                // execute earlier in the body.
+                                if *b < a {
+                                    cands.push(ReuseCandidate { rv, src_ref: *b });
+                                }
+                            }
+                            Ordering::Less => {}
+                        }
+                    }
+                }
+            }
+            // Recency order: lexicographically smaller displacement =
+            // closer source; ties broken by later body position (more
+            // recent).
+            cands.sort_by(|x, y| lex_cmp(&x.rv, &y.rv).then(y.src_ref.cmp(&x.src_ref)));
+            cands.dedup();
+            cands.truncate(MAX_CANDIDATES_PER_REF);
+            cands
+        })
+        .collect()
+}
+
 /// Generate the recency-sorted candidate list for every reference of a
 /// nest under a layout, lifted into the given execution space, for the
-/// given cache line size.
+/// given cache line size. Equivalent to lifting [`candidate_base`] —
+/// which is exactly how it is implemented, so the from-scratch and
+/// engine-cached paths cannot drift apart.
 pub fn candidates_with_line(
     nest: &LoopNest,
     layout: &MemoryLayout,
     space: &ExecSpace,
     line: i64,
 ) -> Vec<Vec<ReuseCandidate>> {
-    let spans = nest.spans();
-    let addr: Vec<AffineForm> = layout.address_forms(nest);
-    let mut per_ref = Vec::with_capacity(nest.refs.len());
-    for a in 0..nest.refs.len() {
-        let mut cands: Vec<ReuseCandidate> = Vec::new();
-        for b in 0..nest.refs.len() {
-            // Uniform pairs only (same array, equal subscript/address
-            // coefficients); non-uniform same-array reuse is conservatively
-            // ignored, as in the original CME framework.
-            if nest.refs[a].array != nest.refs[b].array || addr[a].coeffs != addr[b].coeffs {
-                continue;
-            }
-            for r in original_displacements(&addr[a], &addr[b], line, &spans) {
-                for rv in space.lift_displacement(&r) {
-                    match lex_cmp(&rv, &vec![0; rv.len()]) {
-                        Ordering::Greater => {
-                            cands.push(ReuseCandidate { rv, src_ref: b });
-                        }
-                        Ordering::Equal => {
-                            // Intra-iteration reuse: source must execute
-                            // earlier in the body.
-                            if b < a {
-                                cands.push(ReuseCandidate { rv, src_ref: b });
-                            }
-                        }
-                        Ordering::Less => {}
-                    }
-                }
-            }
-        }
-        // Recency order: lexicographically smaller displacement = closer
-        // source; ties broken by later body position (more recent).
-        cands.sort_by(|x, y| lex_cmp(&x.rv, &y.rv).then(y.src_ref.cmp(&x.src_ref)));
-        cands.dedup();
-        cands.truncate(MAX_CANDIDATES_PER_REF);
-        per_ref.push(cands);
-    }
-    per_ref
+    lift_base(&candidate_base(nest, layout, line), space)
 }
 
 #[cfg(test)]

@@ -12,6 +12,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Early-abandon sequential sampling (an *approximation knob*, off by
+/// default): while sampling a search candidate, stop as soon as the
+/// candidate's CI lower bound on replacement misses already exceeds the
+/// incumbent's CI upper bound — the candidate cannot win, so the
+/// remaining points are wasted work. Results stay deterministic (the
+/// sampled point sequence and the check schedule are fixed by the seed)
+/// but differ from full sampling, which is why the default path never
+/// abandons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyAbandonConfig {
+    /// Re-check the abandon criterion every this many sampled points.
+    pub check_every: u64,
+}
+
+impl Default for EarlyAbandonConfig {
+    fn default() -> Self {
+        EarlyAbandonConfig { check_every: 32 }
+    }
+}
+
 /// Sampling parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SamplingConfig {
@@ -21,22 +41,32 @@ pub struct SamplingConfig {
     pub half_width: f64,
     /// Optional explicit sample size overriding the formula.
     pub override_n: Option<u64>,
+    /// Early-abandon sequential sampling: present = enabled. Only search
+    /// objectives consult it (reported before/after estimates always
+    /// sample fully); absent in JSON deserialises to `None`.
+    pub early_abandon: Option<EarlyAbandonConfig>,
 }
 
 impl SamplingConfig {
     /// The paper's configuration: 164 sampled points.
     pub fn paper() -> Self {
-        SamplingConfig { z: 1.28, half_width: 0.05, override_n: None }
+        SamplingConfig { z: 1.28, half_width: 0.05, override_n: None, early_abandon: None }
     }
 
     /// A two-sided 90 % interval (z = 1.645, 271 points).
     pub fn two_sided_90() -> Self {
-        SamplingConfig { z: 1.645, half_width: 0.05, override_n: None }
+        SamplingConfig { z: 1.645, half_width: 0.05, override_n: None, early_abandon: None }
     }
 
     /// Fixed sample size.
     pub fn fixed(n: u64) -> Self {
-        SamplingConfig { z: 1.28, half_width: 0.05, override_n: Some(n) }
+        SamplingConfig { z: 1.28, half_width: 0.05, override_n: Some(n), early_abandon: None }
+    }
+
+    /// This configuration with early abandonment enabled.
+    pub fn with_early_abandon(mut self, cfg: EarlyAbandonConfig) -> Self {
+        self.early_abandon = Some(cfg);
+        self
     }
 
     /// Number of iteration points to sample.
@@ -80,6 +110,22 @@ mod tests {
     #[test]
     fn override_wins() {
         assert_eq!(SamplingConfig::fixed(500).sample_size(), 500);
+    }
+
+    #[test]
+    fn old_json_without_early_abandon_still_parses() {
+        // The pre-knob wire format (no `early_abandon` key) must keep
+        // deserialising — the vendored serde derive maps absent Option
+        // fields to `None`.
+        let cfg: SamplingConfig =
+            serde_json::from_str(r#"{"z":1.28,"half_width":0.05,"override_n":null}"#).unwrap();
+        assert_eq!(cfg, SamplingConfig::paper());
+        let round: SamplingConfig = serde_json::from_str(
+            &serde_json::to_string(&cfg.with_early_abandon(EarlyAbandonConfig { check_every: 20 }))
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(round.early_abandon, Some(EarlyAbandonConfig { check_every: 20 }));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property tests for the sampling configuration: the paper's constants,
+//! monotonicity of the sample-size formula and of the CI half-width —
+//! the invariants the early-abandon rule leans on.
+
+use cme_core::SamplingConfig;
+use proptest::prelude::*;
+
+/// Build a config with a half-width of `h_milli`/1000 and quantile
+/// `z_centi`/100 (integer strategies sidestep float generation).
+fn cfg(z_centi: u32, h_milli: u32) -> SamplingConfig {
+    SamplingConfig {
+        z: z_centi as f64 / 100.0,
+        half_width: h_milli as f64 / 1000.0,
+        ..SamplingConfig::paper()
+    }
+}
+
+#[test]
+fn paper_constants() {
+    // 164 points for the paper's one-sided 90% setup, 271 two-sided.
+    assert_eq!(SamplingConfig::paper().sample_size(), 164);
+    assert_eq!(SamplingConfig::two_sided_90().sample_size(), 271);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A tighter interval (smaller half-width) never needs fewer points.
+    #[test]
+    fn sample_size_monotone_in_half_width(
+        z in 50u32..300,
+        h1 in 10u32..200,
+        h2 in 10u32..200,
+    ) {
+        let (lo, hi) = (h1.min(h2), h1.max(h2));
+        prop_assert!(cfg(z, lo).sample_size() >= cfg(z, hi).sample_size());
+    }
+
+    /// A higher confidence quantile never needs fewer points.
+    #[test]
+    fn sample_size_monotone_in_z(
+        z1 in 50u32..300,
+        z2 in 50u32..300,
+        h in 10u32..200,
+    ) {
+        let (lo, hi) = (z1.min(z2), z1.max(z2));
+        prop_assert!(cfg(hi, h).sample_size() >= cfg(lo, h).sample_size());
+    }
+
+    /// The formula delivers its design guarantee: at the computed sample
+    /// size, the worst-case (p = ½) CI half-width is within the target.
+    #[test]
+    fn design_point_half_width_is_met(z in 50u32..300, h in 10u32..200) {
+        let c = cfg(z, h);
+        let n = c.sample_size();
+        prop_assert!(c.ci_half_width(0.5, n) <= c.half_width + 1e-9);
+    }
+
+    /// The CI half-width shrinks (weakly) as the sample grows and peaks
+    /// at p = ½ — the two facts that make the early-abandon lower bound
+    /// conservative.
+    #[test]
+    fn ci_half_width_monotone_in_n_and_peaked_at_half(
+        z in 50u32..300,
+        p_milli in 0u32..=1000,
+        n1 in 1u64..5000,
+        n2 in 1u64..5000,
+    ) {
+        let c = cfg(z, 50);
+        let p = p_milli as f64 / 1000.0;
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        prop_assert!(c.ci_half_width(p, lo) >= c.ci_half_width(p, hi) - 1e-12);
+        prop_assert!(c.ci_half_width(p, lo) <= c.ci_half_width(0.5, lo) + 1e-12);
+    }
+
+    /// An explicit override always wins over the formula.
+    #[test]
+    fn override_n_wins(z in 50u32..300, h in 10u32..200, n in 1u64..100_000) {
+        let mut c = cfg(z, h);
+        c.override_n = Some(n);
+        prop_assert_eq!(c.sample_size(), n);
+    }
+}

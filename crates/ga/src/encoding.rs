@@ -47,6 +47,20 @@ pub fn g(x: u64, k: u32, u: i64) -> i64 {
     (x as u128 * (u as u128 - 1) / denom) as i64 + 1
 }
 
+/// Inverse of [`g`]: the smallest chromosome value mapping to `v ∈ [1, u]`
+/// (`g` is a monotone surjection, so one always exists).
+pub fn g_inv(v: i64, k: u32, u: i64) -> u64 {
+    debug_assert!((1..=u).contains(&v));
+    if u <= 1 {
+        return 0;
+    }
+    // g(x) = ⌊x(u−1)/denom⌋ + 1 ≥ v  ⇔  x ≥ ⌈(v−1)·denom/(u−1)⌉.
+    let denom = (1u128 << k) - 1;
+    let num = (v as u128 - 1) * denom;
+    let den = u as u128 - 1;
+    (num.div_ceil(den)) as u64
+}
+
 impl Encoding {
     pub fn for_domain(domain: &Domain) -> Self {
         let bits: Vec<u32> = domain.maxes.iter().map(|&u| chromosome_bits(u)).collect();
@@ -85,6 +99,24 @@ impl Encoding {
     /// A uniformly random genome.
     pub fn random(&self, rng: &mut impl rand::Rng) -> Vec<bool> {
         (0..self.total_bits).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    /// Encode in-domain variable values as a genome (the canonical — i.e.
+    /// smallest — representation per chromosome). Inverse of
+    /// [`Self::decode`]: `decode(encode(v)) == v` for any `v` with
+    /// `1 ≤ v[i] ≤ maxes[i]`.
+    pub fn encode(&self, values: &[i64]) -> Vec<bool> {
+        debug_assert_eq!(values.len(), self.maxes.len());
+        let mut genome = vec![false; self.total_bits];
+        for ((&k, &off), (&u, &v)) in
+            self.bits.iter().zip(&self.offsets).zip(self.maxes.iter().zip(values))
+        {
+            let x = g_inv(v, k, u);
+            for b in 0..k as usize {
+                genome[off + b] = (x >> (k as usize - 1 - b)) & 1 == 1;
+            }
+        }
+        genome
     }
 }
 

@@ -1,20 +1,31 @@
 //! The GA driver: Fig. 4's simple GA with Fig. 7's termination rule.
 
 use crate::encoding::{Domain, Encoding};
+use crate::memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
 use crate::ops::{crossover, mutate};
 use crate::select::remainder_stochastic;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A minimisation objective over integer decision vectors.
 pub trait Objective: Sync {
     /// Cost of a decoded decision vector (e.g. estimated replacement
     /// misses of a tiling). Lower is better. Must be deterministic.
     fn cost(&self, values: &[i64]) -> f64;
+
+    /// As [`Self::cost`], with the best cost of all *previous generations*
+    /// available as an upper bound. Objectives that can prove a candidate
+    /// worse than the incumbent mid-evaluation (early-abandon sampling)
+    /// may return early with any value above the incumbent; the default
+    /// ignores the bound. The driver deliberately passes a bound frozen
+    /// at the start of each generation, never a mid-batch best, so
+    /// parallel evaluation order cannot influence results.
+    fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
+        let _ = incumbent;
+        self.cost(values)
+    }
 }
 
 impl<F: Fn(&[i64]) -> f64 + Sync> Objective for F {
@@ -35,6 +46,17 @@ pub struct GaConfig {
     /// average.
     pub convergence_margin: f64,
     pub seed: u64,
+    /// Bound on the cross-generation fitness memo (distinct decision
+    /// vectors retained); `None` = [`DEFAULT_MEMO_CAPACITY`]. Runs whose
+    /// distinct-genome count stays under the bound behave identically to
+    /// an unbounded memo. Beyond it, least-recently-seen vectors are
+    /// re-evaluated: with plain objectives the recomputed costs are
+    /// identical, so only work grows; with an incumbent-sensitive
+    /// objective (early-abandon sampling) a re-evaluation sees the
+    /// *current* generation's incumbent and may abandon where the
+    /// original evaluation did not — still deterministic for a fixed
+    /// seed, but not bit-identical to the unbounded run.
+    pub memo_capacity: Option<usize>,
 }
 
 impl Default for GaConfig {
@@ -47,6 +69,7 @@ impl Default for GaConfig {
             max_generations: 25,
             convergence_margin: 0.02,
             seed: 0xCE11,
+            memo_capacity: None,
         }
     }
 }
@@ -92,40 +115,54 @@ pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaR
     let mut population: Vec<Vec<bool>> =
         (0..cfg.population).map(|_| enc.random(&mut rng)).collect();
 
-    let memo: Mutex<HashMap<Vec<i64>, f64>> = Mutex::new(HashMap::new());
-    let evaluations = Mutex::new(0u64);
-    let evaluate = |pop: &[Vec<bool>]| -> Vec<(Vec<i64>, f64)> {
-        // Decode, dedupe, evaluate distinct genomes in parallel, then map
-        // back — deterministic regardless of thread count.
+    // Cross-generation fitness memo: bounded, touched only on this
+    // sequential path (workers just compute costs), so lookup/eviction
+    // order is independent of thread scheduling.
+    let mut memo = FitnessMemo::new(cfg.memo_capacity.unwrap_or(DEFAULT_MEMO_CAPACITY));
+    let mut evaluations = 0u64;
+    // Decode, dedupe, evaluate distinct genomes in parallel, then map
+    // back — deterministic regardless of thread count (the rayon map
+    // preserves input order, and `incumbent` is frozen per batch).
+    let mut evaluate = |pop: &[Vec<bool>],
+                        memo: &mut FitnessMemo,
+                        incumbent: Option<f64>|
+     -> Vec<(Vec<i64>, f64)> {
         let decoded: Vec<Vec<i64>> = pop.iter().map(|g| enc.decode(g)).collect();
         let mut todo: Vec<Vec<i64>> = Vec::new();
-        {
-            let memo = memo.lock();
-            for v in &decoded {
-                if !memo.contains_key(v) && !todo.contains(v) {
-                    todo.push(v.clone());
-                }
+        for v in &decoded {
+            if !memo.contains(v) && !todo.contains(v) {
+                todo.push(v.clone());
             }
         }
         let fresh: Vec<(Vec<i64>, f64)> = todo
             .into_par_iter()
             .map(|v| {
-                let c = objective.cost(&v);
+                let c = objective.cost_with_incumbent(&v, incumbent);
                 (v, c)
             })
             .collect();
-        {
-            let mut memo = memo.lock();
-            *evaluations.lock() += fresh.len() as u64;
-            for (v, c) in fresh {
-                memo.insert(v, c);
-            }
+        evaluations += fresh.len() as u64;
+        for (v, c) in fresh {
+            memo.insert(v, c);
         }
-        let memo = memo.lock();
         decoded
             .into_iter()
             .map(|v| {
-                let c = memo[&v];
+                // A capacity below the distinct-genome count of one
+                // generation can evict an entry before it is read back;
+                // recompute sequentially rather than fail. Deterministic,
+                // though an incumbent-sensitive objective may approximate
+                // differently than the evicted evaluation did (see
+                // `GaConfig::memo_capacity`).
+                let c = match memo.get(&v) {
+                    Some(c) => c,
+                    None => {
+                        evaluations += 1;
+                        let c = objective.cost_with_incumbent(&v, incumbent);
+                        memo.insert(v.clone(), c);
+                        c
+                    }
+                };
                 (v, c)
             })
             .collect()
@@ -138,7 +175,10 @@ pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaR
     let mut converged = false;
 
     loop {
-        let scored = evaluate(&population);
+        // The incumbent handed to objectives is the best of *finished*
+        // generations only — never updated mid-batch.
+        let incumbent = best_cost.is_finite().then_some(best_cost);
+        let scored = evaluate(&population, &mut memo, incumbent);
         let costs: Vec<f64> = scored.iter().map(|(_, c)| *c).collect();
         let gen_best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let average = costs.iter().sum::<f64>() / costs.len() as f64;
@@ -192,15 +232,7 @@ pub fn run_ga(domain: &Domain, objective: &dyn Objective, cfg: &GaConfig) -> GaR
         population = next;
     }
 
-    let total_evaluations = *evaluations.lock();
-    GaResult {
-        best_values,
-        best_cost,
-        generations: generation,
-        evaluations: total_evaluations,
-        converged,
-        history,
-    }
+    GaResult { best_values, best_cost, generations: generation, evaluations, converged, history }
 }
 
 #[cfg(test)]
@@ -269,6 +301,54 @@ mod tests {
         let obj = quad(vec![2]);
         let res = run_ga(&domain, &obj, &GaConfig::default());
         assert!(res.evaluations <= 4, "evaluations {}", res.evaluations);
+    }
+
+    #[test]
+    fn tiny_memo_bound_changes_work_not_results() {
+        // Forcing constant eviction re-evaluates deterministically; the
+        // search trajectory (and thus the result) is unchanged.
+        let domain = Domain::new(vec![64, 64]);
+        let obj = quad(vec![20, 40]);
+        let unbounded = run_ga(&domain, &obj, &GaConfig::default());
+        let bounded =
+            run_ga(&domain, &obj, &GaConfig { memo_capacity: Some(2), ..GaConfig::default() });
+        assert_eq!(unbounded.best_values, bounded.best_values);
+        assert_eq!(unbounded.best_cost, bounded.best_cost);
+        assert_eq!(unbounded.generations, bounded.generations);
+        assert!(bounded.evaluations >= unbounded.evaluations);
+    }
+
+    #[test]
+    fn incumbent_is_frozen_per_generation() {
+        // The incumbent visible to an evaluation must be the best of
+        // *previous* generations: strictly decreasing batch-to-batch,
+        // never influenced by the batch being evaluated.
+        use std::sync::Mutex;
+        struct Recorder {
+            target: Vec<i64>,
+            seen: Mutex<Vec<Option<f64>>>,
+        }
+        impl Objective for Recorder {
+            fn cost(&self, v: &[i64]) -> f64 {
+                v.iter().zip(&self.target).map(|(x, t)| ((x - t) * (x - t)) as f64).sum()
+            }
+            fn cost_with_incumbent(&self, v: &[i64], incumbent: Option<f64>) -> f64 {
+                self.seen.lock().unwrap().push(incumbent);
+                self.cost(v)
+            }
+        }
+        let domain = Domain::new(vec![32, 32]);
+        let rec = Recorder { target: vec![9, 3], seen: Mutex::new(Vec::new()) };
+        let res = run_ga(&domain, &rec, &GaConfig::default());
+        let seen = rec.seen.into_inner().unwrap();
+        assert_eq!(seen.len() as u64, res.evaluations);
+        // Generation 0 evaluates with no incumbent at all.
+        assert!(seen.iter().take_while(|s| s.is_none()).count() > 0);
+        // Afterwards the bound only ever tightens.
+        let bounds: Vec<f64> = seen.iter().filter_map(|s| *s).collect();
+        for w in bounds.windows(2) {
+            assert!(w[1] <= w[0], "incumbent must be monotone non-increasing");
+        }
     }
 
     #[test]

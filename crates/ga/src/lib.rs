@@ -24,8 +24,10 @@
 
 pub mod encoding;
 pub mod ga;
+pub mod memo;
 pub mod ops;
 pub mod select;
 
 pub use encoding::{Domain, Encoding};
 pub use ga::{run_ga, GaConfig, GaResult, GenStats, Objective};
+pub use memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};

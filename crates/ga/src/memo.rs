@@ -1,0 +1,176 @@
+//! Bounded cross-generation fitness memo.
+//!
+//! The GA re-encounters the same decoded decision vectors constantly —
+//! within a generation (duplicate genomes) and across generations
+//! (elite-ish individuals resurface under the paper's selection
+//! pressure). The memo makes every duplicate free. It is **bounded**
+//! (true LRU, deterministic eviction) so pathological configurations
+//! (huge `max_generations`, enormous domains) cannot grow memory without
+//! limit — the fix for the driver's previous unbounded `HashMap`.
+//!
+//! Determinism: all memo operations happen on the driver's sequential
+//! path (parallel workers only compute costs for keys the memo already
+//! decided are missing), so the touch/insert order — and therefore the
+//! eviction order — depends only on the population sequence.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A bounded LRU map from decoded decision vectors to objective costs.
+#[derive(Debug)]
+pub struct FitnessMemo {
+    capacity: usize,
+    /// Key → (cost, recency tick of last touch).
+    map: HashMap<Vec<i64>, (f64, u64)>,
+    /// Recency tick → key, for O(log n) LRU eviction. Ticks are unique.
+    by_tick: BTreeMap<u64, Vec<i64>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default bound: comfortably above any sane run's distinct-genome count
+/// (the paper's configuration evaluates ≤ 750 individuals) while capping
+/// memory for adversarial configurations.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 16;
+
+impl FitnessMemo {
+    /// `capacity` is clamped to at least 1.
+    pub fn new(capacity: usize) -> Self {
+        FitnessMemo {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Distinct keys served from the memo / computed fresh.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Look up a cost, refreshing the entry's recency on a hit.
+    pub fn get(&mut self, key: &[i64]) -> Option<f64> {
+        let tick = self.next_tick();
+        match self.map.get_mut(key) {
+            Some((cost, last)) => {
+                self.by_tick.remove(last);
+                *last = tick;
+                self.by_tick.insert(tick, key.to_vec());
+                self.hits += 1;
+                Some(*cost)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or hit statistics (used to decide
+    /// what a batch still needs to evaluate).
+    pub fn contains(&self, key: &[i64]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert a freshly computed cost, evicting the least-recently-used
+    /// entry when full. Re-inserting an existing key refreshes it.
+    pub fn insert(&mut self, key: Vec<i64>, cost: f64) {
+        let tick = self.next_tick();
+        if let Some((old_cost, last)) = self.map.get_mut(&key) {
+            self.by_tick.remove(last);
+            *old_cost = cost;
+            *last = tick;
+            self.by_tick.insert(tick, key);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.by_tick.iter().next() {
+                if let Some(victim) = self.by_tick.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        self.map.insert(key.clone(), (cost, tick));
+        self.by_tick.insert(tick, key);
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_recalls() {
+        let mut m = FitnessMemo::new(8);
+        assert_eq!(m.get(&[1, 2]), None);
+        m.insert(vec![1, 2], 5.0);
+        assert_eq!(m.get(&[1, 2]), Some(5.0));
+        assert_eq!(m.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut m = FitnessMemo::new(2);
+        m.insert(vec![1], 1.0);
+        m.insert(vec![2], 2.0);
+        assert_eq!(m.get(&[1]), Some(1.0)); // touch 1 → LRU is 2
+        m.insert(vec![3], 3.0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&[2]), None, "LRU entry must be evicted");
+        assert_eq!(m.get(&[1]), Some(1.0));
+        assert_eq!(m.get(&[3]), Some(3.0));
+    }
+
+    #[test]
+    fn bounded_under_churn() {
+        let mut m = FitnessMemo::new(16);
+        for i in 0..10_000i64 {
+            m.insert(vec![i], i as f64);
+        }
+        assert_eq!(m.len(), 16);
+        // The 16 most recent survive.
+        for i in 9_984..10_000i64 {
+            assert_eq!(m.get(&[i]), Some(i as f64), "{i}");
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut m = FitnessMemo::new(2);
+        m.insert(vec![1], 1.0);
+        m.insert(vec![2], 2.0);
+        m.insert(vec![1], 1.5); // refresh → LRU is 2
+        m.insert(vec![3], 3.0);
+        assert_eq!(m.get(&[1]), Some(1.5));
+        assert_eq!(m.get(&[2]), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn capacity_of_zero_clamps_to_one() {
+        let mut m = FitnessMemo::new(0);
+        m.insert(vec![1], 1.0);
+        m.insert(vec![2], 2.0);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -37,6 +37,41 @@ proptest! {
         }
     }
 
+    /// encode is a right inverse of decode: decode(encode(v)) == v for
+    /// any in-domain value vector, over random domains.
+    #[test]
+    fn decode_encode_roundtrip(
+        maxes in prop::collection::vec(1i64..2000, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let domain = Domain::new(maxes.clone());
+        let enc = Encoding::for_domain(&domain);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values: Vec<i64> = maxes.iter().map(|&u| rng.gen_range(1..=u)).collect();
+        let genome = enc.encode(&values);
+        prop_assert_eq!(genome.len(), enc.total_bits);
+        prop_assert_eq!(enc.decode(&genome), values);
+    }
+
+    /// encode∘decode is idempotent on decode's image: re-encoding a
+    /// decoded genome canonicalises it without changing its meaning.
+    #[test]
+    fn encode_canonicalises_without_changing_meaning(
+        maxes in prop::collection::vec(1i64..500, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let domain = Domain::new(maxes);
+        let enc = Encoding::for_domain(&domain);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let genome = enc.random(&mut rng);
+        let values = enc.decode(&genome);
+        let canon = enc.encode(&values);
+        prop_assert_eq!(enc.decode(&canon), values);
+        prop_assert_eq!(enc.encode(&enc.decode(&canon)), canon);
+    }
+
     /// Decoding any genome yields in-domain values.
     #[test]
     fn decode_stays_in_domain(

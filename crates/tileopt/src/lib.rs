@@ -24,7 +24,9 @@ pub mod padding;
 pub mod problem;
 pub mod report;
 
-pub use exhaustive::{exhaustive_search, try_exhaustive_search, ExhaustiveResult};
+pub use exhaustive::{
+    exhaustive_search, exhaustive_search_on, try_exhaustive_search, ExhaustiveResult,
+};
 pub use interchange::{optimize_with_interchange, InterchangeOutcome};
 pub use padding::{JointOutcome, PaddingOptimizer, PaddingOutcome, PaddingSpace};
 pub use problem::{GaSummary, TilingObjective, TilingOptimizer, TilingOutcome};

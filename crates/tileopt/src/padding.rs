@@ -9,8 +9,9 @@
 //! *joint* mode searches both parameter sets in a single GA run — the
 //! paper's declared future work, implemented here as an extension.
 
-use crate::problem::{GaSummary, TilingObjective, TilingOutcome};
-use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use crate::problem::{GaSummary, TilingOutcome};
+use cme_core::engine::{fold_seed, SEED_SPLIT};
+use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::{run_ga, Domain, GaConfig, Objective};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 use serde::{Deserialize, Serialize};
@@ -65,24 +66,29 @@ impl PaddingSpace {
 }
 
 /// Objective: replacement misses of the *untiled* nest under the candidate
-/// padded layout.
-struct PaddingObjective<'a> {
-    nest: &'a LoopNest,
+/// padded layout. Candidate layouts are analysed through the shared
+/// engine's displacement cache — self-pairs and same-array pairs keep
+/// their (coefficients, delta) key across all padding candidates.
+struct PaddingObjective<'e> {
+    engine: &'e EvalEngine,
     space: PaddingSpace,
-    model: CmeModel,
-    sampling: SamplingConfig,
-    seed: u64,
+}
+
+impl PaddingObjective<'_> {
+    fn layout_for(&self, values: &[i64]) -> MemoryLayout {
+        self.space.layout_for(self.engine.nest(), self.engine.model().cache.line, values)
+    }
 }
 
 impl Objective for PaddingObjective<'_> {
     fn cost(&self, values: &[i64]) -> f64 {
-        let layout = self.space.layout_for(self.nest, self.model.cache.line, values);
-        let an = self.model.analyze(self.nest, &layout, None);
-        let mut h = self.seed;
-        for &v in values {
-            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v as u64);
-        }
-        an.estimate(&self.sampling, h).replacement_misses()
+        self.cost_with_incumbent(values, None)
+    }
+
+    fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
+        let layout = self.layout_for(values);
+        let h = fold_seed(self.engine.seed(), values);
+        self.engine.estimate_seeded(Some(&layout), None, h, incumbent).replacement_misses()
     }
 }
 
@@ -120,26 +126,31 @@ impl PaddingOptimizer {
         }
     }
 
+    /// The shared evaluation engine for a padding search over this
+    /// configuration (base layout: unpadded contiguous).
+    pub fn engine(&self, nest: &LoopNest) -> EvalEngine {
+        let layout = MemoryLayout::contiguous(nest);
+        EvalEngine::new(CmeModel::new(self.cache), nest, &layout, self.sampling, self.ga.seed)
+    }
+
     /// Search padding only (Table 3, column "padding").
     pub fn optimize(&self, nest: &LoopNest) -> PaddingOutcome {
-        let model = CmeModel::new(self.cache);
-        let objective = PaddingObjective {
-            nest,
-            space: self.space,
-            model,
-            sampling: self.sampling,
-            seed: self.ga.seed,
-        };
+        self.optimize_on(&self.engine(nest))
+    }
+
+    /// As [`Self::optimize`] on a prebuilt shared engine.
+    pub fn optimize_on(&self, engine: &EvalEngine) -> PaddingOutcome {
+        let nest = engine.nest();
+        let objective = PaddingObjective { engine, space: self.space };
         let ga = run_ga(&self.space.domain(nest), &objective, &self.ga);
         // Both estimates use `CmeModel::estimate_nest`'s canonical
         // seeding, so `original` equals the baseline the `cme-api` layer
         // reports (no re-estimation there) and the before/after pair is
         // drawn from the same sample points.
-        let original_layout = MemoryLayout::contiguous(nest);
-        let original =
-            model.estimate_nest(nest, &original_layout, None, &self.sampling, self.ga.seed);
+        let original = engine.estimate_canonical(None);
         let padded_layout = self.space.layout_for(nest, self.cache.line, &ga.best_values);
-        let padded = model.estimate_nest(nest, &padded_layout, None, &self.sampling, self.ga.seed);
+        let padded =
+            engine.estimate_seeded(Some(&padded_layout), None, self.ga.seed ^ SEED_SPLIT, None);
         PaddingOutcome {
             values: ga.best_values.clone(),
             original,
@@ -175,34 +186,33 @@ impl PaddingOptimizer {
     /// As [`Self::optimize_joint`] but returning the full record the
     /// `cme-api` strategy adapter needs: both estimates and the GA digest.
     pub fn optimize_joint_full(&self, nest: &LoopNest) -> Result<JointOutcome, String> {
+        self.optimize_joint_on(&self.engine(nest))
+    }
+
+    /// Joint search on a prebuilt shared engine.
+    pub fn optimize_joint_on(&self, engine: &EvalEngine) -> Result<JointOutcome, String> {
+        let nest = engine.nest();
         if let cme_loopnest::deps::TilingLegality::Illegal { reason } =
             cme_loopnest::deps::rectangular_tiling_legality(nest)
         {
             return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
         }
-        let model = CmeModel::new(self.cache);
         let pad_domain = self.space.domain(nest);
         let n_pad = pad_domain.maxes.len();
         let mut maxes = pad_domain.maxes.clone();
         maxes.extend(nest.spans());
         let domain = Domain::new(maxes);
-        let space = self.space;
-        let sampling = self.sampling;
-        let seed = self.ga.seed;
-        let nest_ref = nest;
-        let objective = move |values: &[i64]| -> f64 {
-            let layout = space.layout_for(nest_ref, model.cache.line, &values[..n_pad]);
-            let tiles = TileSizes(values[n_pad..].to_vec());
-            let obj = TilingObjective { nest: nest_ref, layout: &layout, model, sampling, seed };
-            obj.cost(&tiles.0)
-        };
+        let objective = JointObjective { engine, space: self.space, n_pad };
         let ga = run_ga(&domain, &objective, &self.ga);
         let layout = self.space.layout_for(nest, self.cache.line, &ga.best_values[..n_pad]);
         let tiles = TileSizes(ga.best_values[n_pad..].to_vec());
-        let original_layout = MemoryLayout::contiguous(nest);
-        let before =
-            model.estimate_nest(nest, &original_layout, None, &self.sampling, self.ga.seed);
-        let after = model.estimate_nest(nest, &layout, Some(&tiles), &self.sampling, self.ga.seed);
+        let before = engine.estimate_canonical(None);
+        let effective = (!tiles.is_trivial(nest)).then_some(&tiles);
+        let mut h = self.ga.seed ^ SEED_SPLIT;
+        if let Some(t) = effective {
+            h = fold_seed(h, &t.0);
+        }
+        let after = engine.estimate_seeded(Some(&layout), effective, h, None);
         Ok(JointOutcome {
             pads: ga.best_values[..n_pad].to_vec(),
             tiles,
@@ -210,6 +220,32 @@ impl PaddingOptimizer {
             after,
             ga: GaSummary::from(&ga),
         })
+    }
+}
+
+/// Objective of the joint search: candidate = padding values ++ tile
+/// sizes; cost = replacement misses of the tiled nest under the padded
+/// layout, with the tiling objective's seed convention (fold tile values
+/// only — pad-equivalent layouts sample the same points).
+struct JointObjective<'e> {
+    engine: &'e EvalEngine,
+    space: PaddingSpace,
+    n_pad: usize,
+}
+
+impl Objective for JointObjective<'_> {
+    fn cost(&self, values: &[i64]) -> f64 {
+        self.cost_with_incumbent(values, None)
+    }
+
+    fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
+        let nest = self.engine.nest();
+        let line = self.engine.model().cache.line;
+        let layout = self.space.layout_for(nest, line, &values[..self.n_pad]);
+        let tiles = TileSizes(values[self.n_pad..].to_vec());
+        let effective = (!tiles.is_trivial(nest)).then_some(&tiles);
+        let h = fold_seed(self.engine.seed() ^ SEED_SPLIT, &tiles.0);
+        self.engine.estimate_seeded(Some(&layout), effective, h, incumbent).replacement_misses()
     }
 }
 

@@ -1,41 +1,33 @@
 //! The tiling search problem and GA-driven optimiser.
 
-use cme_core::{CacheSpec, CmeModel, MissEstimate, SamplingConfig};
+use cme_core::engine::{fold_seed, SEED_SPLIT};
+use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
 use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 use serde::{Deserialize, Serialize};
 
 /// Objective: estimated replacement misses of the nest tiled with the
-/// candidate tile vector (paper §3.1's function `f`).
-pub struct TilingObjective<'a> {
-    pub nest: &'a LoopNest,
-    pub layout: &'a MemoryLayout,
-    pub model: CmeModel,
-    pub sampling: SamplingConfig,
-    /// Base seed; each tile vector derives its own deterministic sampling
-    /// seed so memoised costs are reproducible.
-    pub seed: u64,
+/// candidate tile vector (paper §3.1's function `f`), evaluated through a
+/// shared [`EvalEngine`] — the per-kernel CME analysis is computed once
+/// and borrowed by every GA individual.
+pub struct TilingObjective<'e> {
+    pub engine: &'e EvalEngine,
 }
 
-impl TilingObjective<'_> {
-    fn seed_for(&self, values: &[i64]) -> u64 {
-        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for &v in values {
-            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v as u64);
-        }
-        h
+impl<'e> TilingObjective<'e> {
+    /// Wrap a shared engine (one per search run).
+    pub fn new(engine: &'e EvalEngine) -> Self {
+        TilingObjective { engine }
     }
 
     /// Full estimate for a tile vector (the identity tiling analyses the
-    /// original nest).
+    /// original nest). Seeded by folding the raw tile values into the
+    /// base seed — trivial or not — so memoised costs are reproducible.
     pub fn estimate(&self, tiles: &TileSizes) -> MissEstimate {
-        let an = if tiles.is_trivial(self.nest) {
-            self.model.analyze(self.nest, self.layout, None)
-        } else {
-            self.model.analyze(self.nest, self.layout, Some(tiles))
-        };
-        an.estimate(&self.sampling, self.seed_for(&tiles.0))
+        let effective = (!tiles.is_trivial(self.engine.nest())).then_some(tiles);
+        let seed = fold_seed(self.engine.seed() ^ SEED_SPLIT, &tiles.0);
+        self.engine.estimate_seeded(None, effective, seed, None)
     }
 
     /// Estimate of the untransformed nest, seeded identically to
@@ -43,13 +35,17 @@ impl TilingObjective<'_> {
     /// fields equal the canonical baseline the `cme-api` layer reports,
     /// and the adapter can reuse them instead of re-estimating.
     pub fn estimate_untiled(&self) -> MissEstimate {
-        self.model.estimate_nest(self.nest, self.layout, None, &self.sampling, self.seed)
+        self.engine.estimate_canonical(None)
     }
 }
 
 impl Objective for TilingObjective<'_> {
     fn cost(&self, values: &[i64]) -> f64 {
-        self.estimate(&TileSizes(values.to_vec())).replacement_misses()
+        self.engine.cost(values, None)
+    }
+
+    fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
+        self.engine.cost(values, incumbent)
     }
 }
 
@@ -119,6 +115,12 @@ impl TilingOptimizer {
         TilingOptimizer { cache, sampling: SamplingConfig::paper(), ga: GaConfig::default() }
     }
 
+    /// Build the shared evaluation engine for a search over this
+    /// configuration.
+    pub fn engine(&self, nest: &LoopNest, layout: &MemoryLayout) -> EvalEngine {
+        EvalEngine::new(CmeModel::new(self.cache), nest, layout, self.sampling, self.ga.seed)
+    }
+
     /// Search near-optimal tile sizes. Errors when rectangular tiling is
     /// illegal for the nest.
     pub fn optimize(
@@ -126,22 +128,7 @@ impl TilingOptimizer {
         nest: &LoopNest,
         layout: &MemoryLayout,
     ) -> Result<TilingOutcome, String> {
-        if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
-            return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
-        }
-        let objective = TilingObjective {
-            nest,
-            layout,
-            model: CmeModel::new(self.cache),
-            sampling: self.sampling,
-            seed: self.ga.seed,
-        };
-        let domain = Domain::new(nest.spans());
-        let ga = run_ga(&domain, &objective, &self.ga);
-        let tiles = TileSizes(ga.best_values.clone());
-        let before = objective.estimate_untiled();
-        let after = objective.estimate(&tiles);
-        Ok(TilingOutcome { tiles, before, after, ga: GaSummary::from(&ga) })
+        self.optimize_traced(nest, layout).map(|(outcome, _)| outcome)
     }
 
     /// As [`Self::optimize`] but also returning the full GA trace (for the
@@ -154,13 +141,18 @@ impl TilingOptimizer {
         if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
             return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
         }
-        let objective = TilingObjective {
-            nest,
-            layout,
-            model: CmeModel::new(self.cache),
-            sampling: self.sampling,
-            seed: self.ga.seed,
-        };
+        let engine = self.engine(nest, layout);
+        self.optimize_on(&engine)
+    }
+
+    /// Run the GA tile search on a prebuilt engine (callers that already
+    /// hold one — e.g. the API strategy layer — avoid a second analysis).
+    pub fn optimize_on(&self, engine: &EvalEngine) -> Result<(TilingOutcome, GaResult), String> {
+        let nest = engine.nest();
+        if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
+            return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
+        }
+        let objective = TilingObjective::new(engine);
         let domain = Domain::new(nest.spans());
         let ga = run_ga(&domain, &objective, &self.ga);
         let tiles = TileSizes(ga.best_values.clone());
@@ -223,13 +215,14 @@ mod tests {
     fn objective_is_deterministic() {
         let nest = t2d(32);
         let layout = MemoryLayout::contiguous(&nest);
-        let obj = TilingObjective {
-            nest: &nest,
-            layout: &layout,
-            model: CmeModel::new(CacheSpec::direct_mapped(512, 32)),
-            sampling: SamplingConfig::paper(),
-            seed: 42,
-        };
+        let engine = EvalEngine::new(
+            CmeModel::new(CacheSpec::direct_mapped(512, 32)),
+            &nest,
+            &layout,
+            SamplingConfig::paper(),
+            42,
+        );
+        let obj = TilingObjective::new(&engine);
         assert_eq!(obj.cost(&[8, 8]), obj.cost(&[8, 8]));
         assert_eq!(obj.cost(&[32, 5]), obj.cost(&[32, 5]));
     }

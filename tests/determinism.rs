@@ -61,6 +61,60 @@ fn padding_outcome_is_deterministic() {
     assert_eq!(a.padded.replacement_ratio().to_bits(), b.padded.replacement_ratio().to_bits());
 }
 
+/// Early-abandon sampling is an approximation, but a *deterministic* one:
+/// the abandoned-prefix schedule depends only on seeds and configuration,
+/// and the incumbent handed to each generation is frozen before the batch
+/// starts — so repeated runs (under any thread schedule) are identical.
+#[test]
+fn early_abandon_search_is_deterministic() {
+    use cme_suite::cme::EarlyAbandonConfig;
+    let nest = mm(96);
+    let layout = MemoryLayout::contiguous(&nest);
+    let mut opt = TilingOptimizer::new(CacheSpec::paper_8k());
+    opt.sampling =
+        SamplingConfig::paper().with_early_abandon(EarlyAbandonConfig { check_every: 16 });
+    opt.ga = GaConfig { seed: 21, ..GaConfig::default() };
+    let a = opt.optimize(&nest, &layout).unwrap();
+    let b = opt.optimize(&nest, &layout).unwrap();
+    assert_eq!(a.tiles, b.tiles);
+    assert_eq!(a.ga.best_cost.to_bits(), b.ga.best_cost.to_bits());
+    assert_eq!(a.ga.evaluations, b.ga.evaluations);
+    assert_eq!(serde_json_eq(&a.after), serde_json_eq(&b.after));
+    // The reported before/after estimates always sample fully: they must
+    // equal the default configuration's estimates bit-for-bit even though
+    // the search itself abandoned candidates.
+    let mut full = TilingOptimizer::new(CacheSpec::paper_8k());
+    full.ga = GaConfig { seed: 21, ..GaConfig::default() };
+    let f = full.optimize(&nest, &layout).unwrap();
+    assert_eq!(serde_json_eq(&a.before), serde_json_eq(&f.before));
+}
+
+/// `Session::run_batch` is bit-identical to sequential runs even with
+/// early abandonment enabled (the knob travels inside the request).
+#[test]
+fn api_batch_with_early_abandon_matches_sequential() {
+    use cme_suite::api::{NestSource, OptimizeRequest, Session, StrategySpec};
+    use cme_suite::cme::EarlyAbandonConfig;
+    let sampling =
+        SamplingConfig::paper().with_early_abandon(EarlyAbandonConfig { check_every: 32 });
+    let reqs: Vec<OptimizeRequest> = (0..3)
+        .map(|k| {
+            OptimizeRequest::new(NestSource::kernel_sized("T2D", 48), StrategySpec::Tiling)
+                .with_seed(100 + k)
+                .with_sampling(sampling)
+        })
+        .collect();
+    let parallel = Session::builder().parallel(true).build();
+    let sequential = Session::builder().parallel(false).build();
+    let pa = parallel.run_batch(&reqs);
+    let sq = sequential.run_batch(&reqs);
+    for (p, s) in pa.iter().zip(&sq) {
+        let p = p.as_ref().unwrap().without_timing();
+        let s = s.as_ref().unwrap().without_timing();
+        assert_eq!(serde_json_eq(&p), serde_json_eq(&s));
+    }
+}
+
 fn serde_json_eq<T: serde::Serialize>(v: &T) -> String {
     serde_json::to_string(v).expect("serialise")
 }

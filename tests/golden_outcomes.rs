@@ -1,0 +1,159 @@
+//! Golden snapshot tests: one canonical `Outcome` per strategy family,
+//! checked into `tests/golden/`, compared via `without_timing()`.
+//!
+//! These guard the evaluation-engine hot path against silent result
+//! drift: every refactor of the estimator must keep default-config
+//! outcomes byte-identical. Regenerate deliberately with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_outcomes
+//! ```
+//!
+//! and review the diff like any other behaviour change.
+
+use cme_suite::api::{
+    BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
+};
+use cme_suite::cme::CacheSpec;
+use cme_suite::loopnest::builder::{sub, NestBuilder};
+use cme_suite::loopnest::LoopNest;
+use std::path::PathBuf;
+
+/// A small transpose that thrashes a 1 KB cache — tiling-friendly.
+fn t2d(n: i64) -> LoopNest {
+    let mut nb = NestBuilder::new(format!("t2d_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let j = nb.add_loop("j", 1, n);
+    let a = nb.array("a", &[n, n]);
+    let b = nb.array("b", &[n, n]);
+    nb.read(b, &[sub(i), sub(j)]);
+    nb.write(a, &[sub(j), sub(i)]);
+    nb.finish().unwrap()
+}
+
+/// Two exactly aliased arrays — padding-friendly.
+fn aliased(n: i64) -> LoopNest {
+    let mut nb = NestBuilder::new(format!("aliased_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let x = nb.array("x", &[n]);
+    let y = nb.array("y", &[n]);
+    nb.read(x, &[sub(i)]);
+    nb.read(y, &[sub(i)]);
+    nb.write(x, &[sub(i)]);
+    nb.finish().unwrap()
+}
+
+/// The canonical request per strategy family. Every request uses the
+/// default sampling and GA configuration (only the seed varies), so these
+/// snapshots pin exactly the default evaluation path.
+fn family_requests() -> Vec<(&'static str, OptimizeRequest)> {
+    let kb1 = CacheSpec::direct_mapped(1024, 32);
+    let b512 = CacheSpec::direct_mapped(512, 32);
+    vec![
+        (
+            "tiling",
+            OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::Tiling)
+                .with_cache(kb1)
+                .with_seed(21),
+        ),
+        (
+            "padding_pad",
+            OptimizeRequest::new(
+                NestSource::Inline(aliased(128)),
+                StrategySpec::Padding { mode: PaddingMode::Pad },
+            )
+            .with_cache(b512)
+            .with_seed(22),
+        ),
+        (
+            "padding_then_tile",
+            OptimizeRequest::new(
+                NestSource::Inline(aliased(64)),
+                StrategySpec::Padding { mode: PaddingMode::PadThenTile },
+            )
+            .with_cache(b512)
+            .with_seed(23),
+        ),
+        (
+            "padding_joint",
+            OptimizeRequest::new(
+                NestSource::Inline(aliased(64)),
+                StrategySpec::Padding { mode: PaddingMode::Joint },
+            )
+            .with_cache(b512)
+            .with_seed(24),
+        ),
+        (
+            "interchange",
+            OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::Interchange)
+                .with_cache(kb1)
+                .with_seed(25),
+        ),
+        (
+            "exhaustive",
+            OptimizeRequest::new(
+                NestSource::Inline(t2d(8)),
+                StrategySpec::Exhaustive { step: 1, max_evals: 100 },
+            )
+            .with_cache(kb1)
+            .with_seed(26),
+        ),
+        (
+            "baseline_lrw",
+            OptimizeRequest::new(
+                NestSource::Inline(t2d(16)),
+                StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+            )
+            .with_cache(kb1)
+            .with_seed(27),
+        ),
+    ]
+}
+
+fn golden_path(family: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{family}.json"))
+}
+
+#[test]
+fn outcomes_match_golden_snapshots() {
+    let session = Session::default();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (family, req) in family_requests() {
+        let outcome = session.run(&req).expect(family).without_timing();
+        let path = golden_path(family);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            let json = serde_json::to_string_pretty(&outcome).unwrap();
+            std::fs::write(&path, json + "\n").unwrap();
+            continue;
+        }
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e} (run UPDATE_GOLDEN=1)", family));
+        let golden: Outcome = serde_json::from_str(&raw).expect(family);
+        if golden.without_timing() != outcome {
+            failures.push(format!(
+                "{family}: outcome drifted from golden snapshot\n  golden: {}\n  got:    {}",
+                serde_json::to_string(&golden.without_timing()).unwrap(),
+                serde_json::to_string(&outcome).unwrap(),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The snapshot files themselves must parse as `Outcome` JSON — catches
+/// hand-edits and serialisation-format drift separately from value drift.
+#[test]
+fn golden_files_parse_and_cover_all_families() {
+    for (family, _) in family_requests() {
+        let path = golden_path(family);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() && !path.exists() {
+            continue;
+        }
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e} (run UPDATE_GOLDEN=1)", family));
+        let outcome: Outcome = serde_json::from_str(&raw).expect(family);
+        assert_eq!(outcome.wall_ms, 0, "{family}: goldens are stored timing-stripped");
+    }
+}

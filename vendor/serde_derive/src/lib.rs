@@ -4,7 +4,10 @@
 //!
 //! Supported shapes — exactly what this workspace derives:
 //!
-//! * structs with named fields (any visibility),
+//! * structs with named fields (any visibility) — fields whose declared
+//!   type is literally `Option<…>` deserialise to `None` when the key is
+//!   absent (the moral equivalent of serde's `#[serde(default)]`, so
+//!   request schemas can grow optional knobs without breaking old JSON),
 //! * tuple structs (a 1-field newtype serialises transparently as its
 //!   inner value, matching serde; wider tuples as arrays),
 //! * enums with unit variants (serialised as the variant-name string),
@@ -19,7 +22,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// A parsed `struct`/`enum` shape.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     Enum { name: String, variants: Vec<Variant> },
 }
@@ -27,7 +30,14 @@ enum Shape {
 enum Variant {
     Unit(String),
     Newtype(String),
-    Named { name: String, fields: Vec<String> },
+    Named { name: String, fields: Vec<Field> },
+}
+
+/// A named field and whether its declared type is `Option<…>` (absent
+/// keys deserialise to `None` instead of erroring).
+struct Field {
+    name: String,
+    optional: bool,
 }
 
 #[proc_macro_derive(Serialize)]
@@ -37,7 +47,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
+                .map(|Field { name: f, .. }| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -83,10 +93,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                            (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(inner))]),"
                     ),
                     Variant::Named { name: v, fields } => {
-                        let binds = fields.join(",");
+                        let binds =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(",");
                         let pairs: Vec<String> = fields
                             .iter()
-                            .map(|f| {
+                            .map(|Field { name: f, .. }| {
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
                                 )
@@ -121,12 +132,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                           ::serde::get_field(obj, \"{f}\")\
-                             .ok_or_else(|| ::serde::DeError::missing(\"{name}\", \"{f}\"))?)?"
-                    )
+                .map(|Field { name: f, optional }| {
+                    if *optional {
+                        format!(
+                            "{f}: match ::serde::get_field(obj, \"{f}\") {{\
+                               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\
+                               ::std::option::Option::None => ::std::option::Option::None,\
+                             }}"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                               ::serde::get_field(obj, \"{f}\")\
+                                 .ok_or_else(|| ::serde::DeError::missing(\"{name}\", \"{f}\"))?)?"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -185,12 +205,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Variant::Named { name: v, fields } => {
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(\
-                                       ::serde::get_field(vf, \"{f}\")\
-                                         .ok_or_else(|| ::serde::DeError::missing(\"{name}::{v}\", \"{f}\"))?)?"
-                                )
+                            .map(|Field { name: f, optional }| {
+                                if *optional {
+                                    format!(
+                                        "{f}: match ::serde::get_field(vf, \"{f}\") {{\
+                                           ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\
+                                           ::std::option::Option::None => ::std::option::Option::None,\
+                                         }}"
+                                    )
+                                } else {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                           ::serde::get_field(vf, \"{f}\")\
+                                             .ok_or_else(|| ::serde::DeError::missing(\"{name}::{v}\", \"{f}\"))?)?"
+                                    )
+                                }
                             })
                             .collect();
                         Some(format!(
@@ -320,24 +349,36 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Field names of a named-field body: in each comma-separated chunk, the
-/// name is the last ident before the top-level `:`.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a named-field body: in each comma-separated chunk, the name
+/// is the last ident before the top-level `:`; the field is optional when
+/// the first type ident after the `:` is literally `Option` (path-prefixed
+/// spellings such as `std::option::Option` are not recognised — no
+/// workspace type uses them).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
         .filter(|chunk| !chunk.is_empty())
         .map(|chunk| {
             let mut name = None;
+            let mut optional = false;
+            let mut in_type = false;
             for tt in &chunk {
                 match tt {
-                    TokenTree::Punct(p) if p.as_char() == ':' => break,
-                    TokenTree::Ident(id) if id.to_string() != "pub" => {
+                    TokenTree::Punct(p) if p.as_char() == ':' && !in_type => in_type = true,
+                    TokenTree::Ident(id) if !in_type && id.to_string() != "pub" => {
                         name = Some(id.to_string());
+                    }
+                    TokenTree::Ident(id) if in_type => {
+                        optional = id.to_string() == "Option";
+                        break;
                     }
                     _ => {}
                 }
             }
-            name.unwrap_or_else(|| panic!("serde_derive: could not find field name"))
+            Field {
+                name: name.unwrap_or_else(|| panic!("serde_derive: could not find field name")),
+                optional,
+            }
         })
         .collect()
 }
