@@ -63,6 +63,7 @@ pub use strategy::{build_strategy, SearchStrategy};
 // Re-exported so API consumers can name every type a request or outcome
 // embeds without depending on the whole workspace.
 pub use cme_core as cme;
+pub use cme_core::{CacheHierarchy, CacheLevel};
 pub use cme_ga::GaConfig;
 pub use cme_loopnest::TileSizes;
 pub use cme_tileopt::problem::GaSummary;
@@ -90,7 +91,7 @@ mod tests {
     #[test]
     fn bad_cache_is_rejected() {
         let mut req = tiny_request(StrategySpec::Tiling);
-        req.cache = CacheSpec { size: 100, line: 32, assoc: 1 };
+        req.cache = CacheSpec { size: 100, line: 32, assoc: 1 }.into();
         assert!(matches!(Session::default().run(&req), Err(ApiError::BadRequest(_))));
     }
 
@@ -102,7 +103,7 @@ mod tests {
             [CacheSpec { size: 0, line: 32, assoc: 1 }, CacheSpec { size: 100, line: 32, assoc: 1 }]
         {
             let mut req = AnalyzeRequest::new(NestSource::kernel_sized("T2D", 16));
-            req.cache = cache;
+            req.cache = cache.into();
             assert!(matches!(Session::default().analyze(&req), Err(ApiError::BadRequest(_))));
         }
     }

@@ -1,6 +1,6 @@
 //! The unified outcome type every strategy returns.
 
-use cme_core::{CacheSpec, MissEstimate, MissReport};
+use cme_core::{CacheHierarchy, MissEstimate, MissReport};
 use cme_loopnest::TileSizes;
 use cme_tileopt::problem::GaSummary;
 use serde::{Deserialize, Serialize};
@@ -44,7 +44,9 @@ pub struct Outcome {
     pub strategy: String,
     /// Nest name (kernel registry name or inline nest name).
     pub kernel: String,
-    pub cache: CacheSpec,
+    /// The cache hierarchy the search ran against (serialised as a bare
+    /// cache object when it is a one-level legacy hierarchy).
+    pub cache: CacheHierarchy,
     pub transform: Transform,
     /// Estimate for the original nest and layout.
     pub before: MissEstimate,
@@ -78,7 +80,7 @@ impl Outcome {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalyzeOutcome {
     pub kernel: String,
-    pub cache: CacheSpec,
+    pub cache: CacheHierarchy,
     /// The tiling that was analysed (None = original nest).
     pub tiles: Option<TileSizes>,
     /// Sampled estimate (absent when exhaustive classification was

@@ -2,28 +2,17 @@
 
 use crate::error::ApiError;
 use crate::request::OptimizeRequest;
-use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{CacheHierarchy, CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::GaConfig;
-use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+use cme_loopnest::{LoopNest, MemoryLayout};
 
-/// Reject geometries the model cannot represent (non-positive fields, a
-/// size that is not a whole number of sets) before they reach arithmetic
+/// Reject hierarchies the model cannot represent — non-positive geometry
+/// fields, a size that is not a whole number of sets, or a non-finite /
+/// non-positive miss latency on any level — before they reach arithmetic
 /// that would panic or silently truncate. Both session entry points call
 /// this.
-pub fn validate_cache(cache: &CacheSpec) -> Result<(), ApiError> {
-    if cache.size <= 0 || cache.line <= 0 || cache.assoc <= 0 {
-        return Err(ApiError::BadRequest(format!(
-            "cache geometry must be positive, got {cache:?}"
-        )));
-    }
-    if cache.size % (cache.line * cache.assoc) != 0 {
-        return Err(ApiError::BadRequest(format!(
-            "cache size {} is not a multiple of line × assoc = {}",
-            cache.size,
-            cache.line * cache.assoc
-        )));
-    }
-    Ok(())
+pub fn validate_cache(cache: &CacheHierarchy) -> Result<(), ApiError> {
+    cache.validate().map_err(ApiError::BadRequest)
 }
 
 /// An [`OptimizeRequest`] with its nest source resolved and the default
@@ -34,7 +23,9 @@ pub struct Problem {
     pub nest: LoopNest,
     /// The unpadded baseline layout (padding strategies derive their own).
     pub layout: MemoryLayout,
-    pub cache: CacheSpec,
+    /// The cache hierarchy the search optimises for (one legacy level ≡
+    /// the paper's single-cache model).
+    pub hierarchy: CacheHierarchy,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
 }
@@ -45,30 +36,45 @@ impl Problem {
         let nest = req.nest.resolve()?;
         validate_cache(&req.cache)?;
         let layout = MemoryLayout::contiguous(&nest);
-        Ok(Problem { nest, layout, cache: req.cache, sampling: req.sampling, ga: req.ga })
+        Ok(Problem {
+            nest,
+            layout,
+            hierarchy: req.cache.clone(),
+            sampling: req.sampling,
+            ga: req.ga,
+        })
     }
 
+    /// The innermost (L1) geometry — what the single-level baseline
+    /// heuristics consume.
+    pub fn l1(&self) -> CacheSpec {
+        self.hierarchy.l1()
+    }
+
+    /// The innermost level's CME model.
     pub fn model(&self) -> CmeModel {
-        CmeModel::new(self.cache)
+        CmeModel::new(self.l1())
     }
 
     /// Build this problem's shared evaluation engine — one per strategy
     /// run; every candidate the search evaluates borrows its precomputed
-    /// per-kernel analysis (and its before/after estimates come from the
-    /// same state).
+    /// per-kernel, per-level analysis (and its before/after estimates come
+    /// from the same state).
     pub fn engine(&self) -> EvalEngine {
-        EvalEngine::new(self.model(), &self.nest, &self.layout, self.sampling, self.ga.seed)
+        EvalEngine::new_hierarchy(
+            &self.hierarchy,
+            &self.nest,
+            &self.layout,
+            self.sampling,
+            self.ga.seed,
+        )
     }
 
-    /// CME estimate of this problem's nest under `layout` with an optional
-    /// tiling, using the problem's sampling configuration and a seed
-    /// derived deterministically from the GA seed and the tile vector.
-    pub fn estimate(&self, layout: &MemoryLayout, tiles: Option<&TileSizes>) -> MissEstimate {
-        self.model().estimate_nest(&self.nest, layout, tiles, &self.sampling, self.ga.seed)
-    }
-
-    /// Estimate of the untransformed nest (the `before` of every outcome).
+    /// Canonical estimate of the untransformed nest (the `before` of
+    /// every outcome) — hierarchy-aware, from a fresh engine. Strategies
+    /// that already hold an engine use `engine.estimate_canonical(None)`
+    /// directly; this is the standalone convenience form.
     pub fn baseline_estimate(&self) -> MissEstimate {
-        self.estimate(&self.layout, None)
+        self.engine().estimate_canonical(None)
     }
 }

@@ -5,7 +5,7 @@
 //! (every optimiser in the suite is deterministic for a fixed seed).
 
 use crate::error::ApiError;
-use cme_core::{CacheSpec, SamplingConfig};
+use cme_core::{CacheHierarchy, SamplingConfig};
 use cme_ga::GaConfig;
 use cme_loopnest::{LoopNest, TileSizes};
 use serde::{Deserialize, Serialize};
@@ -118,7 +118,12 @@ impl StrategySpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizeRequest {
     pub nest: NestSource,
-    pub cache: CacheSpec,
+    /// The cache hierarchy to optimise for. A bare single-level cache
+    /// object (`{"size", "line", "assoc"}`) parses as a one-level legacy
+    /// hierarchy, and a legacy hierarchy serialises back to the bare
+    /// form — the pre-hierarchy wire format is unchanged in both
+    /// directions.
+    pub cache: CacheHierarchy,
     pub sampling: SamplingConfig,
     /// GA parameters, including the seed every stochastic stage derives
     /// from. Strategies that do not run a GA (exhaustive, baselines) still
@@ -133,15 +138,17 @@ impl OptimizeRequest {
     pub fn new(nest: NestSource, strategy: StrategySpec) -> Self {
         OptimizeRequest {
             nest,
-            cache: CacheSpec::paper_8k(),
+            cache: CacheHierarchy::single(cme_core::CacheSpec::paper_8k()),
             sampling: SamplingConfig::paper(),
             ga: GaConfig::default(),
             strategy,
         }
     }
 
-    pub fn with_cache(mut self, cache: CacheSpec) -> Self {
-        self.cache = cache;
+    /// Set the cache: accepts a bare [`cme_core::CacheSpec`] (one legacy
+    /// level) or a full [`CacheHierarchy`].
+    pub fn with_cache(mut self, cache: impl Into<CacheHierarchy>) -> Self {
+        self.cache = cache.into();
         self
     }
 
@@ -161,7 +168,10 @@ impl OptimizeRequest {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalyzeRequest {
     pub nest: NestSource,
-    pub cache: CacheSpec,
+    /// Cache hierarchy to analyse against (same back-compat rule as
+    /// [`OptimizeRequest::cache`]: a bare cache object is a one-level
+    /// legacy hierarchy).
+    pub cache: CacheHierarchy,
     pub sampling: SamplingConfig,
     /// Sampling seed.
     pub seed: u64,
@@ -175,7 +185,7 @@ impl AnalyzeRequest {
     pub fn new(nest: NestSource) -> Self {
         AnalyzeRequest {
             nest,
-            cache: CacheSpec::paper_8k(),
+            cache: CacheHierarchy::single(cme_core::CacheSpec::paper_8k()),
             sampling: SamplingConfig::paper(),
             seed: 0xCE11,
             tiles: None,

@@ -7,7 +7,7 @@ use crate::outcome::{AnalyzeOutcome, Outcome};
 use crate::problem::Problem;
 use crate::request::{AnalyzeRequest, OptimizeRequest};
 use crate::strategy::build_strategy;
-use cme_core::CmeModel;
+use cme_core::EvalEngine;
 use cme_loopnest::MemoryLayout;
 use rayon::prelude::*;
 use std::time::Instant;
@@ -68,7 +68,10 @@ impl Session {
         }
     }
 
-    /// Run a pure analysis request (no search).
+    /// Run a pure analysis request (no search). The engine-assembled
+    /// analysis equals the from-scratch `CmeModel` path byte-for-byte on
+    /// a legacy single-level cache; a non-legacy hierarchy additionally
+    /// yields the per-level breakdown in the estimate/report.
     pub fn analyze(&self, req: &AnalyzeRequest) -> Result<AnalyzeOutcome, ApiError> {
         let started = Instant::now();
         crate::problem::validate_cache(&req.cache)?;
@@ -77,16 +80,16 @@ impl Session {
             tiles.validate(&nest).map_err(|e| ApiError::BadRequest(e.to_string()))?;
         }
         let layout = MemoryLayout::contiguous(&nest);
-        let model = CmeModel::new(req.cache);
+        let engine = EvalEngine::new_hierarchy(&req.cache, &nest, &layout, req.sampling, req.seed);
         let effective = req.tiles.as_ref().filter(|t| !t.is_trivial(&nest));
         let (estimate, exact) = if req.exhaustive {
-            (None, Some(model.analyze(&nest, &layout, effective).exhaustive()))
+            (None, Some(engine.exhaustive_report(effective)))
         } else {
-            (Some(model.estimate_nest(&nest, &layout, effective, &req.sampling, req.seed)), None)
+            (Some(engine.estimate_canonical(effective)), None)
         };
         Ok(AnalyzeOutcome {
             kernel: nest.name.clone(),
-            cache: req.cache,
+            cache: req.cache.clone(),
             tiles: req.tiles.clone(),
             estimate,
             exact,

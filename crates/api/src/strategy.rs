@@ -65,7 +65,7 @@ impl<'a> OutcomeBuilder<'a> {
         Outcome {
             strategy: self.strategy,
             kernel: self.problem.nest.name.clone(),
-            cache: self.problem.cache,
+            cache: self.problem.hierarchy.clone(),
             transform,
             before,
             after,
@@ -77,11 +77,15 @@ impl<'a> OutcomeBuilder<'a> {
 }
 
 fn tiling_optimizer(problem: &Problem) -> TilingOptimizer {
-    TilingOptimizer { cache: problem.cache, sampling: problem.sampling, ga: problem.ga }
+    TilingOptimizer {
+        hierarchy: problem.hierarchy.clone(),
+        sampling: problem.sampling,
+        ga: problem.ga,
+    }
 }
 
 fn padding_optimizer(problem: &Problem) -> PaddingOptimizer {
-    let mut opt = PaddingOptimizer::new(problem.cache);
+    let mut opt = PaddingOptimizer::for_hierarchy(problem.hierarchy.clone());
     opt.sampling = problem.sampling;
     opt.ga = problem.ga;
     opt
@@ -249,10 +253,10 @@ impl SearchStrategy for BaselineStrategy {
         require_tileable(problem)?;
         let tiles: TileSizes = match self.kind {
             BaselineKind::LrwSquare => {
-                baselines::lrw_square(&problem.nest, &problem.layout, problem.cache)
+                baselines::lrw_square(&problem.nest, &problem.layout, problem.l1())
             }
             BaselineKind::Tss => {
-                baselines::tss_coleman_mckinley(&problem.nest, &problem.layout, problem.cache)
+                baselines::tss_coleman_mckinley(&problem.nest, &problem.layout, problem.l1())
             }
             BaselineKind::FixedFraction { fraction } => {
                 if !(fraction > 0.0 && fraction <= 1.0) {
@@ -260,7 +264,7 @@ impl SearchStrategy for BaselineStrategy {
                         "fixed-fraction baseline needs a fraction in (0, 1], got {fraction}"
                     )));
                 }
-                baselines::fixed_fraction(&problem.nest, problem.cache, fraction)
+                baselines::fixed_fraction(&problem.nest, problem.l1(), fraction)
             }
         };
         tiles.validate(&problem.nest).map_err(|e| ApiError::IllegalTransform(e.to_string()))?;

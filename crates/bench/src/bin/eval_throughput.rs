@@ -17,8 +17,15 @@
 //! mode). The candidate count is the first positional argument
 //! (default 150).
 //!
+//! With `--assert-baseline` the run additionally reads the recorded
+//! `BENCH_eval.json` and **fails** (exit 1) when the cold-path engine
+//! throughput drops more than the tolerance below the recorded
+//! `engine.evals_per_sec` figure — the CI bench-regression gate.
+//! `--tolerance FRAC` adjusts the allowed drop (default 0.30).
+//!
 //! ```text
-//! cargo run --release -p cme-bench --bin eval_throughput [N] [--no-write]
+//! cargo run --release -p cme-bench --bin eval_throughput [N] [--no-write] \
+//!     [--assert-baseline] [--tolerance FRAC]
 //! ```
 
 use cme_core::engine::{fold_seed, SEED_SPLIT};
@@ -52,9 +59,18 @@ impl Arm {
 fn main() {
     let mut n: usize = 150;
     let mut write = true;
-    for arg in std::env::args().skip(1) {
+    let mut assert_baseline = false;
+    let mut tolerance = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-write" => write = false,
+            "--assert-baseline" => assert_baseline = true,
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("tolerance fraction");
+                assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+            }
             other => n = other.parse().expect("candidate count"),
         }
     }
@@ -149,8 +165,45 @@ fn main() {
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("serialise") + "\n";
+    if assert_baseline {
+        assert_against_baseline(engined.eps(), tolerance);
+    }
     if write {
         std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
         println!("wrote BENCH_eval.json");
     }
+}
+
+/// The CI bench-regression gate: compare the cold-path engine throughput
+/// of this run against the figure recorded in `BENCH_eval.json` and exit
+/// non-zero when it regressed by more than `tolerance`. An *improved*
+/// figure always passes (the recorded baseline is refreshed by the next
+/// full `eval_throughput` run, not by the gate).
+fn assert_against_baseline(current_eps: f64, tolerance: f64) {
+    let raw = std::fs::read_to_string("BENCH_eval.json")
+        .expect("--assert-baseline needs a recorded BENCH_eval.json in the working directory");
+    let doc: serde::Value = serde_json::from_str(&raw).expect("BENCH_eval.json parses");
+    let recorded = doc
+        .get("engine")
+        .and_then(|arm| arm.get("evals_per_sec"))
+        .and_then(|v| match v {
+            serde::Value::Float(f) => Some(*f),
+            serde::Value::Int(i) => Some(*i as f64),
+            serde::Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        })
+        .expect("BENCH_eval.json records engine.evals_per_sec");
+    let floor = recorded * (1.0 - tolerance);
+    if current_eps < floor {
+        eprintln!(
+            "bench regression: cold-path engine throughput {current_eps:.1} evals/s is below \
+             {floor:.1} ({:.0}% of the recorded {recorded:.1})",
+            (1.0 - tolerance) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "baseline OK: {current_eps:.1} evals/s vs recorded {recorded:.1} \
+         (floor {floor:.1}, tolerance {tolerance})"
+    );
 }

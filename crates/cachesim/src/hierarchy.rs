@@ -1,0 +1,248 @@
+//! Inclusive multi-level trace simulation — the ground-truth oracle for
+//! the hierarchy-aware CME analysis.
+//!
+//! Every level observes every access ("access-through"): each level
+//! updates its own LRU state and fills the line on a miss, so a level's
+//! miss stream is exactly what the standalone single-level simulator
+//! would produce on the same trace — which is also what the per-level CME
+//! analysis models. Inclusion is enforced on top: when an outer level
+//! evicts a line, the victim is back-invalidated from every inner level.
+//! For *nested* geometries (equal line size, outer sets a multiple of
+//! inner sets, outer ways ≥ inner ways) the LRU stack property makes
+//! back-invalidation provably never fire, every outer miss is also an
+//! inner miss, and per-level miss counts are monotonically non-increasing
+//! outward — the invariant the latency-monotonicity property tests lean
+//! on.
+//!
+//! The weighted cost of a trace mirrors the CME objective: Σ per level of
+//! replacement misses × that level's miss latency (cold misses excluded —
+//! tiling cannot change them).
+
+use crate::geometry::CacheGeometry;
+use crate::sim::{AccessOutcome, Simulator};
+use crate::stats::{RefStats, SimReport};
+use cme_loopnest::trace::for_each_access;
+use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
+use serde::{Deserialize, Serialize};
+
+/// One simulated level: a geometry plus the cost of a miss at this level
+/// (the fetch from the next level out; memory for the last level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelGeometry {
+    pub geo: CacheGeometry,
+    pub miss_latency: f64,
+}
+
+impl LevelGeometry {
+    pub fn new(geo: CacheGeometry, miss_latency: f64) -> Self {
+        LevelGeometry { geo, miss_latency }
+    }
+}
+
+/// Exact inclusive multi-level LRU simulator.
+pub struct HierarchySim {
+    levels: Vec<(Simulator, f64)>,
+}
+
+impl HierarchySim {
+    /// Build from levels ordered innermost (L1) first. Panics on an
+    /// empty list or mismatched line sizes — back-invalidation is only
+    /// well-defined when every level tracks the same line granularity.
+    pub fn new(levels: &[LevelGeometry]) -> Self {
+        assert!(!levels.is_empty(), "hierarchy simulator needs at least one level");
+        let line = levels[0].geo.line;
+        assert!(
+            levels.iter().all(|l| l.geo.line == line),
+            "hierarchy simulator requires one line size across levels"
+        );
+        HierarchySim {
+            levels: levels.iter().map(|l| (Simulator::new(l.geo), l.miss_latency)).collect(),
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Access one byte address at every level (innermost first),
+    /// returning the per-level outcomes. Evictions at an outer level
+    /// back-invalidate the victim from every inner level, preserving
+    /// inclusion.
+    pub fn access(&mut self, addr: i64) -> Vec<AccessOutcome> {
+        let mut outcomes = Vec::with_capacity(self.levels.len());
+        self.access_with(addr, |_, outcome| outcomes.push(outcome));
+        outcomes
+    }
+
+    /// Allocation-free access for the trace hot loop: `sink` receives
+    /// `(level index, outcome)` for every level, innermost first.
+    pub fn access_with(&mut self, addr: i64, mut sink: impl FnMut(usize, AccessOutcome)) {
+        for k in 0..self.levels.len() {
+            let (outcome, evicted) = self.levels[k].0.access_reporting(addr);
+            if let Some(victim) = evicted {
+                for inner in 0..k {
+                    self.levels[inner].0.invalidate_line(victim);
+                }
+            }
+            sink(k, outcome);
+        }
+    }
+}
+
+/// Per-level simulation outcome for a whole nest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// One [`SimReport`] per level, innermost first.
+    pub levels: Vec<SimReport>,
+    /// The per-level miss latencies the weighted cost uses.
+    pub miss_latencies: Vec<f64>,
+}
+
+impl HierarchyReport {
+    /// The innermost (L1) level's report.
+    pub fn l1(&self) -> &SimReport {
+        &self.levels[0]
+    }
+
+    /// Latency-weighted replacement cost of the trace: Σ per level of
+    /// replacement misses × miss latency — the exact counterpart of
+    /// `MissEstimate::weighted_cost` in `cme-core`.
+    pub fn weighted_cost(&self) -> f64 {
+        self.levels
+            .iter()
+            .zip(&self.miss_latencies)
+            .map(|(rep, lat)| rep.totals().replacement as f64 * lat)
+            .sum()
+    }
+}
+
+/// Simulate a (possibly tiled) nest through an inclusive hierarchy and
+/// return per-reference statistics per level.
+pub fn simulate_nest_hierarchy(
+    nest: &LoopNest,
+    layout: &MemoryLayout,
+    tiles: Option<&TileSizes>,
+    levels: &[LevelGeometry],
+) -> HierarchyReport {
+    let mut sim = HierarchySim::new(levels);
+    let mut per_level = vec![vec![RefStats::default(); nest.refs.len()]; levels.len()];
+    for_each_access(nest, layout, tiles, |a| {
+        sim.access_with(a.addr, |k, outcome| {
+            let s = &mut per_level[k][a.ref_idx];
+            s.accesses += 1;
+            match outcome {
+                AccessOutcome::Hit => {}
+                AccessOutcome::ColdMiss => s.cold += 1,
+                AccessOutcome::ReplacementMiss => s.replacement += 1,
+            }
+        });
+    });
+    HierarchyReport {
+        levels: per_level.into_iter().map(|per_ref| SimReport { per_ref }).collect(),
+        miss_latencies: levels.iter().map(|l| l.miss_latency).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_nest;
+    use cme_loopnest::builder::{sub, NestBuilder};
+
+    fn t2d(n: i64) -> LoopNest {
+        let mut nb = NestBuilder::new(format!("t2d_{n}"));
+        let i = nb.add_loop("i", 1, n);
+        let j = nb.add_loop("j", 1, n);
+        let a = nb.array("a", &[n, n]);
+        let b = nb.array("b", &[n, n]);
+        nb.read(b, &[sub(i), sub(j)]);
+        nb.write(a, &[sub(j), sub(i)]);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn single_level_hierarchy_equals_plain_simulator() {
+        let nest = t2d(24);
+        let layout = MemoryLayout::contiguous(&nest);
+        let geo = CacheGeometry::direct_mapped(1024, 32);
+        let plain = simulate_nest(&nest, &layout, None, geo);
+        let hier = simulate_nest_hierarchy(&nest, &layout, None, &[LevelGeometry::new(geo, 1.0)]);
+        assert_eq!(hier.levels[0], plain);
+        assert_eq!(hier.weighted_cost(), plain.totals().replacement as f64);
+    }
+
+    #[test]
+    fn nested_outer_level_filters_misses_without_back_invalidation() {
+        // L2 = same line, 4× the sets, 2× the ways: nested geometry, so
+        // L1 behaviour is untouched and L2 misses ⊆ L1 misses per access.
+        let nest = t2d(24);
+        let layout = MemoryLayout::contiguous(&nest);
+        let l1 = CacheGeometry::direct_mapped(1024, 32);
+        let l2 = CacheGeometry { size: 8192, line: 32, assoc: 2 };
+        let hier = simulate_nest_hierarchy(
+            &nest,
+            &layout,
+            None,
+            &[LevelGeometry::new(l1, 10.0), LevelGeometry::new(l2, 80.0)],
+        );
+        // L1 stream identical to the standalone simulation.
+        assert_eq!(hier.levels[0], simulate_nest(&nest, &layout, None, l1));
+        // And so is L2's (access-through + nested geometry ⇒ no
+        // back-invalidation anywhere).
+        assert_eq!(hier.levels[1], simulate_nest(&nest, &layout, None, l2));
+        let (t1, t2) = (hier.levels[0].totals(), hier.levels[1].totals());
+        assert!(t2.misses() <= t1.misses(), "outer level must filter");
+        assert!(t2.replacement <= t1.replacement);
+        assert_eq!(t1.accesses, t2.accesses);
+    }
+
+    #[test]
+    fn weighted_cost_weights_each_level() {
+        let nest = t2d(16);
+        let layout = MemoryLayout::contiguous(&nest);
+        let l1 = CacheGeometry::direct_mapped(512, 32);
+        let l2 = CacheGeometry { size: 4096, line: 32, assoc: 2 };
+        let hier = simulate_nest_hierarchy(
+            &nest,
+            &layout,
+            None,
+            &[LevelGeometry::new(l1, 3.0), LevelGeometry::new(l2, 7.0)],
+        );
+        let expect = hier.levels[0].totals().replacement as f64 * 3.0
+            + hier.levels[1].totals().replacement as f64 * 7.0;
+        assert_eq!(hier.weighted_cost(), expect);
+    }
+
+    #[test]
+    fn back_invalidation_enforces_inclusion_on_hostile_geometries() {
+        // A *smaller* outer level (not nested): evictions there must
+        // back-invalidate L1 so the hierarchy stays inclusive.
+        let mut sim = HierarchySim::new(&[
+            LevelGeometry::new(CacheGeometry { size: 64, line: 8, assoc: 8 }, 1.0), // 1 set, 8 ways
+            LevelGeometry::new(CacheGeometry { size: 16, line: 8, assoc: 2 }, 1.0), // 1 set, 2 ways
+        ]);
+        // Fill L2 (2 ways) with lines 0 and 1; line 2 evicts line 0 from
+        // L2, which must also leave L1.
+        sim.access(0);
+        sim.access(8);
+        sim.access(16);
+        let outcomes = sim.access(0);
+        assert_eq!(
+            outcomes[0],
+            AccessOutcome::ReplacementMiss,
+            "line 0 was back-invalidated from L1 by L2's eviction"
+        );
+    }
+
+    #[test]
+    fn mismatched_line_sizes_are_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            HierarchySim::new(&[
+                LevelGeometry::new(CacheGeometry::direct_mapped(1024, 32), 1.0),
+                LevelGeometry::new(CacheGeometry::direct_mapped(8192, 64), 1.0),
+            ])
+        });
+        assert!(result.is_err());
+    }
+}

@@ -9,9 +9,11 @@
 //! validated point-by-point against this oracle in `cme-core`'s tests.
 
 pub mod geometry;
+pub mod hierarchy;
 pub mod sim;
 pub mod stats;
 
 pub use geometry::CacheGeometry;
+pub use hierarchy::{simulate_nest_hierarchy, HierarchyReport, HierarchySim, LevelGeometry};
 pub use sim::{simulate_nest, AccessOutcome, Simulator};
 pub use stats::{RefStats, SimReport};

@@ -40,24 +40,38 @@ impl Simulator {
 
     /// Access one byte address; returns the outcome and updates state.
     pub fn access(&mut self, addr: i64) -> AccessOutcome {
+        self.access_reporting(addr).0
+    }
+
+    /// As [`Self::access`], additionally reporting the memory line this
+    /// access evicted (if any) — what a hierarchy needs to maintain
+    /// inclusion across levels.
+    pub fn access_reporting(&mut self, addr: i64) -> (AccessOutcome, Option<i64>) {
         let line = self.geo.line_of(addr);
         let set = self.geo.set_of_line(line) as usize;
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&l| l == line) {
             // Hit: move to MRU position.
             ways[..=pos].rotate_right(1);
-            return AccessOutcome::Hit;
+            return (AccessOutcome::Hit, None);
         }
         // Miss: insert at MRU, evict LRU if over capacity.
         ways.insert(0, line);
-        if ways.len() > self.geo.assoc as usize {
-            ways.pop();
-        }
-        if self.touched.insert(line) {
+        let evicted = if ways.len() > self.geo.assoc as usize { ways.pop() } else { None };
+        let outcome = if self.touched.insert(line) {
             AccessOutcome::ColdMiss
         } else {
             AccessOutcome::ReplacementMiss
-        }
+        };
+        (outcome, evicted)
+    }
+
+    /// Drop a memory line from the cache if resident (back-invalidation
+    /// from an outer inclusive level). First-touch history is unaffected:
+    /// a re-access is a replacement miss, not a cold one.
+    pub fn invalidate_line(&mut self, line: i64) {
+        let set = self.geo.set_of_line(line) as usize;
+        self.sets[set].retain(|&l| l != line);
     }
 
     /// Reset cache contents and first-touch history.

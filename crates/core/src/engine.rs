@@ -26,7 +26,10 @@
 //! [`SamplingConfig::early_abandon`]) only engages through the
 //! incumbent-aware [`EvalEngine::cost`] path used by search objectives.
 
-use crate::estimate::{sampled_vs_incumbent, MissEstimate};
+use crate::estimate::{
+    exhaustive, sampled, sampled_vs_incumbent, LevelEstimate, LevelReport, MissEstimate, MissReport,
+};
+use crate::hierarchy::CacheHierarchy;
 use crate::lexmax::SuffixRanges;
 use crate::model::{CmeModel, NestAnalysis};
 use crate::reuse::{candidate_base_with, original_displacements, CandidateBase};
@@ -54,31 +57,78 @@ pub fn fold_seed(mut h: u64, values: &[i64]) -> u64 {
     h
 }
 
-/// Shared evaluation state for one optimisation request: one nest, one
-/// base layout, one cache model, one sampling configuration, one seed.
-/// `Sync` — rayon-parallel GA evaluation borrows it from every worker.
-pub struct EvalEngine {
+/// Precomputed per-level state for one outer cache level (L2, L3, …):
+/// its model, candidate base and untiled analysis. The innermost level
+/// lives directly in [`EvalEngine`] so the legacy single-level paths are
+/// untouched.
+struct OuterLevel {
     model: CmeModel,
+    miss_latency: f64,
+    base: Arc<CandidateBase>,
+    untiled: Arc<NestAnalysis>,
+}
+
+/// Shared evaluation state for one optimisation request: one nest, one
+/// base layout, one cache hierarchy, one sampling configuration, one
+/// seed. `Sync` — rayon-parallel GA evaluation borrows it from every
+/// worker.
+///
+/// For a multi-level hierarchy the tile-independent Diophantine half of
+/// reuse-candidate generation is shared across levels: displacement sets
+/// depend only on the address forms, the loop spans and the **line
+/// size**, so levels with equal lines share one [`CandidateBase`]
+/// outright, and the cross-layout displacement cache is keyed by line so
+/// padding candidates share entries across levels too.
+pub struct EvalEngine {
+    /// Innermost (L1) model — the one every legacy path uses.
+    model: CmeModel,
+    hierarchy: CacheHierarchy,
+    /// Levels beyond L1 (empty for the legacy single-level engine).
+    outer: Vec<OuterLevel>,
     sampling: SamplingConfig,
     seed: u64,
     nest: LoopNest,
     layout: MemoryLayout,
     spans: Vec<i64>,
-    /// Candidate base for the base layout (tile-independent).
+    /// Candidate base for the base layout (tile-independent), L1 line.
     base: Arc<CandidateBase>,
-    /// Untiled analysis of the base layout, shared by trivial-tile
+    /// Untiled L1 analysis of the base layout, shared by trivial-tile
     /// candidates and baseline estimates.
     untiled: Arc<NestAnalysis>,
     /// Cross-layout displacement cache: `(subject coefficients, source c0
-    /// − subject c0) → displacement set`. Line size and spans are fixed
-    /// per engine, so the key is complete.
-    displacements: Mutex<HashMap<(Vec<i64>, i64), Arc<Vec<Vec<i64>>>>>,
+    /// − subject c0, line size) → displacement set`. Spans are fixed per
+    /// engine, so the key is complete — and shared across cache levels.
+    displacements: Mutex<HashMap<(Vec<i64>, i64, i64), Arc<Vec<Vec<i64>>>>>,
 }
 
 impl EvalEngine {
-    /// Build the engine, precomputing everything candidate-independent.
+    /// Build a legacy single-level engine, precomputing everything
+    /// candidate-independent. Byte-identical to the pre-hierarchy engine.
     pub fn new(
         model: CmeModel,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        sampling: SamplingConfig,
+        seed: u64,
+    ) -> Self {
+        Self::build(model, CacheHierarchy::single(model.cache), nest, layout, sampling, seed)
+    }
+
+    /// Build a hierarchy-aware engine. With a legacy one-level hierarchy
+    /// this is exactly [`Self::new`] with `CmeModel::new(h.l1())`.
+    pub fn new_hierarchy(
+        hierarchy: &CacheHierarchy,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        sampling: SamplingConfig,
+        seed: u64,
+    ) -> Self {
+        Self::build(CmeModel::new(hierarchy.l1()), hierarchy.clone(), nest, layout, sampling, seed)
+    }
+
+    fn build(
+        model: CmeModel,
+        hierarchy: CacheHierarchy,
         nest: &LoopNest,
         layout: &MemoryLayout,
         sampling: SamplingConfig,
@@ -91,8 +141,39 @@ impl EvalEngine {
             cached_displacements(&displacements, &addr[a], &addr[b], model.cache.line, &spans)
         }));
         let untiled = Arc::new(assemble(model, nest, layout, None, Arc::clone(&base)));
+        let outer = hierarchy.levels()[1..]
+            .iter()
+            .map(|level| {
+                let level_model = CmeModel::new(level.spec);
+                // The Diophantine half depends on the line size only:
+                // same line ⇒ share L1's base outright.
+                let level_base = if level.spec.line == model.cache.line {
+                    Arc::clone(&base)
+                } else {
+                    Arc::new(candidate_base_with(nest, &addr, |a, b| {
+                        cached_displacements(
+                            &displacements,
+                            &addr[a],
+                            &addr[b],
+                            level.spec.line,
+                            &spans,
+                        )
+                    }))
+                };
+                let level_untiled =
+                    Arc::new(assemble(level_model, nest, layout, None, Arc::clone(&level_base)));
+                OuterLevel {
+                    model: level_model,
+                    miss_latency: level.miss_latency,
+                    base: level_base,
+                    untiled: level_untiled,
+                }
+            })
+            .collect();
         EvalEngine {
             model,
+            hierarchy,
+            outer,
             sampling,
             seed,
             nest: nest.clone(),
@@ -102,6 +183,17 @@ impl EvalEngine {
             untiled,
             displacements,
         }
+    }
+
+    /// The cache hierarchy this engine evaluates against.
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// True when estimates carry no per-level breakdown: one level at the
+    /// legacy miss latency, i.e. the pre-hierarchy model.
+    fn is_legacy(&self) -> bool {
+        self.outer.is_empty() && self.hierarchy.is_legacy()
     }
 
     pub fn model(&self) -> CmeModel {
@@ -151,38 +243,113 @@ impl EvalEngine {
         if *layout == self.layout {
             return self.analysis(tiles);
         }
+        self.foreign_layout_analysis(self.model, layout, tiles)
+    }
+
+    /// As [`Self::analysis_for_layout`] for an arbitrary level's model —
+    /// all levels draw displacement sets from the shared line-keyed cache.
+    fn foreign_layout_analysis(
+        &self,
+        model: CmeModel,
+        layout: &MemoryLayout,
+        tiles: Option<&TileSizes>,
+    ) -> NestAnalysis {
         let addr = layout.address_forms(&self.nest);
         let base = Arc::new(candidate_base_with(&self.nest, &addr, |a, b| {
             cached_displacements(
                 &self.displacements,
                 &addr[a],
                 &addr[b],
-                self.model.cache.line,
+                model.cache.line,
                 &self.spans,
             )
         }));
         let effective = tiles.filter(|t| !t.is_trivial(&self.nest));
-        assemble(self.model, &self.nest, layout, effective, base)
+        assemble(model, &self.nest, layout, effective, base)
+    }
+
+    /// Analysis at outer level `k` (0 = L2) of the base layout under an
+    /// optional tiling, assembled from that level's shared candidate base.
+    fn outer_analysis(&self, k: usize, tiles: Option<&TileSizes>) -> NestAnalysis {
+        let level = &self.outer[k];
+        match tiles.filter(|t| !t.is_trivial(&self.nest)) {
+            None => (*level.untiled).clone(),
+            Some(t) => {
+                assemble(level.model, &self.nest, &self.layout, Some(t), Arc::clone(&level.base))
+            }
+        }
+    }
+
+    /// Analysis at outer level `k` under an explicit layout (padding
+    /// candidates at outer levels).
+    fn outer_analysis_for_layout(
+        &self,
+        k: usize,
+        layout: &MemoryLayout,
+        tiles: Option<&TileSizes>,
+    ) -> NestAnalysis {
+        if *layout == self.layout {
+            return self.outer_analysis(k, tiles);
+        }
+        self.foreign_layout_analysis(self.outer[k].model, layout, tiles)
+    }
+
+    /// Attach the per-level breakdown to an L1 estimate. `level_est`
+    /// produces the outer level estimates (index 0 = L2). No-op for the
+    /// legacy single-level engine — the estimate stays breakdown-free and
+    /// byte-identical to the pre-hierarchy form.
+    fn decorate(
+        &self,
+        l1: MissEstimate,
+        mut level_est: impl FnMut(usize) -> MissEstimate,
+    ) -> MissEstimate {
+        if self.is_legacy() {
+            return l1;
+        }
+        let mut levels = Vec::with_capacity(1 + self.outer.len());
+        levels.push(LevelEstimate {
+            cache: self.model.cache,
+            miss_latency: self.hierarchy.levels()[0].miss_latency,
+            per_ref: l1.per_ref.clone(),
+            solver: l1.solver,
+        });
+        for (k, level) in self.outer.iter().enumerate() {
+            let est = level_est(k);
+            levels.push(LevelEstimate {
+                cache: level.model.cache,
+                miss_latency: level.miss_latency,
+                per_ref: est.per_ref,
+                solver: est.solver,
+            });
+        }
+        MissEstimate { levels: Some(levels), ..l1 }
     }
 
     /// Canonical estimate — the drop-in replacement for
     /// [`CmeModel::estimate_nest`] on the engine's nest and base layout:
     /// same seed derivation (fold only when the tiling is effective),
-    /// same sampling, byte-identical result.
+    /// same sampling, byte-identical result on the legacy single-level
+    /// model. On a non-legacy hierarchy the estimate additionally carries
+    /// the per-level breakdown, every level classifying the same sampled
+    /// points (same derived seed).
     pub fn estimate_canonical(&self, tiles: Option<&TileSizes>) -> MissEstimate {
         let effective = tiles.filter(|t| !t.is_trivial(&self.nest));
         let mut h = self.seed ^ SEED_SPLIT;
         if let Some(t) = effective {
             h = fold_seed(h, &t.0);
         }
-        self.analysis(effective).estimate(&self.sampling, h)
+        let l1 = self.analysis(effective).estimate(&self.sampling, h);
+        self.decorate(l1, |k| sampled(&self.outer_analysis(k, effective), &self.sampling, h))
     }
 
     /// Estimate under an explicit layout and sampling seed — the
     /// lower-level entry for objectives with their own seed conventions
     /// (padding folds raw GA values, joint search folds tile values).
-    /// `incumbent` enables early abandonment when the sampling
-    /// configuration allows it.
+    /// `incumbent` — a [`MissEstimate::weighted_cost`] upper bound —
+    /// enables early abandonment when the sampling configuration allows
+    /// it. Single-level engines abandon against the incumbent rescaled to
+    /// replacement misses; multi-level engines sample every level fully
+    /// (a per-level partial sample would skew the weighted sum).
     pub fn estimate_seeded(
         &self,
         layout: Option<&MemoryLayout>,
@@ -194,18 +361,62 @@ impl EvalEngine {
             None => self.analysis(tiles),
             Some(l) => self.analysis_for_layout(l, tiles),
         };
-        sampled_vs_incumbent(&an, &self.sampling, sample_seed, incumbent)
+        // The abandon test compares L1 replacement-miss counts, so a
+        // weighted-cost incumbent must be divided back by the (single)
+        // level's latency. Legacy latency is 1.0 — an exact no-op.
+        let l1_incumbent = if self.outer.is_empty() {
+            incumbent.map(|c| c / self.hierarchy.levels()[0].miss_latency)
+        } else {
+            None
+        };
+        let l1 = sampled_vs_incumbent(&an, &self.sampling, sample_seed, l1_incumbent);
+        self.decorate(l1, |k| {
+            let level_an = match layout {
+                None => self.outer_analysis(k, tiles),
+                Some(l) => self.outer_analysis_for_layout(k, l, tiles),
+            };
+            sampled(&level_an, &self.sampling, sample_seed)
+        })
     }
 
-    /// The §3.1 objective value for a candidate tile vector on the base
-    /// layout: estimated replacement misses, with the tiling-objective
-    /// seed convention (fold the raw values, trivial or not). `incumbent`
-    /// enables early abandonment when configured.
+    /// Exhaustive (every-point) classification of the base layout under
+    /// an optional tiling, per level — the hierarchy-aware counterpart of
+    /// `analysis(tiles).exhaustive()`, which it equals byte-for-byte on
+    /// the legacy single-level model.
+    pub fn exhaustive_report(&self, tiles: Option<&TileSizes>) -> MissReport {
+        let l1 = exhaustive(&self.analysis(tiles));
+        if self.is_legacy() {
+            return l1;
+        }
+        let mut levels = Vec::with_capacity(1 + self.outer.len());
+        levels.push(LevelReport {
+            cache: self.model.cache,
+            miss_latency: self.hierarchy.levels()[0].miss_latency,
+            per_ref: l1.per_ref.clone(),
+            solver: l1.solver,
+        });
+        for (k, level) in self.outer.iter().enumerate() {
+            let rep = exhaustive(&self.outer_analysis(k, tiles));
+            levels.push(LevelReport {
+                cache: level.model.cache,
+                miss_latency: level.miss_latency,
+                per_ref: rep.per_ref,
+                solver: rep.solver,
+            });
+        }
+        MissReport { levels: Some(levels), ..l1 }
+    }
+
+    /// The search objective value for a candidate tile vector on the base
+    /// layout: the latency-weighted replacement cost (§3.1's `f` on the
+    /// legacy single level), with the tiling-objective seed convention
+    /// (fold the raw values, trivial or not). `incumbent` enables early
+    /// abandonment when configured.
     pub fn cost(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
         let tiles = TileSizes(values.to_vec());
         let effective = (!tiles.is_trivial(&self.nest)).then_some(&tiles);
         let seed = fold_seed(self.seed ^ SEED_SPLIT, values);
-        self.estimate_seeded(None, effective, seed, incumbent).replacement_misses()
+        self.estimate_seeded(None, effective, seed, incumbent).weighted_cost()
     }
 }
 
@@ -214,13 +425,13 @@ impl EvalEngine {
 /// serialize on a miss. Two workers racing on the same key compute the
 /// same (deterministic) value; the first insert wins and both return it.
 fn cached_displacements(
-    cache: &Mutex<HashMap<(Vec<i64>, i64), Arc<Vec<Vec<i64>>>>>,
+    cache: &Mutex<HashMap<(Vec<i64>, i64, i64), Arc<Vec<Vec<i64>>>>>,
     addr_a: &AffineForm,
     addr_b: &AffineForm,
     line: i64,
     spans: &[i64],
 ) -> Arc<Vec<Vec<i64>>> {
-    let key = (addr_a.coeffs.clone(), addr_b.c0 - addr_a.c0);
+    let key = (addr_a.coeffs.clone(), addr_b.c0 - addr_a.c0, line);
     if let Some(hit) = cache.lock().get(&key) {
         return Arc::clone(hit);
     }
@@ -338,6 +549,80 @@ mod tests {
         let want = model.analyze(&nest, &padded, Some(&t)).estimate(&cfg, 99);
         let got = engine.estimate_seeded(Some(&padded), Some(&t), 99, None);
         assert_eq!(want, got);
+    }
+
+    #[test]
+    fn legacy_hierarchy_engine_is_byte_identical_to_single_level() {
+        let nest = mm(16);
+        let layout = MemoryLayout::contiguous(&nest);
+        let spec = CacheSpec::direct_mapped(1024, 32);
+        let cfg = SamplingConfig::paper();
+        let single = EvalEngine::new(CmeModel::new(spec), &nest, &layout, cfg, 9);
+        let hier =
+            EvalEngine::new_hierarchy(&crate::CacheHierarchy::single(spec), &nest, &layout, cfg, 9);
+        for tiles in [None, Some(TileSizes(vec![4, 8, 4]))] {
+            let a = single.estimate_canonical(tiles.as_ref());
+            let b = hier.estimate_canonical(tiles.as_ref());
+            assert_eq!(a, b);
+            assert!(b.levels.is_none(), "legacy estimates carry no breakdown");
+        }
+        for values in [vec![4i64, 4, 4], vec![16, 16, 16]] {
+            assert_eq!(
+                single.cost(&values, None).to_bits(),
+                hier.cost(&values, None).to_bits(),
+                "weighted cost must equal the legacy objective bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_estimates_decompose_per_level() {
+        let nest = mm(16);
+        let layout = MemoryLayout::contiguous(&nest);
+        let l1 = CacheSpec::direct_mapped(512, 32);
+        let l2 = CacheSpec { size: 4096, line: 32, assoc: 2 };
+        let hier = crate::CacheHierarchy::two_level(l1, 10.0, l2, 80.0);
+        let cfg = SamplingConfig::paper();
+        let engine = EvalEngine::new_hierarchy(&hier, &nest, &layout, cfg, 9);
+        let est = engine.estimate_canonical(None);
+        let levels = est.levels.as_ref().expect("multi-level estimates carry the breakdown");
+        assert_eq!(levels.len(), 2);
+        // Level 0 of the breakdown *is* the top-level estimate.
+        assert_eq!(levels[0].per_ref, est.per_ref);
+        assert_eq!(levels[0].cache, l1);
+        assert_eq!(levels[1].cache, l2);
+        // Each level's slice equals the level analysed on its own (same
+        // derived seed ⇒ same sampled points).
+        for (k, spec) in [l1, l2].into_iter().enumerate() {
+            let solo = EvalEngine::new(CmeModel::new(spec), &nest, &layout, cfg, 9)
+                .estimate_canonical(None);
+            assert_eq!(levels[k].per_ref, solo.per_ref, "level {k}");
+        }
+        // And the weighted cost is the latency-weighted sum.
+        let want = levels[0].replacement_misses(est.volume) * 10.0
+            + levels[1].replacement_misses(est.volume) * 80.0;
+        assert_eq!(est.weighted_cost().to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn single_level_custom_latency_scales_the_objective() {
+        let nest = mm(16);
+        let layout = MemoryLayout::contiguous(&nest);
+        let spec = CacheSpec::direct_mapped(512, 32);
+        let cfg = SamplingConfig::paper();
+        let legacy = EvalEngine::new(CmeModel::new(spec), &nest, &layout, cfg, 9);
+        let scaled = EvalEngine::new_hierarchy(
+            &crate::CacheHierarchy::new(vec![crate::CacheLevel::new(spec, 4.0)]).unwrap(),
+            &nest,
+            &layout,
+            cfg,
+            9,
+        );
+        let values = vec![4i64, 4, 4];
+        assert_eq!(
+            scaled.cost(&values, None).to_bits(),
+            (legacy.cost(&values, None) * 4.0).to_bits()
+        );
     }
 
     #[test]

@@ -50,20 +50,68 @@ pub struct SolverStats {
     pub assoc_fallbacks: u64,
 }
 
-/// Result of an exhaustive (every-point) analysis.
+/// Fold per-reference exact counts into one total — the one place the
+/// aggregation lives, shared by the top-level report and its per-level
+/// slices so the two can never diverge.
+fn totals_of(per_ref: &[Counts]) -> Counts {
+    let mut t = Counts::default();
+    for c in per_ref {
+        t.merge(c);
+    }
+    t
+}
+
+/// Mean of a per-reference statistic (all references weighted equally —
+/// each executes once per iteration); 0 for an empty reference list.
+/// Shared by [`MissEstimate`] and [`LevelEstimate`] so the top-level
+/// figures and the per-level breakdown always use the same formula.
+fn mean_over(per_ref: &[RefEstimate], f: impl Fn(&RefEstimate) -> f64) -> f64 {
+    if per_ref.is_empty() {
+        return 0.0;
+    }
+    per_ref.iter().map(f).sum::<f64>() / per_ref.len() as f64
+}
+
+/// Estimated absolute replacement misses of a reference list over a
+/// space of `volume` iterations (paper §3.1's `f`).
+fn replacement_misses_of(per_ref: &[RefEstimate], volume: u64) -> f64 {
+    mean_over(per_ref, |r| r.p_repl) * (volume as f64) * per_ref.len() as f64
+}
+
+/// Per-level slice of an exhaustive hierarchy analysis: the exact counts
+/// of one cache level, tagged with its geometry and miss latency.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MissReport {
+pub struct LevelReport {
+    pub cache: crate::CacheSpec,
+    pub miss_latency: f64,
     pub per_ref: Vec<Counts>,
     pub solver: SolverStats,
 }
 
+impl LevelReport {
+    pub fn totals(&self) -> Counts {
+        totals_of(&self.per_ref)
+    }
+}
+
+/// Result of an exhaustive (every-point) analysis.
+///
+/// The top-level fields always describe the innermost (L1) cache level;
+/// `levels` carries the full per-level breakdown when the analysis ran
+/// over a non-legacy [`crate::CacheHierarchy`] (and is absent — also from
+/// the serialised form — for the legacy single-level model, keeping the
+/// pre-hierarchy wire format byte-identical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissReport {
+    pub per_ref: Vec<Counts>,
+    pub solver: SolverStats,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub levels: Option<Vec<LevelReport>>,
+}
+
 impl MissReport {
     pub fn totals(&self) -> Counts {
-        let mut t = Counts::default();
-        for c in &self.per_ref {
-            t.merge(c);
-        }
-        t
+        totals_of(&self.per_ref)
     }
 
     pub fn miss_ratio(&self) -> f64 {
@@ -83,6 +131,18 @@ impl MissReport {
             t.replacement as f64 / t.points as f64
         }
     }
+
+    /// Latency-weighted replacement cost: Σ per level of replacement
+    /// misses × miss latency. Without a per-level breakdown this is the
+    /// legacy replacement-miss count (one cost unit per miss).
+    pub fn weighted_cost(&self) -> f64 {
+        match &self.levels {
+            None => self.totals().replacement as f64,
+            Some(levels) => {
+                levels.iter().map(|l| l.totals().replacement as f64 * l.miss_latency).sum()
+            }
+        }
+    }
 }
 
 /// Per-reference sampled estimate.
@@ -96,7 +156,43 @@ pub struct RefEstimate {
     pub half_width: f64,
 }
 
+/// Per-level slice of a sampled hierarchy estimate: the per-reference
+/// probabilities of one cache level, tagged with its geometry and miss
+/// latency. Every level of one estimate classifies the *same* sampled
+/// iteration points, so slices are directly comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelEstimate {
+    pub cache: crate::CacheSpec,
+    pub miss_latency: f64,
+    pub per_ref: Vec<RefEstimate>,
+    pub solver: SolverStats,
+}
+
+impl LevelEstimate {
+    /// This level's total miss ratio estimate.
+    pub fn miss_ratio(&self) -> f64 {
+        mean_over(&self.per_ref, |r| r.p_cold + r.p_repl)
+    }
+
+    /// This level's replacement miss ratio estimate.
+    pub fn replacement_ratio(&self) -> f64 {
+        mean_over(&self.per_ref, |r| r.p_repl)
+    }
+
+    /// This level's estimated absolute replacement misses over a space of
+    /// `volume` iterations.
+    pub fn replacement_misses(&self, volume: u64) -> f64 {
+        replacement_misses_of(&self.per_ref, volume)
+    }
+}
+
 /// Result of a sampled analysis (paper §2.3).
+///
+/// The top-level fields always describe the innermost (L1) cache level;
+/// `levels` carries the full per-level breakdown when the estimate was
+/// computed over a non-legacy [`crate::CacheHierarchy`] (and is absent —
+/// also from the serialised form — for the legacy single-level model,
+/// keeping the pre-hierarchy wire format byte-identical).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MissEstimate {
     /// Points sampled (equals the space volume when `exact`).
@@ -108,38 +204,47 @@ pub struct MissEstimate {
     pub exact: bool,
     pub per_ref: Vec<RefEstimate>,
     pub solver: SolverStats,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub levels: Option<Vec<LevelEstimate>>,
 }
 
 impl MissEstimate {
     /// Overall miss ratio estimate (all references weighted equally — each
     /// executes once per iteration).
     pub fn miss_ratio(&self) -> f64 {
-        if self.per_ref.is_empty() {
-            return 0.0;
-        }
-        self.per_ref.iter().map(|r| r.p_cold + r.p_repl).sum::<f64>() / self.per_ref.len() as f64
+        mean_over(&self.per_ref, |r| r.p_cold + r.p_repl)
     }
 
     /// Overall replacement miss ratio estimate — the paper's metric.
     pub fn replacement_ratio(&self) -> f64 {
-        if self.per_ref.is_empty() {
-            return 0.0;
-        }
-        self.per_ref.iter().map(|r| r.p_repl).sum::<f64>() / self.per_ref.len() as f64
+        mean_over(&self.per_ref, |r| r.p_repl)
     }
 
     /// Overall cold (compulsory) miss ratio estimate.
     pub fn cold_ratio(&self) -> f64 {
-        if self.per_ref.is_empty() {
-            return 0.0;
-        }
-        self.per_ref.iter().map(|r| r.p_cold).sum::<f64>() / self.per_ref.len() as f64
+        mean_over(&self.per_ref, |r| r.p_cold)
     }
 
     /// Estimated absolute number of replacement misses — the GA's
-    /// objective function value (`f` of paper §3.1).
+    /// objective function value (`f` of paper §3.1) for the legacy
+    /// single-level model. Always the innermost level's count; for the
+    /// hierarchy-aware objective use [`Self::weighted_cost`].
     pub fn replacement_misses(&self) -> f64 {
-        self.replacement_ratio() * (self.volume as f64) * self.per_ref.len() as f64
+        replacement_misses_of(&self.per_ref, self.volume)
+    }
+
+    /// The latency-weighted objective: Σ per level of estimated
+    /// replacement misses × miss latency. Without a per-level breakdown
+    /// (legacy single-level model) this is exactly
+    /// [`Self::replacement_misses`] — bit-for-bit, which is what keeps
+    /// hierarchy-aware searches byte-identical on legacy requests.
+    pub fn weighted_cost(&self) -> f64 {
+        match &self.levels {
+            None => self.replacement_misses(),
+            Some(levels) => {
+                levels.iter().map(|l| l.replacement_misses(self.volume) * l.miss_latency).sum()
+            }
+        }
     }
 
     /// Conservative CI half-width for the overall replacement ratio
@@ -229,7 +334,14 @@ pub fn sampled_vs_incumbent(
             RefEstimate { p_cold, p_repl, half_width: cfg.ci_half_width(p_cold + p_repl, done) }
         })
         .collect();
-    MissEstimate { n_samples: done, volume, exact: false, per_ref, solver: an.stats_of(&engine) }
+    MissEstimate {
+        n_samples: done,
+        volume,
+        exact: false,
+        per_ref,
+        solver: an.stats_of(&engine),
+        levels: None,
+    }
 }
 
 /// Draw `want` distinct point ranks in `[0, volume)` — the shared sample
@@ -253,7 +365,7 @@ pub fn exhaustive(an: &NestAnalysis) -> MissReport {
             per_ref[r].add(classify_point(an, &mut engine, v, r));
         }
     });
-    MissReport { per_ref, solver: an.stats_of(&engine) }
+    MissReport { per_ref, solver: an.stats_of(&engine), levels: None }
 }
 
 /// Sampled estimate with the given configuration and RNG seed.
@@ -282,6 +394,7 @@ pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstima
             exact: true,
             per_ref,
             solver: rep.solver,
+            levels: None,
         };
     }
     let ranks = draw_ranks(volume, want, seed);
@@ -321,7 +434,7 @@ pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstima
             RefEstimate { p_cold, p_repl, half_width: cfg.ci_half_width(p_cold + p_repl, n) }
         })
         .collect();
-    MissEstimate { n_samples: n, volume, exact: false, per_ref, solver }
+    MissEstimate { n_samples: n, volume, exact: false, per_ref, solver, levels: None }
 }
 
 #[cfg(test)]

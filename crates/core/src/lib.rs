@@ -38,6 +38,7 @@ pub mod classify;
 pub mod engine;
 pub mod equations;
 pub mod estimate;
+pub mod hierarchy;
 pub mod interference;
 pub mod lexmax;
 pub mod model;
@@ -46,7 +47,8 @@ pub mod sampling;
 
 pub use classify::Classification;
 pub use engine::EvalEngine;
-pub use estimate::{Counts, MissEstimate, MissReport};
+pub use estimate::{Counts, LevelEstimate, LevelReport, MissEstimate, MissReport};
+pub use hierarchy::{CacheHierarchy, CacheLevel, LEGACY_MISS_LATENCY};
 pub use model::{CmeModel, NestAnalysis};
 pub use sampling::{EarlyAbandonConfig, SamplingConfig};
 

@@ -236,11 +236,12 @@ mod tests {
             exact: true,
             per_ref: Vec::new(),
             solver: SolverStats::default(),
+            levels: None,
         };
         Outcome {
             strategy: "tiling".into(),
             kernel: tag.into(),
-            cache: CacheSpec::paper_8k(),
+            cache: CacheSpec::paper_8k().into(),
             transform: Transform::default(),
             before: est.clone(),
             after: est,

@@ -102,7 +102,6 @@ pub fn exhaustive_search_on(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cme_ga::GaConfig;
     use cme_loopnest::builder::{sub, NestBuilder};
 
     fn t2d(n: i64) -> LoopNest {
@@ -140,11 +139,7 @@ mod tests {
         let layout = MemoryLayout::contiguous(&nest);
         let cache = CacheSpec::direct_mapped(256, 32);
         let exact = exhaustive_search(&nest, &layout, cache, SamplingConfig::paper(), 1, 10_000);
-        let opt = crate::problem::TilingOptimizer {
-            cache,
-            sampling: SamplingConfig::paper(),
-            ga: GaConfig::default(),
-        };
+        let opt = crate::problem::TilingOptimizer::new(cache);
         let out = opt.optimize(&nest, &layout).unwrap();
         let volume = (nest.accesses()) as f64;
         let ga_ratio = out.ga.best_cost / volume;

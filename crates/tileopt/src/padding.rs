@@ -11,7 +11,7 @@
 
 use crate::problem::{GaSummary, TilingOutcome};
 use cme_core::engine::{fold_seed, SEED_SPLIT};
-use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::{run_ga, Domain, GaConfig, Objective};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 use serde::{Deserialize, Serialize};
@@ -88,7 +88,7 @@ impl Objective for PaddingObjective<'_> {
     fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
         let layout = self.layout_for(values);
         let h = fold_seed(self.engine.seed(), values);
-        self.engine.estimate_seeded(Some(&layout), None, h, incumbent).replacement_misses()
+        self.engine.estimate_seeded(Some(&layout), None, h, incumbent).weighted_cost()
     }
 }
 
@@ -110,7 +110,9 @@ pub struct PaddingOutcome {
 
 /// GA-driven padding search.
 pub struct PaddingOptimizer {
-    pub cache: CacheSpec,
+    /// The cache hierarchy the objective weighs misses against. Padding
+    /// parameters are decoded in units of the innermost (L1) line size.
+    pub hierarchy: CacheHierarchy,
     pub space: PaddingSpace,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
@@ -118,8 +120,14 @@ pub struct PaddingOptimizer {
 
 impl PaddingOptimizer {
     pub fn new(cache: CacheSpec) -> Self {
+        PaddingOptimizer::for_hierarchy(CacheHierarchy::single(cache))
+    }
+
+    /// A hierarchy-aware optimiser: the GA minimises the latency-weighted
+    /// replacement cost over all levels.
+    pub fn for_hierarchy(hierarchy: CacheHierarchy) -> Self {
         PaddingOptimizer {
-            cache,
+            hierarchy,
             space: PaddingSpace::default(),
             sampling: SamplingConfig::paper(),
             ga: GaConfig::default(),
@@ -130,7 +138,7 @@ impl PaddingOptimizer {
     /// configuration (base layout: unpadded contiguous).
     pub fn engine(&self, nest: &LoopNest) -> EvalEngine {
         let layout = MemoryLayout::contiguous(nest);
-        EvalEngine::new(CmeModel::new(self.cache), nest, &layout, self.sampling, self.ga.seed)
+        EvalEngine::new_hierarchy(&self.hierarchy, nest, &layout, self.sampling, self.ga.seed)
     }
 
     /// Search padding only (Table 3, column "padding").
@@ -148,7 +156,7 @@ impl PaddingOptimizer {
         // reports (no re-estimation there) and the before/after pair is
         // drawn from the same sample points.
         let original = engine.estimate_canonical(None);
-        let padded_layout = self.space.layout_for(nest, self.cache.line, &ga.best_values);
+        let padded_layout = self.space.layout_for(nest, self.hierarchy.l1().line, &ga.best_values);
         let padded =
             engine.estimate_seeded(Some(&padded_layout), None, self.ga.seed ^ SEED_SPLIT, None);
         PaddingOutcome {
@@ -164,9 +172,9 @@ impl PaddingOptimizer {
     /// padded layout.
     pub fn optimize_then_tile(&self, nest: &LoopNest) -> Result<PaddingOutcome, String> {
         let mut out = self.optimize(nest);
-        let padded_layout = self.space.layout_for(nest, self.cache.line, &out.values);
+        let padded_layout = self.space.layout_for(nest, self.hierarchy.l1().line, &out.values);
         let tiler = crate::problem::TilingOptimizer {
-            cache: self.cache,
+            hierarchy: self.hierarchy.clone(),
             sampling: self.sampling,
             ga: self.ga,
         };
@@ -204,7 +212,8 @@ impl PaddingOptimizer {
         let domain = Domain::new(maxes);
         let objective = JointObjective { engine, space: self.space, n_pad };
         let ga = run_ga(&domain, &objective, &self.ga);
-        let layout = self.space.layout_for(nest, self.cache.line, &ga.best_values[..n_pad]);
+        let layout =
+            self.space.layout_for(nest, self.hierarchy.l1().line, &ga.best_values[..n_pad]);
         let tiles = TileSizes(ga.best_values[n_pad..].to_vec());
         let before = engine.estimate_canonical(None);
         let effective = (!tiles.is_trivial(nest)).then_some(&tiles);
@@ -245,7 +254,7 @@ impl Objective for JointObjective<'_> {
         let tiles = TileSizes(values[self.n_pad..].to_vec());
         let effective = (!tiles.is_trivial(nest)).then_some(&tiles);
         let h = fold_seed(self.engine.seed() ^ SEED_SPLIT, &tiles.0);
-        self.engine.estimate_seeded(Some(&layout), effective, h, incumbent).replacement_misses()
+        self.engine.estimate_seeded(Some(&layout), effective, h, incumbent).weighted_cost()
     }
 }
 

@@ -1,7 +1,7 @@
 //! The tiling search problem and GA-driven optimiser.
 
 use cme_core::engine::{fold_seed, SEED_SPLIT};
-use cme_core::{CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
 use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
@@ -31,7 +31,7 @@ impl<'e> TilingObjective<'e> {
     }
 
     /// Estimate of the untransformed nest, seeded identically to
-    /// [`CmeModel::estimate_nest`] with no tiling — so optimiser `before`
+    /// [`cme_core::CmeModel::estimate_nest`] with no tiling — so optimiser `before`
     /// fields equal the canonical baseline the `cme-api` layer reports,
     /// and the adapter can reuse them instead of re-estimating.
     pub fn estimate_untiled(&self) -> MissEstimate {
@@ -105,20 +105,29 @@ impl From<&GaResult> for GaSummary {
 /// assert!(out.after.replacement_ratio() < out.before.replacement_ratio() / 3.0);
 /// ```
 pub struct TilingOptimizer {
-    pub cache: CacheSpec,
+    /// The cache hierarchy the objective weighs misses against. A
+    /// one-level legacy hierarchy reproduces the paper's single-cache
+    /// search byte-for-byte.
+    pub hierarchy: CacheHierarchy,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
 }
 
 impl TilingOptimizer {
     pub fn new(cache: CacheSpec) -> Self {
-        TilingOptimizer { cache, sampling: SamplingConfig::paper(), ga: GaConfig::default() }
+        TilingOptimizer::for_hierarchy(CacheHierarchy::single(cache))
+    }
+
+    /// A hierarchy-aware optimiser: the GA minimises the latency-weighted
+    /// replacement cost over all levels.
+    pub fn for_hierarchy(hierarchy: CacheHierarchy) -> Self {
+        TilingOptimizer { hierarchy, sampling: SamplingConfig::paper(), ga: GaConfig::default() }
     }
 
     /// Build the shared evaluation engine for a search over this
     /// configuration.
     pub fn engine(&self, nest: &LoopNest, layout: &MemoryLayout) -> EvalEngine {
-        EvalEngine::new(CmeModel::new(self.cache), nest, layout, self.sampling, self.ga.seed)
+        EvalEngine::new_hierarchy(&self.hierarchy, nest, layout, self.sampling, self.ga.seed)
     }
 
     /// Search near-optimal tile sizes. Errors when rectangular tiling is
@@ -216,7 +225,7 @@ mod tests {
         let nest = t2d(32);
         let layout = MemoryLayout::contiguous(&nest);
         let engine = EvalEngine::new(
-            CmeModel::new(CacheSpec::direct_mapped(512, 32)),
+            cme_core::CmeModel::new(CacheSpec::direct_mapped(512, 32)),
             &nest,
             &layout,
             SamplingConfig::paper(),

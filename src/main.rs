@@ -8,8 +8,8 @@ use cme_suite::api::{
     AnalyzeRequest, ApiError, BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode,
     Session, StrategySpec,
 };
-use cme_suite::cachesim::{simulate_nest, CacheGeometry};
-use cme_suite::cme::{CacheSpec, SamplingConfig};
+use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
+use cme_suite::cme::{CacheHierarchy, CacheLevel, CacheSpec, MissEstimate, SamplingConfig};
 use cme_suite::loopnest::{display, MemoryLayout, TileSizes};
 use std::process::exit;
 
@@ -32,6 +32,11 @@ KERNEL defaults to MM (the paper's headline kernel) when omitted.
 
 options:
   --cache 8k | 32k | SIZE,LINE[,ASSOC]     cache geometry (default 8k DM/32B)
+  --cache l1l2 | SPEC@LAT+SPEC@LAT[+...]   cache *hierarchy*: levels innermost
+                                           first, each SIZE,LINE[,ASSOC] with an
+                                           optional @MISS_LATENCY (default 1);
+                                           `l1l2` is the built-in two-level
+                                           preset (8K DM @10 + 64K 4-way @80)
   --tiles T1,T2,...                        analyse/simulate a specific tiling
   --exhaustive                             analyze: classify every point
                                            tile: exhaustive sweep instead of GA
@@ -64,7 +69,7 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 struct Args {
     positional: Vec<String>,
-    cache: CacheSpec,
+    cache: CacheHierarchy,
     tiles: Option<TileSizes>,
     exhaustive: bool,
     max_evals: u64,
@@ -82,32 +87,62 @@ struct Args {
     cache_entries: Option<usize>,
 }
 
-fn parse_cache(s: &str) -> CacheSpec {
-    match s {
-        "8k" | "8K" => CacheSpec::paper_8k(),
-        "32k" | "32K" => CacheSpec::paper_32k(),
+/// One `SIZE,LINE[,ASSOC][@MISS_LATENCY]` level.
+fn parse_cache_level(s: &str) -> CacheLevel {
+    let (spec_str, latency) = match s.split_once('@') {
+        None => (s, 1.0),
+        Some((spec_str, lat)) => (
+            spec_str,
+            lat.trim().parse().unwrap_or_else(|_| {
+                fail(format!("bad --cache level `{s}`: `{lat}` is not a miss latency"))
+            }),
+        ),
+    };
+    let parts: Vec<i64> = spec_str
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                fail(format!(
+                    "bad --cache level `{s}`: `{p}` is not an integer (each `+`-separated \
+                     level is SIZE,LINE[,ASSOC][@LAT]; the 8k/32k/l1l2 presets stand alone)"
+                ))
+            })
+        })
+        .collect();
+    let spec = match parts.as_slice() {
+        [size, line] => CacheSpec::direct_mapped(*size, *line),
+        [size, line, assoc] => CacheSpec { size: *size, line: *line, assoc: *assoc },
+        _ => fail(format!(
+            "bad --cache level `{s}`: want 2 or 3 comma-separated integers, got {}",
+            parts.len()
+        )),
+    };
+    CacheLevel::new(spec, latency)
+}
+
+fn parse_cache(s: &str) -> CacheHierarchy {
+    let hierarchy = match s {
+        "8k" | "8K" => CacheSpec::paper_8k().into(),
+        "32k" | "32K" => CacheSpec::paper_32k().into(),
+        "l1l2" | "L1L2" => CacheHierarchy::l1l2_default(),
         other => {
-            let parts: Vec<i64> = other
-                .split(',')
-                .map(|p| {
-                    p.trim().parse().unwrap_or_else(|_| {
-                        fail(format!(
-                            "bad --cache value `{other}`: `{p}` is not an integer \
-                             (want 8k, 32k or SIZE,LINE[,ASSOC])"
-                        ))
-                    })
-                })
-                .collect();
-            match parts.as_slice() {
-                [size, line] => CacheSpec::direct_mapped(*size, *line),
-                [size, line, assoc] => CacheSpec { size: *size, line: *line, assoc: *assoc },
-                _ => fail(format!(
-                    "bad --cache value `{other}`: want 2 or 3 comma-separated integers, got {}",
-                    parts.len()
-                )),
+            let levels: Vec<CacheLevel> = other.split('+').map(parse_cache_level).collect();
+            // A single level with no explicit latency is the legacy
+            // single cache; anything else is a real hierarchy.
+            if levels.len() == 1 && !other.contains('@') {
+                levels[0].spec.into()
+            } else {
+                CacheHierarchy::new(levels).unwrap_or_else(|e| fail(e))
             }
         }
+    };
+    // Reject bad geometry and NaN/non-positive latencies here, with the
+    // CLI's clean error shape, instead of a panic deep in the model or
+    // simulator.
+    if let Err(e) = hierarchy.validate() {
+        fail(format!("bad --cache value `{s}`: {e}"));
     }
+    hierarchy
 }
 
 fn parse_tiles(s: &str) -> TileSizes {
@@ -140,7 +175,7 @@ fn parse_baseline(s: &str) -> BaselineKind {
 fn parse_args() -> Args {
     let mut args = Args {
         positional: Vec::new(),
-        cache: CacheSpec::paper_8k(),
+        cache: CacheSpec::paper_8k().into(),
         tiles: None,
         exhaustive: false,
         max_evals: 100_000,
@@ -226,7 +261,7 @@ impl Args {
 
     fn optimize_request(&self, strategy: StrategySpec) -> OptimizeRequest {
         OptimizeRequest::new(self.nest_source(), strategy)
-            .with_cache(self.cache)
+            .with_cache(self.cache.clone())
             .with_seed(self.seed)
     }
 
@@ -268,6 +303,7 @@ fn print_outcome(out: &Outcome, json: bool) {
         pct(out.before.replacement_ratio()),
         pct(out.after.replacement_ratio())
     );
+    print_level_breakdown(&out.before, &out.after);
     if let Some(ga) = &out.ga {
         println!(
             "GA: {} generations, {} distinct evaluations (converged: {})",
@@ -277,6 +313,40 @@ fn print_outcome(out: &Outcome, json: bool) {
     if let Some(explored) = out.explored {
         println!("explored {explored} candidates");
     }
+}
+
+/// Per-level replacement ratios and the weighted cost, printed when the
+/// request carried a non-legacy cache hierarchy.
+fn print_level_breakdown(before: &MissEstimate, after: &MissEstimate) {
+    let (Some(before_levels), Some(after_levels)) = (&before.levels, &after.levels) else {
+        return;
+    };
+    for (k, (b, a)) in before_levels.iter().zip(after_levels).enumerate() {
+        println!(
+            "  L{}: {} B/{}-way @{}  replacement {} -> {}",
+            k + 1,
+            b.cache.size,
+            b.cache.assoc,
+            b.miss_latency,
+            pct(b.replacement_ratio()),
+            pct(a.replacement_ratio()),
+        );
+    }
+    println!("latency-weighted cost {:.1} -> {:.1}", before.weighted_cost(), after.weighted_cost());
+}
+
+/// Render a hierarchy compactly: `1024B/32B/1-way@1` joined with ` + `.
+fn render_hierarchy(h: &CacheHierarchy) -> String {
+    h.levels()
+        .iter()
+        .map(|l| {
+            format!(
+                "{}B/{}B lines/{}-way @{}",
+                l.spec.size, l.spec.line, l.spec.assoc, l.miss_latency
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
 }
 
 fn cmd_kernels() {
@@ -307,7 +377,7 @@ fn cmd_show(args: &Args) {
 fn cmd_analyze(args: &Args) {
     let req = AnalyzeRequest {
         nest: args.nest_source(),
-        cache: args.cache,
+        cache: args.cache.clone(),
         sampling: SamplingConfig::paper(),
         seed: args.seed,
         tiles: args.tiles.clone(),
@@ -318,7 +388,7 @@ fn cmd_analyze(args: &Args) {
         println!("{}", serde_json::to_string_pretty(&out).expect("serialise analysis"));
         return;
     }
-    println!("cache {} B / {} B lines / {}-way", out.cache.size, out.cache.line, out.cache.assoc);
+    println!("cache {}", render_hierarchy(&out.cache));
     if let Some(rep) = &out.exact {
         for (r, c) in rep.per_ref.iter().enumerate() {
             println!(
@@ -336,6 +406,19 @@ fn cmd_analyze(args: &Args) {
             pct(t.cold as f64 / t.points as f64),
             pct(t.replacement as f64 / t.points as f64),
         );
+        if let Some(levels) = &rep.levels {
+            for (k, level) in levels.iter().enumerate() {
+                let t = level.totals();
+                println!(
+                    "  L{}: cold {}  replacement {}  (miss latency {})",
+                    k + 1,
+                    pct(t.cold as f64 / t.points as f64),
+                    pct(t.replacement as f64 / t.points as f64),
+                    level.miss_latency,
+                );
+            }
+            println!("latency-weighted cost {:.1}", rep.weighted_cost());
+        }
     }
     if let Some(est) = &out.estimate {
         println!(
@@ -351,6 +434,18 @@ fn cmd_analyze(args: &Args) {
             pct(est.cold_ratio()),
             pct(est.replacement_ratio()),
         );
+        if let Some(levels) = &est.levels {
+            for (k, level) in levels.iter().enumerate() {
+                println!(
+                    "  L{}: miss ratio {}  (replacement {}, miss latency {})",
+                    k + 1,
+                    pct(level.miss_ratio()),
+                    pct(level.replacement_ratio()),
+                    level.miss_latency,
+                );
+            }
+            println!("latency-weighted cost {:.1}", est.weighted_cost());
+        }
     }
 }
 
@@ -393,13 +488,45 @@ fn cmd_pad(args: &Args) {
 fn cmd_simulate(args: &Args) {
     let nest = or_die(args.nest_source().resolve());
     let layout = MemoryLayout::contiguous(&nest);
-    let geo =
-        CacheGeometry { size: args.cache.size, line: args.cache.line, assoc: args.cache.assoc };
     let accesses = nest.accesses();
     if accesses > 2_000_000_000 {
         fail(format!("refusing to simulate {accesses} accesses; pick a smaller N"));
     }
-    let rep = simulate_nest(&nest, &layout, args.tiles.as_ref(), geo);
+    let geo_of =
+        |spec: CacheSpec| CacheGeometry { size: spec.size, line: spec.line, assoc: spec.assoc };
+    if !args.cache.is_legacy() {
+        // Inclusive multi-level simulation with per-level statistics —
+        // also the path for a *single* level with an explicit latency,
+        // so the weighted cost honours it.
+        let line = args.cache.l1().line;
+        if args.cache.levels().iter().any(|l| l.spec.line != line) {
+            fail(
+                "simulate needs one line size across hierarchy levels (back-invalidation \
+                  is only defined at a single line granularity)",
+            );
+        }
+        let levels: Vec<LevelGeometry> = args
+            .cache
+            .levels()
+            .iter()
+            .map(|l| LevelGeometry::new(geo_of(l.spec), l.miss_latency))
+            .collect();
+        let rep = simulate_nest_hierarchy(&nest, &layout, args.tiles.as_ref(), &levels);
+        for (k, level) in rep.levels.iter().enumerate() {
+            let t = level.totals();
+            println!(
+                "L{} (simulated): miss ratio {}  (cold {}, replacement {})  @{}",
+                k + 1,
+                pct(t.miss_ratio()),
+                pct(t.cold as f64 / t.accesses as f64),
+                pct(t.replacement_ratio()),
+                rep.miss_latencies[k],
+            );
+        }
+        println!("latency-weighted cost {:.1}", rep.weighted_cost());
+        return;
+    }
+    let rep = simulate_nest(&nest, &layout, args.tiles.as_ref(), geo_of(args.cache.l1()));
     for (r, s) in rep.per_ref.iter().enumerate() {
         println!(
             "ref {r}: accesses {:>10}  cold {:>9}  replacement {:>9}  hits {:>10}",

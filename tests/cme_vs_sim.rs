@@ -19,8 +19,8 @@
 //! metric); 0.05 leaves an order-of-magnitude headroom without masking a
 //! real regression. The CI half-width covers sampling noise on top.
 
-use cme_suite::cachesim::{simulate_nest, CacheGeometry};
-use cme_suite::cme::{CacheSpec, CmeModel, SamplingConfig};
+use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
+use cme_suite::cme::{CacheHierarchy, CacheSpec, CmeModel, EvalEngine, SamplingConfig};
 use cme_suite::kernels::{linalg, stencils, transposes};
 use cme_suite::loopnest::{LoopNest, MemoryLayout, TileSizes};
 
@@ -100,6 +100,130 @@ fn cme_matches_simulator_tiled() {
         failures.extend(check(&nest, Some(&tiles), &format!("{}/tiled{}", nest.name, tiles)));
     }
     assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy differential suite: per-level CME vs the inclusive two-level
+// trace simulator.
+// ---------------------------------------------------------------------------
+
+/// Two-level configurations with *nested* geometries (equal line size,
+/// outer sets a multiple of inner sets, outer ways ≥ inner ways): there
+/// the inclusive simulator's per-level miss streams equal the standalone
+/// per-level simulations that the independent per-level CME analysis
+/// models, so the single-level tolerance carries over unchanged.
+fn hierarchies() -> Vec<(&'static str, CacheHierarchy, Vec<LevelGeometry>)> {
+    let mk = |l1: CacheSpec, lat1: f64, l2: CacheSpec, lat2: f64| {
+        let geo = |s: CacheSpec| CacheGeometry { size: s.size, line: s.line, assoc: s.assoc };
+        (
+            CacheHierarchy::two_level(l1, lat1, l2, lat2),
+            vec![LevelGeometry::new(geo(l1), lat1), LevelGeometry::new(geo(l2), lat2)],
+        )
+    };
+    let (h1, g1) = mk(
+        CacheSpec::direct_mapped(1024, 32),
+        10.0,
+        CacheSpec { size: 8192, line: 32, assoc: 2 },
+        80.0,
+    );
+    let (h2, g2) = mk(
+        CacheSpec { size: 2048, line: 32, assoc: 2 },
+        12.0,
+        CacheSpec { size: 16384, line: 32, assoc: 4 },
+        90.0,
+    );
+    vec![("1k-dm+8k-2way", h1, g1), ("2k-2way+16k-4way", h2, g2)]
+}
+
+fn check_hierarchy(nest: &LoopNest, tiles: Option<&TileSizes>, label: &str) -> Vec<String> {
+    let layout = MemoryLayout::contiguous(nest);
+    let cfg = SamplingConfig::paper();
+    let mut failures = Vec::new();
+    for (geo_name, hier, levels) in hierarchies() {
+        let sim = simulate_nest_hierarchy(nest, &layout, tiles, &levels);
+        let engine = EvalEngine::new_hierarchy(&hier, nest, &layout, cfg, 0xD1FF);
+        let est = engine.estimate_canonical(tiles);
+        let est_levels = est.levels.as_ref().expect("hierarchy estimate has a breakdown");
+        assert_eq!(est_levels.len(), sim.levels.len(), "{label}/{geo_name}: level count");
+        let tol = est.replacement_ci_half_width() + MODEL_SLACK;
+        for (k, (est_level, sim_level)) in est_levels.iter().zip(&sim.levels).enumerate() {
+            let d_repl = (est_level.replacement_ratio() - sim_level.replacement_ratio()).abs();
+            let d_total = (est_level.miss_ratio() - sim_level.miss_ratio()).abs();
+            for (metric, d) in [("replacement", d_repl), ("total", d_total)] {
+                if d > tol {
+                    failures.push(format!(
+                        "{label}/{geo_name}/L{}/{metric}: |est − sim| = {d:.4} > tol {tol:.4} \
+                         (est repl {:.4} total {:.4}, sim repl {:.4} total {:.4})",
+                        k + 1,
+                        est_level.replacement_ratio(),
+                        est_level.miss_ratio(),
+                        sim_level.replacement_ratio(),
+                        sim_level.miss_ratio(),
+                    ));
+                }
+            }
+        }
+        // The weighted costs must agree once per-level ratios do: compare
+        // them normalised to per-access cost, with the same tolerance
+        // scaled by the total latency weight.
+        let accesses = sim.levels[0].totals().accesses as f64;
+        let lat_sum: f64 = levels.iter().map(|l| l.miss_latency).sum();
+        let d_cost = (est.weighted_cost() - sim.weighted_cost()).abs() / accesses;
+        if d_cost > tol * lat_sum {
+            failures.push(format!(
+                "{label}/{geo_name}/weighted: |est − sim| = {d_cost:.4}/access > tol {:.4} \
+                 (est {:.1}, sim {:.1})",
+                tol * lat_sum,
+                est.weighted_cost(),
+                sim.weighted_cost(),
+            ));
+        }
+    }
+    failures
+}
+
+#[test]
+fn hierarchy_cme_matches_two_level_simulator_untiled() {
+    let mut failures = Vec::new();
+    for nest in kernels() {
+        failures.extend(check_hierarchy(&nest, None, &format!("{}/untiled", nest.name)));
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn hierarchy_cme_matches_two_level_simulator_tiled() {
+    let mut failures = Vec::new();
+    for nest in kernels() {
+        let tiles = thirds(&nest);
+        failures.extend(check_hierarchy(
+            &nest,
+            Some(&tiles),
+            &format!("{}/tiled{}", nest.name, tiles),
+        ));
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// A single-level request through the hierarchy-aware engine must equal
+/// the legacy `CmeModel` path bit-for-bit — the back-compat contract the
+/// golden snapshots pin at the API layer, checked here at the model
+/// layer.
+#[test]
+fn single_level_hierarchy_is_byte_identical_to_legacy_model() {
+    let cfg = SamplingConfig::paper();
+    for nest in kernels() {
+        let layout = MemoryLayout::contiguous(&nest);
+        for (geo_name, spec, _) in geometries() {
+            for tiles in [None, Some(thirds(&nest))] {
+                let legacy =
+                    CmeModel::new(spec).estimate_nest(&nest, &layout, tiles.as_ref(), &cfg, 0xD1FF);
+                let hier = EvalEngine::new_hierarchy(&spec.into(), &nest, &layout, cfg, 0xD1FF)
+                    .estimate_canonical(tiles.as_ref());
+                assert_eq!(legacy, hier, "{}/{geo_name}/{tiles:?}", nest.name);
+            }
+        }
+    }
 }
 
 /// The exhaustive (every-point) CME classification — no sampling noise —

@@ -14,7 +14,7 @@
 use cme_suite::api::{
     BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
 };
-use cme_suite::cme::CacheSpec;
+use cme_suite::cme::{CacheHierarchy, CacheSpec};
 use cme_suite::loopnest::builder::{sub, NestBuilder};
 use cme_suite::loopnest::LoopNest;
 use std::path::PathBuf;
@@ -106,6 +106,20 @@ fn family_requests() -> Vec<(&'static str, OptimizeRequest)> {
             )
             .with_cache(kb1)
             .with_seed(27),
+        ),
+        // Multi-level outcome: pins the hierarchy wire format (levels
+        // array in `cache`, per-level breakdown in both estimates) on top
+        // of the per-family snapshots above, which pin the legacy form.
+        (
+            "tiling_l1l2",
+            OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::Tiling)
+                .with_cache(CacheHierarchy::two_level(
+                    kb1,
+                    10.0,
+                    CacheSpec { size: 8192, line: 32, assoc: 2 },
+                    80.0,
+                ))
+                .with_seed(28),
         ),
     ]
 }

@@ -1,0 +1,131 @@
+//! Property tests for the cache-hierarchy extension.
+//!
+//! Two invariants the latency-weighted objective is built on:
+//!
+//! 1. **Legacy equivalence** — a one-level hierarchy's weighted cost is
+//!    the legacy single-cache estimate *bit-for-bit* (same sampled
+//!    points, same classification, `miss_latency = 1` is an exact f64
+//!    no-op). This is what keeps every pre-hierarchy request, golden
+//!    snapshot and service cache key stable.
+//!
+//! 2. **Latency monotonicity on traces** — inserting a larger *nested*
+//!    outer level (same line size, sets a multiple of the inner sets,
+//!    ways ≥ inner ways) while splitting the inner level's miss latency
+//!    with it never increases the weighted cost of a fixed tiling on a
+//!    fixed trace. Nesting gives per-set LRU stack inclusion, so the
+//!    outer level's misses are a subset of the inner level's on every
+//!    access; each miss's cost goes from `M` to `α·M` (+ `(1−α)·M` only
+//!    when the outer level misses too), so per access the cost can only
+//!    shrink. The inclusive simulator is the oracle here — the CME side
+//!    is covered by the differential suite in `cme_vs_sim.rs`.
+
+use cme_suite::cachesim::{simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
+use cme_suite::cme::CacheSpec;
+use cme_suite::cme::{CacheHierarchy, CmeModel, EvalEngine, SamplingConfig};
+use cme_suite::loopnest::{LoopNest, MemoryLayout, TileSizes};
+use proptest::prelude::*;
+
+/// The transpose kernel: dense conflict behaviour in tiny caches, cheap
+/// to trace-simulate at property-test volume.
+fn t2d(n: i64) -> LoopNest {
+    use cme_suite::loopnest::builder::{sub, NestBuilder};
+    let mut nb = NestBuilder::new(format!("t2d_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let j = nb.add_loop("j", 1, n);
+    let a = nb.array("a", &[n, n]);
+    let b = nb.array("b", &[n, n]);
+    nb.read(b, &[sub(i), sub(j)]);
+    nb.write(a, &[sub(j), sub(i)]);
+    nb.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One-level hierarchy ⇒ weighted cost ≡ legacy estimate, bitwise.
+    #[test]
+    fn one_level_weighted_cost_is_byte_identical_to_legacy(
+        n in 8i64..24,
+        sets_pow in 3u32..6,
+        assoc in 1i64..3,
+        seed in 0u64..1000,
+        tile_i in 1i64..8,
+        tile_j in 1i64..8,
+    ) {
+        let nest = t2d(n);
+        let layout = MemoryLayout::contiguous(&nest);
+        let spec = CacheSpec { size: (1 << sets_pow) * 32 * assoc, line: 32, assoc };
+        let cfg = SamplingConfig::paper();
+        let tiles = TileSizes(vec![tile_i.min(n), tile_j.min(n)]);
+
+        let legacy = CmeModel::new(spec)
+            .estimate_nest(&nest, &layout, Some(&tiles), &cfg, seed);
+        let engine = EvalEngine::new_hierarchy(
+            &CacheHierarchy::single(spec), &nest, &layout, cfg, seed);
+        let hier = engine.estimate_canonical(Some(&tiles));
+
+        prop_assert!(hier.levels.is_none(), "legacy hierarchies carry no breakdown");
+        prop_assert_eq!(
+            hier.weighted_cost().to_bits(),
+            legacy.replacement_misses().to_bits(),
+            "weighted cost must be the legacy objective bit-for-bit"
+        );
+        prop_assert_eq!(hier, legacy);
+    }
+
+    /// Adding a larger nested outer level — splitting the miss latency
+    /// with it — never increases the weighted cost of a fixed tiling on
+    /// a fixed trace.
+    #[test]
+    fn nested_outer_level_never_increases_weighted_trace_cost(
+        n in 6i64..18,
+        sets1_pow in 2u32..5,
+        ways1 in 1i64..3,
+        sets_mult in 1i64..5,
+        ways_mult in 1i64..4,
+        memory_latency_tenths in 10u32..2000,
+        split_percent in 1u32..100,
+        tile_i in 1i64..8,
+        tile_j in 1i64..8,
+    ) {
+        let nest = t2d(n);
+        let layout = MemoryLayout::contiguous(&nest);
+        let tiles = TileSizes(vec![tile_i.min(n), tile_j.min(n)]);
+
+        let line = 32i64;
+        let sets1 = 1i64 << sets1_pow;
+        let l1 = CacheGeometry { size: sets1 * ways1 * line, line, assoc: ways1 };
+        // Nested outer level: sets a multiple, ways no smaller.
+        let (sets2, ways2) = (sets1 * sets_mult, ways1 * ways_mult);
+        let l2 = CacheGeometry { size: sets2 * ways2 * line, line, assoc: ways2 };
+
+        let memory = memory_latency_tenths as f64 / 10.0;
+        let alpha = split_percent as f64 / 100.0;
+
+        let single = simulate_nest_hierarchy(
+            &nest, &layout, Some(&tiles),
+            &[LevelGeometry::new(l1, memory)],
+        );
+        let two = simulate_nest_hierarchy(
+            &nest, &layout, Some(&tiles),
+            &[
+                LevelGeometry::new(l1, alpha * memory),
+                LevelGeometry::new(l2, (1.0 - alpha) * memory),
+            ],
+        );
+
+        // The nested outer level leaves L1's stream untouched …
+        prop_assert_eq!(&two.levels[0], &single.levels[0]);
+        // … filters misses (inclusion) …
+        prop_assert!(
+            two.levels[1].totals().replacement <= two.levels[0].totals().replacement
+        );
+        // … and therefore can only lower the weighted cost.
+        prop_assert!(
+            two.weighted_cost() <= single.weighted_cost() * (1.0 + 1e-12) + 1e-9,
+            "adding a nested outer level increased the cost: {} -> {}",
+            single.weighted_cost(),
+            two.weighted_cost()
+        );
+    }
+}

@@ -81,6 +81,50 @@ fn optimize_parity_with_session_and_cache_hit_metrics() {
     handle.shutdown_and_join();
 }
 
+/// A two-level-hierarchy request over the wire: the response must carry
+/// the per-level breakdown and serve identically from the cache — the
+/// service-layer face of the hierarchy contract the CI smoke test also
+/// exercises with curl.
+#[test]
+fn hierarchy_request_round_trips_with_per_level_fields_and_caches() {
+    let handle = start(2, 16);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    let body = r#"{
+        "nest": {"Kernel": {"name": "T2D", "size": 12}},
+        "cache": {"levels": [
+            {"size": 256, "line": 16, "assoc": 1, "miss_latency": 10.0},
+            {"size": 2048, "line": 16, "assoc": 2, "miss_latency": 80.0}
+        ]},
+        "strategy": {"Exhaustive": {"step": 4, "max_evals": 500}}
+    }"#;
+
+    let (status, cold) = client.post("/optimize", body).expect("cold optimize");
+    assert_eq!(status, 200, "{cold}");
+    let outcome: Outcome = serde_json::from_str(&cold).expect("outcome JSON");
+    assert_eq!(outcome.cache.depth(), 2);
+    let levels = outcome.after.levels.as_ref().expect("per-level breakdown in response");
+    assert_eq!(levels.len(), 2);
+    assert_eq!(levels[1].miss_latency, 80.0);
+    assert!(cold.contains("\"levels\""), "wire form carries the breakdown: {cold}");
+    assert!(cold.contains("\"miss_latency\""), "{cold}");
+
+    // The identical request is a cache hit and stays byte-identical.
+    let (status, hot) = client.post("/optimize", body).expect("hot optimize");
+    assert_eq!(status, 200);
+    let hot_outcome: Outcome = serde_json::from_str(&hot).expect("outcome JSON");
+    assert_eq!(hot_outcome.without_timing(), outcome.without_timing());
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+    assert_eq!(
+        doc.get("cache").and_then(|c| c.get("hits")),
+        Some(&serde::Value::Int(1)),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn keep_alive_serves_sequential_requests_on_one_connection() {
     let handle = start(1, 4);

@@ -228,7 +228,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Sizes accepted by [`vec`].
+        /// Sizes accepted by [`vec()`].
         pub trait SizeRange {
             fn pick(&self, rng: &mut TestRng) -> usize;
         }

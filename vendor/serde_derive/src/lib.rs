@@ -7,7 +7,12 @@
 //! * structs with named fields (any visibility) — fields whose declared
 //!   type is literally `Option<…>` deserialise to `None` when the key is
 //!   absent (the moral equivalent of serde's `#[serde(default)]`, so
-//!   request schemas can grow optional knobs without breaking old JSON),
+//!   request schemas can grow optional knobs without breaking old JSON);
+//!   an `Option` field annotated
+//!   `#[serde(skip_serializing_if = "Option::is_none")]` is additionally
+//!   *omitted* from the serialised object while `None`, so growing a
+//!   response schema does not change the bytes of documents that do not
+//!   use the new field (the golden-snapshot compatibility contract),
 //! * tuple structs (a 1-field newtype serialises transparently as its
 //!   inner value, matching serde; wider tuples as arrays),
 //! * enums with unit variants (serialised as the variant-name string),
@@ -34,32 +39,37 @@ enum Variant {
 }
 
 /// A named field and whether its declared type is `Option<…>` (absent
-/// keys deserialise to `None` instead of erroring).
+/// keys deserialise to `None` instead of erroring). `skip_if_none`
+/// records a `#[serde(skip_serializing_if = "Option::is_none")]`
+/// attribute: the key is left out of the serialised object while the
+/// value is `None`.
 struct Field {
     name: String,
     optional: bool,
+    skip_if_none: bool,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let body = match &shape {
         Shape::NamedStruct { name, fields } => {
-            let pairs: Vec<String> = fields
+            let pushes: Vec<String> = fields
                 .iter()
-                .map(|Field { name: f, .. }| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
-                    )
+                .map(|f| {
+                    serialize_field_push(&f.name, f.skip_if_none, &format!("&self.{}", f.name))
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\
                    fn to_value(&self) -> ::serde::Value {{\
-                     ::serde::Value::Object(::std::vec![{}])\
+                     let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                       ::std::vec::Vec::new();\
+                     {}\
+                     ::serde::Value::Object(__fields)\
                    }}\
                  }}",
-                pairs.join(",")
+                pushes.join("")
             )
         }
         Shape::TupleStruct { name, arity: 1 } => format!(
@@ -95,19 +105,20 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     Variant::Named { name: v, fields } => {
                         let binds =
                             fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(",");
-                        let pairs: Vec<String> = fields
+                        let pushes: Vec<String> = fields
                             .iter()
-                            .map(|Field { name: f, .. }| {
-                                format!(
-                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
-                                )
-                            })
+                            .map(|f| serialize_field_push(&f.name, f.skip_if_none, &f.name))
                             .collect();
                         format!(
-                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
-                               (::std::string::String::from(\"{v}\"), \
-                                ::serde::Value::Object(::std::vec![{}]))]),",
-                            pairs.join(",")
+                            "{name}::{v} {{ {binds} }} => {{\
+                               let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                                 ::std::vec::Vec::new();\
+                               {}\
+                               ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{v}\"), \
+                                  ::serde::Value::Object(__fields))])\
+                             }},",
+                            pushes.join("")
                         )
                     }
                 })
@@ -125,14 +136,30 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     body.parse().expect("serde_derive: generated Serialize impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+/// One `__fields.push((key, value))` statement for a named field, wrapped
+/// in an `is_none` guard when the field opted into skip-if-none. `expr`
+/// is how the field value is reached in the generated scope (`&self.f`
+/// for structs, the bare binding for enum struct variants).
+fn serialize_field_push(name: &str, skip_if_none: bool, expr: &str) -> String {
+    let push = format!(
+        "__fields.push((::std::string::String::from(\"{name}\"), \
+           ::serde::Serialize::to_value({expr})));"
+    );
+    if skip_if_none {
+        format!("if !::std::option::Option::is_none({expr}) {{ {push} }}")
+    } else {
+        push
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let body = match &shape {
         Shape::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|Field { name: f, optional }| {
+                .map(|Field { name: f, optional, .. }| {
                     if *optional {
                         format!(
                             "{f}: match ::serde::get_field(obj, \"{f}\") {{\
@@ -205,7 +232,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Variant::Named { name: v, fields } => {
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|Field { name: f, optional }| {
+                            .map(|Field { name: f, optional, .. }| {
                                 if *optional {
                                     format!(
                                         "{f}: match ::serde::get_field(vf, \"{f}\") {{\
@@ -353,7 +380,10 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
 /// is the last ident before the top-level `:`; the field is optional when
 /// the first type ident after the `:` is literally `Option` (path-prefixed
 /// spellings such as `std::option::Option` are not recognised — no
-/// workspace type uses them).
+/// workspace type uses them). A `#[serde(skip_serializing_if = …)]`
+/// attribute ahead of the name marks the field skip-if-none (only valid
+/// on `Option` fields; any other serde attribute is rejected loudly
+/// rather than silently ignored).
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
@@ -361,9 +391,35 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         .map(|chunk| {
             let mut name = None;
             let mut optional = false;
+            let mut skip_if_none = false;
             let mut in_type = false;
+            let mut after_hash = false;
             for tt in &chunk {
                 match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
+                        after_hash = true;
+                        continue;
+                    }
+                    TokenTree::Group(g)
+                        if after_hash && !in_type && g.delimiter() == Delimiter::Bracket =>
+                    {
+                        let attr = g.stream().to_string();
+                        if attr.starts_with("serde") {
+                            // The path is a string *literal*, so it keeps
+                            // its exact spelling in the token stream.
+                            if attr.contains("skip_serializing_if")
+                                && attr.contains("Option::is_none")
+                            {
+                                skip_if_none = true;
+                            } else {
+                                panic!(
+                                    "serde_derive (vendored): unsupported serde attribute \
+                                     `#[{attr}]` (only `skip_serializing_if = \
+                                     \"Option::is_none\"` is implemented)"
+                                );
+                            }
+                        }
+                    }
                     TokenTree::Punct(p) if p.as_char() == ':' && !in_type => in_type = true,
                     TokenTree::Ident(id) if !in_type && id.to_string() != "pub" => {
                         name = Some(id.to_string());
@@ -374,11 +430,16 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                     }
                     _ => {}
                 }
+                after_hash = false;
             }
-            Field {
-                name: name.unwrap_or_else(|| panic!("serde_derive: could not find field name")),
-                optional,
+            let name = name.unwrap_or_else(|| panic!("serde_derive: could not find field name"));
+            if skip_if_none && !optional {
+                panic!(
+                    "serde_derive (vendored): `skip_serializing_if = \"Option::is_none\"` on \
+                     non-Option field `{name}`"
+                );
             }
+            Field { name, optional, skip_if_none }
         })
         .collect()
 }
