@@ -3,6 +3,13 @@
 use serde::{Deserialize, Serialize};
 
 /// Why a request could not produce an [`crate::Outcome`].
+///
+/// Message convention (kept uniform across nest sources so clients can
+/// show them verbatim): every nest-related message starts with the
+/// source context — ``kernel `NAME` `` for registry kernels, ``inline
+/// nest `NAME` `` for inline ones — followed by `: ` and the failing
+/// field; reference-level problems name the reference as
+/// ``ref N (`array`)`` (the index into the nest's `refs` table).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ApiError {
     /// The request named a kernel the registry does not know.
@@ -21,7 +28,7 @@ impl std::fmt::Display for ApiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ApiError::UnknownKernel(name) => {
-                write!(f, "unknown kernel `{name}` (run `cme kernels` for the registry)")
+                write!(f, "kernel `{name}`: not in the registry (run `cme kernels` for the list)")
             }
             ApiError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ApiError::IllegalTransform(msg) => write!(f, "illegal transform: {msg}"),

@@ -89,6 +89,29 @@ mod tests {
     }
 
     #[test]
+    fn nest_error_wording_is_uniform_across_sources() {
+        // Both source kinds lead with their context (`kernel `X`` /
+        // `inline nest `X``), and reference-level failures name the
+        // reference index and array the same way — clients can show these
+        // verbatim regardless of where the nest came from.
+        let unknown = NestSource::kernel("NOPE").resolve().unwrap_err();
+        assert!(unknown.to_string().starts_with("kernel `NOPE`: "), "got: {unknown}");
+
+        let bad_size = NestSource::kernel_sized("MM", 0).resolve().unwrap_err();
+        assert!(bad_size.to_string().starts_with("bad request: kernel `MM`: "), "got: {bad_size}");
+
+        let mut nest = cme_kernels::kernel_by_name("T2D").unwrap().build_default();
+        nest.refs[1].subscripts[0] = nest.refs[1].subscripts[0].shift(10_000);
+        let name = nest.name.clone();
+        let inline = NestSource::inline(nest).resolve().unwrap_err();
+        let msg = inline.to_string();
+        assert!(
+            msg.starts_with(&format!("bad request: inline nest `{name}`: ref 1 (`")),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
     fn bad_cache_is_rejected() {
         let mut req = tiny_request(StrategySpec::Tiling);
         req.cache = CacheSpec { size: 100, line: 32, assoc: 1 }.into();

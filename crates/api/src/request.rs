@@ -31,6 +31,13 @@ impl NestSource {
         NestSource::Kernel { name: name.into(), size: Some(size) }
     }
 
+    /// Shorthand for an inline nest (validated on [`Self::resolve`], not
+    /// here — so a `NestSource` can carry a not-yet-valid nest across the
+    /// wire and fail with the full request context).
+    pub fn inline(nest: LoopNest) -> Self {
+        NestSource::Inline(nest)
+    }
+
     /// Build the concrete nest this source describes.
     pub fn resolve(&self) -> Result<LoopNest, ApiError> {
         match self {

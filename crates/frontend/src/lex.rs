@@ -1,0 +1,211 @@
+//! Tokeniser for the kernel source format.
+
+use crate::FrontendError;
+
+/// Token kinds. Multi-character operators are lexed greedily, so `<=` is
+/// one token and `i++` is `Ident` + `PlusPlus`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    PlusPlus,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    Lt,
+    Le,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::PlusPlus => write!(f, "`++`"),
+            Tok::PlusEq => write!(f, "`+=`"),
+            Tok::MinusEq => write!(f, "`-=`"),
+            Tok::StarEq => write!(f, "`*=`"),
+            Tok::SlashEq => write!(f, "`/=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+fn err(line: usize, col: usize, msg: impl Into<String>) -> FrontendError {
+    FrontendError::Parse { line, col, msg: msg.into() }
+}
+
+/// Tokenise the whole input (ends with one `Eof` token).
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1usize, 1usize);
+    let n = chars.len();
+    while i < n {
+        let (l, c) = (line, col);
+        let ch = chars[i];
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        if ch.is_whitespace() {
+            advance(&mut i, &mut line, &mut col);
+            continue;
+        }
+        // Comments.
+        if ch == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                advance(&mut i, &mut line, &mut col);
+            }
+            continue;
+        }
+        if ch == '/' && i + 1 < n && chars[i + 1] == '*' {
+            advance(&mut i, &mut line, &mut col);
+            advance(&mut i, &mut line, &mut col);
+            loop {
+                if i + 1 >= n {
+                    return Err(err(l, c, "unterminated block comment"));
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    advance(&mut i, &mut line, &mut col);
+                    advance(&mut i, &mut line, &mut col);
+                    break;
+                }
+                advance(&mut i, &mut line, &mut col);
+            }
+            continue;
+        }
+        if ch == '_' || ch.is_ascii_alphabetic() {
+            let mut s = String::new();
+            while i < n && (chars[i] == '_' || chars[i].is_ascii_alphanumeric()) {
+                s.push(chars[i]);
+                advance(&mut i, &mut line, &mut col);
+            }
+            out.push(Token { kind: Tok::Ident(s), line: l, col: c });
+            continue;
+        }
+        if ch.is_ascii_digit() {
+            let mut s = String::new();
+            while i < n && chars[i].is_ascii_digit() {
+                s.push(chars[i]);
+                advance(&mut i, &mut line, &mut col);
+            }
+            let v: i64 =
+                s.parse().map_err(|_| err(l, c, format!("integer `{s}` overflows i64")))?;
+            out.push(Token { kind: Tok::Int(v), line: l, col: c });
+            continue;
+        }
+        if ch == '"' {
+            advance(&mut i, &mut line, &mut col);
+            let mut s = String::new();
+            loop {
+                if i >= n {
+                    return Err(err(l, c, "unterminated string"));
+                }
+                match chars[i] {
+                    '"' => {
+                        advance(&mut i, &mut line, &mut col);
+                        break;
+                    }
+                    '\\' => {
+                        advance(&mut i, &mut line, &mut col);
+                        if i >= n {
+                            return Err(err(l, c, "unterminated string"));
+                        }
+                        match chars[i] {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            other => {
+                                return Err(err(
+                                    line,
+                                    col,
+                                    format!("unsupported escape `\\{other}`"),
+                                ))
+                            }
+                        }
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                    other => {
+                        s.push(other);
+                        advance(&mut i, &mut line, &mut col);
+                    }
+                }
+            }
+            out.push(Token { kind: Tok::Str(s), line: l, col: c });
+            continue;
+        }
+        let two = if i + 1 < n { Some(chars[i + 1]) } else { None };
+        let (kind, width) = match (ch, two) {
+            ('+', Some('+')) => (Tok::PlusPlus, 2),
+            ('+', Some('=')) => (Tok::PlusEq, 2),
+            ('-', Some('=')) => (Tok::MinusEq, 2),
+            ('*', Some('=')) => (Tok::StarEq, 2),
+            ('/', Some('=')) => (Tok::SlashEq, 2),
+            ('<', Some('=')) => (Tok::Le, 2),
+            ('(', _) => (Tok::LParen, 1),
+            (')', _) => (Tok::RParen, 1),
+            ('{', _) => (Tok::LBrace, 1),
+            ('}', _) => (Tok::RBrace, 1),
+            ('[', _) => (Tok::LBracket, 1),
+            (']', _) => (Tok::RBracket, 1),
+            (';', _) => (Tok::Semi, 1),
+            ('=', _) => (Tok::Assign, 1),
+            ('+', _) => (Tok::Plus, 1),
+            ('-', _) => (Tok::Minus, 1),
+            ('*', _) => (Tok::Star, 1),
+            ('/', _) => (Tok::Slash, 1),
+            ('<', _) => (Tok::Lt, 1),
+            (other, _) => return Err(err(l, c, format!("unexpected character `{other}`"))),
+        };
+        for _ in 0..width {
+            advance(&mut i, &mut line, &mut col);
+        }
+        out.push(Token { kind, line: l, col: c });
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}

@@ -1,0 +1,125 @@
+#![deny(missing_docs)]
+//! `cme-frontend` — a small C-like textual format for affine loop nests.
+//!
+//! The optimiser is kernel-agnostic: any perfectly nested loop with affine
+//! array subscripts can be analysed. This crate is the bridge from *source
+//! text* to the [`cme_loopnest::LoopNest`] IR, so kernels can arrive as
+//! code instead of registry names or hand-written JSON:
+//!
+//! ```
+//! let nest = cme_frontend::parse(
+//!     "kernel mm;
+//!      real4 a[8][8]; real4 b[8][8]; real4 c[8][8];
+//!      base 0;
+//!      for (i = 0; i < 8; i++) {
+//!        for (j = 0; j < 8; j++) {
+//!          for (k = 0; k < 8; k++) {
+//!            a[i][j] += b[i][k] * c[k][j];
+//!          }
+//!        }
+//!      }",
+//! )
+//! .unwrap();
+//! assert_eq!(nest.depth(), 3);
+//! assert_eq!(nest.refs.len(), 4); // read a, read b, read c, write a
+//!
+//! // Rendering is lossless: parse(render(n)) == n.
+//! let back = cme_frontend::parse(&cme_frontend::render(&nest).unwrap()).unwrap();
+//! assert_eq!(back, nest);
+//! ```
+//!
+//! # The format
+//!
+//! A kernel file is: optional directives and array declarations (any
+//! order), then exactly one perfectly nested `for` tower whose innermost
+//! block holds the body statements.
+//!
+//! * `kernel NAME;` / `kernel "any name";` — nest name (default `inline`).
+//! * `base 0;` — source subscripts and loop bounds are 0-based (C
+//!   convention); they are shifted onto the IR's 1-based Fortran
+//!   convention without changing the access pattern. Default is `base 1;`.
+//! * `real4 a[100][50];` — array declaration. Element types: `realN` (`N`
+//!   bytes per element), with `float` ≡ `real4` and `double` ≡ `real8`.
+//!   Arrays are column-major unless prefixed `rowmajor`
+//!   (`colmajor` spells the default).
+//! * `for (i = 1; i <= 100; i++) { … }` — unit-stride loop with constant
+//!   bounds; `<` and `+= 1` are accepted spellings. Loops must be
+//!   perfectly nested: a block holds either exactly one `for` or the body
+//!   statements.
+//! * Body statements generate the memory-reference stream in textual
+//!   order. `x[i] = expr;` reads every array reference in `expr`
+//!   left-to-right, then writes `x[i]`; compound assignment
+//!   (`x[i] += expr;`) reads `x[i]` first (read-modify-write).
+//!   `load expr;` touches references without writing — the escape hatch
+//!   for reference streams with no terminating store. Scalars,
+//!   constants and arithmetic operators only shape the stream; the cache
+//!   model sees the references.
+//! * Subscripts are affine in the loop variables: `a[2*i + j - 1]`.
+//! * Comments: `// line` and `/* block */`.
+//!
+//! `parse` validates the result exactly like an inline wire nest
+//! ([`cme_loopnest::LoopNest::validate`]), so out-of-bounds subscripts and
+//! rank mismatches are reported with the reference index, not deferred to
+//! the optimiser.
+
+mod lex;
+mod parse;
+mod render;
+
+pub use parse::parse;
+pub use render::render;
+
+use cme_loopnest::NestError;
+
+/// Why source text could not become a nest, or a nest could not become
+/// source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Syntax error at 1-based `line`:`col`.
+    Parse {
+        /// Line of the offending token.
+        line: usize,
+        /// Column of the offending token.
+        col: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The text parsed but the nest violates an IR invariant (the inner
+    /// error names the failing loop/array/reference).
+    Invalid(NestError),
+    /// The nest cannot be expressed in the textual format (e.g.
+    /// non-identifier or duplicate loop/array names).
+    Render(String),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse { line, col, msg } => write!(f, "line {line}:{col}: {msg}"),
+            FrontendError::Invalid(e) => write!(f, "{e}"),
+            FrontendError::Render(msg) => write!(f, "cannot render nest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// True iff `name` is usable as a bare identifier in kernel source: an
+/// ASCII identifier that is not one of the format's keywords. Loop and
+/// array names must satisfy this; kernel names fall back to the quoted
+/// spelling when they do not.
+pub fn is_bare_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let head_ok = matches!(chars.next(), Some(c) if c == '_' || c.is_ascii_alphabetic());
+    head_ok && chars.all(|c| c == '_' || c.is_ascii_alphanumeric()) && !is_keyword(name)
+}
+
+/// The format's reserved words (including every `realN` element type).
+pub(crate) fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "for" | "load" | "kernel" | "base" | "rowmajor" | "colmajor" | "float" | "double"
+    ) || (name.len() > 4
+        && name.starts_with("real")
+        && name[4..].chars().all(|c| c.is_ascii_digit()))
+}

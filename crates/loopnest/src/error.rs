@@ -3,16 +3,25 @@
 use std::fmt;
 
 /// Errors raised while building or validating a loop nest.
+///
+/// Reference-level variants carry `ref_index` — the position of the
+/// offending reference in [`crate::LoopNest::refs`] — so messages name the
+/// failing reference consistently ("ref 2 (`a`): …") wherever a nest can
+/// come from user input (inline wire bodies, `--nest`/`--src` files).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NestError {
     /// A loop has an empty iteration range (`lo > hi`).
     EmptyLoop { loop_name: String },
     /// A subscript references more variables than the nest has loops.
-    SubscriptArity { array: String, expected: usize, got: usize },
+    SubscriptArity { ref_index: usize, array: String, expected: usize, got: usize },
     /// Number of subscripts differs from the array rank.
-    RankMismatch { array: String, rank: usize, got: usize },
+    RankMismatch { ref_index: usize, array: String, rank: usize, got: usize },
     /// A subscript can leave the declared array bounds.
-    OutOfBounds { array: String, dim: usize, range: (i64, i64), extent: i64 },
+    OutOfBounds { ref_index: usize, array: String, dim: usize, range: (i64, i64), extent: i64 },
+    /// A reference names an array id outside the declared array table
+    /// (possible on hand-written inline nests; builder-made nests cannot
+    /// produce it).
+    UnknownArray { ref_index: usize, id: usize, arrays: usize },
     /// Tile size vector has the wrong length.
     TileArity { expected: usize, got: usize },
     /// A tile size is outside `[1, span]`.
@@ -21,6 +30,10 @@ pub enum NestError {
     IllegalTiling { reason: String },
     /// Array declared with a non-positive extent or element size.
     BadArray { array: String },
+    /// Declared arrays exceed the address-space bound
+    /// ([`crate::LoopNest::MAX_TOTAL_BYTES`]) — downstream layout/trace
+    /// arithmetic could overflow, so the nest is refused up front.
+    ArrayTooLarge { array: String },
 }
 
 impl fmt::Display for NestError {
@@ -29,20 +42,25 @@ impl fmt::Display for NestError {
             NestError::EmptyLoop { loop_name } => {
                 write!(f, "loop `{loop_name}` has an empty range")
             }
-            NestError::SubscriptArity { array, expected, got } => {
-                write!(f, "subscript of `{array}` spans {got} variables, nest has {expected}")
-            }
-            NestError::RankMismatch { array, rank, got } => {
+            NestError::SubscriptArity { ref_index, array, expected, got } => {
                 write!(
                     f,
-                    "array `{array}` has rank {rank} but was subscripted with {got} expressions"
+                    "ref {ref_index} (`{array}`): subscript spans {got} variables, \
+                     nest has {expected}"
                 )
             }
-            NestError::OutOfBounds { array, dim, range, extent } => write!(
+            NestError::RankMismatch { ref_index, array, rank, got } => {
+                write!(f, "ref {ref_index} (`{array}`): {got} subscripts for a rank-{rank} array")
+            }
+            NestError::OutOfBounds { ref_index, array, dim, range, extent } => write!(
                 f,
-                "subscript {dim} of `{array}` ranges over [{}, {}] outside [1, {extent}]",
+                "ref {ref_index} (`{array}`): subscript {dim} ranges over [{}, {}] \
+                 outside [1, {extent}]",
                 range.0, range.1
             ),
+            NestError::UnknownArray { ref_index, id, arrays } => {
+                write!(f, "ref {ref_index}: array id {id} outside the {arrays}-entry array table")
+            }
             NestError::TileArity { expected, got } => {
                 write!(f, "tile vector has {got} entries, nest has {expected} loops")
             }
@@ -52,6 +70,9 @@ impl fmt::Display for NestError {
             NestError::IllegalTiling { reason } => write!(f, "tiling is illegal: {reason}"),
             NestError::BadArray { array } => {
                 write!(f, "array `{array}` has non-positive extent or element size")
+            }
+            NestError::ArrayTooLarge { array } => {
+                write!(f, "array `{array}`: declared arrays exceed 2^62 bytes")
             }
         }
     }

@@ -71,28 +71,62 @@ impl LoopNest {
         &self.arrays[id.0]
     }
 
+    /// Address-space bound on the declared arrays (2^62 bytes, summed).
+    /// Everything downstream (layout bases, trace addresses, footprints)
+    /// stays inside `i64` under this cap, so validation can promise the
+    /// engine panic-free arithmetic even for hostile wire nests.
+    pub const MAX_TOTAL_BYTES: i128 = 1 << 62;
+
     /// Validate structural invariants:
     /// * every loop non-empty,
+    /// * every array with positive extents/element size and the total
+    ///   footprint under [`Self::MAX_TOTAL_BYTES`],
+    /// * every reference's array id inside the declared array table,
     /// * every subscript over exactly `depth` variables,
     /// * subscript count matches array rank,
     /// * subscripts stay within declared extents over the whole iteration
     ///   space (so traces never touch memory outside the arrays).
+    ///
+    /// Nests can arrive from untrusted wire bodies (`{"Inline": …}`), so
+    /// every check here uses non-panicking arithmetic: overflowing
+    /// subscripts or astronomic extents are validation *errors*, never
+    /// panics.
     pub fn validate(&self) -> Result<(), NestError> {
         for l in &self.loops {
             if l.lo > l.hi {
                 return Err(NestError::EmptyLoop { loop_name: l.name.clone() });
             }
         }
+        let mut total_bytes: i128 = 0;
         for a in &self.arrays {
             if a.elem_size <= 0 || a.extents.iter().any(|&e| e <= 0) {
                 return Err(NestError::BadArray { array: a.name.clone() });
             }
+            let mut bytes = a.elem_size as i128;
+            for &e in &a.extents {
+                bytes *= e as i128; // ≤ 2^62 · 2^63 per step: cannot overflow i128
+                if bytes > Self::MAX_TOTAL_BYTES {
+                    return Err(NestError::ArrayTooLarge { array: a.name.clone() });
+                }
+            }
+            total_bytes += bytes;
+            if total_bytes > Self::MAX_TOTAL_BYTES {
+                return Err(NestError::ArrayTooLarge { array: a.name.clone() });
+            }
         }
         let b = self.iter_box();
-        for r in &self.refs {
+        for (ref_index, r) in self.refs.iter().enumerate() {
+            if r.array.0 >= self.arrays.len() {
+                return Err(NestError::UnknownArray {
+                    ref_index,
+                    id: r.array.0,
+                    arrays: self.arrays.len(),
+                });
+            }
             let arr = self.array(r.array);
             if r.subscripts.len() != arr.rank() {
                 return Err(NestError::RankMismatch {
+                    ref_index,
                     array: arr.name.clone(),
                     rank: arr.rank(),
                     got: r.subscripts.len(),
@@ -101,17 +135,31 @@ impl LoopNest {
             for (d, s) in r.subscripts.iter().enumerate() {
                 if s.n_vars() != self.depth() {
                     return Err(NestError::SubscriptArity {
+                        ref_index,
                         array: arr.name.clone(),
                         expected: self.depth(),
                         got: s.n_vars(),
                     });
                 }
-                let range = s.range_over(&b);
-                if range.lo < 1 || range.hi > arr.extents[d] {
+                // Widened (i128) copy of `AffineForm::range_over`: a
+                // hostile coeff·bound product can overflow i64, which
+                // must be an OutOfBounds error here, not the panic the
+                // i64 path asserts on.
+                let mut lo = s.c0 as i128;
+                let mut hi = lo;
+                for (c, iv) in s.coeffs.iter().zip(&b.dims) {
+                    let (at_lo, at_hi) =
+                        ((*c as i128) * (iv.lo as i128), (*c as i128) * (iv.hi as i128));
+                    lo += at_lo.min(at_hi);
+                    hi += at_lo.max(at_hi);
+                }
+                if lo < 1 || hi > arr.extents[d] as i128 {
+                    let clamp = |v: i128| v.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
                     return Err(NestError::OutOfBounds {
+                        ref_index,
                         array: arr.name.clone(),
                         dim: d,
-                        range: (range.lo, range.hi),
+                        range: (clamp(lo), clamp(hi)),
                         extent: arr.extents[d],
                     });
                 }
@@ -183,6 +231,47 @@ mod tests {
     fn rank_mismatch_detected() {
         let mut n = transpose_nest();
         n.refs[0].subscripts.pop();
-        assert!(matches!(n.validate(), Err(NestError::RankMismatch { .. })));
+        assert!(matches!(n.validate(), Err(NestError::RankMismatch { ref_index: 0, .. })));
+    }
+
+    #[test]
+    fn overflowing_subscripts_are_errors_not_panics() {
+        // A wire nest can carry coefficients whose products with the
+        // loop bounds overflow i64; validation must answer OutOfBounds
+        // (the i64 `range_over` path would panic).
+        let mut n = transpose_nest();
+        n.refs[0].subscripts[0] = AffineForm::new(vec![4_000_000_000_000_000_000, 0], 0);
+        assert!(matches!(n.validate(), Err(NestError::OutOfBounds { ref_index: 0, .. })));
+    }
+
+    #[test]
+    fn astronomic_extents_are_refused() {
+        // Extents that pass the >0 check but whose footprint overflows
+        // downstream layout arithmetic must be refused up front.
+        let mut n = transpose_nest();
+        n.arrays[0].extents = vec![3_000_000_000, 3_000_000_000, 3_000_000_000];
+        n.refs[1].subscripts = vec![
+            AffineForm::new(vec![0, 0], 1),
+            AffineForm::new(vec![0, 0], 1),
+            AffineForm::new(vec![0, 0], 1),
+        ];
+        match n.validate() {
+            Err(NestError::ArrayTooLarge { array }) => assert_eq!(array, "a"),
+            other => panic!("expected ArrayTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_array_id_detected() {
+        // A hand-written (wire) nest can name an array id the table does
+        // not have; validation must refuse it instead of panicking.
+        let mut n = transpose_nest();
+        n.refs[1].array = ArrayId(7);
+        match n.validate() {
+            Err(NestError::UnknownArray { ref_index, id, arrays }) => {
+                assert_eq!((ref_index, id, arrays), (1, 7, 2));
+            }
+            other => panic!("expected UnknownArray, got {other:?}"),
+        }
     }
 }

@@ -388,6 +388,50 @@ mod tests {
     }
 
     #[test]
+    fn inline_nests_share_one_canonical_cache_entry() {
+        // The outcome cache is keyed by the canonical re-serialised
+        // request; that must cover inline nests too, so spelling variants
+        // of one inline kernel (key order, spelled-out defaults) collapse
+        // to a single entry.
+        let app = App::new(1, 8);
+        let inline = r#"{
+            "nest": {"Inline": {
+                "name": "tiny",
+                "loops": [{"name": "i", "lo": 1, "hi": 8}],
+                "arrays": [{"name": "x", "extents": [8], "elem_size": 4,
+                            "layout": "ColumnMajor"}],
+                "refs": [{"array": 0, "subscripts": [{"coeffs": [1], "c0": 0}],
+                          "access": "Write"}]
+            }},
+            "cache": {"size": 256, "line": 16, "assoc": 1},
+            "strategy": {"Exhaustive": {"step": 1, "max_evals": 100}}
+        }"#;
+        let cold = app.handle(&post("/optimize", inline));
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(app.cache.hits(), 0);
+        let respelled = r#"{
+            "strategy": {"Exhaustive": {"max_evals": 100, "step": 1}},
+            "cache": {"assoc": 1, "line": 16, "size": 256},
+            "nest": {"Inline": {
+                "refs": [{"access": "Write", "array": 0,
+                          "subscripts": [{"c0": 0, "coeffs": [1]}]}],
+                "arrays": [{"layout": "ColumnMajor", "elem_size": 4,
+                            "extents": [8], "name": "x"}],
+                "loops": [{"hi": 8, "lo": 1, "name": "i"}],
+                "name": "tiny"
+            }}
+        }"#;
+        let hot = app.handle(&post("/optimize", respelled));
+        assert_eq!(hot.status, 200, "{}", hot.body);
+        assert_eq!(app.cache.hits(), 1, "inline spelling variants share one key");
+        assert_eq!(app.cache.len(), 1);
+        let a: Outcome = serde_json::from_str(&cold.body).unwrap();
+        let b: Outcome = serde_json::from_str(&hot.body).unwrap();
+        assert_eq!(a.without_timing(), b.without_timing());
+        assert_eq!(a.kernel, "tiny");
+    }
+
+    #[test]
     fn api_errors_map_to_http_statuses() {
         let app = App::new(1, 8);
         let unknown = app.handle(&post(

@@ -1,0 +1,16 @@
+// A bring-your-own kernel in the C-like source format (docs/SCHEMA.md):
+// the paper's Fig. 1 matrix multiply, written 0-based the way a C
+// programmer would. `base 0;` shifts it losslessly onto the IR's
+// 1-based convention, landing exactly on the registry `MM` nest.
+kernel MM_64;
+real4 a[64][64];
+real4 b[64][64];
+real4 c[64][64];
+base 0;
+for (i = 0; i < 64; i++) {
+  for (j = 0; j < 64; j++) {
+    for (k = 0; k < 64; k++) {
+      a[i][j] += b[i][k] * c[k][j];
+    }
+  }
+}

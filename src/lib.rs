@@ -9,6 +9,7 @@
 pub use cme_api as api;
 pub use cme_cachesim as cachesim;
 pub use cme_core as cme;
+pub use cme_frontend as frontend;
 pub use cme_ga as ga;
 pub use cme_kernels as kernels;
 pub use cme_loopnest as loopnest;

@@ -10,7 +10,7 @@ use cme_suite::api::{
 };
 use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
 use cme_suite::cme::{CacheHierarchy, CacheLevel, CacheSpec, MissEstimate, SamplingConfig};
-use cme_suite::loopnest::{display, MemoryLayout, TileSizes};
+use cme_suite::loopnest::{display, LoopNest, MemoryLayout, TileSizes};
 use std::process::exit;
 
 const USAGE: &str = "cme — near-optimal loop tiling via Cache Miss Equations + genetic algorithms
@@ -28,7 +28,15 @@ usage:
                                            (POST /optimize /analyze /batch,
                                             GET /healthz /metrics, POST /shutdown)
 
-KERNEL defaults to MM (the paper's headline kernel) when omitted.
+KERNEL defaults to MM (the paper's headline kernel) when omitted. Every
+subcommand taking KERNEL also accepts a bring-your-own nest instead:
+
+  --nest FILE.json                         inline nest as LoopNest JSON
+                                           (the wire schema's `{\"Inline\": ...}`
+                                           payload; see docs/SCHEMA.md)
+  --src FILE.c                             inline nest as C-like kernel source
+                                           (see docs/SCHEMA.md for the format;
+                                           FILE of `-` reads stdin)
 
 options:
   --cache 8k | 32k | SIZE,LINE[,ASSOC]     cache geometry (default 8k DM/32B)
@@ -67,8 +75,22 @@ fn fail(msg: impl std::fmt::Display) -> ! {
     exit(2)
 }
 
+/// Read a whole input: a file path, or stdin when the path is `-`.
+fn read_input(path: &str) -> String {
+    if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| fail(e));
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+    }
+}
+
 struct Args {
     positional: Vec<String>,
+    nest_file: Option<String>,
+    src_file: Option<String>,
     cache: CacheHierarchy,
     tiles: Option<TileSizes>,
     exhaustive: bool,
@@ -175,6 +197,8 @@ fn parse_baseline(s: &str) -> BaselineKind {
 fn parse_args() -> Args {
     let mut args = Args {
         positional: Vec::new(),
+        nest_file: None,
+        src_file: None,
         cache: CacheSpec::paper_8k().into(),
         tiles: None,
         exhaustive: false,
@@ -198,6 +222,8 @@ fn parse_args() -> Args {
     };
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--nest" => args.nest_file = Some(value_of("--nest", &mut it)),
+            "--src" => args.src_file = Some(value_of("--src", &mut it)),
             "--cache" => args.cache = parse_cache(&value_of("--cache", &mut it)),
             "--tiles" => args.tiles = Some(parse_tiles(&value_of("--tiles", &mut it))),
             "--exhaustive" => args.exhaustive = true,
@@ -249,8 +275,28 @@ fn parse_args() -> Args {
 }
 
 impl Args {
-    /// The nest named on the command line (`KERNEL [N]`; MM when omitted).
+    /// The nest named on the command line: `--nest FILE.json` (inline
+    /// LoopNest JSON), `--src FILE.c` (inline kernel source), or the
+    /// `KERNEL [N]` positionals (MM when omitted).
     fn nest_source(&self) -> NestSource {
+        if self.nest_file.is_some() || self.src_file.is_some() {
+            if self.nest_file.is_some() && self.src_file.is_some() {
+                fail("--nest and --src are mutually exclusive");
+            }
+            if self.positional.get(1).is_some() {
+                fail("give either KERNEL or --nest/--src, not both");
+            }
+        }
+        if let Some(path) = &self.nest_file {
+            let nest: LoopNest = serde_json::from_str(&read_input(path))
+                .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            return NestSource::Inline(nest);
+        }
+        if let Some(path) = &self.src_file {
+            let nest = cme_suite::frontend::parse(&read_input(path))
+                .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            return NestSource::Inline(nest);
+        }
         let name = self.positional.get(1).cloned().unwrap_or_else(|| "MM".to_string());
         let size = self
             .positional
@@ -259,10 +305,8 @@ impl Args {
         NestSource::Kernel { name, size }
     }
 
-    fn optimize_request(&self, strategy: StrategySpec) -> OptimizeRequest {
-        OptimizeRequest::new(self.nest_source(), strategy)
-            .with_cache(self.cache.clone())
-            .with_seed(self.seed)
+    fn optimize_request(&self, nest: NestSource, strategy: StrategySpec) -> OptimizeRequest {
+        OptimizeRequest::new(nest, strategy).with_cache(self.cache.clone()).with_seed(self.seed)
     }
 
     fn session(&self) -> Session {
@@ -463,11 +507,15 @@ fn cmd_tile(args: &Args) {
     } else {
         StrategySpec::Tiling
     };
-    let out = or_die(args.session().run(&args.optimize_request(strategy)));
+    // Build the source once: `--src -`/`--nest -` read stdin, which
+    // cannot be read a second time for the tiled listing below. The
+    // resolve itself stays lazy — only the non-JSON listing needs it.
+    let source = args.nest_source();
+    let out = or_die(args.session().run(&args.optimize_request(source.clone(), strategy)));
     print_outcome(&out, args.json);
     if !args.json {
         if let (Some(tiles), None) = (&out.transform.tiles, &out.transform.permutation) {
-            let nest = or_die(args.nest_source().resolve());
+            let nest = or_die(source.resolve());
             println!("\n{}", display::render_tiled(&nest, tiles));
         }
     }
@@ -481,7 +529,10 @@ fn cmd_pad(args: &Args) {
     } else {
         PaddingMode::Pad
     };
-    let out = or_die(args.session().run(&args.optimize_request(StrategySpec::Padding { mode })));
+    let out = or_die(
+        args.session()
+            .run(&args.optimize_request(args.nest_source(), StrategySpec::Padding { mode })),
+    );
     print_outcome(&out, args.json);
 }
 
@@ -547,14 +598,7 @@ fn cmd_simulate(args: &Args) {
 
 fn cmd_batch(args: &Args) {
     let path = args.positional.get(1).unwrap_or_else(|| usage());
-    let text = if path == "-" {
-        use std::io::Read;
-        let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| fail(e));
-        buf
-    } else {
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")))
-    };
+    let text = read_input(path);
     let reqs: Vec<OptimizeRequest> =
         serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
     let results = args.session().run_batch(&reqs);

@@ -107,6 +107,33 @@ fn family_requests() -> Vec<(&'static str, OptimizeRequest)> {
             .with_cache(kb1)
             .with_seed(27),
         ),
+        // A bring-your-own kernel arriving as source text: pins the
+        // frontend parser's output (loop bounds, affine subscripts,
+        // row-major/real8 declarations) and the inline-nest wire format
+        // in one snapshot. Any parser change that alters the nest it
+        // builds — or any schema change to inline outcomes — shows up as
+        // a diff here.
+        (
+            "inline_frontend",
+            OptimizeRequest::new(
+                NestSource::Inline(
+                    cme_suite::frontend::parse(
+                        "kernel frontend_demo;
+                         real8 u[20][20];
+                         rowmajor real4 v[20][20];
+                         for (i = 1; i <= 18; i++) {
+                           for (j = 1; j <= 18; j++) {
+                             u[i+1][j] = u[i][j] + v[j][i] * 2;
+                           }
+                         }",
+                    )
+                    .expect("demo kernel parses"),
+                ),
+                StrategySpec::Tiling,
+            )
+            .with_cache(kb1)
+            .with_seed(29),
+        ),
         // Multi-level outcome: pins the hierarchy wire format (levels
         // array in `cache`, per-level breakdown in both estimates) on top
         // of the per-family snapshots above, which pin the legacy form.

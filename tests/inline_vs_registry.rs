@@ -1,0 +1,160 @@
+//! Bring-your-own kernels must be indistinguishable from registry ones:
+//! an inline nest equivalent to Table 1's `MM` yields a timing-stripped
+//! outcome byte-identical to the named kernel's, over every entry point —
+//! `Session`, a live `cme serve`, and the CLI's `--json` output.
+
+use cme_suite::api::{NestSource, OptimizeRequest, Outcome, Session, StrategySpec};
+use cme_suite::cme::CacheSpec;
+use cme_suite::loopnest::LoopNest;
+use cme_suite::serve::{HttpClient, ServeConfig};
+
+const N: i64 = 12;
+
+/// The paper's Fig. 1 matrix multiply as C-style kernel source (0-based),
+/// written to land exactly on the registry nest `MM_12`.
+fn mm_source() -> String {
+    format!(
+        "kernel MM_{N};
+         real4 a[{N}][{N}];
+         real4 b[{N}][{N}];
+         real4 c[{N}][{N}];
+         base 0;
+         for (i = 0; i < {N}; i++) {{
+           for (j = 0; j < {N}; j++) {{
+             for (k = 0; k < {N}; k++) {{
+               a[i][j] += b[i][k] * c[k][j];
+             }}
+           }}
+         }}"
+    )
+}
+
+fn inline_nest() -> LoopNest {
+    cme_suite::frontend::parse(&mm_source()).expect("MM source parses")
+}
+
+fn request(nest: NestSource) -> OptimizeRequest {
+    OptimizeRequest::new(nest, StrategySpec::Tiling)
+        .with_cache(CacheSpec::direct_mapped(256, 16))
+        .with_seed(42)
+}
+
+/// Canonical comparison form: the serialised bytes of the
+/// timing-stripped outcome.
+fn bytes(out: &Outcome) -> String {
+    serde_json::to_string(&out.without_timing()).expect("outcomes serialise")
+}
+
+#[test]
+fn session_inline_mm_is_byte_identical_to_registry_mm() {
+    let session = Session::default();
+    let named = session.run(&request(NestSource::kernel_sized("MM", N))).expect("named");
+    let inline = session.run(&request(NestSource::Inline(inline_nest()))).expect("inline");
+    assert_eq!(bytes(&named), bytes(&inline));
+}
+
+#[test]
+fn inline_requests_round_trip_through_json() {
+    // The wire schema carries the whole nest: request → JSON → request is
+    // lossless, so inline jobs can be queued/replayed like named ones.
+    let req = request(NestSource::Inline(inline_nest()));
+    let wire = serde_json::to_string(&req).expect("requests serialise");
+    let back: OptimizeRequest = serde_json::from_str(&wire).expect("requests parse");
+    assert_eq!(req, back);
+}
+
+#[test]
+fn serve_inline_mm_matches_registry_and_hits_the_cache() {
+    let config = ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServeConfig::default() };
+    let handle = cme_suite::serve::start(&config).expect("bind ephemeral port");
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    let named_body = serde_json::to_string(&request(NestSource::kernel_sized("MM", N))).unwrap();
+    let inline_body = serde_json::to_string(&request(NestSource::Inline(inline_nest()))).unwrap();
+
+    let (status, named) = client.post("/optimize", &named_body).expect("named optimize");
+    assert_eq!(status, 200, "{named}");
+    let (status, inline) = client.post("/optimize", &inline_body).expect("inline optimize");
+    assert_eq!(status, 200, "{inline}");
+    let named: Outcome = serde_json::from_str(&named).unwrap();
+    let inline: Outcome = serde_json::from_str(&inline).unwrap();
+    assert_eq!(bytes(&named), bytes(&inline));
+
+    // The canonical cache key covers inline nests: an identical repeat is
+    // served from the outcome cache.
+    let (status, repeat) = client.post("/optimize", &inline_body).expect("inline repeat");
+    assert_eq!(status, 200);
+    let repeat: Outcome = serde_json::from_str(&repeat).unwrap();
+    assert_eq!(bytes(&inline), bytes(&repeat));
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    assert!(metrics.contains("\"hits\":1"), "{metrics}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn serve_rejects_invalid_inline_nests_with_ref_context() {
+    let config = ServeConfig { addr: "127.0.0.1:0".into(), workers: 1, ..ServeConfig::default() };
+    let handle = cme_suite::serve::start(&config).expect("bind ephemeral port");
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    let mut nest = inline_nest();
+    nest.refs[2].subscripts[0] = nest.refs[2].subscripts[0].shift(N);
+    let body = serde_json::to_string(&request(NestSource::Inline(nest))).unwrap();
+    let (status, resp) = client.post("/optimize", &body).expect("bad inline");
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("inline nest `MM_12`"), "{resp}");
+    assert!(resp.contains("ref 2 (`c`)"), "{resp}");
+
+    // Hostile arithmetic must be a 400, never a worker-killing panic:
+    // subscript coefficients whose products overflow i64 …
+    let mut overflow = inline_nest();
+    overflow.refs[0].subscripts[0] =
+        cme_suite::polyhedra::AffineForm::new(vec![4_000_000_000_000_000_000, 0, 0], 0);
+    let body = serde_json::to_string(&request(NestSource::Inline(overflow))).unwrap();
+    let (status, resp) = client.post("/optimize", &body).expect("overflow inline");
+    assert_eq!(status, 400, "{resp}");
+
+    // … and extents whose footprint overflows the layout.
+    let mut huge = inline_nest();
+    huge.arrays[0].extents = vec![3_000_000_000, 3_000_000_000];
+    let body = serde_json::to_string(&request(NestSource::Inline(huge))).unwrap();
+    let (status, resp) = client.post("/optimize", &body).expect("huge inline");
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("2^62"), "{resp}");
+
+    // The worker survived all three: a good request still answers.
+    let ok_body = serde_json::to_string(&request(NestSource::kernel_sized("T2D", 8))).unwrap();
+    let (status, resp) = client.post("/optimize", &ok_body).expect("post-error optimize");
+    assert_eq!(status, 200, "{resp}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn cli_inline_src_and_nest_match_registry_json_output() {
+    let dir = std::env::temp_dir();
+    let src_path = dir.join("cme_inline_vs_registry_mm.c");
+    let nest_path = dir.join("cme_inline_vs_registry_mm.json");
+    std::fs::write(&src_path, mm_source()).unwrap();
+    std::fs::write(&nest_path, serde_json::to_string(&inline_nest()).unwrap()).unwrap();
+
+    let run = |extra: &[&str]| -> Outcome {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_cme"))
+            .args(["tile", "--cache", "256,16", "--seed", "42", "--json"])
+            .args(extra)
+            .output()
+            .expect("cme runs");
+        assert!(out.status.success(), "cme {extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("outcome JSON")
+    };
+
+    let named = run(&["MM", &N.to_string()]);
+    let from_src = run(&["--src", src_path.to_str().unwrap()]);
+    let from_nest = run(&["--nest", nest_path.to_str().unwrap()]);
+    assert_eq!(bytes(&named), bytes(&from_src));
+    assert_eq!(bytes(&named), bytes(&from_nest));
+
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&nest_path);
+}
