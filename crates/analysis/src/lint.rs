@@ -1,0 +1,309 @@
+//! Structured kernel diagnostics ("lints") over a loop nest.
+//!
+//! Each finding is a [`Diagnostic`] with a stable machine-readable `code`,
+//! a severity, a human message following the repo's ref-indexed wording
+//! convention, and an optional reference index / source position (the
+//! position is attached by callers that parsed the nest from source via
+//! `cme-frontend`, which knows where each reference sits).
+//!
+//! Codes emitted today:
+//!
+//! | code                      | severity | meaning |
+//! |---------------------------|----------|---------|
+//! | `illegal-tiling`          | warning  | a carried dependence forbids rectangular tiling |
+//! | `analysis-budget`         | warning  | a dependence was assumed, not proven (budget out) |
+//! | `dead-array`              | warning  | array declared but never referenced |
+//! | `write-only-array`        | info     | array written but never read inside the nest |
+//! | `no-reuse`                | warning  | a reference has neither temporal nor spatial reuse in the innermost loop |
+//! | `footprint-exceeds-cache` | info     | total array footprint exceeds the innermost cache level |
+//! | `degenerate-loop`         | warning  | a loop runs exactly one iteration |
+
+use crate::dependence::analyze;
+use crate::legality::{summarize, tiling_reason, tiling_violation, LegalitySummary};
+use cme_core::CacheHierarchy;
+use cme_loopnest::{Layout, LoopNest, MemoryLayout};
+use serde::{Deserialize, Serialize};
+
+/// How serious a finding is. `Warning` findings deserve action; `Info`
+/// findings are expected in many correct kernels but worth knowing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: normal in many correct kernels.
+    Info,
+    /// Likely a mistake or a real performance hazard.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case rendering for terminal output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (see the module table).
+    pub code: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-readable message (ref-indexed wording where applicable).
+    pub message: String,
+    /// The reference this finding is about, if any.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ref_index: Option<usize>,
+    /// 1-based source line, when the nest came from `cme-frontend` source.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub line: Option<usize>,
+    /// 1-based source column, when the nest came from frontend source.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub col: Option<usize>,
+}
+
+impl Diagnostic {
+    fn new(code: &str, severity: Severity, message: String) -> Self {
+        Diagnostic { code: code.into(), severity, message, ref_index: None, line: None, col: None }
+    }
+
+    fn on_ref(mut self, ref_index: usize) -> Self {
+        self.ref_index = Some(ref_index);
+        self
+    }
+
+    /// Attach a source position (used by frontend-aware callers).
+    pub fn at(mut self, line: usize, col: usize) -> Self {
+        self.line = Some(line);
+        self.col = Some(col);
+        self
+    }
+}
+
+/// A full lint pass: the legality digest plus every diagnostic, computed
+/// from one dependence analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Transform-legality digest of the nest.
+    pub legality: LegalitySummary,
+    /// Findings in deterministic order: legality first, then per-array,
+    /// per-reference, footprint, loop-shape.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Run every lint over `nest` against `cache` (the hierarchy's innermost
+/// level anchors the footprint check).
+pub fn lint_report(nest: &LoopNest, cache: &CacheHierarchy) -> LintReport {
+    let analysis = analyze(nest);
+    let legality = summarize(&analysis);
+    let mut diags = Vec::new();
+
+    if let Some(v) = tiling_violation(&analysis) {
+        diags.push(
+            Diagnostic::new("illegal-tiling", Severity::Warning, tiling_reason(nest, &v))
+                .on_ref(v.dst),
+        );
+    }
+    if analysis.budget_exhausted {
+        diags.push(Diagnostic::new(
+            "analysis-budget",
+            Severity::Warning,
+            "dependence-test budget exhausted; some dependences were assumed, not proven \
+             (legality verdicts stay sound but may be over-conservative)"
+                .into(),
+        ));
+    }
+
+    // Array liveness.
+    for (id, array) in nest.arrays.iter().enumerate() {
+        let mut read = false;
+        let mut written = false;
+        for r in &nest.refs {
+            if r.array.0 == id {
+                if r.is_write() {
+                    written = true;
+                } else {
+                    read = true;
+                }
+            }
+        }
+        if !read && !written {
+            diags.push(Diagnostic::new(
+                "dead-array",
+                Severity::Warning,
+                format!("array `{}` is declared but never referenced", array.name),
+            ));
+        } else if written && !read {
+            diags.push(Diagnostic::new(
+                "write-only-array",
+                Severity::Info,
+                format!(
+                    "array `{}` is written but never read inside the nest (fine if it is \
+                     the nest's output)",
+                    array.name
+                ),
+            ));
+        }
+    }
+
+    // Innermost-loop reuse: a reference has temporal reuse when no
+    // subscript moves with the innermost loop, and spatial reuse when the
+    // innermost loop moves only the array's fastest-varying dimension.
+    if nest.depth() > 0 {
+        let inner = nest.depth() - 1;
+        for (ri, r) in nest.refs.iter().enumerate() {
+            let array = nest.array(r.array);
+            let fastest = match array.layout {
+                Layout::ColumnMajor => 0,
+                Layout::RowMajor => array.rank().saturating_sub(1),
+            };
+            let moving: Vec<usize> = r
+                .subscripts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.coeffs[inner] != 0)
+                .map(|(dim, _)| dim)
+                .collect();
+            let temporal = moving.is_empty();
+            let spatial = !moving.is_empty() && moving.iter().all(|&dim| dim == fastest);
+            if !temporal && !spatial {
+                diags.push(
+                    Diagnostic::new(
+                        "no-reuse",
+                        Severity::Warning,
+                        format!(
+                            "ref {ri} (`{}`): no temporal or spatial reuse in the innermost \
+                             loop `{}` — every iteration touches a new cache line",
+                            array.name, nest.loops[inner].name
+                        ),
+                    )
+                    .on_ref(ri),
+                );
+            }
+        }
+    }
+
+    // Footprint vs the innermost cache level.
+    let layout = MemoryLayout::contiguous(nest);
+    let footprint = layout.footprint(nest);
+    let l1 = cache.l1();
+    if footprint > l1.size {
+        diags.push(Diagnostic::new(
+            "footprint-exceeds-cache",
+            Severity::Info,
+            format!(
+                "total array footprint {footprint} B exceeds the {} B innermost cache level; \
+                 expect capacity misses without tiling",
+                l1.size
+            ),
+        ));
+    }
+
+    // Loop-shape sanity (validation already rejects empty loops).
+    for l in &nest.loops {
+        if l.span() == 1 {
+            diags.push(Diagnostic::new(
+                "degenerate-loop",
+                Severity::Warning,
+                format!("loop `{}` runs exactly one iteration ({}..={})", l.name, l.lo, l.hi),
+            ));
+        }
+    }
+
+    LintReport { legality, diagnostics: diags }
+}
+
+/// Convenience wrapper returning just the diagnostics.
+pub fn lint(nest: &LoopNest, cache: &CacheHierarchy) -> Vec<Diagnostic> {
+    lint_report(nest, cache).diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cme_core::CacheSpec;
+    use cme_loopnest::array::{ArrayDecl, ArrayId};
+    use cme_loopnest::nest::LoopDef;
+    use cme_loopnest::refs::MemRef;
+    use cme_polyhedra::AffineForm;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    /// A deliberately messy nest: transposed read (no innermost reuse),
+    /// a dead array, a write-only output, a one-iteration loop, and a
+    /// footprint far beyond a 256 B cache.
+    fn messy(n: i64) -> LoopNest {
+        LoopNest {
+            name: "messy".into(),
+            loops: vec![LoopDef::new("i", 1, n), LoopDef::new("k", 3, 3), LoopDef::new("j", 1, n)],
+            arrays: vec![
+                ArrayDecl::real4("a", &[n, n]),
+                ArrayDecl::real4("b", &[n, n]),
+                ArrayDecl::real4("unused", &[n]),
+            ],
+            refs: vec![
+                MemRef::read(
+                    ArrayId(1),
+                    vec![AffineForm::new(vec![1, 0, 0], 0), AffineForm::new(vec![0, 0, 1], 0)],
+                ),
+                MemRef::write(
+                    ArrayId(0),
+                    vec![AffineForm::new(vec![0, 0, 1], 0), AffineForm::new(vec![1, 0, 0], 0)],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn messy_nest_trips_the_expected_lints() {
+        let nest = messy(32);
+        assert!(nest.validate().is_ok());
+        let report = lint_report(&nest, &CacheSpec::direct_mapped(256, 16).into());
+        let cs = codes(&report.diagnostics);
+        assert!(cs.contains(&"dead-array"), "{cs:?}");
+        assert!(cs.contains(&"write-only-array"), "{cs:?}");
+        assert!(cs.contains(&"no-reuse"), "{cs:?}");
+        assert!(cs.contains(&"footprint-exceeds-cache"), "{cs:?}");
+        assert!(cs.contains(&"degenerate-loop"), "{cs:?}");
+        assert!(!cs.contains(&"illegal-tiling"), "{cs:?}");
+        assert!(report.legality.rectangular_tiling);
+        // Column-major a(j, i): innermost loop j moves the fastest dim —
+        // spatial reuse, so only the b read is flagged.
+        let no_reuse: Vec<_> = report.diagnostics.iter().filter(|d| d.code == "no-reuse").collect();
+        assert_eq!(no_reuse.len(), 1);
+        assert_eq!(no_reuse[0].ref_index, Some(0));
+        assert!(no_reuse[0].message.starts_with("ref 0 (`b`): "), "{}", no_reuse[0].message);
+    }
+
+    #[test]
+    fn clean_kernel_is_quiet() {
+        // MM-style nest in a big cache: every array read or read+written,
+        // all loops real, footprint fits.
+        let n = 8;
+        let sub = |c: Vec<i64>| AffineForm::new(c, 0);
+        let nest = LoopNest {
+            name: "mm".into(),
+            loops: vec![LoopDef::new("i", 1, n), LoopDef::new("j", 1, n), LoopDef::new("k", 1, n)],
+            arrays: vec![ArrayDecl::real4("a", &[n, n]), ArrayDecl::real4("b", &[n, n])],
+            refs: vec![
+                MemRef::read(ArrayId(0), vec![sub(vec![1, 0, 0]), sub(vec![0, 1, 0])]),
+                MemRef::read(ArrayId(1), vec![sub(vec![0, 0, 1]), sub(vec![0, 1, 0])]),
+                MemRef::write(ArrayId(0), vec![sub(vec![1, 0, 0]), sub(vec![0, 1, 0])]),
+            ],
+        };
+        let diags = lint(&nest, &CacheSpec::paper_8k().into());
+        // a(i,j) has temporal reuse along k; b(k,j) moves its fastest
+        // (column-major first) dimension: spatial reuse. Nothing to say.
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn severity_labels_are_lowercase() {
+        assert_eq!(Severity::Info.label(), "info");
+        assert_eq!(Severity::Warning.label(), "warning");
+    }
+}

@@ -1,0 +1,120 @@
+//! Soundness property tests: the static dependence tests may be
+//! *conservative* (report dependences that cannot occur) but must never
+//! be *permissive* (miss a dependence the oracle can exhibit). A missed
+//! dependence would let the optimiser emit an illegal transform, so this
+//! is the property the whole legality layer rests on.
+//!
+//! Nests are random depth-2 towers with two references (one write) on a
+//! shared array and arbitrary small affine subscripts — deliberately
+//! including the non-uniform, rank-deficient and constant-subscript
+//! shapes the registry kernels do not cover.
+
+use cme_analysis::{analyze, oracle_analyze, permutation_violation, tiling_violation};
+use cme_loopnest::array::{ArrayDecl, ArrayId};
+use cme_loopnest::nest::{LoopDef, LoopNest};
+use cme_loopnest::refs::MemRef;
+use cme_polyhedra::AffineForm;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandNest {
+    spans: Vec<i64>,
+    subs1: Vec<(i64, i64, i64)>,
+    subs2: Vec<(i64, i64, i64)>,
+    both_write: bool,
+}
+
+fn rand_nest() -> impl Strategy<Value = RandNest> {
+    let sub = || (-2i64..=2, -2i64..=2, -3i64..=3);
+    (1usize..=2).prop_flat_map(move |rank| {
+        (
+            prop::collection::vec(2i64..=5, 2usize),
+            prop::collection::vec(sub(), rank),
+            prop::collection::vec(sub(), rank),
+            any::<bool>(),
+        )
+            .prop_map(|(spans, subs1, subs2, both_write)| RandNest {
+                spans,
+                subs1,
+                subs2,
+                both_write,
+            })
+    })
+}
+
+fn build(r: &RandNest) -> LoopNest {
+    let form = |&(ci, cj, c0): &(i64, i64, i64)| AffineForm::new(vec![ci, cj], c0);
+    // Extents are irrelevant to the dependence analysis (subscript values
+    // are compared, not bounds-checked); keep them generous.
+    let extent = 64;
+    let rank = r.subs1.len();
+    let mk = |subs: &[(i64, i64, i64)], write: bool| {
+        let forms = subs.iter().map(form).collect();
+        if write {
+            MemRef::write(ArrayId(0), forms)
+        } else {
+            MemRef::read(ArrayId(0), forms)
+        }
+    };
+    LoopNest {
+        name: "rand".into(),
+        loops: vec![LoopDef::new("i", 1, r.spans[0]), LoopDef::new("j", 1, r.spans[1])],
+        arrays: vec![ArrayDecl::real4("x", &vec![extent; rank])],
+        refs: vec![mk(&r.subs1, r.both_write), mk(&r.subs2, true)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every dependence the oracle exhibits must appear in the static
+    /// result: same (src, dst) pair, every direction vector, and the
+    /// loop-independent flag.
+    #[test]
+    fn static_result_covers_the_oracle(r in rand_nest()) {
+        let nest = build(&r);
+        let fast = analyze(&nest);
+        let slow = oracle_analyze(&nest);
+        for sp in &slow.pairs {
+            let fp = fast
+                .pairs
+                .iter()
+                .find(|p| p.src == sp.src && p.dst == sp.dst)
+                .unwrap_or_else(|| panic!("oracle pair {} -> {} missing from static result", sp.src, sp.dst));
+            for dirs in &sp.carried {
+                prop_assert!(
+                    fp.carried.contains(dirs),
+                    "direction vector {dirs:?} exhibited by the oracle but not reported statically"
+                );
+            }
+            prop_assert!(
+                fp.loop_independent || !sp.loop_independent,
+                "loop-independent dependence missed statically"
+            );
+        }
+    }
+
+    /// Legality corollary: a transform the static layer calls legal must
+    /// be legal under exhaustive enumeration. (The converse may fail —
+    /// conservatism is allowed.)
+    #[test]
+    fn static_legality_is_never_permissive(r in rand_nest()) {
+        let nest = build(&r);
+        let fast = analyze(&nest);
+        let slow = oracle_analyze(&nest);
+        if tiling_violation(&fast).is_none() {
+            prop_assert!(
+                tiling_violation(&slow).is_none(),
+                "static layer allows rectangular tiling the oracle forbids"
+            );
+        }
+        for perm in [[0usize, 1], [1, 0]] {
+            if permutation_violation(&fast, &perm).is_none() {
+                prop_assert!(
+                    permutation_violation(&slow, &perm).is_none(),
+                    "static layer allows permutation {perm:?} the oracle forbids"
+                );
+            }
+        }
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cme-api` — the unified request/outcome layer over every optimiser in
 //! the suite.
 //!
@@ -51,17 +52,19 @@ pub mod session;
 pub mod strategy;
 
 pub use error::ApiError;
-pub use outcome::{AnalyzeOutcome, Outcome, Transform};
+pub use outcome::{AnalyzeOutcome, LintOutcome, Outcome, Transform};
 pub use problem::validate_cache;
 pub use problem::Problem;
 pub use request::{
-    AnalyzeRequest, BaselineKind, NestSource, OptimizeRequest, PaddingMode, StrategySpec,
+    AnalyzeRequest, BaselineKind, LintRequest, NestSource, OptimizeRequest, PaddingMode,
+    StrategySpec,
 };
 pub use session::{Session, SessionBuilder};
 pub use strategy::{build_strategy, SearchStrategy};
 
 // Re-exported so API consumers can name every type a request or outcome
 // embeds without depending on the whole workspace.
+pub use cme_analysis::{Diagnostic, LegalitySummary, Severity};
 pub use cme_core as cme;
 pub use cme_core::{CacheHierarchy, CacheLevel};
 pub use cme_ga::GaConfig;
@@ -166,6 +169,47 @@ mod tests {
         assert_ne!(out, rerun, "raw outcomes embed wall-clock time");
         assert_eq!(out.without_timing(), rerun.without_timing());
         assert_eq!(out.without_timing().wall_ms, 0);
+    }
+
+    #[test]
+    fn outcomes_carry_the_legality_digest() {
+        let out = Session::default().run(&tiny_request(StrategySpec::Tiling)).unwrap();
+        let legality = out.legality.as_ref().expect("Session::run stamps legality");
+        assert!(legality.rectangular_tiling, "T2D is fully permutable");
+        assert_eq!(legality.carried_dependences, 0);
+        assert!(!legality.budget_exhausted);
+        // The digest is part of the wire format and round-trips.
+        let wire = serde_json::to_string(&out).unwrap();
+        let back: Outcome = serde_json::from_str(&wire).unwrap();
+        assert_eq!(out.without_timing(), back.without_timing());
+    }
+
+    #[test]
+    fn lint_finds_transpose_reuse_hazard() {
+        let req = LintRequest::new(NestSource::kernel_sized("T2D", 64));
+        let out = Session::default().lint(&req).unwrap();
+        assert_eq!(out.kernel, "T2D_64");
+        assert!(out.legality.rectangular_tiling);
+        // T2D's read `b(i,j)` streams along j while `a` is column-major:
+        // the read has no reuse in the innermost loop.
+        assert!(
+            out.diagnostics.iter().any(|d| d.code == "no-reuse"),
+            "expected a no-reuse diagnostic, got {:?}",
+            out.diagnostics
+        );
+        // Lint outcomes round-trip and compare timing-stripped.
+        let wire = serde_json::to_string(&out).unwrap();
+        let back: LintOutcome = serde_json::from_str(&wire).unwrap();
+        assert_eq!(out.without_timing(), back.without_timing());
+    }
+
+    #[test]
+    fn lint_validates_inputs_like_the_other_entry_points() {
+        let mut req = LintRequest::new(NestSource::kernel("T2D"));
+        req.cache = CacheSpec { size: 100, line: 32, assoc: 1 }.into();
+        assert!(matches!(Session::default().lint(&req), Err(ApiError::BadRequest(_))));
+        let req = LintRequest::new(NestSource::kernel("NOPE"));
+        assert!(matches!(Session::default().lint(&req), Err(ApiError::UnknownKernel(_))));
     }
 
     #[test]

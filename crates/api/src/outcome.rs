@@ -1,5 +1,6 @@
 //! The unified outcome type every strategy returns.
 
+use cme_analysis::{Diagnostic, LegalitySummary};
 use cme_core::{CacheHierarchy, MissEstimate, MissReport};
 use cme_loopnest::TileSizes;
 use cme_tileopt::problem::GaSummary;
@@ -57,6 +58,11 @@ pub struct Outcome {
     /// Candidates explored beyond the GA: legal permutations tried
     /// (interchange) or tile vectors evaluated (exhaustive).
     pub explored: Option<u64>,
+    /// Dependence-analysis digest of the *original* nest (carried /
+    /// loop-independent dependence counts, tiling legality). Stamped by
+    /// [`crate::Session::run`]; absent in pre-analysis outcomes.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub legality: Option<LegalitySummary>,
     /// Wall-clock time of the search in milliseconds.
     pub wall_ms: u64,
 }
@@ -113,5 +119,30 @@ impl AnalyzeOutcome {
 
     pub fn without_timing(&self) -> AnalyzeOutcome {
         AnalyzeOutcome { wall_ms: 0, ..self.clone() }
+    }
+}
+
+/// Result of a [`crate::LintRequest`]: the legality digest and the
+/// structured diagnostics, in report order. As with [`Outcome`], compare
+/// [`Self::without_timing`] forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintOutcome {
+    pub kernel: String,
+    pub cache: CacheHierarchy,
+    /// Dependence-analysis digest of the nest.
+    pub legality: LegalitySummary,
+    /// Structured diagnostics (stable codes, ref-indexed messages).
+    pub diagnostics: Vec<Diagnostic>,
+    pub wall_ms: u64,
+}
+
+impl LintOutcome {
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == cme_analysis::Severity::Warning).count()
+    }
+
+    pub fn without_timing(&self) -> LintOutcome {
+        LintOutcome { wall_ms: 0, ..self.clone() }
     }
 }

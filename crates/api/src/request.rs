@@ -200,3 +200,28 @@ impl AnalyzeRequest {
         }
     }
 }
+
+/// A lint request: run the static dependence analysis and kernel lints
+/// over a nest — no miss estimation, no search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintRequest {
+    pub nest: NestSource,
+    /// Cache hierarchy the footprint lints compare against (same
+    /// back-compat rule as [`OptimizeRequest::cache`]: a bare cache
+    /// object is a one-level legacy hierarchy).
+    pub cache: CacheHierarchy,
+}
+
+impl LintRequest {
+    /// Lint against the paper's 8 KB direct-mapped cache.
+    pub fn new(nest: NestSource) -> Self {
+        LintRequest { nest, cache: CacheHierarchy::single(cme_core::CacheSpec::paper_8k()) }
+    }
+
+    /// Set the cache: accepts a bare [`cme_core::CacheSpec`] or a full
+    /// [`CacheHierarchy`].
+    pub fn with_cache(mut self, cache: impl Into<CacheHierarchy>) -> Self {
+        self.cache = cache.into();
+        self
+    }
+}

@@ -3,9 +3,9 @@
 //! (HTTP handler, queue worker) binds to.
 
 use crate::error::ApiError;
-use crate::outcome::{AnalyzeOutcome, Outcome};
+use crate::outcome::{AnalyzeOutcome, LintOutcome, Outcome};
 use crate::problem::Problem;
-use crate::request::{AnalyzeRequest, OptimizeRequest};
+use crate::request::{AnalyzeRequest, LintRequest, OptimizeRequest};
 use crate::strategy::build_strategy;
 use cme_core::EvalEngine;
 use cme_loopnest::MemoryLayout;
@@ -50,10 +50,14 @@ impl Session {
         SessionBuilder { parallel: true }
     }
 
-    /// Run one optimisation request through its selected strategy.
+    /// Run one optimisation request through its selected strategy. The
+    /// outcome carries the dependence-analysis digest of the original
+    /// nest in [`Outcome::legality`].
     pub fn run(&self, req: &OptimizeRequest) -> Result<Outcome, ApiError> {
         let problem = Problem::from_request(req)?;
-        build_strategy(&req.strategy).search(&problem)
+        let mut outcome = build_strategy(&req.strategy).search(&problem)?;
+        outcome.legality = Some(cme_analysis::legality_summary(&problem.nest));
+        Ok(outcome)
     }
 
     /// Run a batch of independent requests, in parallel unless the session
@@ -93,6 +97,23 @@ impl Session {
             tiles: req.tiles.clone(),
             estimate,
             exact,
+            wall_ms: started.elapsed().as_millis() as u64,
+        })
+    }
+
+    /// Run a lint request: static dependence analysis plus the kernel
+    /// lints, no miss estimation. Deterministic for a fixed request, so
+    /// outcomes are cacheable in [`LintOutcome::without_timing`] form.
+    pub fn lint(&self, req: &LintRequest) -> Result<LintOutcome, ApiError> {
+        let started = Instant::now();
+        crate::problem::validate_cache(&req.cache)?;
+        let nest = req.nest.resolve()?;
+        let report = cme_analysis::lint_report(&nest, &req.cache);
+        Ok(LintOutcome {
+            kernel: nest.name.clone(),
+            cache: req.cache.clone(),
+            legality: report.legality,
+            diagnostics: report.diagnostics,
             wall_ms: started.elapsed().as_millis() as u64,
         })
     }

@@ -11,7 +11,8 @@ use crate::error::ApiError;
 use crate::outcome::{Outcome, Transform};
 use crate::problem::Problem;
 use crate::request::{BaselineKind, PaddingMode, StrategySpec};
-use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
+use cme_analysis::rectangular_tiling_legality;
+use cme_loopnest::deps::TilingLegality;
 use cme_loopnest::TileSizes;
 use cme_tileopt::problem::GaSummary;
 use cme_tileopt::{
@@ -71,6 +72,7 @@ impl<'a> OutcomeBuilder<'a> {
             after,
             ga,
             explored,
+            legality: None,
             wall_ms: self.started.elapsed().as_millis() as u64,
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared experiment harness for regenerating the paper's tables and
 //! figures. Each binary in `src/bin/` prints one table/figure with the
 //! paper's reported numbers alongside our measured ones; `full_report`

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace-driven cache simulator: the ground-truth oracle.
 //!
 //! The paper's methodology reports *model-derived* miss ratios (Cache Miss

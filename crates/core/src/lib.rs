@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Cache Miss Equations (CMEs) — the paper's locality analysis (§2).
 //!
 //! Given a (possibly tiled) loop nest, a memory layout and a cache

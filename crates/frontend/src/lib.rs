@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 //! `cme-frontend` — a small C-like textual format for affine loop nests.
 //!
@@ -66,7 +67,7 @@ mod lex;
 mod parse;
 mod render;
 
-pub use parse::parse;
+pub use parse::{parse, parse_with_spans, RefSpan};
 pub use render::render;
 
 use cme_loopnest::NestError;

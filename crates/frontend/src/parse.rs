@@ -5,6 +5,17 @@ use crate::{is_keyword, FrontendError};
 use cme_loopnest::{AccessKind, ArrayDecl, ArrayId, Layout, LoopDef, LoopNest, MemRef};
 use cme_polyhedra::AffineForm;
 
+/// 1-based source position of one array reference, aligned with the
+/// nest's reference stream: `spans[k]` is where `nest.refs[k]`'s array
+/// name appears in the source (diagnostics attach these to lints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefSpan {
+    /// Line of the reference's array name.
+    pub line: usize,
+    /// Column of the reference's array name.
+    pub col: usize,
+}
+
 /// Parse kernel source text into a validated [`LoopNest`].
 ///
 /// See the crate docs for the format. The returned nest has already
@@ -12,11 +23,19 @@ use cme_polyhedra::AffineForm;
 /// for syntax problems and the IR's reference-indexed wording for
 /// semantic ones.
 pub fn parse(src: &str) -> Result<LoopNest, FrontendError> {
+    parse_with_spans(src).map(|(nest, _)| nest)
+}
+
+/// As [`parse`], also returning one [`RefSpan`] per reference, in
+/// reference-stream order. The `base 0;` rebase rewrites subscripts in
+/// place without reordering the stream, so spans stay aligned.
+pub fn parse_with_spans(src: &str) -> Result<(LoopNest, Vec<RefSpan>), FrontendError> {
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let nest = p.program()?;
+    let (nest, spans) = p.program()?;
     nest.validate().map_err(FrontendError::Invalid)?;
-    Ok(nest)
+    debug_assert_eq!(nest.refs.len(), spans.len());
+    Ok((nest, spans))
 }
 
 struct Parser {
@@ -71,7 +90,7 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<LoopNest, FrontendError> {
+    fn program(&mut self) -> Result<(LoopNest, Vec<RefSpan>), FrontendError> {
         let mut name: Option<String> = None;
         let mut base: Option<i64> = None;
         let mut arrays: Vec<ArrayDecl> = Vec::new();
@@ -126,16 +145,17 @@ impl Parser {
 
         // The loop tower and its body.
         let mut loops: Vec<LoopDef> = Vec::new();
-        let mut refs: Vec<MemRef> = Vec::new();
+        let mut refs: Vec<(MemRef, RefSpan)> = Vec::new();
         self.for_tower(&arrays, &mut loops, &mut refs)?;
         self.expect(Tok::Eof)?;
 
+        let (refs, spans) = refs.into_iter().unzip();
         let mut nest =
             LoopNest { name: name.unwrap_or_else(|| "inline".to_string()), loops, arrays, refs };
         if base == Some(0) {
             rebase_to_one(&mut nest);
         }
-        Ok(nest)
+        Ok((nest, spans))
     }
 
     /// `[rowmajor|colmajor] TYPE NAME [E]... ;` — `TYPE` is `float`,
@@ -190,7 +210,7 @@ impl Parser {
         &mut self,
         arrays: &[ArrayDecl],
         loops: &mut Vec<LoopDef>,
-        refs: &mut Vec<MemRef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
     ) -> Result<(), FrontendError> {
         let (word, tok) = self.expect_ident("`for`")?;
         if word != "for" {
@@ -263,7 +283,7 @@ impl Parser {
         &mut self,
         arrays: &[ArrayDecl],
         loops: &[LoopDef],
-        refs: &mut Vec<MemRef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
     ) -> Result<(), FrontendError> {
         if matches!(&self.peek().kind, Tok::Ident(w) if w == "load") {
             self.next();
@@ -283,15 +303,15 @@ impl Parser {
         };
         match assign {
             Some(read_modify_write) => {
-                let Some(lhs) = first else {
+                let Some((lhs, span)) = first else {
                     return Err(self.err_at(&tok, "cannot assign to a loop variable"));
                 };
                 self.next();
                 if read_modify_write {
-                    refs.push(MemRef { access: AccessKind::Read, ..lhs.clone() });
+                    refs.push((MemRef { access: AccessKind::Read, ..lhs.clone() }, span));
                 }
                 self.expression(arrays, loops, refs)?;
-                refs.push(MemRef { access: AccessKind::Write, ..lhs });
+                refs.push((MemRef { access: AccessKind::Write, ..lhs }, span));
             }
             None => {
                 // Expression statement: the parsed prefix is a read,
@@ -306,13 +326,13 @@ impl Parser {
         Ok(())
     }
 
-    /// `IDENT [aff]...` — an array reference (as a read), or `None` when
-    /// the identifier is a bare loop variable.
+    /// `IDENT [aff]...` — an array reference (as a read) with its source
+    /// span, or `None` when the identifier is a bare loop variable.
     fn reference(
         &mut self,
         arrays: &[ArrayDecl],
         loops: &[LoopDef],
-    ) -> Result<Option<MemRef>, FrontendError> {
+    ) -> Result<Option<(MemRef, RefSpan)>, FrontendError> {
         let (name, tok) = self.expect_ident("an array reference")?;
         if self.peek().kind != Tok::LBracket {
             if loops.iter().any(|l| l.name == name) {
@@ -332,7 +352,8 @@ impl Parser {
             subscripts.push(self.affine(loops)?);
             self.expect(Tok::RBracket)?;
         }
-        Ok(Some(MemRef { array: ArrayId(idx), subscripts, access: AccessKind::Read }))
+        let span = RefSpan { line: tok.line, col: tok.col };
+        Ok(Some((MemRef { array: ArrayId(idx), subscripts, access: AccessKind::Read }, span)))
     }
 
     /// Body expression: scanned for array references (in textual order —
@@ -342,7 +363,7 @@ impl Parser {
         &mut self,
         arrays: &[ArrayDecl],
         loops: &[LoopDef],
-        refs: &mut Vec<MemRef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
     ) -> Result<(), FrontendError> {
         self.unary(arrays, loops, refs)?;
         self.expression_tail(arrays, loops, refs)
@@ -352,7 +373,7 @@ impl Parser {
         &mut self,
         arrays: &[ArrayDecl],
         loops: &[LoopDef],
-        refs: &mut Vec<MemRef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
     ) -> Result<(), FrontendError> {
         while matches!(self.peek().kind, Tok::Plus | Tok::Minus | Tok::Star | Tok::Slash) {
             self.next();
@@ -365,7 +386,7 @@ impl Parser {
         &mut self,
         arrays: &[ArrayDecl],
         loops: &[LoopDef],
-        refs: &mut Vec<MemRef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
     ) -> Result<(), FrontendError> {
         let tok = self.peek().clone();
         match &tok.kind {
@@ -543,6 +564,19 @@ mod tests {
         // The statement list may not be followed by a `for`: the inner
         // header's `(` trips the statement parser.
         assert!(matches!(e, FrontendError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn spans_align_with_the_reference_stream() {
+        let (nest, spans) = parse_with_spans(MM8).unwrap();
+        assert_eq!(spans.len(), nest.refs.len());
+        // Ref stream for `a[i][j] += b[i][k] * c[k][j]`: read a, read b,
+        // read c, write a — the write's span is the *lhs* occurrence.
+        assert_eq!(nest.refs.len(), 4);
+        let stmt_line = spans[0].line;
+        assert!(spans.iter().all(|s| s.line == stmt_line), "one statement, one line: {spans:?}");
+        assert_eq!(spans[0], spans[3], "read-modify-write shares the lhs span");
+        assert!(spans[0].col < spans[1].col && spans[1].col < spans[2].col, "{spans:?}");
     }
 
     #[test]

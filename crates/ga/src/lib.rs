@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's genetic algorithm (§3.2–3.3), faithfully.
 //!
 //! * Individuals are concatenations of chromosomes, one per decision

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The benchmark kernels of Abella et al. (ICPPW'02), Table 1.
 //!
 //! The original evaluation used Fortran kernels from NAS, BIHAR and the

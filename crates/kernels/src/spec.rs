@@ -66,7 +66,9 @@ impl KernelConfig {
     }
 }
 
-/// The complete Table 1 registry (17 kernels).
+/// The complete kernel registry: the 17 kernels of Table 1 plus TSHIFT,
+/// a shifted in-place transpose whose reference pair is non-uniform (the
+/// stress case for the dependence analysis; not part of the figures).
 pub fn all_kernels() -> Vec<KernelSpec> {
     vec![
         KernelSpec {
@@ -77,6 +79,15 @@ pub fn all_kernels() -> Vec<KernelSpec> {
             sizes: &[100, 500, 2000],
             default_size: 500,
             build: transposes::t2d,
+        },
+        KernelSpec {
+            name: "TSHIFT",
+            program: "-",
+            description: "shifted in-place 2D transposition a(i,j+n) = a(j,i)",
+            depth: 2,
+            sizes: &[],
+            default_size: 256,
+            build: transposes::tshift,
         },
         KernelSpec {
             name: "T3DJIK",
@@ -254,7 +265,7 @@ mod tests {
     #[test]
     fn registry_matches_table1() {
         let ks = all_kernels();
-        assert_eq!(ks.len(), 17, "Table 1 lists 17 kernels");
+        assert_eq!(ks.len(), 18, "Table 1 lists 17 kernels; TSHIFT rides along");
         for k in &ks {
             let nest = (k.build)(k.sizes.first().copied().unwrap_or(k.default_size).clamp(8, 20));
             assert_eq!(nest.depth(), k.depth, "{}: depth must match Table 1", k.name);

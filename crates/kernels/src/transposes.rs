@@ -20,6 +20,25 @@ pub fn t2d(n: i64) -> LoopNest {
     nb.finish().expect("t2d is a valid nest")
 }
 
+/// Shifted in-place 2-D transposition: `do i / do j : a(i, j+n) = a(j, i)`
+/// over one `a[n][2n]` array — the source square lives in columns `1..n`,
+/// the transposed copy in columns `n+1..2n`.
+///
+/// The read `a(j, i)` and write `a(i, j+n)` are *not* uniformly
+/// generated, so the uniform-only legality checker rejects the kernel
+/// outright; real dependence analysis (Banerjee bounds) proves the two
+/// column bands disjoint, leaving the nest dependence-free and fully
+/// permutable.
+pub fn tshift(n: i64) -> LoopNest {
+    let mut nb = NestBuilder::new(format!("TSHIFT_{n}"));
+    let i = nb.add_loop("i", 1, n);
+    let j = nb.add_loop("j", 1, n);
+    let a = nb.array("a", &[n, 2 * n]);
+    nb.read(a, &[sub(j), sub(i)]);
+    nb.write(a, &[sub(i), sub(j).plus(n)]);
+    nb.finish().expect("tshift is a valid nest")
+}
+
 /// 3-D matrix transposition, JIK loop order (Table 1):
 /// `do j / do i / do k : a(k,j,i) = b(j,i,k)`.
 pub fn t3djik(n: i64) -> LoopNest {
@@ -67,6 +86,25 @@ mod tests {
     fn transposes_are_tileable() {
         for nest in [t2d(12), t3djik(6), t3dikj(6)] {
             assert!(rectangular_tiling_legality(&nest).is_legal(), "{}", nest.name);
+        }
+    }
+
+    #[test]
+    fn tshift_is_beyond_the_uniform_checker() {
+        let nest = tshift(12);
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.refs.len(), 2);
+        assert_eq!(nest.arrays.len(), 1, "in-place: one array");
+        // The uniform-only legality pass cannot relate a(j,i) to
+        // a(i,j+n) and must conservatively reject the pair; cme-analysis
+        // proves the column bands disjoint (see that crate's tests).
+        match cme_loopnest::deps::rectangular_tiling_legality(&nest) {
+            cme_loopnest::deps::TilingLegality::Illegal { reason } => {
+                assert!(reason.contains("non-uniform"), "{reason}");
+            }
+            cme_loopnest::deps::TilingLegality::Legal => {
+                panic!("uniform checker unexpectedly handles non-uniform pairs")
+            }
         }
     }
 

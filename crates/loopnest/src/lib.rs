@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Perfectly-nested affine loop IR.
 //!
 //! The paper analyses Fortran kernels through the Polaris compiler and the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Integer and polyhedral substrate for Cache Miss Equations.
 //!
 //! Cache Miss Equations (CMEs) describe cache misses as integer points of

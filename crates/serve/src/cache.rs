@@ -11,7 +11,7 @@
 //! the suite is deterministic for a fixed request, which is what makes
 //! memoisation sound in the first place.
 
-use cme_api::{OptimizeRequest, Outcome};
+use cme_api::{LintOutcome, LintRequest, OptimizeRequest, Outcome};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -24,27 +24,33 @@ pub fn canonical_key(req: &OptimizeRequest) -> String {
     serde_json::to_string(req).expect("requests always serialise")
 }
 
+/// The cache key for a lint request (same canonicalisation rule).
+pub fn canonical_lint_key(req: &LintRequest) -> String {
+    serde_json::to_string(req).expect("requests always serialise")
+}
+
 const NIL: usize = usize::MAX;
 
-struct Entry {
+struct Entry<V> {
     key: String,
-    value: Outcome,
+    value: V,
     prev: usize,
     next: usize,
 }
 
-/// A plain single-threaded LRU map (one shard of [`OutcomeCache`]):
-/// `HashMap` for lookup, an index-linked list through a slab of entries
-/// for recency order. Both `get` and `insert` are O(1).
-pub struct Lru {
+/// A plain single-threaded LRU map (one shard of [`OutcomeCache`], the
+/// whole of [`LintCache`]): `HashMap` for lookup, an index-linked list
+/// through a slab of entries for recency order. Both `get` and `insert`
+/// are O(1). Generic over the cached value; defaults to [`Outcome`].
+pub struct Lru<V = Outcome> {
     map: HashMap<String, usize>,
-    entries: Vec<Entry>,
+    entries: Vec<Entry<V>>,
     head: usize,
     tail: usize,
     capacity: usize,
 }
 
-impl Lru {
+impl<V> Lru<V> {
     pub fn new(capacity: usize) -> Self {
         Lru {
             map: HashMap::new(),
@@ -78,7 +84,7 @@ impl Lru {
     }
 
     /// Look up and mark most-recently-used.
-    pub fn get(&mut self, key: &str) -> Option<&Outcome> {
+    pub fn get(&mut self, key: &str) -> Option<&V> {
         let i = *self.map.get(key)?;
         self.unlink(i);
         self.push_front(i);
@@ -87,7 +93,7 @@ impl Lru {
 
     /// Insert or refresh; returns `true` when a least-recently-used entry
     /// was evicted to make room.
-    pub fn insert(&mut self, key: String, value: Outcome) -> bool {
+    pub fn insert(&mut self, key: String, value: V) -> bool {
         if let Some(&i) = self.map.get(&key) {
             self.entries[i].value = value;
             self.unlink(i);
@@ -222,6 +228,83 @@ impl OutcomeCache {
     }
 }
 
+/// The `/lint` memo-cache: one mutex around an [`Lru`] of timing-stripped
+/// [`LintOutcome`]s. Lints are dependence analysis only — orders of
+/// magnitude cheaper than a search — so a single shard suffices; the
+/// telemetry mirrors [`OutcomeCache`] for `/metrics`. Capacity 0
+/// disables caching.
+pub struct LintCache {
+    lru: Mutex<Lru<LintOutcome>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl LintCache {
+    pub fn new(capacity: usize) -> Self {
+        LintCache {
+            lru: Mutex::new(Lru::new(capacity.max(1))),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lru<LintOutcome>> {
+        self.lru.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a timing-stripped lint outcome, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<LintOutcome> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store the timing-stripped form of `outcome` under `key`.
+    pub fn insert(&self, key: String, outcome: &LintOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.lock().insert(key, outcome.without_timing()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +330,7 @@ mod tests {
             after: est,
             ga: None,
             explored: None,
+            legality: None,
             wall_ms,
         }
     }

@@ -171,11 +171,34 @@ impl HttpResponse {
         HttpResponse { status, body: body.into() }
     }
 
-    /// An error body: `{"error": <JSON-escaped message>}`.
+    /// An error body: `{"error": <JSON-escaped message>}`. Escaping is
+    /// done by hand: the error path must be infallible — it cannot
+    /// panic, and it cannot depend on a serialiser succeeding.
     pub fn error(status: u16, message: &str) -> Self {
-        let escaped = serde_json::to_string(&message).expect("strings always serialise");
-        HttpResponse { status, body: format!("{{\"error\":{escaped}}}") }
+        HttpResponse { status, body: format!("{{\"error\":{}}}", json_escape(message)) }
     }
+}
+
+/// Quote `s` as a JSON string literal (RFC 8259 §7: escape the quote,
+/// the backslash and all control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 pub fn status_reason(status: u16) -> &'static str {
@@ -344,5 +367,17 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json_for_any_message() {
+        // The hand escaper must agree with a real JSON parser on quotes,
+        // backslashes, newlines and raw control characters.
+        for msg in ["plain", "with \"quotes\"", "back\\slash", "line\nbreak\ttab", "ctrl\u{1}end"] {
+            let resp = HttpResponse::error(400, msg);
+            let parsed: serde::Value = serde_json::from_str(&resp.body)
+                .unwrap_or_else(|e| panic!("body {:?} must parse: {e}", resp.body));
+            assert_eq!(parsed.get("error").and_then(serde::Value::as_str), Some(msg));
+        }
     }
 }

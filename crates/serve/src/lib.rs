@@ -1,7 +1,8 @@
 //! `cme-serve` — the network service layer over [`cme_api`]: a
 //! dependency-free HTTP/1.1 JSON server on `std::net` that turns the
 //! PR-1 `Session` seam into `POST /optimize`, `POST /analyze`,
-//! `POST /batch`, `GET /healthz`, `GET /metrics` and `POST /shutdown`.
+//! `POST /lint`, `POST /batch`, `GET /healthz`, `GET /metrics` and
+//! `POST /shutdown`.
 //!
 //! The design goals, in order:
 //!
@@ -39,7 +40,7 @@ pub mod pool;
 pub mod router;
 pub mod server;
 
-pub use cache::{canonical_key, OutcomeCache};
+pub use cache::{canonical_key, canonical_lint_key, LintCache, OutcomeCache};
 pub use client::HttpClient;
 pub use http::{HttpRequest, HttpResponse};
 pub use metrics::Metrics;

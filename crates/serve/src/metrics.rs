@@ -2,7 +2,7 @@
 //! histograms, rendered as the `/metrics` JSON document. Everything here
 //! is lock-free on the hot path — handlers only touch atomics.
 
-use crate::cache::OutcomeCache;
+use crate::cache::{LintCache, OutcomeCache};
 use serde::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -86,6 +86,7 @@ impl Default for Histogram {
 pub struct RouteCounters {
     pub optimize: AtomicU64,
     pub analyze: AtomicU64,
+    pub lint: AtomicU64,
     pub batch: AtomicU64,
     pub healthz: AtomicU64,
     pub metrics: AtomicU64,
@@ -110,6 +111,10 @@ pub struct Metrics {
     pub optimize_cold_us: Histogram,
     /// `/optimize` latency when the outcome cache answered.
     pub optimize_hit_us: Histogram,
+    /// `/lint` latency when the analysis actually ran.
+    pub lint_cold_us: Histogram,
+    /// `/lint` latency when the lint cache answered.
+    pub lint_hit_us: Histogram,
     /// Latency of every routed request.
     pub request_us: Histogram,
 }
@@ -125,6 +130,8 @@ impl Metrics {
             routes: RouteCounters::default(),
             optimize_cold_us: Histogram::new(),
             optimize_hit_us: Histogram::new(),
+            lint_cold_us: Histogram::new(),
+            lint_hit_us: Histogram::new(),
             request_us: Histogram::new(),
         }
     }
@@ -134,7 +141,7 @@ impl Metrics {
     }
 
     /// The `/metrics` document (see the README field glossary).
-    pub fn snapshot(&self, workers: usize, cache: &OutcomeCache) -> Value {
+    pub fn snapshot(&self, workers: usize, cache: &OutcomeCache, lint_cache: &LintCache) -> Value {
         let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
         Value::Object(vec![
             ("uptime_ms".into(), Value::UInt(self.uptime_ms())),
@@ -148,6 +155,7 @@ impl Metrics {
                 Value::Object(vec![
                     ("optimize".into(), load(&self.routes.optimize)),
                     ("analyze".into(), load(&self.routes.analyze)),
+                    ("lint".into(), load(&self.routes.lint)),
                     ("batch".into(), load(&self.routes.batch)),
                     ("healthz".into(), load(&self.routes.healthz)),
                     ("metrics".into(), load(&self.routes.metrics)),
@@ -166,10 +174,22 @@ impl Metrics {
                 ]),
             ),
             (
+                "lint_cache".into(),
+                Value::Object(vec![
+                    ("entries".into(), Value::UInt(lint_cache.len() as u64)),
+                    ("capacity".into(), Value::UInt(lint_cache.capacity() as u64)),
+                    ("hits".into(), Value::UInt(lint_cache.hits())),
+                    ("misses".into(), Value::UInt(lint_cache.misses())),
+                    ("evictions".into(), Value::UInt(lint_cache.evictions())),
+                ]),
+            ),
+            (
                 "latency_us".into(),
                 Value::Object(vec![
                     ("optimize_cold".into(), self.optimize_cold_us.snapshot()),
                     ("optimize_hit".into(), self.optimize_hit_us.snapshot()),
+                    ("lint_cold".into(), self.lint_cold_us.snapshot()),
+                    ("lint_hit".into(), self.lint_hit_us.snapshot()),
                     ("all".into(), self.request_us.snapshot()),
                 ]),
             ),
@@ -207,7 +227,7 @@ mod tests {
     fn snapshot_has_every_documented_field() {
         let m = Metrics::new();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
-        let snap = m.snapshot(4, &OutcomeCache::new(8));
+        let snap = m.snapshot(4, &OutcomeCache::new(8), &LintCache::new(8));
         for field in [
             "uptime_ms",
             "workers",
@@ -217,11 +237,15 @@ mod tests {
             "queue_depth",
             "routes",
             "cache",
+            "lint_cache",
             "latency_us",
         ] {
             assert!(snap.get(field).is_some(), "missing `{field}`");
         }
         assert_eq!(snap.get("requests_total"), Some(&Value::UInt(3)));
         assert_eq!(snap.get("cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+        assert_eq!(snap.get("lint_cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+        assert!(snap.get("routes").unwrap().get("lint").is_some());
+        assert!(snap.get("latency_us").unwrap().get("lint_cold").is_some());
     }
 }

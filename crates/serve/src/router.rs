@@ -8,6 +8,7 @@
 //! |-------------------|---------------------------|---------------------------------|
 //! | `POST /optimize`  | one `OptimizeRequest`     | `Outcome` (memo-cached)         |
 //! | `POST /analyze`   | one `AnalyzeRequest`      | `AnalyzeOutcome`                |
+//! | `POST /lint`      | one `LintRequest`         | `LintOutcome` (memo-cached)     |
 //! | `POST /batch`     | `[OptimizeRequest, ...]`  | array of outcomes / errors      |
 //! | `GET /healthz`    | —                         | liveness + uptime               |
 //! | `GET /metrics`    | —                         | the telemetry document          |
@@ -18,11 +19,11 @@
 //! minimal `{"nest": ..., "strategy": ...}` is a complete request and maps
 //! to the same cache entry as its fully spelled-out form.
 
-use crate::cache::{canonical_key, OutcomeCache};
+use crate::cache::{canonical_key, canonical_lint_key, LintCache, OutcomeCache};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::metrics::Metrics;
 use cme_api::cme::{CacheSpec, SamplingConfig};
-use cme_api::{ApiError, GaConfig, OptimizeRequest, Outcome, Session};
+use cme_api::{ApiError, GaConfig, LintRequest, OptimizeRequest, Outcome, Session};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -32,6 +33,7 @@ use std::time::Instant;
 pub struct App {
     pub session: Session,
     pub cache: OutcomeCache,
+    pub lint_cache: LintCache,
     pub metrics: Metrics,
     workers: usize,
     shutdown: AtomicBool,
@@ -42,6 +44,7 @@ impl App {
         App {
             session: Session::default(),
             cache: OutcomeCache::new(cache_entries),
+            lint_cache: LintCache::new(cache_entries),
             metrics: Metrics::new(),
             workers,
             shutdown: AtomicBool::new(false),
@@ -82,6 +85,10 @@ impl App {
                 bump(&self.metrics.routes.analyze);
                 self.analyze(&req.body)
             }
+            ("POST", "/lint") => {
+                bump(&self.metrics.routes.lint);
+                self.lint(&req.body)
+            }
             ("POST", "/batch") => {
                 bump(&self.metrics.routes.batch);
                 self.batch(&req.body)
@@ -95,15 +102,15 @@ impl App {
             }
             ("GET", "/metrics") => {
                 bump(&self.metrics.routes.metrics);
-                let doc = self.metrics.snapshot(self.workers, &self.cache);
-                HttpResponse::json(200, serde_json::to_string(&doc).expect("metrics serialise"))
+                let doc = self.metrics.snapshot(self.workers, &self.cache, &self.lint_cache);
+                ok_json(&doc)
             }
             ("POST", "/shutdown") => {
                 bump(&self.metrics.routes.shutdown);
                 self.request_shutdown();
                 HttpResponse::json(200, "{\"status\":\"shutting down\"}")
             }
-            (_, "/optimize" | "/analyze" | "/batch" | "/shutdown") => {
+            (_, "/optimize" | "/analyze" | "/lint" | "/batch" | "/shutdown") => {
                 bump(&self.metrics.routes.unmatched);
                 HttpResponse::error(405, "use POST for this route")
             }
@@ -166,6 +173,37 @@ impl App {
         };
         match self.session.analyze(&req) {
             Ok(out) => ok_json(&out),
+            Err(e) => api_error_response(&e),
+        }
+    }
+
+    /// `POST /lint`: static dependence analysis + kernel lints. Lints
+    /// are deterministic and searchless, yet memo-cached like `/optimize`
+    /// (same canonical-key rule, own LRU) so repeated editor/CI polls of
+    /// one kernel cost a hash lookup.
+    fn lint(&self, body: &[u8]) -> HttpResponse {
+        let started = Instant::now();
+        let mut value = match parse_json_body(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        fill_defaults(&mut value, &[("cache", serde_json::to_value(&CacheSpec::paper_8k()))]);
+        let req: LintRequest = match serde_json::from_value(&value) {
+            Ok(req) => req,
+            Err(e) => return HttpResponse::error(400, &format!("bad lint request: {e}")),
+        };
+        let key = canonical_lint_key(&req);
+        if let Some(mut out) = self.lint_cache.get(&key) {
+            out.wall_ms = started.elapsed().as_millis() as u64;
+            self.metrics.lint_hit_us.record(started.elapsed());
+            return ok_json(&out);
+        }
+        match self.session.lint(&req) {
+            Ok(out) => {
+                self.lint_cache.insert(key, &out);
+                self.metrics.lint_cold_us.record(started.elapsed());
+                ok_json(&out)
+            }
             Err(e) => api_error_response(&e),
         }
     }
@@ -236,20 +274,31 @@ impl App {
 
         let results: Vec<Value> = slots
             .into_iter()
-            .map(|slot| match slot.expect("every slot filled") {
-                Ok(out) => serde_json::to_value(&out),
-                Err(e) => Value::Object(vec![
+            .map(|slot| match slot {
+                Some(Ok(out)) => serde_json::to_value(&out),
+                Some(Err(e)) => Value::Object(vec![
                     ("error".into(), serde_json::to_value(&e)),
                     ("message".into(), Value::Str(e.to_string())),
                 ]),
+                // Unreachable by construction (every miss slot was filled
+                // from `slot_unique`), but a handler must not panic.
+                None => Value::Object(vec![(
+                    "error".into(),
+                    Value::Str("internal: batch slot left unfilled".into()),
+                )]),
             })
             .collect();
-        HttpResponse::json(200, serde_json::to_string(&results).expect("batch serialises"))
+        ok_json(&results)
     }
 }
 
+/// Serialise a 200 response body; a serialisation failure is answered as
+/// a 500 instead of unwinding the worker thread.
 fn ok_json<T: serde::Serialize>(value: &T) -> HttpResponse {
-    HttpResponse::json(200, serde_json::to_string(value).expect("outcomes serialise"))
+    match serde_json::to_string(value) {
+        Ok(body) => HttpResponse::json(200, body),
+        Err(e) => HttpResponse::error(500, &format!("response serialisation failed: {e}")),
+    }
 }
 
 /// The HTTP status an [`ApiError`] maps to.
@@ -266,7 +315,12 @@ fn api_error_response(e: &ApiError) -> HttpResponse {
         ("error".into(), serde_json::to_value(e)),
         ("message".into(), Value::Str(e.to_string())),
     ]);
-    HttpResponse::json(api_error_status(e), serde_json::to_string(&body).expect("errors serialise"))
+    match serde_json::to_string(&body) {
+        Ok(json) => HttpResponse::json(api_error_status(e), json),
+        // `HttpResponse::error` escapes by hand, so the fallback cannot
+        // fail; only the structured `"error"` tag is lost.
+        Err(_) => HttpResponse::error(api_error_status(e), &e.to_string()),
+    }
 }
 
 fn parse_json_body(body: &[u8]) -> Result<Value, HttpResponse> {
@@ -498,6 +552,42 @@ mod tests {
         let resp = app.handle(&post("/shutdown", ""));
         assert_eq!(resp.status, 200);
         assert!(app.shutdown_requested());
+    }
+
+    #[test]
+    fn lint_answers_and_caches() {
+        let app = App::new(1, 8);
+        let body = r#"{"nest": {"Kernel": {"name": "T2D", "size": 64}}}"#;
+        let cold = app.handle(&post("/lint", body));
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        let out: cme_api::LintOutcome = serde_json::from_str(&cold.body).unwrap();
+        assert!(out.legality.rectangular_tiling);
+        assert!(out.diagnostics.iter().any(|d| d.code == "no-reuse"), "{}", cold.body);
+        assert_eq!(app.lint_cache.hits(), 0);
+
+        // Same request with the default cache spelled out: one entry.
+        let spelled = format!(
+            r#"{{"cache": {cache}, "nest": {{"Kernel": {{"size": 64, "name": "T2D"}}}}}}"#,
+            cache = serde_json::to_string(&CacheSpec::paper_8k()).unwrap()
+        );
+        let hot = app.handle(&post("/lint", &spelled));
+        assert_eq!(hot.status, 200, "{}", hot.body);
+        assert_eq!(app.lint_cache.hits(), 1);
+        assert_eq!(app.lint_cache.len(), 1);
+        let a: cme_api::LintOutcome = serde_json::from_str(&cold.body).unwrap();
+        let b: cme_api::LintOutcome = serde_json::from_str(&hot.body).unwrap();
+        assert_eq!(a.without_timing(), b.without_timing());
+    }
+
+    #[test]
+    fn lint_maps_api_errors_like_the_other_routes() {
+        let app = App::new(1, 8);
+        let unknown =
+            app.handle(&post("/lint", r#"{"nest": {"Kernel": {"name": "NOPE", "size": null}}}"#));
+        assert_eq!(unknown.status, 404, "{}", unknown.body);
+        assert!(unknown.body.contains("UnknownKernel"));
+        assert_eq!(app.handle(&post("/lint", "not json")).status, 400);
+        assert_eq!(app.handle(&get("/lint")).status, 405);
     }
 
     #[test]

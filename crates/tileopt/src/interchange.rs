@@ -10,7 +10,8 @@
 //! on the Table 1 kernels.
 
 use crate::problem::{TilingOptimizer, TilingOutcome};
-use cme_loopnest::deps::{apply_permutation, permutation_legality};
+use cme_analysis::permutation_legality;
+use cme_loopnest::deps::apply_permutation;
 use cme_loopnest::{LoopNest, MemoryLayout};
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +108,22 @@ mod tests {
             inter.tiling.ga.best_cost <= identity.ga.best_cost,
             "interchange explores a superset"
         );
+    }
+
+    #[test]
+    fn tshift_gains_permutations_over_uniform_checker() {
+        // TSHIFT's read a(j,i) / write a(i,j+n) pair is non-uniform: the
+        // old uniform-only checker rejected it outright (zero legal
+        // permutations), while the dependence analysis proves the column
+        // bands disjoint, so both loop orders are explored.
+        let nest = cme_kernels::transposes::tshift(48);
+        assert!(
+            !cme_loopnest::deps::rectangular_tiling_legality(&nest).is_legal(),
+            "conservative baseline must reject the non-uniform pair"
+        );
+        let opt = TilingOptimizer::new(CacheSpec::direct_mapped(1024, 32));
+        let out = optimize_with_interchange(&opt, &nest).unwrap();
+        assert_eq!(out.explored, 2, "dependence-free 2-deep nest: both orders legal");
     }
 
     #[test]

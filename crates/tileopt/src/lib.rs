@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Tile-size and padding optimisation (paper §3 and §4.3).
 //!
 //! * [`TilingOptimizer`] — the paper's headline contribution: a genetic

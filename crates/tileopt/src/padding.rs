@@ -201,7 +201,7 @@ impl PaddingOptimizer {
     pub fn optimize_joint_on(&self, engine: &EvalEngine) -> Result<JointOutcome, String> {
         let nest = engine.nest();
         if let cme_loopnest::deps::TilingLegality::Illegal { reason } =
-            cme_loopnest::deps::rectangular_tiling_legality(nest)
+            cme_analysis::rectangular_tiling_legality(nest)
         {
             return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
         }

@@ -1,9 +1,10 @@
 //! The tiling search problem and GA-driven optimiser.
 
+use cme_analysis::rectangular_tiling_legality;
 use cme_core::engine::{fold_seed, SEED_SPLIT};
 use cme_core::{CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig};
 use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
-use cme_loopnest::deps::{rectangular_tiling_legality, TilingLegality};
+use cme_loopnest::deps::TilingLegality;
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 use serde::{Deserialize, Serialize};
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cme-suite` — facade crate re-exporting the whole workspace.
 //!
 //! This is the crate downstream users depend on: it bundles the loop-nest
@@ -6,6 +7,7 @@
 //! import. See the workspace `README.md` for a guided tour and
 //! `examples/quickstart.rs` for the 5-minute version.
 
+pub use cme_analysis as analysis;
 pub use cme_api as api;
 pub use cme_cachesim as cachesim;
 pub use cme_core as cme;

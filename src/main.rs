@@ -5,8 +5,8 @@
 //! serialised form.
 
 use cme_suite::api::{
-    AnalyzeRequest, ApiError, BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode,
-    Session, StrategySpec,
+    AnalyzeRequest, ApiError, BaselineKind, LintRequest, NestSource, OptimizeRequest, Outcome,
+    PaddingMode, Session, StrategySpec,
 };
 use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
 use cme_suite::cme::{CacheHierarchy, CacheLevel, CacheSpec, MissEstimate, SamplingConfig};
@@ -22,10 +22,13 @@ usage:
   cme tile KERNEL [N] [opts]               GA tile-size search (§3)
   cme pad KERNEL [N] [opts]                GA padding search (§4.3)
   cme simulate KERNEL [N] [opts]           exact LRU simulation (oracle)
+  cme lint KERNEL [N] [opts]               dependence analysis + kernel lints
+                                           (legality, dead arrays, reuse,
+                                            footprint; --src adds positions)
   cme batch FILE                           run a JSON array of OptimizeRequests
                                            (FILE of `-` reads stdin)
   cme serve                                HTTP/JSON service over the same API
-                                           (POST /optimize /analyze /batch,
+                                           (POST /optimize /analyze /lint /batch,
                                             GET /healthz /metrics, POST /shutdown)
 
 KERNEL defaults to MM (the paper's headline kernel) when omitted. Every
@@ -411,7 +414,7 @@ fn cmd_show(args: &Args) {
         nest.iterations(),
         nest.accesses(),
         layout.footprint(&nest) / 1024,
-        cme_suite::loopnest::deps::rectangular_tiling_legality(&nest)
+        cme_suite::analysis::rectangular_tiling_legality(&nest)
     );
     if let Some(tiles) = &args.tiles {
         println!("tiled by {tiles}:\n{}", display::render_tiled(&nest, tiles));
@@ -596,6 +599,58 @@ fn cmd_simulate(args: &Args) {
     );
 }
 
+fn cmd_lint(args: &Args) {
+    // `--src` lints get source positions: parse with spans and pin each
+    // ref-indexed diagnostic to where its reference appears in the text.
+    let mut spans: Vec<cme_suite::frontend::RefSpan> = Vec::new();
+    let source = if let Some(path) = &args.src_file {
+        if args.nest_file.is_some() {
+            fail("--nest and --src are mutually exclusive");
+        }
+        if args.positional.get(1).is_some() {
+            fail("give either KERNEL or --nest/--src, not both");
+        }
+        let (nest, s) = cme_suite::frontend::parse_with_spans(&read_input(path))
+            .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        spans = s;
+        NestSource::Inline(nest)
+    } else {
+        args.nest_source()
+    };
+    let req = LintRequest { nest: source, cache: args.cache.clone() };
+    let mut out = or_die(args.session().lint(&req));
+    for d in &mut out.diagnostics {
+        if let (Some(ri), None) = (d.ref_index, d.line) {
+            if let Some(span) = spans.get(ri) {
+                *d = d.clone().at(span.line, span.col);
+            }
+        }
+    }
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialise lint"));
+        return;
+    }
+    println!("kernel {}  cache {}", out.kernel, render_hierarchy(&out.cache));
+    let l = &out.legality;
+    println!(
+        "tiling legal: {}  carried deps {}  loop-independent deps {}{}",
+        l.rectangular_tiling,
+        l.carried_dependences,
+        l.loop_independent_dependences,
+        if l.budget_exhausted { "  (analysis budget exhausted: conservative)" } else { "" }
+    );
+    if out.diagnostics.is_empty() {
+        println!("clean: no diagnostics");
+    }
+    for d in &out.diagnostics {
+        let pos = match (d.line, d.col) {
+            (Some(line), Some(col)) => format!("{line}:{col}: "),
+            _ => String::new(),
+        };
+        println!("{pos}{}[{}] {}", d.severity.label(), d.code, d.message);
+    }
+}
+
 fn cmd_batch(args: &Args) {
     let path = args.positional.get(1).unwrap_or_else(|| usage());
     let text = read_input(path);
@@ -665,6 +720,7 @@ fn main() {
         Some("tile") => cmd_tile(&args),
         Some("pad") => cmd_pad(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("lint") => cmd_lint(&args),
         Some("batch") => cmd_batch(&args),
         Some("serve") => cmd_serve(&args),
         _ => usage(),

@@ -94,6 +94,9 @@ fn schema_doc_covers_the_wire_surface() {
         "miss_latency",
         "StrategySpec",
         "AnalyzeRequest",
+        "LintRequest",
+        "POST /lint",
+        "no-reuse",
         "UnknownKernel",
         "wall_ms",
         "base 0;",
@@ -102,7 +105,24 @@ fn schema_doc_covers_the_wire_surface() {
         assert!(schema.contains(needle), "docs/SCHEMA.md no longer mentions `{needle}`");
     }
     let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("ARCHITECTURE.md");
-    for needle in ["EvalEngine", "cme-frontend", "Determinism", "without_timing"] {
+    for needle in ["EvalEngine", "cme-frontend", "cme-analysis", "Determinism", "without_timing"] {
         assert!(arch.contains(needle), "docs/ARCHITECTURE.md no longer mentions `{needle}`");
+    }
+    let analysis = std::fs::read_to_string(root.join("docs/ANALYSIS.md")).expect("ANALYSIS.md");
+    for needle in [
+        "GCD test",
+        "Banerjee",
+        "direction vector",
+        "budget_exhausted",
+        "oracle_analyze",
+        "illegal-tiling",
+        "cme lint",
+        "POST /lint",
+    ] {
+        assert!(analysis.contains(needle), "docs/ANALYSIS.md no longer mentions `{needle}`");
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    for needle in ["Linting your kernels", "cme lint", "docs/ANALYSIS.md"] {
+        assert!(readme.contains(needle), "README.md no longer mentions `{needle}`");
     }
 }

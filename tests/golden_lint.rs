@@ -1,0 +1,90 @@
+//! Golden snapshot + parity tests for the linting surface.
+//!
+//! One checked-in snapshot pins the `cme lint --json` output (which is
+//! the `LintOutcome` wire format plus frontend source positions), and a
+//! loopback test pins `POST /lint` to exactly the same timing-stripped
+//! document — the CLI and the service must never drift apart.
+//!
+//! Regenerate the snapshot deliberately with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_lint
+//! ```
+
+use cme_suite::api::{LintOutcome, LintRequest, NestSource, Session};
+use cme_suite::serve::{HttpClient, ServeConfig};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+/// The snapshot kernel: T2D at a size whose footprint overflows the
+/// paper cache, so the lint report exercises legality, reuse and
+/// footprint diagnostics at once.
+const KERNEL: &str = "T2D";
+const SIZE: &str = "64";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/lint_t2d.json")
+}
+
+fn cli_lint_json(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_cme")).args(args).output().expect("run cme binary");
+    assert!(out.status.success(), "cme {args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Timing-stripped canonical form of a lint document.
+fn canonical(json: &str) -> String {
+    let out: LintOutcome = serde_json::from_str(json).expect("LintOutcome JSON");
+    serde_json::to_string_pretty(&out.without_timing()).expect("re-serialise")
+}
+
+#[test]
+fn cli_lint_json_matches_golden_snapshot() {
+    let got = canonical(&cli_lint_json(&["lint", KERNEL, SIZE, "--json"]));
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got + "\n").unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing {}; run UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        got,
+        want.trim_end(),
+        "lint output drifted from tests/golden/lint_t2d.json; if deliberate, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn cli_and_serve_lint_are_identical_modulo_timing() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+        read_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    let handle = cme_suite::serve::start(&config).expect("bind ephemeral port");
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    let body = format!(r#"{{"nest": {{"Kernel": {{"name": "{KERNEL}", "size": {SIZE}}}}}}}"#);
+    let (status, served) = client.post("/lint", &body).expect("POST /lint");
+    assert_eq!(status, 200, "{served}");
+    handle.shutdown_and_join();
+
+    let cli = canonical(&cli_lint_json(&["lint", KERNEL, SIZE, "--json"]));
+    assert_eq!(
+        canonical(&served),
+        cli,
+        "POST /lint and `cme lint --json` must return the same document"
+    );
+
+    // Both must also agree with the library seam they are thin shells over.
+    let req = LintRequest::new(NestSource::Kernel {
+        name: KERNEL.into(),
+        size: Some(SIZE.parse().unwrap()),
+    });
+    let direct = Session::default().lint(&req).expect("direct lint");
+    assert_eq!(serde_json::to_string_pretty(&direct.without_timing()).unwrap(), cli);
+}
