@@ -2,7 +2,10 @@
 
 use crate::error::ApiError;
 use crate::request::OptimizeRequest;
-use cme_core::{CacheHierarchy, CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{
+    CacheHierarchy, CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig,
+    SharedDisplacements,
+};
 use cme_ga::GaConfig;
 use cme_loopnest::{LoopNest, MemoryLayout};
 
@@ -28,6 +31,13 @@ pub struct Problem {
     pub hierarchy: CacheHierarchy,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
+    /// Optional process-wide displacement store every engine built for
+    /// this problem consults on local-memo misses ([`Session`] copies its
+    /// own handle in). `None` ⇒ fully per-request state; results are
+    /// byte-identical either way.
+    ///
+    /// [`Session`]: crate::Session
+    pub displacements: Option<SharedDisplacements>,
 }
 
 impl Problem {
@@ -42,6 +52,7 @@ impl Problem {
             hierarchy: req.cache.clone(),
             sampling: req.sampling,
             ga: req.ga,
+            displacements: None,
         })
     }
 
@@ -61,12 +72,13 @@ impl Problem {
     /// per-kernel, per-level analysis (and its before/after estimates come
     /// from the same state).
     pub fn engine(&self) -> EvalEngine {
-        EvalEngine::new_hierarchy(
+        EvalEngine::new_hierarchy_shared(
             &self.hierarchy,
             &self.nest,
             &self.layout,
             self.sampling,
             self.ga.seed,
+            self.displacements.as_ref().map(SharedDisplacements::provider),
         )
     }
 

@@ -7,15 +7,17 @@ use crate::outcome::{AnalyzeOutcome, LintOutcome, Outcome};
 use crate::problem::Problem;
 use crate::request::{AnalyzeRequest, LintRequest, OptimizeRequest};
 use crate::strategy::build_strategy;
-use cme_core::EvalEngine;
+use cme_core::{DisplacementProvider, EvalEngine, SharedDisplacements};
 use cme_loopnest::MemoryLayout;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configures and builds a [`Session`].
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     parallel: bool,
+    displacements: Option<SharedDisplacements>,
 }
 
 impl SessionBuilder {
@@ -27,16 +29,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Attach a process-wide displacement store, shared by every engine
+    /// the session builds (across `run`, `run_batch` and `analyze`).
+    /// Displacement sets are pure functions of their key, so outcomes are
+    /// byte-identical with or without a provider — only the Diophantine
+    /// work is shared.
+    pub fn displacement_provider(mut self, provider: Arc<dyn DisplacementProvider>) -> Self {
+        self.displacements = Some(SharedDisplacements::new(provider));
+        self
+    }
+
     pub fn build(self) -> Session {
-        Session { parallel: self.parallel }
+        Session { parallel: self.parallel, displacements: self.displacements }
     }
 }
 
 /// Stateless executor for API requests. Cheap to build and `Sync`: one
-/// session can serve many threads.
+/// session can serve many threads. (With an attached displacement
+/// provider the session stays deterministic — the provider only memoises
+/// pure computations.)
 #[derive(Debug, Clone)]
 pub struct Session {
     parallel: bool,
+    displacements: Option<SharedDisplacements>,
 }
 
 impl Default for Session {
@@ -47,14 +62,15 @@ impl Default for Session {
 
 impl Session {
     pub fn builder() -> SessionBuilder {
-        SessionBuilder { parallel: true }
+        SessionBuilder { parallel: true, displacements: None }
     }
 
     /// Run one optimisation request through its selected strategy. The
     /// outcome carries the dependence-analysis digest of the original
     /// nest in [`Outcome::legality`].
     pub fn run(&self, req: &OptimizeRequest) -> Result<Outcome, ApiError> {
-        let problem = Problem::from_request(req)?;
+        let mut problem = Problem::from_request(req)?;
+        problem.displacements = self.displacements.clone();
         let mut outcome = build_strategy(&req.strategy).search(&problem)?;
         outcome.legality = Some(cme_analysis::legality_summary(&problem.nest));
         Ok(outcome)
@@ -84,7 +100,14 @@ impl Session {
             tiles.validate(&nest).map_err(|e| ApiError::BadRequest(e.to_string()))?;
         }
         let layout = MemoryLayout::contiguous(&nest);
-        let engine = EvalEngine::new_hierarchy(&req.cache, &nest, &layout, req.sampling, req.seed);
+        let engine = EvalEngine::new_hierarchy_shared(
+            &req.cache,
+            &nest,
+            &layout,
+            req.sampling,
+            req.seed,
+            self.displacements.as_ref().map(SharedDisplacements::provider),
+        );
         let effective = req.tiles.as_ref().filter(|t| !t.is_trivial(&nest));
         let (estimate, exact) = if req.exhaustive {
             (None, Some(engine.exhaustive_report(effective)))

@@ -83,6 +83,7 @@ fn tiling_optimizer(problem: &Problem) -> TilingOptimizer {
         hierarchy: problem.hierarchy.clone(),
         sampling: problem.sampling,
         ga: problem.ga,
+        provider: problem.displacements.clone(),
     }
 }
 
@@ -90,6 +91,7 @@ fn padding_optimizer(problem: &Problem) -> PaddingOptimizer {
     let mut opt = PaddingOptimizer::for_hierarchy(problem.hierarchy.clone());
     opt.sampling = problem.sampling;
     opt.ga = problem.ga;
+    opt.provider = problem.displacements.clone();
     opt
 }
 

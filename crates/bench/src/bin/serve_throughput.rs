@@ -1,26 +1,48 @@
 //! Service throughput: requests/second through a real `cme serve`
-//! loopback server, cold (every request unique — the GA runs) versus
-//! cache-hot (the same canonical request repeated — the sharded LRU
-//! answers). Writes `BENCH_serve.json` so the cold/hot ratio is tracked
-//! across PRs.
+//! loopback server across three temperatures:
+//!
+//! * **cold** — every request is a distinct kernel geometry, so both the
+//!   outcome cache and the process-wide displacement cache miss and the
+//!   GA pays full CME price;
+//! * **near-miss** — one kernel/cache repeated with varying GA seeds:
+//!   every canonical request is new (outcome-cache miss) but the
+//!   searches re-evaluate overlapping candidate tilings, so the shared
+//!   displacement cache answers the Diophantine half;
+//! * **hot** — one canonical request repeated; the sharded outcome LRU
+//!   answers without running anything.
+//!
+//! Writes `BENCH_serve.json` so all three rows are tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p cme-bench --bin serve_throughput
 //! ```
 
 use cme_api::{NestSource, OptimizeRequest, StrategySpec};
+use cme_core::{CacheSpec, SamplingConfig};
 use cme_serve::{HttpClient, ServeConfig};
 use std::time::{Duration, Instant};
 
 const COLD_REQUESTS: usize = 16;
+const NEAR_MISS_REQUESTS: usize = 48;
 const HOT_REQUESTS: usize = 2_000;
 const CLIENTS: usize = 4;
 
-/// A mid-weight tiling search: enough GA work that memoisation matters,
-/// small enough that the cold phase stays in seconds.
-fn request(seed: u64) -> String {
-    let req = OptimizeRequest::new(NestSource::kernel_sized("T2D", 64), StrategySpec::Tiling)
+/// The near-miss/hot kernel side; cold sizes are picked disjoint from it.
+const BASE_SIZE: i64 = 128;
+
+/// A displacement-heavy tiling search: a long-line L2-style cache makes
+/// the Diophantine enumeration (`original_displacements`) the dominant
+/// cost of a fresh request, while a lean GA budget keeps the
+/// classification half small. This is the regime the process-wide
+/// displacement cache exists for.
+fn request(size: i64, seed: u64) -> String {
+    let mut req = OptimizeRequest::new(NestSource::kernel_sized("MM", size), StrategySpec::Tiling)
+        .with_cache(CacheSpec { size: 32_768, line: 256, assoc: 1 })
+        .with_sampling(SamplingConfig::fixed(32))
         .with_seed(seed);
+    req.ga.population = 10;
+    req.ga.min_generations = 2;
+    req.ga.max_generations = 4;
     serde_json::to_string(&req).expect("requests serialise")
 }
 
@@ -46,6 +68,17 @@ impl Phase {
             ("requests_per_sec".into(), serde::Value::Float(self.rps())),
             ("mean_ms".into(), serde::Value::Float(self.mean_ms())),
         ])
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<9}: {:>5} requests in {:>8.1} ms  → {:>9.1} req/s  ({:.3} ms/request)",
+            self.label,
+            self.requests,
+            self.wall.as_secs_f64() * 1e3,
+            self.rps(),
+            self.mean_ms()
+        );
     }
 }
 
@@ -78,50 +111,71 @@ fn main() {
     let handle = cme_serve::start(&config).expect("bind ephemeral port");
     let addr = handle.addr();
     println!("serve_throughput against http://{addr}  ({CLIENTS} workers / {CLIENTS} clients)\n");
+    let runtime = &handle.app().runtime;
 
-    // Cold: every request has a distinct seed, so every canonical key is
-    // new and the GA runs each time.
-    let cold_bodies: Vec<String> = (0..COLD_REQUESTS as u64).map(|s| request(1_000 + s)).collect();
+    // Cold: every request is a distinct transpose side (all ≠ BASE_SIZE),
+    // so canonical keys, coefficient matrices and spans are all new —
+    // nothing in the process can answer for anything.
+    let cold_bodies: Vec<String> =
+        (0..COLD_REQUESTS as i64).map(|k| request(BASE_SIZE + 1 + k, 0xCE11)).collect();
     let cold = run_phase("cold", addr, &cold_bodies);
-    println!(
-        "cold : {:>5} requests in {:>8.1} ms  → {:>9.1} req/s  ({:.2} ms/request)",
-        cold.requests,
-        cold.wall.as_secs_f64() * 1e3,
-        cold.rps(),
-        cold.mean_ms()
-    );
+    cold.print();
 
-    // Hot: one canonical request repeated. Its seed is one of the cold
-    // phase's, so the entry is already warm and every hot request is a
-    // cache hit.
-    let hot_bodies: Vec<String> = (0..HOT_REQUESTS).map(|_| request(1_000)).collect();
+    // Near-miss: one kernel/cache with varying seeds. Every canonical
+    // request is new, so the GA runs — but the searches revisit
+    // overlapping tilings, and the process-wide displacement cache
+    // answers the Diophantine solves it has already done.
+    let near_bodies: Vec<String> =
+        (0..NEAR_MISS_REQUESTS as u64).map(|s| request(BASE_SIZE, 1_000 + s)).collect();
+    let near = run_phase("near-miss", addr, &near_bodies);
+    near.print();
+
+    // Hot: one canonical request repeated (a near-miss body, so the
+    // outcome entry is already warm) — every request is a cache hit.
+    let hot_bodies: Vec<String> = (0..HOT_REQUESTS).map(|_| request(BASE_SIZE, 1_000)).collect();
     let hot = run_phase("hot", addr, &hot_bodies);
-    println!(
-        "hot  : {:>5} requests in {:>8.1} ms  → {:>9.1} req/s  ({:.3} ms/request)",
-        hot.requests,
-        hot.wall.as_secs_f64() * 1e3,
-        hot.rps(),
-        hot.mean_ms()
+    hot.print();
+
+    let near_speedup = near.rps() / cold.rps();
+    let hot_speedup = hot.rps() / cold.rps();
+    println!("\nnear-miss speedup: {near_speedup:.1}× requests/sec (displacement cache)");
+    println!("cache-hot speedup: {hot_speedup:.0}× requests/sec (outcome cache)");
+
+    // Confirm each phase hit the tier it claims before reporting it.
+    let outcomes = runtime.outcomes();
+    let disp = runtime.displacements().stats();
+    assert!(
+        outcomes.hits() >= HOT_REQUESTS as u64,
+        "hot phase must be outcome-cache-served (hits = {})",
+        outcomes.hits()
     );
-
-    let speedup = hot.rps() / cold.rps();
-    println!("\ncache-hot speedup: {speedup:.0}× requests/sec");
-
-    // Confirm the hot phase really hit the cache before reporting it.
-    let app = handle.app();
-    let hits = app.cache.hits();
-    assert!(hits >= HOT_REQUESTS as u64, "hot phase must be cache-served (hits = {hits})");
+    assert!(
+        disp.hits > 0,
+        "near-miss phase must be displacement-cache-served (hits = {})",
+        disp.hits
+    );
+    assert!(
+        near_speedup >= 3.0,
+        "displacement sharing must make near-misses ≥3× cold ({near_speedup:.2}×)"
+    );
 
     let doc = serde::Value::Object(vec![
         ("bench".into(), serde::Value::Str("serve_throughput".into())),
-        ("kernel".into(), serde::Value::Str("T2D_64 tiling GA".into())),
+        (
+            "kernel".into(),
+            serde::Value::Str(format!("MM_{BASE_SIZE} tiling GA, 32 KB / 256 B line")),
+        ),
         ("workers".into(), serde::Value::UInt(CLIENTS as u64)),
         ("clients".into(), serde::Value::UInt(CLIENTS as u64)),
         (cold.label.into(), cold.json()),
+        ("near_miss".into(), near.json()),
         (hot.label.into(), hot.json()),
-        ("hot_over_cold_rps".into(), serde::Value::Float(speedup)),
-        ("cache_hits".into(), serde::Value::UInt(hits)),
-        ("cache_misses".into(), serde::Value::UInt(app.cache.misses())),
+        ("near_miss_over_cold_rps".into(), serde::Value::Float(near_speedup)),
+        ("hot_over_cold_rps".into(), serde::Value::Float(hot_speedup)),
+        ("cache_hits".into(), serde::Value::UInt(outcomes.hits())),
+        ("cache_misses".into(), serde::Value::UInt(outcomes.misses())),
+        ("displacement_hits".into(), serde::Value::UInt(disp.hits)),
+        ("displacement_misses".into(), serde::Value::UInt(disp.misses)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("report serialises");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

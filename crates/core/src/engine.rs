@@ -40,6 +40,65 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Complete key of one displacement-set computation, as shared *across*
+/// requests. [`crate::reuse::original_displacements`] is a pure function
+/// of the subject's coefficients, the base-address delta, the line size
+/// and the loop spans — nothing else — so two engines built for different
+/// requests may exchange values under this key without observable effect.
+/// (The engine's own per-request memo drops `spans`, which are fixed for
+/// one engine; a process-wide store must keep them.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DisplacementKey {
+    /// Subject address coefficients (identical for both refs of a
+    /// uniform pair).
+    pub coeffs: Vec<i64>,
+    /// Source `c0` minus subject `c0`.
+    pub delta: i64,
+    /// Cache line size in bytes.
+    pub line: i64,
+    /// Inclusive loop spans of the original iteration space.
+    pub spans: Vec<i64>,
+}
+
+/// A process-wide store of displacement sets that outlives any one
+/// [`EvalEngine`]. The engine consults its per-request memo first and
+/// only falls through here, so a provider sees each distinct key at most
+/// once per request.
+///
+/// Contract: `get_or_compute` returns the stored value on a hit and
+/// exactly `compute()`'s value on a miss (which it may retain). Values
+/// are pure functions of the key, so any cache policy (bounded shards,
+/// eviction, no-op) yields byte-identical analyses — pinned by the
+/// determinism tests.
+pub trait DisplacementProvider: Send + Sync {
+    fn get_or_compute(
+        &self,
+        key: &DisplacementKey,
+        compute: &mut dyn FnMut() -> Vec<Vec<i64>>,
+    ) -> Arc<Vec<Vec<i64>>>;
+}
+
+/// A cloneable, `Debug`-able handle to a [`DisplacementProvider`] — the
+/// form carried through request/problem structs that derive `Debug`.
+#[derive(Clone)]
+pub struct SharedDisplacements(pub Arc<dyn DisplacementProvider>);
+
+impl SharedDisplacements {
+    pub fn new(provider: Arc<dyn DisplacementProvider>) -> Self {
+        SharedDisplacements(provider)
+    }
+
+    pub fn provider(&self) -> Arc<dyn DisplacementProvider> {
+        Arc::clone(&self.0)
+    }
+}
+
+impl std::fmt::Debug for SharedDisplacements {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedDisplacements(..)")
+    }
+}
+
 /// Seed-mixing constants shared with [`CmeModel::estimate_nest`] and the
 /// search objectives: every candidate derives its sampling seed as
 /// `(base ^ SEED_SPLIT)` folded over its decision values with
@@ -99,6 +158,10 @@ pub struct EvalEngine {
     /// − subject c0, line size) → displacement set`. Spans are fixed per
     /// engine, so the key is complete — and shared across cache levels.
     displacements: Mutex<HashMap<(Vec<i64>, i64, i64), Arc<Vec<Vec<i64>>>>>,
+    /// Optional process-wide displacement store, consulted on local-memo
+    /// misses (the runtime layer wires the serve-wide sharded cache in
+    /// here). `None` ⇒ fully self-contained per-request behaviour.
+    provider: Option<Arc<dyn DisplacementProvider>>,
 }
 
 impl EvalEngine {
@@ -123,7 +186,30 @@ impl EvalEngine {
         sampling: SamplingConfig,
         seed: u64,
     ) -> Self {
-        Self::build(CmeModel::new(hierarchy.l1()), hierarchy.clone(), nest, layout, sampling, seed)
+        Self::new_hierarchy_shared(hierarchy, nest, layout, sampling, seed, None)
+    }
+
+    /// As [`Self::new_hierarchy`], with an optional process-wide
+    /// displacement store consulted on local-memo misses. With
+    /// `provider: None` this is exactly `new_hierarchy`; with a provider
+    /// the results are byte-identical and only the work is shared.
+    pub fn new_hierarchy_shared(
+        hierarchy: &CacheHierarchy,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        sampling: SamplingConfig,
+        seed: u64,
+        provider: Option<Arc<dyn DisplacementProvider>>,
+    ) -> Self {
+        Self::build_shared(
+            CmeModel::new(hierarchy.l1()),
+            hierarchy.clone(),
+            nest,
+            layout,
+            sampling,
+            seed,
+            provider,
+        )
     }
 
     fn build(
@@ -134,11 +220,30 @@ impl EvalEngine {
         sampling: SamplingConfig,
         seed: u64,
     ) -> Self {
+        Self::build_shared(model, hierarchy, nest, layout, sampling, seed, None)
+    }
+
+    fn build_shared(
+        model: CmeModel,
+        hierarchy: CacheHierarchy,
+        nest: &LoopNest,
+        layout: &MemoryLayout,
+        sampling: SamplingConfig,
+        seed: u64,
+        provider: Option<Arc<dyn DisplacementProvider>>,
+    ) -> Self {
         let spans = nest.spans();
         let displacements = Mutex::new(HashMap::new());
         let addr = layout.address_forms(nest);
         let base = Arc::new(candidate_base_with(nest, &addr, |a, b| {
-            cached_displacements(&displacements, &addr[a], &addr[b], model.cache.line, &spans)
+            cached_displacements(
+                &displacements,
+                provider.as_deref(),
+                &addr[a],
+                &addr[b],
+                model.cache.line,
+                &spans,
+            )
         }));
         let untiled = Arc::new(assemble(model, nest, layout, None, Arc::clone(&base)));
         let outer = hierarchy.levels()[1..]
@@ -153,6 +258,7 @@ impl EvalEngine {
                     Arc::new(candidate_base_with(nest, &addr, |a, b| {
                         cached_displacements(
                             &displacements,
+                            provider.as_deref(),
                             &addr[a],
                             &addr[b],
                             level.spec.line,
@@ -182,6 +288,7 @@ impl EvalEngine {
             base,
             untiled,
             displacements,
+            provider,
         }
     }
 
@@ -258,6 +365,7 @@ impl EvalEngine {
         let base = Arc::new(candidate_base_with(&self.nest, &addr, |a, b| {
             cached_displacements(
                 &self.displacements,
+                self.provider.as_deref(),
                 &addr[a],
                 &addr[b],
                 model.cache.line,
@@ -424,8 +532,13 @@ impl EvalEngine {
 /// lock: rayon workers evaluating padding candidates in parallel must not
 /// serialize on a miss. Two workers racing on the same key compute the
 /// same (deterministic) value; the first insert wins and both return it.
+/// A local miss falls through to the optional process-wide provider
+/// (which pays the enumeration at most once per distinct key across
+/// requests); either way the resolved Arc lands in the local memo so the
+/// provider is hit once per key per engine.
 fn cached_displacements(
     cache: &Mutex<HashMap<(Vec<i64>, i64, i64), Arc<Vec<Vec<i64>>>>>,
+    provider: Option<&dyn DisplacementProvider>,
     addr_a: &AffineForm,
     addr_b: &AffineForm,
     line: i64,
@@ -435,7 +548,18 @@ fn cached_displacements(
     if let Some(hit) = cache.lock().get(&key) {
         return Arc::clone(hit);
     }
-    let fresh = Arc::new(original_displacements(addr_a, addr_b, line, spans));
+    let fresh = match provider {
+        Some(p) => {
+            let global = DisplacementKey {
+                coeffs: key.0.clone(),
+                delta: key.1,
+                line,
+                spans: spans.to_vec(),
+            };
+            p.get_or_compute(&global, &mut || original_displacements(addr_a, addr_b, line, spans))
+        }
+        None => Arc::new(original_displacements(addr_a, addr_b, line, spans)),
+    };
     Arc::clone(cache.lock().entry(key).or_insert(fresh))
 }
 

@@ -47,7 +47,7 @@ pub mod reuse;
 pub mod sampling;
 
 pub use classify::Classification;
-pub use engine::EvalEngine;
+pub use engine::{DisplacementKey, DisplacementProvider, EvalEngine, SharedDisplacements};
 pub use estimate::{Counts, LevelEstimate, LevelReport, MissEstimate, MissReport};
 pub use hierarchy::{CacheHierarchy, CacheLevel, LEGACY_MISS_LATENCY};
 pub use model::{CmeModel, NestAnalysis};

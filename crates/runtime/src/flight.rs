@@ -1,0 +1,274 @@
+//! In-flight coalescing (singleflight): identical canonical request keys
+//! arriving concurrently share one computation.
+//!
+//! The first caller for a key becomes the **leader** and runs the
+//! computation; callers arriving while it runs become **followers** and
+//! block on the leader's published result (a clone). When the leader
+//! finishes, the flight is retired — later arrivals for the same key
+//! start a fresh flight (by then the outcome cache answers them anyway).
+//!
+//! Error and panic propagation: an `Err` result is published to
+//! followers exactly like an `Ok` (the value type is typically a
+//! `Result`). A leader *panic* is caught by a drop guard that marks the
+//! flight failed, wakes every follower (they observe
+//! [`FlightResult::LeaderFailed`] and answer 500) and lets the unwind
+//! continue in the leader's thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+enum SlotState<T> {
+    Pending,
+    Done(T),
+    Failed,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+impl<T: Clone> Slot<T> {
+    fn publish(&self, state: SlotState<T>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FlightResult<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                SlotState::Done(value) => return FlightResult::Joined(value.clone()),
+                SlotState::Failed => return FlightResult::LeaderFailed,
+            }
+        }
+    }
+}
+
+/// How a [`Singleflight::run`] call was resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightResult<T> {
+    /// This caller was the leader: it ran the computation.
+    Led(T),
+    /// This caller joined an in-flight leader and received its result.
+    Joined(T),
+    /// The joined leader panicked; no result exists for this flight.
+    LeaderFailed,
+}
+
+/// Counters snapshot for `/metrics` (`coalescing` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Computations led (one per distinct concurrent flight).
+    pub leaders: u64,
+    /// Calls that joined an in-flight leader instead of recomputing.
+    pub followers: u64,
+    /// Flights whose leader panicked.
+    pub failures: u64,
+    /// Flights currently in progress (gauge).
+    pub in_flight: usize,
+}
+
+/// The coalescing group: one per value type, keyed by canonical request
+/// key. `T` is cloned once per follower.
+pub struct Singleflight<T> {
+    slots: Mutex<HashMap<String, Arc<Slot<T>>>>,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<T> Default for Singleflight<T> {
+    fn default() -> Self {
+        Singleflight {
+            slots: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Retires the leader's flight even if `compute` unwinds: on drop
+/// without a published result the slot is marked failed, followers are
+/// woken, and the key is freed for a fresh flight.
+struct LeaderGuard<'a, T: Clone> {
+    flight: &'a Singleflight<T>,
+    key: &'a str,
+    slot: &'a Arc<Slot<T>>,
+    published: bool,
+}
+
+impl<T: Clone> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.failures.fetch_add(1, Ordering::Relaxed);
+            self.slot.publish(SlotState::Failed);
+        }
+        self.flight.slots.lock().unwrap_or_else(PoisonError::into_inner).remove(self.key);
+    }
+}
+
+impl<T: Clone> Singleflight<T> {
+    pub fn new() -> Self {
+        Singleflight::default()
+    }
+
+    /// Run `compute` for `key`, coalescing with any in-flight computation
+    /// for the same key. Exactly one caller per flight executes
+    /// `compute`; the rest block until its result (or failure) is
+    /// published.
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> T) -> FlightResult<T> {
+        let (slot, is_leader) = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            match slots.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    slots.insert(key.to_string(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !is_leader {
+            self.followers.fetch_add(1, Ordering::Relaxed);
+            return slot.wait();
+        }
+        self.leaders.fetch_add(1, Ordering::Relaxed);
+        let mut guard = LeaderGuard { flight: self, key, slot: &slot, published: false };
+        let value = compute();
+        guard.published = true;
+        slot.publish(SlotState::Done(value.clone()));
+        drop(guard);
+        FlightResult::Led(value)
+    }
+
+    pub fn leaders(&self) -> u64 {
+        self.leaders.load(Ordering::Relaxed)
+    }
+
+    pub fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            leaders: self.leaders(),
+            followers: self.followers(),
+            failures: self.failures(),
+            in_flight: self.slots.lock().unwrap_or_else(PoisonError::into_inner).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        const N: usize = 8;
+        let flight = Singleflight::<u64>::new();
+        let computed = AtomicU32::new(0);
+        let gate = Barrier::new(N);
+        let results: Vec<FlightResult<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    s.spawn(|| {
+                        gate.wait();
+                        flight.run("k", || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for the
+                            // other threads to join as followers.
+                            std::thread::sleep(Duration::from_millis(50));
+                            42
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "one leader computes");
+        assert_eq!(flight.leaders(), 1);
+        assert_eq!(flight.followers(), N as u64 - 1);
+        for r in results {
+            match r {
+                FlightResult::Led(v) | FlightResult::Joined(v) => assert_eq!(v, 42),
+                FlightResult::LeaderFailed => panic!("no failure occurred"),
+            }
+        }
+        assert_eq!(flight.stats().in_flight, 0, "flight retired");
+    }
+
+    #[test]
+    fn sequential_same_key_flights_do_not_coalesce() {
+        let flight = Singleflight::<u64>::new();
+        assert_eq!(flight.run("k", || 1), FlightResult::Led(1));
+        assert_eq!(flight.run("k", || 2), FlightResult::Led(2), "retired flights restart");
+        assert_eq!(flight.followers(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_run_independently() {
+        let flight = Singleflight::<u64>::new();
+        assert_eq!(flight.run("a", || 1), FlightResult::Led(1));
+        assert_eq!(flight.run("b", || 2), FlightResult::Led(2));
+        assert_eq!(flight.leaders(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_to_followers_as_values() {
+        // The value type is a Result: an Err publishes like any value.
+        let flight = Singleflight::<Result<u64, String>>::new();
+        let r = flight.run("k", || Err("boom".to_string()));
+        assert_eq!(r, FlightResult::Led(Err("boom".to_string())));
+    }
+
+    #[test]
+    fn leader_panic_fails_followers_and_frees_the_key() {
+        let flight = Singleflight::<u64>::new();
+        let entered = Barrier::new(2);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flight.run("k", || {
+                        entered.wait();
+                        std::thread::sleep(Duration::from_millis(50));
+                        panic!("leader died")
+                    })
+                }));
+                assert!(r.is_err(), "the panic must resume unwinding in the leader");
+            });
+            let follower = s.spawn(|| {
+                entered.wait();
+                flight.run("k", || 7)
+            });
+            leader.join().expect("leader thread observed its own panic");
+            let joined = follower.join().expect("follower must not panic");
+            // The follower either joined the doomed flight (LeaderFailed)
+            // or arrived after retirement and led its own (Led(7)).
+            assert!(
+                matches!(joined, FlightResult::LeaderFailed | FlightResult::Led(7)),
+                "unexpected follower result: {joined:?}"
+            );
+        });
+        assert_eq!(flight.failures(), 1);
+        assert_eq!(flight.stats().in_flight, 0);
+        // The key is reusable after the failure.
+        assert_eq!(flight.run("k", || 9), FlightResult::Led(9));
+    }
+}

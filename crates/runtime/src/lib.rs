@@ -1,0 +1,215 @@
+//! cme-runtime — process-wide evaluation state for the serve layer.
+//!
+//! The engine layers below (`cme-core`, `cme-tileopt`, `cme-api`) are
+//! deliberately per-request: build an engine, run a search, drop it.
+//! This crate owns everything whose natural lifetime is the *process*:
+//!
+//! * [`DisplacementCache`] — the engine's per-request Diophantine memo
+//!   promoted to a bounded, shard-locked global store, plugged into
+//!   every engine through the [`cme_core::DisplacementProvider`] seam.
+//! * [`Singleflight`] — in-flight coalescing: identical canonical
+//!   request keys arriving concurrently share one computation.
+//! * [`TieredOutcomeCache`] — the hot sharded outcome LRU backed by an
+//!   optional append-only on-disk layer ([`DiskTier`]), versioned by a
+//!   schema fingerprint and flushed on shutdown.
+//! * [`LintCache`] — the (single-shard) `/lint` memo-cache.
+//!
+//! [`Runtime`] bundles the four plus a [`cme_api::Session`] wired to the
+//! displacement store; the serve router drives requests through it.
+//! Nothing here changes what a request answers — every tier stores
+//! timing-stripped values and byte-identity with all tiers disabled is
+//! pinned by tests — only how often the process recomputes.
+
+#![forbid(unsafe_code)]
+
+pub mod displacement;
+pub mod flight;
+pub mod lru;
+pub mod outcome;
+pub mod persist;
+
+pub use displacement::{DisplacementCache, DisplacementStats};
+pub use flight::{FlightResult, FlightStats, Singleflight};
+pub use lru::Lru;
+pub use outcome::{
+    canonical_key, canonical_lint_key, LintCache, OutcomeCache, Tier, TieredOutcomeCache,
+};
+pub use persist::{schema_fingerprint, DiskStats, DiskTier};
+
+use cme_api::{ApiError, LintOutcome, LintRequest, OptimizeRequest, Outcome, Session};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Sizing and persistence knobs for a [`Runtime`]. Entry counts are per
+/// cache; 0 disables that cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Hot-tier outcome cache entries.
+    pub outcome_entries: usize,
+    /// Lint cache entries.
+    pub lint_entries: usize,
+    /// Process-wide displacement store entries.
+    pub displacement_entries: usize,
+    /// Directory for the persistent outcome tier; `None` = memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            outcome_entries: 1024,
+            lint_entries: 1024,
+            // Displacement sets are small (a handful of short vectors)
+            // and shared across every request touching the same array
+            // shapes, so the default store is deeper than the outcome
+            // caches.
+            displacement_entries: 4096,
+            cache_dir: None,
+        }
+    }
+}
+
+/// How an optimize request was answered, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Served from the hot outcome tier.
+    CacheHot,
+    /// Served from the persistent tier (and promoted).
+    CacheDisk,
+    /// Computed by this call (flight leader).
+    Computed,
+    /// Joined a concurrent identical computation.
+    Coalesced,
+    /// The joined flight's leader panicked.
+    LeaderFailed,
+}
+
+/// Why [`Runtime::optimize`] failed: a request-level API error (maps to
+/// the usual 4xx statuses) or a panicked flight leader (a server fault —
+/// 500).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    Api(ApiError),
+    LeaderFailed,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Api(e) => e.fmt(f),
+            RuntimeError::LeaderFailed => {
+                write!(f, "internal error: the coalesced computation for this request failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ApiError> for RuntimeError {
+    fn from(e: ApiError) -> Self {
+        RuntimeError::Api(e)
+    }
+}
+
+/// The process-wide evaluation state: one per server process, shared by
+/// every worker. All methods take `&self`.
+pub struct Runtime {
+    session: Session,
+    displacements: Arc<DisplacementCache>,
+    outcomes: TieredOutcomeCache,
+    lints: LintCache,
+    flights: Singleflight<Result<Outcome, ApiError>>,
+}
+
+impl Runtime {
+    pub fn new(config: &RuntimeConfig) -> Self {
+        let displacements = Arc::new(DisplacementCache::new(config.displacement_entries));
+        let session =
+            Session::builder().displacement_provider(Arc::clone(&displacements) as _).build();
+        let outcomes = match &config.cache_dir {
+            Some(dir) => TieredOutcomeCache::with_disk(config.outcome_entries, DiskTier::new(dir)),
+            None => TieredOutcomeCache::new(config.outcome_entries),
+        };
+        Runtime {
+            session,
+            displacements,
+            outcomes,
+            lints: LintCache::new(config.lint_entries),
+            flights: Singleflight::new(),
+        }
+    }
+
+    /// The session every request runs through (its engines share the
+    /// displacement store).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    pub fn displacements(&self) -> &DisplacementCache {
+        &self.displacements
+    }
+
+    pub fn outcomes(&self) -> &TieredOutcomeCache {
+        &self.outcomes
+    }
+
+    pub fn lints(&self) -> &LintCache {
+        &self.lints
+    }
+
+    pub fn flights(&self) -> &Singleflight<Result<Outcome, ApiError>> {
+        &self.flights
+    }
+
+    /// Answer an optimize request through every tier: outcome cache
+    /// (hot, then disk), then a coalesced computation. The outcome is
+    /// the timing-stripped form; callers re-stamp `wall_ms`.
+    pub fn optimize(&self, req: &OptimizeRequest) -> (Result<Outcome, RuntimeError>, Resolution) {
+        let key = canonical_key(req);
+        if let Some((hit, tier)) = self.outcomes.get_tiered(&key) {
+            let how = match tier {
+                Tier::Hot => Resolution::CacheHot,
+                Tier::Disk => Resolution::CacheDisk,
+            };
+            return (Ok(hit), how);
+        }
+        match self.flights.run(&key, || self.session.run(req)) {
+            FlightResult::Led(result) => {
+                if let Ok(out) = &result {
+                    self.outcomes.insert(key, out);
+                }
+                (
+                    result.map(|out| out.without_timing()).map_err(RuntimeError::Api),
+                    Resolution::Computed,
+                )
+            }
+            FlightResult::Joined(result) => (
+                result.map(|out| out.without_timing()).map_err(RuntimeError::Api),
+                Resolution::Coalesced,
+            ),
+            FlightResult::LeaderFailed => {
+                (Err(RuntimeError::LeaderFailed), Resolution::LeaderFailed)
+            }
+        }
+    }
+
+    /// Answer a lint request through the lint memo-cache.
+    pub fn lint(&self, req: &LintRequest) -> (Result<LintOutcome, ApiError>, bool) {
+        let key = canonical_lint_key(req);
+        if let Some(hit) = self.lints.get(&key) {
+            return (Ok(hit), true);
+        }
+        let result = self.session.lint(req);
+        if let Ok(out) = &result {
+            self.lints.insert(key, out);
+        }
+        (result.map(|out| out.without_timing()), false)
+    }
+
+    /// Flush the persistent outcome tier (no-op without one); returns
+    /// entries written.
+    pub fn flush(&self) -> usize {
+        self.outcomes.flush()
+    }
+}

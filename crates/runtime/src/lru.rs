@@ -1,0 +1,165 @@
+//! The one bounded-map primitive every runtime tier builds on: a plain
+//! single-threaded LRU, generic over key and value. `HashMap` for
+//! lookup, an index-linked list through a slab of entries for recency
+//! order; both `get` and `insert` are O(1).
+//!
+//! Shard-level locking, telemetry and policy live in the tiers
+//! ([`crate::OutcomeCache`], [`crate::DisplacementCache`], …) — this type
+//! is deliberately policy-free so one implementation (and one test
+//! suite) backs them all.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A single-threaded LRU map (one shard of the concurrent tiers).
+/// Defaults to the outcome cache's key/value types.
+pub struct Lru<K = String, V = cme_api::Outcome> {
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Lru<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            entries: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.entries[i].prev = NIL;
+        self.entries[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.entries[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Look up and mark most-recently-used.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(&self.entries[i].value)
+    }
+
+    /// Insert or refresh; returns `true` when a least-recently-used entry
+    /// was evicted to make room.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.entries[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot in place of allocating a new one.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.entries[i].key);
+            self.entries[i].key.clone_from(&key);
+            self.entries[i].value = value;
+            evicted = true;
+            i
+        } else {
+            self.entries.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            self.entries.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys in recency order, most recent first (test/diagnostic helper).
+    pub fn keys_by_recency(&self) -> Vec<&K> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            keys.push(&self.entries[i].key);
+            i = self.entries[i].next;
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recency(lru: &Lru<String, u32>) -> Vec<&str> {
+        lru.keys_by_recency().into_iter().map(String::as_str).collect()
+    }
+
+    #[test]
+    fn evicts_least_recently_used_not_least_recently_inserted() {
+        let mut lru: Lru<String, u32> = Lru::new(3);
+        for (k, v) in [("a", 1u32), ("b", 2), ("c", 3)] {
+            assert!(!lru.insert(k.into(), v));
+        }
+        // Touch `a`: recency becomes a, c, b.
+        assert!(lru.get("a").is_some());
+        assert_eq!(recency(&lru), ["a", "c", "b"]);
+        // A fourth insert must evict `b`, the LRU — not `a`, the oldest.
+        assert!(lru.insert("d".into(), 4));
+        assert_eq!(lru.len(), 3);
+        assert!(lru.get("b").is_none());
+        assert_eq!(recency(&lru), ["d", "a", "c"]);
+        // Re-inserting an existing key refreshes, never evicts.
+        assert!(!lru.insert("c".into(), 33));
+        assert_eq!(recency(&lru), ["c", "d", "a"]);
+        assert_eq!(lru.get("c"), Some(&33));
+    }
+
+    #[test]
+    fn non_string_keys_work() {
+        let mut lru: Lru<(i64, i64), &'static str> = Lru::new(2);
+        lru.insert((1, 2), "x");
+        lru.insert((3, 4), "y");
+        assert_eq!(lru.get(&(1, 2)), Some(&"x"));
+        assert!(lru.insert((5, 6), "z"), "capacity 2 must evict");
+        assert!(lru.get(&(3, 4)).is_none(), "(3,4) was the LRU");
+        assert_eq!(lru.len(), 2);
+    }
+}

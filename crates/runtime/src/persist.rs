@@ -1,0 +1,331 @@
+//! The outcome cache's on-disk layer: an append-only JSON-lines file,
+//! versioned by a schema fingerprint, loaded lazily and flushed on
+//! shutdown.
+//!
+//! File format (`<cache-dir>/outcomes.jsonl`):
+//!
+//! ```text
+//! {"schema":"<fingerprint>"}                 ← header line
+//! {"key":"<canonical key>","outcome":{…}}    ← one entry per line
+//! ```
+//!
+//! * **Versioned.** The header's fingerprint digests the serialised
+//!   shape of a sentinel [`Outcome`] plus the crate version; a file
+//!   written by an incompatible build is ignored wholesale (and
+//!   rewritten on the next flush) instead of feeding stale bytes to
+//!   clients.
+//! * **Lazy.** Nothing is read at construction. The first lookup (or
+//!   insert) scans the file once, building a key → byte-span index;
+//!   outcome bodies stay on disk until a key actually hits, so start-up
+//!   cost is one sequential read of the index, not a deserialisation of
+//!   every stored outcome.
+//! * **Append-only.** Inserts buffer in memory ([`DiskTier::flush`]
+//!   appends them — called on `/shutdown` and SIGTERM). Within a file,
+//!   later entries for a key shadow earlier ones; since every search is
+//!   deterministic per canonical key, shadowed entries are byte-equal
+//!   anyway and re-warming a key is skipped entirely.
+
+use cme_api::Outcome;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// One persisted entry.
+#[derive(Serialize, Deserialize)]
+struct DiskLine {
+    key: String,
+    outcome: Outcome,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    schema: String,
+}
+
+/// Fingerprint of the persisted schema: the serialised shape of a
+/// sentinel outcome (field names and structure, not values) plus the
+/// crate version. Computed with the unkeyed `DefaultHasher`, which is
+/// stable across processes of one build.
+pub fn schema_fingerprint() -> String {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    // The sentinel always serialises; an empty shape would still
+    // version by crate version below.
+    let shape = serde_json::to_string(&sentinel_outcome()).unwrap_or_default();
+    let mut h = DefaultHasher::new();
+    shape.hash(&mut h);
+    env!("CARGO_PKG_VERSION").hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+/// A fixed-value outcome whose JSON spells out the full field layout —
+/// `Option` fields populated so renames/removals anywhere in the tree
+/// change the fingerprint.
+fn sentinel_outcome() -> Outcome {
+    use cme_api::cme::estimate::SolverStats;
+    use cme_api::cme::{CacheSpec, MissEstimate};
+    use cme_api::Transform;
+    let est = MissEstimate {
+        n_samples: 1,
+        volume: 1,
+        exact: true,
+        per_ref: Vec::new(),
+        solver: SolverStats::default(),
+        levels: None,
+    };
+    Outcome {
+        strategy: "schema-probe".into(),
+        kernel: "schema-probe".into(),
+        cache: CacheSpec::paper_8k().into(),
+        transform: Transform::default(),
+        before: est.clone(),
+        after: est,
+        ga: None,
+        explored: None,
+        legality: None,
+        wall_ms: 0,
+    }
+}
+
+/// Byte span of one entry line within the file.
+#[derive(Clone, Copy)]
+struct Span {
+    offset: u64,
+    len: u64,
+}
+
+struct DiskState {
+    /// Key → span of its (last) on-disk line. Empty when the file is
+    /// absent or carries a foreign fingerprint.
+    index: HashMap<String, Span>,
+    /// Entries accepted since the last flush, in insertion order.
+    pending: Vec<(String, String)>,
+    /// The file must be rewritten from scratch on flush (absent, or its
+    /// header named another schema).
+    rewrite: bool,
+}
+
+/// Counters snapshot for `/metrics` (`cache.disk` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Whether the lazy index has been built yet.
+    pub loaded: bool,
+    /// Indexed on-disk entries plus unflushed pending entries (0 until
+    /// loaded).
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries accepted for appending since start-up.
+    pub appended: u64,
+}
+
+/// The persistent tier behind [`crate::TieredOutcomeCache`].
+pub struct DiskTier {
+    path: PathBuf,
+    fingerprint: String,
+    state: OnceLock<Mutex<DiskState>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appended: AtomicU64,
+}
+
+impl DiskTier {
+    /// A tier rooted at `dir` (created on first flush if absent).
+    pub fn new(dir: &Path) -> Self {
+        DiskTier {
+            path: dir.join("outcomes.jsonl"),
+            fingerprint: schema_fingerprint(),
+            state: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn loaded(&self) -> bool {
+        self.state.get().is_some()
+    }
+
+    /// Build (once) and lock the index. A malformed or foreign-schema
+    /// file yields an empty index marked for rewrite — stale bytes are
+    /// never served.
+    fn state(&self) -> MutexGuard<'_, DiskState> {
+        self.state
+            .get_or_init(|| Mutex::new(self.load()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn load(&self) -> DiskState {
+        let empty = |rewrite| DiskState { index: HashMap::new(), pending: Vec::new(), rewrite };
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return empty(true);
+        };
+        let mut lines = text.split_inclusive('\n');
+        let Some(header_line) = lines.next() else {
+            return empty(true);
+        };
+        match serde_json::from_str::<Header>(header_line.trim_end()) {
+            Ok(h) if h.schema == self.fingerprint => {}
+            _ => return empty(true),
+        }
+        let mut index = HashMap::new();
+        let mut offset = header_line.len() as u64;
+        for line in lines {
+            let span = Span { offset, len: line.trim_end().len() as u64 };
+            offset += line.len() as u64;
+            // Only the key is needed for the index; the outcome body is
+            // parsed on demand. A line that fails to parse is skipped —
+            // a torn final append must not poison the prior entries.
+            if let Ok(entry) = serde_json::from_str::<DiskLine>(line.trim_end()) {
+                index.insert(entry.key, span);
+            }
+        }
+        DiskState { index, pending: Vec::new(), rewrite: false }
+    }
+
+    /// Look up a persisted outcome (timing-stripped form).
+    pub fn get(&self, key: &str) -> Option<Outcome> {
+        let span = {
+            let state = self.state();
+            match state.index.get(key) {
+                Some(span) => *span,
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        };
+        match self.read_span(span) {
+            Some(entry) if entry.key == key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.outcome)
+            }
+            _ => {
+                // The file changed under us or the span is torn; treat
+                // as a miss rather than serving corrupt bytes.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read_span(&self, span: Span) -> Option<DiskLine> {
+        let mut file = std::fs::File::open(&self.path).ok()?;
+        file.seek(SeekFrom::Start(span.offset)).ok()?;
+        let mut buf = vec![0u8; span.len as usize];
+        file.read_exact(&mut buf).ok()?;
+        let text = String::from_utf8(buf).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Accept an outcome for appending (buffered until [`Self::flush`]).
+    /// Keys already on disk or already pending are skipped — re-warming
+    /// a deterministic outcome never grows the file.
+    pub fn insert(&self, key: &str, outcome: &Outcome) {
+        let mut state = self.state();
+        if state.index.contains_key(key) || state.pending.iter().any(|(k, _)| k == key) {
+            return;
+        }
+        let Ok(json) = serde_json::to_string(&DiskLine {
+            key: key.to_string(),
+            outcome: outcome.without_timing(),
+        }) else {
+            return;
+        };
+        state.pending.push((key.to_string(), json));
+        self.appended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Append pending entries (rewriting the file first when it was
+    /// absent or foreign-schema). Best-effort: I/O failure leaves the
+    /// pending buffer intact for a later flush. Returns the number of
+    /// entries written.
+    pub fn flush(&self) -> usize {
+        let mut state = self.state();
+        if state.pending.is_empty() && !state.rewrite {
+            return 0;
+        }
+        if let Some(dir) = self.path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return 0;
+            }
+        }
+        let fresh = state.rewrite || !self.path.exists();
+        let open = if fresh {
+            std::fs::File::create(&self.path)
+        } else {
+            std::fs::OpenOptions::new().append(true).open(&self.path)
+        };
+        let Ok(mut file) = open else {
+            return 0;
+        };
+        let mut offset = if fresh {
+            let Ok(header) = serde_json::to_string(&Header { schema: self.fingerprint.clone() })
+            else {
+                return 0;
+            };
+            if file.write_all(header.as_bytes()).is_err() || file.write_all(b"\n").is_err() {
+                return 0;
+            }
+            state.index.clear();
+            header.len() as u64 + 1
+        } else {
+            match file.metadata() {
+                Ok(m) => m.len(),
+                Err(_) => return 0,
+            }
+        };
+        let mut written = 0;
+        let pending = std::mem::take(&mut state.pending);
+        for (key, json) in pending {
+            if file.write_all(json.as_bytes()).is_err() || file.write_all(b"\n").is_err() {
+                // Keep the unwritten tail for a later retry.
+                state.pending.push((key, json));
+                continue;
+            }
+            state.index.insert(key, Span { offset, len: json.len() as u64 });
+            offset += json.len() as u64 + 1;
+            written += 1;
+        }
+        let _ = file.sync_all();
+        state.rewrite = false;
+        written
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        let entries = match self.state.get() {
+            Some(m) => {
+                let s = m.lock().unwrap_or_else(PoisonError::into_inner);
+                s.index.len() + s.pending.len()
+            }
+            None => 0,
+        };
+        DiskStats {
+            loaded: self.loaded(),
+            entries,
+            hits: self.hits(),
+            misses: self.misses(),
+            appended: self.appended(),
+        }
+    }
+}

@@ -1,444 +1,12 @@
-//! The outcome memo-cache: a sharded LRU keyed by the *canonical*
-//! serialisation of an [`OptimizeRequest`].
+//! Outcome memoisation for the service layer.
 //!
-//! Canonical means the key is produced by re-serialising the **parsed**
-//! request, so two JSON bodies that differ in object key order,
-//! whitespace, or spelled-out default fields collapse onto one entry.
-//! Values are stored timing-stripped ([`Outcome::without_timing`]) — the
-//! cached form is the canonical comparison form, and a hit is
-//! byte-identical to a fresh run modulo `wall_ms`, which the router
-//! re-stamps with the (near-zero) time the lookup took. Every search in
-//! the suite is deterministic for a fixed request, which is what makes
-//! memoisation sound in the first place.
+//! The caches themselves moved to [`cme_runtime`] when cross-request
+//! state became a subsystem of its own (the canonical-key rule, the
+//! sharded LRU tiers and the optional persistent layer are documented
+//! there). This module re-exports the service-facing names so existing
+//! `cme_serve::cache::…` call sites keep working.
 
-use cme_api::{LintOutcome, LintRequest, OptimizeRequest, Outcome};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
-/// The cache key for a request: its serialised form after parsing, which
-/// normalises field order and defaults.
-pub fn canonical_key(req: &OptimizeRequest) -> String {
-    serde_json::to_string(req).expect("requests always serialise")
-}
-
-/// The cache key for a lint request (same canonicalisation rule).
-pub fn canonical_lint_key(req: &LintRequest) -> String {
-    serde_json::to_string(req).expect("requests always serialise")
-}
-
-const NIL: usize = usize::MAX;
-
-struct Entry<V> {
-    key: String,
-    value: V,
-    prev: usize,
-    next: usize,
-}
-
-/// A plain single-threaded LRU map (one shard of [`OutcomeCache`], the
-/// whole of [`LintCache`]): `HashMap` for lookup, an index-linked list
-/// through a slab of entries for recency order. Both `get` and `insert`
-/// are O(1). Generic over the cached value; defaults to [`Outcome`].
-pub struct Lru<V = Outcome> {
-    map: HashMap<String, usize>,
-    entries: Vec<Entry<V>>,
-    head: usize,
-    tail: usize,
-    capacity: usize,
-}
-
-impl<V> Lru<V> {
-    pub fn new(capacity: usize) -> Self {
-        Lru {
-            map: HashMap::new(),
-            entries: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn unlink(&mut self, i: usize) {
-        let (prev, next) = (self.entries[i].prev, self.entries[i].next);
-        match prev {
-            NIL => self.head = next,
-            p => self.entries[p].next = next,
-        }
-        match next {
-            NIL => self.tail = prev,
-            n => self.entries[n].prev = prev,
-        }
-    }
-
-    fn push_front(&mut self, i: usize) {
-        self.entries[i].prev = NIL;
-        self.entries[i].next = self.head;
-        match self.head {
-            NIL => self.tail = i,
-            h => self.entries[h].prev = i,
-        }
-        self.head = i;
-    }
-
-    /// Look up and mark most-recently-used.
-    pub fn get(&mut self, key: &str) -> Option<&V> {
-        let i = *self.map.get(key)?;
-        self.unlink(i);
-        self.push_front(i);
-        Some(&self.entries[i].value)
-    }
-
-    /// Insert or refresh; returns `true` when a least-recently-used entry
-    /// was evicted to make room.
-    pub fn insert(&mut self, key: String, value: V) -> bool {
-        if let Some(&i) = self.map.get(&key) {
-            self.entries[i].value = value;
-            self.unlink(i);
-            self.push_front(i);
-            return false;
-        }
-        let mut evicted = false;
-        let i = if self.map.len() >= self.capacity {
-            // Reuse the LRU slot in place of allocating a new one.
-            let i = self.tail;
-            self.unlink(i);
-            self.map.remove(&self.entries[i].key);
-            self.entries[i].key.clone_from(&key);
-            self.entries[i].value = value;
-            evicted = true;
-            i
-        } else {
-            self.entries.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
-            self.entries.len() - 1
-        };
-        self.map.insert(key, i);
-        self.push_front(i);
-        evicted
-    }
-
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Keys in recency order, most recent first (test/diagnostic helper).
-    pub fn keys_by_recency(&self) -> Vec<&str> {
-        let mut keys = Vec::with_capacity(self.map.len());
-        let mut i = self.head;
-        while i != NIL {
-            keys.push(self.entries[i].key.as_str());
-            i = self.entries[i].next;
-        }
-        keys
-    }
-}
-
-/// Thread-safe LRU over `SHARDS` independently locked [`Lru`]s, plus hit
-/// and eviction telemetry for `/metrics`. Capacity 0 disables caching
-/// (lookups miss, inserts drop).
-pub struct OutcomeCache {
-    shards: Vec<Mutex<Lru>>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-}
-
-impl OutcomeCache {
-    pub fn new(capacity: usize) -> Self {
-        // Shard only when each shard stays big enough (≥ 32 entries) that
-        // hot keys colliding on one shard cannot thrash a near-empty
-        // cache; small capacities get a single shard. The remainder is
-        // spread over the first shards so per-shard capacities sum to
-        // exactly `capacity` — the configured bound is a hard ceiling.
-        let shard_count = (capacity / 32).clamp(1, 8);
-        let (base, rem) = (capacity / shard_count, capacity % shard_count);
-        OutcomeCache {
-            shards: (0..shard_count)
-                .map(|i| Mutex::new(Lru::new(base + usize::from(i < rem))))
-                .collect(),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        }
-    }
-
-    fn shard(&self, key: &str) -> MutexGuard<'_, Lru> {
-        // DefaultHasher::new() is unkeyed, so shard placement is stable
-        // across runs (replay-friendly).
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        let i = (h.finish() % self.shards.len() as u64) as usize;
-        self.shards[i].lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Look up a timing-stripped outcome, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<Outcome> {
-        if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let found = self.shard(key).get(key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
-    }
-
-    /// Store the timing-stripped form of `outcome` under `key`.
-    pub fn insert(&self, key: String, outcome: &Outcome) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.shard(&key).insert(key.clone(), outcome.without_timing()) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-}
-
-/// The `/lint` memo-cache: one mutex around an [`Lru`] of timing-stripped
-/// [`LintOutcome`]s. Lints are dependence analysis only — orders of
-/// magnitude cheaper than a search — so a single shard suffices; the
-/// telemetry mirrors [`OutcomeCache`] for `/metrics`. Capacity 0
-/// disables caching.
-pub struct LintCache {
-    lru: Mutex<Lru<LintOutcome>>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-}
-
-impl LintCache {
-    pub fn new(capacity: usize) -> Self {
-        LintCache {
-            lru: Mutex::new(Lru::new(capacity.max(1))),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        }
-    }
-
-    fn lock(&self) -> MutexGuard<'_, Lru<LintOutcome>> {
-        self.lru.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Look up a timing-stripped lint outcome, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<LintOutcome> {
-        if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let found = self.lock().get(key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
-    }
-
-    /// Store the timing-stripped form of `outcome` under `key`.
-    pub fn insert(&self, key: String, outcome: &LintOutcome) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.lock().insert(key, outcome.without_timing()) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        self.lock().len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cme_api::cme::estimate::SolverStats;
-    use cme_api::cme::{CacheSpec, MissEstimate};
-    use cme_api::Transform;
-
-    fn outcome(tag: &str, wall_ms: u64) -> Outcome {
-        let est = MissEstimate {
-            n_samples: 1,
-            volume: 1,
-            exact: true,
-            per_ref: Vec::new(),
-            solver: SolverStats::default(),
-            levels: None,
-        };
-        Outcome {
-            strategy: "tiling".into(),
-            kernel: tag.into(),
-            cache: CacheSpec::paper_8k().into(),
-            transform: Transform::default(),
-            before: est.clone(),
-            after: est,
-            ga: None,
-            explored: None,
-            legality: None,
-            wall_ms,
-        }
-    }
-
-    #[test]
-    fn lru_evicts_least_recently_used_not_least_recently_inserted() {
-        let mut lru = Lru::new(3);
-        for k in ["a", "b", "c"] {
-            assert!(!lru.insert(k.into(), outcome(k, 0)));
-        }
-        // Touch `a`: recency becomes a, c, b.
-        assert!(lru.get("a").is_some());
-        assert_eq!(lru.keys_by_recency(), ["a", "c", "b"]);
-        // A fourth insert must evict `b`, the LRU — not `a`, the oldest.
-        assert!(lru.insert("d".into(), outcome("d", 0)));
-        assert_eq!(lru.len(), 3);
-        assert!(lru.get("b").is_none());
-        assert_eq!(lru.keys_by_recency(), ["d", "a", "c"]);
-        // Re-inserting an existing key refreshes, never evicts.
-        assert!(!lru.insert("c".into(), outcome("c2", 0)));
-        assert_eq!(lru.keys_by_recency(), ["c", "d", "a"]);
-        assert_eq!(lru.get("c").unwrap().kernel, "c2");
-    }
-
-    #[test]
-    fn canonical_key_collapses_json_field_order() {
-        // The same request spelled with different JSON key orders must
-        // produce one cache entry.
-        let a: OptimizeRequest = serde_json::from_str(
-            r#"{"nest":{"Kernel":{"name":"MM","size":64}},
-                "cache":{"size":8192,"line":32,"assoc":1},
-                "sampling":{"z":1.28,"half_width":0.05,"override_n":null},
-                "ga":{"population":20,"crossover_prob":0.4,"mutation_prob":0.01,
-                      "min_generations":20,"max_generations":50,
-                      "convergence_margin":0.05,"seed":7},
-                "strategy":"Tiling"}"#,
-        )
-        .unwrap_or_else(|e| panic!("fixture must parse: {e}"));
-        let b: OptimizeRequest = serde_json::from_str(
-            r#"{"strategy":"Tiling",
-                "ga":{"seed":7,"convergence_margin":0.05,"max_generations":50,
-                      "min_generations":20,"mutation_prob":0.01,"crossover_prob":0.4,
-                      "population":20},
-                "cache":{"assoc":1,"line":32,"size":8192},
-                "sampling":{"override_n":null,"half_width":0.05,"z":1.28},
-                "nest":{"Kernel":{"size":64,"name":"MM"}}}"#,
-        )
-        .unwrap();
-        assert_eq!(a, b);
-        assert_eq!(canonical_key(&a), canonical_key(&b));
-
-        let cache = OutcomeCache::new(16);
-        cache.insert(canonical_key(&a), &outcome("mm", 3));
-        assert!(cache.get(&canonical_key(&b)).is_some(), "key-order variant must hit");
-        assert_eq!((cache.hits(), cache.misses()), (1, 0));
-    }
-
-    #[test]
-    fn stored_outcomes_are_timing_stripped() {
-        let cache = OutcomeCache::new(4);
-        cache.insert("k".into(), &outcome("x", 1234));
-        let got = cache.get("k").unwrap();
-        assert_eq!(got.wall_ms, 0, "cache must hold the canonical comparison form");
-        assert_eq!(got.without_timing(), outcome("x", 1234).without_timing());
-    }
-
-    #[test]
-    fn capacity_bounds_hold_across_shards() {
-        // 100 does not divide evenly over its 3 shards — the bound must
-        // still be a hard ceiling, not rounded up per shard.
-        for capacity in [8usize, 13, 100] {
-            let cache = OutcomeCache::new(capacity);
-            for k in 0..200 {
-                cache.insert(format!("key-{k}"), &outcome("x", 0));
-            }
-            assert!(
-                cache.len() <= capacity,
-                "len {} exceeds configured capacity {capacity}",
-                cache.len()
-            );
-            assert!(cache.evictions() >= 200 - capacity as u64);
-        }
-    }
-
-    #[test]
-    fn small_caches_use_one_shard_so_hot_keys_cannot_thrash() {
-        // With a sub-32-entry capacity every entry lives in one LRU:
-        // alternating between `capacity` distinct hot keys must hit every
-        // time once warm, never evict.
-        let cache = OutcomeCache::new(8);
-        for k in 0..8 {
-            cache.insert(format!("hot-{k}"), &outcome("x", 0));
-        }
-        for round in 0..3 {
-            for k in 0..8 {
-                assert!(cache.get(&format!("hot-{k}")).is_some(), "round {round} key {k}");
-            }
-        }
-        assert_eq!(cache.evictions(), 0);
-        assert_eq!(cache.hits(), 24);
-    }
-
-    #[test]
-    fn zero_capacity_disables_caching() {
-        let cache = OutcomeCache::new(0);
-        cache.insert("k".into(), &outcome("x", 0));
-        assert!(cache.get("k").is_none());
-        assert_eq!(cache.len(), 0);
-        assert_eq!(cache.misses(), 1);
-    }
-}
+pub use cme_runtime::{
+    canonical_key, canonical_lint_key, DiskStats, DiskTier, LintCache, Lru, OutcomeCache, Tier,
+    TieredOutcomeCache,
+};

@@ -92,12 +92,14 @@ fn read_line<R: BufRead>(
     String::from_utf8(buf).map_err(|_| HttpParseError::Malformed("non-UTF-8 request head".into()))
 }
 
-/// Parse one request from the stream. Blocks until a full request (or an
-/// error) is available; `max_body` caps the accepted `Content-Length`.
-pub fn parse_request<R: BufRead>(
+/// Parse the request line and headers (no body) and validate the body
+/// declaration; returns the body-less request plus the declared
+/// `Content-Length`. Shared by the blocking reader ([`parse_request`])
+/// and the buffer framer ([`frame_request`]).
+fn parse_head<R: BufRead>(
     reader: &mut R,
     max_body: usize,
-) -> Result<HttpRequest, HttpParseError> {
+) -> Result<(HttpRequest, usize), HttpParseError> {
     let mut head_bytes = 0usize;
     let request_line = read_line(reader, &mut head_bytes, true)?;
     let mut parts = request_line.split_whitespace();
@@ -147,6 +149,16 @@ pub fn parse_request<R: BufRead>(
     if declared > max_body {
         return Err(HttpParseError::BodyTooLarge { declared, cap: max_body });
     }
+    Ok((req, declared))
+}
+
+/// Parse one request from the stream. Blocks until a full request (or an
+/// error) is available; `max_body` caps the accepted `Content-Length`.
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<HttpRequest, HttpParseError> {
+    let (req, declared) = parse_head(reader, max_body)?;
     let mut body = vec![0u8; declared];
     reader.read_exact(&mut body).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -156,6 +168,68 @@ pub fn parse_request<R: BufRead>(
         }
     })?;
     Ok(HttpRequest { body, ..req })
+}
+
+/// What [`frame_request`] found at the front of a connection buffer.
+#[derive(Debug)]
+pub enum Frame {
+    /// Not enough bytes yet for a full request — keep reading.
+    Incomplete,
+    /// One complete request, occupying the first `consumed` buffer bytes
+    /// (any remainder is the next pipelined request).
+    Ready { req: HttpRequest, consumed: usize },
+    /// The bytes can never become a valid request; answer and close.
+    Bad(HttpParseError),
+}
+
+/// Index just past the head terminator (`\r\n\r\n`, or the bare `\n\n`
+/// the line reader also tolerates), if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    // A lone `\n\n` is two bytes, so scanning windows of two finds both
+    // forms; `\r\n\r\n` is recognised as the `\n` at its end preceded by
+    // `\r\n` or `\n`.
+    let mut k = 0;
+    while k < buf.len() {
+        if buf[k] == b'\n' {
+            let rest = &buf[k + 1..];
+            if rest.first() == Some(&b'\n') {
+                return Some(k + 2);
+            }
+            if rest.len() >= 2 && rest[0] == b'\r' && rest[1] == b'\n' {
+                return Some(k + 3);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Try to frame one complete request from the front of `buf` — the
+/// non-blocking counterpart of [`parse_request`], used by the readiness
+/// core: the IO driver accumulates bytes as they arrive and calls this
+/// after every read, so no thread ever *waits* on a slow peer.
+pub fn frame_request(buf: &[u8], max_body: usize) -> Frame {
+    let Some(head_end) = find_head_end(buf) else {
+        // No terminator yet. A head that already exceeds the cap can
+        // never become valid — refuse now rather than buffering more.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Frame::Bad(HttpParseError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        return Frame::Incomplete;
+    };
+    let mut head = &buf[..head_end];
+    let (req, declared) = match parse_head(&mut head, max_body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Frame::Bad(e),
+    };
+    let body_end = head_end + declared;
+    if buf.len() < body_end {
+        return Frame::Incomplete;
+    }
+    let req = HttpRequest { body: buf[head_end..body_end].to_vec(), ..req };
+    Frame::Ready { req, consumed: body_end }
 }
 
 /// A response ready for the wire. Every route answers JSON, so the
@@ -379,5 +453,65 @@ mod tests {
                 .unwrap_or_else(|e| panic!("body {:?} must parse: {e}", resp.body));
             assert_eq!(parsed.get("error").and_then(serde::Value::as_str), Some(msg));
         }
+    }
+
+    #[test]
+    fn frame_grows_byte_by_byte_then_yields_one_request() {
+        let wire = b"POST /optimize HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(frame_request(&wire[..cut], 1024), Frame::Incomplete),
+                "prefix of {cut} bytes must be Incomplete"
+            );
+        }
+        match frame_request(wire, 1024) {
+            Frame::Ready { req, consumed } => {
+                assert_eq!(req.path, "/optimize");
+                assert_eq!(req.body, b"body");
+                assert_eq!(consumed, wire.len());
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_leaves_pipelined_bytes_for_the_next_request() {
+        let wire =
+            b"POST /lint HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\n";
+        let Frame::Ready { req, consumed } = frame_request(wire, 1024) else {
+            panic!("first request must frame");
+        };
+        assert_eq!(req.path, "/lint");
+        assert_eq!(req.body, b"hi");
+        let Frame::Ready { req: second, consumed: c2 } = frame_request(&wire[consumed..], 1024)
+        else {
+            panic!("pipelined request must frame from the remainder");
+        };
+        assert_eq!(second.path, "/healthz");
+        assert_eq!(consumed + c2, wire.len());
+    }
+
+    #[test]
+    fn frame_tolerates_bare_lf_terminators() {
+        let Frame::Ready { req, .. } = frame_request(b"GET /healthz HTTP/1.1\n\n", 1024) else {
+            panic!("bare-LF head must frame");
+        };
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn frame_rejects_bad_heads_and_oversized_bodies() {
+        assert!(matches!(
+            frame_request(b"NOT HTTP\r\n\r\n", 1024),
+            Frame::Bad(HttpParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            frame_request(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", 1024),
+            Frame::Bad(HttpParseError::BodyTooLarge { declared: 9999, cap: 1024 })
+        ));
+        // A terminator-free flood past the head cap can never become
+        // valid; the framer refuses instead of buffering forever.
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(frame_request(&flood, 1024), Frame::Bad(HttpParseError::Malformed(_))));
     }
 }

@@ -6,16 +6,23 @@
 //!
 //! The design goals, in order:
 //!
+//! * **Readiness, not blocking reads.** A single IO driver thread owns
+//!   every connection between requests, reads nonblockingly, and frames
+//!   complete requests ([`server`], [`http::frame_request`]); workers
+//!   only ever see fully-read requests, so a slow or stalled sender
+//!   cannot occupy a worker.
 //! * **Bounded everything.** A fixed worker pool drains a fixed-capacity
-//!   connection queue; when the queue is full the accept thread answers
-//!   `503` immediately ([`pool`]). Arrival rate can never grow memory.
-//! * **Memoised outcomes.** CME analysis + GA search dominates request
-//!   cost and every search is deterministic for a fixed request, so a
-//!   sharded LRU keyed by the *canonical* serialised request answers
-//!   repeats without running anything ([`cache`]). Hits and evictions are
-//!   visible in `GET /metrics` ([`metrics`]).
+//!   queue of *ready* requests; when the queue is full the driver
+//!   answers `503` immediately ([`pool`]). Arrival rate can never grow
+//!   memory, and write timeouts bound the send side too.
+//! * **Shared runtime state.** Cross-request evaluation state — the
+//!   tiered outcome cache (optionally disk-backed via `cache_dir`), the
+//!   process-wide displacement cache and in-flight request coalescing —
+//!   lives in [`cme_runtime`] and is owned by the [`router::App`];
+//!   [`cache`] re-exports the cache types for compatibility. All of it
+//!   is visible in `GET /metrics` ([`metrics`]).
 //! * **Layers testable without sockets.** HTTP framing ([`http`]),
-//!   routing ([`router`]), the queue/pool and the cache are all plain
+//!   routing ([`router`]), the queue/pool and the caches are all plain
 //!   data-in/data-out modules; only [`server`] owns a `TcpListener`.
 //!
 //! ```
@@ -40,14 +47,18 @@ pub mod pool;
 pub mod router;
 pub mod server;
 
-pub use cache::{canonical_key, canonical_lint_key, LintCache, OutcomeCache};
+pub use cache::{
+    canonical_key, canonical_lint_key, LintCache, OutcomeCache, Tier, TieredOutcomeCache,
+};
 pub use client::HttpClient;
-pub use http::{HttpRequest, HttpResponse};
+pub use http::{frame_request, Frame, HttpRequest, HttpResponse};
 pub use metrics::Metrics;
 pub use pool::{BoundedQueue, WorkerPool};
 pub use router::App;
 pub use server::{install_signal_handlers, start, ServerHandle};
 
+use cme_runtime::RuntimeConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Server configuration; the defaults suit an interactive `cme serve`.
@@ -55,17 +66,37 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port (tests).
     pub addr: String,
-    /// Worker threads handling connections (≥ 1).
+    /// Worker threads handling requests (≥ 1).
     pub workers: usize,
-    /// Connections that may wait for a worker before `503`s begin (≥ 1).
+    /// Ready requests that may wait for a worker before `503`s begin
+    /// (≥ 1).
     pub queue_depth: usize,
-    /// Outcome-cache capacity in entries; 0 disables caching.
+    /// Outcome- and lint-cache capacity in entries; 0 disables caching.
     pub cache_entries: usize,
+    /// Process-wide displacement-cache capacity in entries; 0 disables
+    /// cross-request sharing of the Diophantine half of CME evaluation.
+    pub displacement_entries: usize,
+    /// Directory for the persistent outcome tier; `None` keeps the
+    /// outcome cache memory-only.
+    pub cache_dir: Option<PathBuf>,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Per-connection read timeout, so an idle or stalled peer cannot
-    /// hold a worker forever.
+    /// Per-connection IO timeout: a peer silent for this long while a
+    /// request is incomplete is dropped, and response writes give up
+    /// after it, so a stalled peer cannot hold a worker.
     pub read_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// The [`cme_runtime`] configuration this server config implies.
+    pub fn runtime_config(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            outcome_entries: self.cache_entries,
+            lint_entries: self.cache_entries,
+            displacement_entries: self.displacement_entries,
+            cache_dir: self.cache_dir.clone(),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -75,6 +106,8 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             cache_entries: 1024,
+            displacement_entries: 4096,
+            cache_dir: None,
             max_body_bytes: 1 << 20,
             read_timeout: Duration::from_secs(10),
         }

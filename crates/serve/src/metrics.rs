@@ -2,7 +2,7 @@
 //! histograms, rendered as the `/metrics` JSON document. Everything here
 //! is lock-free on the hot path — handlers only touch atomics.
 
-use crate::cache::{LintCache, OutcomeCache};
+use cme_runtime::Runtime;
 use serde::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -141,8 +141,24 @@ impl Metrics {
     }
 
     /// The `/metrics` document (see the README field glossary).
-    pub fn snapshot(&self, workers: usize, cache: &OutcomeCache, lint_cache: &LintCache) -> Value {
+    pub fn snapshot(&self, workers: usize, runtime: &Runtime) -> Value {
         let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        let cache = runtime.outcomes();
+        let lint_cache = runtime.lints();
+        let disp = runtime.displacements().stats();
+        let flights = runtime.flights().stats();
+        // The persistent tier's stats, or `null` when `--cache-dir` was
+        // not configured (entries stay 0 until the lazy index loads).
+        let disk = match cache.disk_stats() {
+            None => Value::Null,
+            Some(d) => Value::Object(vec![
+                ("loaded".into(), Value::Bool(d.loaded)),
+                ("entries".into(), Value::UInt(d.entries as u64)),
+                ("hits".into(), Value::UInt(d.hits)),
+                ("misses".into(), Value::UInt(d.misses)),
+                ("appended".into(), Value::UInt(d.appended)),
+            ]),
+        };
         Value::Object(vec![
             ("uptime_ms".into(), Value::UInt(self.uptime_ms())),
             ("workers".into(), Value::UInt(workers as u64)),
@@ -171,6 +187,7 @@ impl Metrics {
                     ("hits".into(), Value::UInt(cache.hits())),
                     ("misses".into(), Value::UInt(cache.misses())),
                     ("evictions".into(), Value::UInt(cache.evictions())),
+                    ("disk".into(), disk),
                 ]),
             ),
             (
@@ -181,6 +198,25 @@ impl Metrics {
                     ("hits".into(), Value::UInt(lint_cache.hits())),
                     ("misses".into(), Value::UInt(lint_cache.misses())),
                     ("evictions".into(), Value::UInt(lint_cache.evictions())),
+                ]),
+            ),
+            (
+                "displacement_cache".into(),
+                Value::Object(vec![
+                    ("entries".into(), Value::UInt(disp.entries as u64)),
+                    ("capacity".into(), Value::UInt(disp.capacity as u64)),
+                    ("hits".into(), Value::UInt(disp.hits)),
+                    ("misses".into(), Value::UInt(disp.misses)),
+                    ("evictions".into(), Value::UInt(disp.evictions)),
+                ]),
+            ),
+            (
+                "coalescing".into(),
+                Value::Object(vec![
+                    ("leaders".into(), Value::UInt(flights.leaders)),
+                    ("followers".into(), Value::UInt(flights.followers)),
+                    ("failures".into(), Value::UInt(flights.failures)),
+                    ("in_flight".into(), Value::UInt(flights.in_flight as u64)),
                 ]),
             ),
             (
@@ -227,7 +263,13 @@ mod tests {
     fn snapshot_has_every_documented_field() {
         let m = Metrics::new();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
-        let snap = m.snapshot(4, &OutcomeCache::new(8), &LintCache::new(8));
+        let runtime = Runtime::new(&cme_runtime::RuntimeConfig {
+            outcome_entries: 8,
+            lint_entries: 8,
+            displacement_entries: 16,
+            cache_dir: None,
+        });
+        let snap = m.snapshot(4, &runtime);
         for field in [
             "uptime_ms",
             "workers",
@@ -238,14 +280,37 @@ mod tests {
             "routes",
             "cache",
             "lint_cache",
+            "displacement_cache",
+            "coalescing",
             "latency_us",
         ] {
             assert!(snap.get(field).is_some(), "missing `{field}`");
         }
         assert_eq!(snap.get("requests_total"), Some(&Value::UInt(3)));
         assert_eq!(snap.get("cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+        // No --cache-dir in this runtime: the disk tier reports null.
+        assert_eq!(snap.get("cache").unwrap().get("disk"), Some(&Value::Null));
         assert_eq!(snap.get("lint_cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+        assert_eq!(snap.get("displacement_cache").unwrap().get("capacity"), Some(&Value::UInt(16)));
+        assert!(snap.get("coalescing").unwrap().get("leaders").is_some());
         assert!(snap.get("routes").unwrap().get("lint").is_some());
         assert!(snap.get("latency_us").unwrap().get("lint_cold").is_some());
+    }
+
+    #[test]
+    fn snapshot_reports_disk_tier_stats_when_configured() {
+        let dir =
+            std::env::temp_dir().join(format!("cme-serve-metrics-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = Metrics::new();
+        let runtime = Runtime::new(&cme_runtime::RuntimeConfig {
+            cache_dir: Some(dir.clone()),
+            ..cme_runtime::RuntimeConfig::default()
+        });
+        let snap = m.snapshot(1, &runtime);
+        let disk = snap.get("cache").unwrap().get("disk").expect("disk section");
+        assert_eq!(disk.get("loaded"), Some(&Value::Bool(false)), "stats never force a load");
+        assert_eq!(disk.get("entries"), Some(&Value::UInt(0)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,32 +19,44 @@
 //! minimal `{"nest": ..., "strategy": ...}` is a complete request and maps
 //! to the same cache entry as its fully spelled-out form.
 
-use crate::cache::{canonical_key, canonical_lint_key, LintCache, OutcomeCache};
+use crate::cache::canonical_key;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::metrics::Metrics;
 use cme_api::cme::{CacheSpec, SamplingConfig};
-use cme_api::{ApiError, GaConfig, LintRequest, OptimizeRequest, Outcome, Session};
+use cme_api::{ApiError, GaConfig, LintRequest, OptimizeRequest, Outcome};
+use cme_runtime::{Resolution, Runtime, RuntimeConfig, RuntimeError};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-/// Shared service state: one [`Session`], the outcome cache, telemetry,
-/// and the graceful-shutdown flag. One `App` serves every worker thread.
+/// Shared service state: the process-wide [`Runtime`] (session,
+/// displacement store, tiered outcome cache, lint cache, coalescing),
+/// telemetry, and the graceful-shutdown flag. One `App` serves every
+/// worker thread.
 pub struct App {
-    pub session: Session,
-    pub cache: OutcomeCache,
-    pub lint_cache: LintCache,
+    pub runtime: Runtime,
     pub metrics: Metrics,
     workers: usize,
     shutdown: AtomicBool,
 }
 
 impl App {
+    /// Memory-only app: `cache_entries` sizes the outcome and lint
+    /// caches, everything else at [`RuntimeConfig`] defaults.
     pub fn new(workers: usize, cache_entries: usize) -> App {
+        App::with_runtime(
+            workers,
+            &RuntimeConfig {
+                outcome_entries: cache_entries,
+                lint_entries: cache_entries,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    pub fn with_runtime(workers: usize, config: &RuntimeConfig) -> App {
         App {
-            session: Session::default(),
-            cache: OutcomeCache::new(cache_entries),
-            lint_cache: LintCache::new(cache_entries),
+            runtime: Runtime::new(config),
             metrics: Metrics::new(),
             workers,
             shutdown: AtomicBool::new(false),
@@ -102,13 +114,21 @@ impl App {
             }
             ("GET", "/metrics") => {
                 bump(&self.metrics.routes.metrics);
-                let doc = self.metrics.snapshot(self.workers, &self.cache, &self.lint_cache);
+                let doc = self.metrics.snapshot(self.workers, &self.runtime);
                 ok_json(&doc)
             }
             ("POST", "/shutdown") => {
                 bump(&self.metrics.routes.shutdown);
                 self.request_shutdown();
-                HttpResponse::json(200, "{\"status\":\"shutting down\"}")
+                // Flush the persistent outcome tier before answering, so
+                // a client that drove `/shutdown` can rely on the warmed
+                // entries being on disk. (The server flushes again after
+                // the workers drain, catching outcomes still in flight.)
+                let flushed = self.runtime.flush();
+                HttpResponse::json(
+                    200,
+                    format!("{{\"status\":\"shutting down\",\"flushed\":{flushed}}}"),
+                )
             }
             (_, "/optimize" | "/analyze" | "/lint" | "/batch" | "/shutdown") => {
                 bump(&self.metrics.routes.unmatched);
@@ -125,28 +145,39 @@ impl App {
         }
     }
 
-    /// `POST /optimize`: parse → canonicalise → cache lookup → run on a
-    /// miss. A hit skips the GA entirely; its outcome is the stored
-    /// timing-stripped form re-stamped with the (near-zero) lookup time.
+    /// `POST /optimize`: parse → canonicalise → tiers. The runtime tries
+    /// the hot outcome cache, then the persistent tier, then coalesces
+    /// with any identical in-flight computation before actually running
+    /// the search. The outcome comes back timing-stripped; this handler
+    /// re-stamps `wall_ms` with the time the request actually took here
+    /// (near-zero for hits, the search time for leaders).
     fn optimize(&self, body: &[u8]) -> HttpResponse {
         let started = Instant::now();
         let req = match parse_optimize_request(body) {
             Ok(req) => req,
             Err(resp) => return resp,
         };
-        let key = canonical_key(&req);
-        if let Some(mut out) = self.cache.get(&key) {
-            out.wall_ms = started.elapsed().as_millis() as u64;
-            self.metrics.optimize_hit_us.record(started.elapsed());
-            return ok_json(&out);
-        }
-        match self.session.run(&req) {
-            Ok(out) => {
-                self.cache.insert(key, &out);
-                self.metrics.optimize_cold_us.record(started.elapsed());
+        let (result, how) = self.runtime.optimize(&req);
+        match result {
+            Ok(mut out) => {
+                out.wall_ms = started.elapsed().as_millis() as u64;
+                match how {
+                    Resolution::CacheHot | Resolution::CacheDisk => {
+                        self.metrics.optimize_hit_us.record(started.elapsed());
+                    }
+                    Resolution::Computed | Resolution::Coalesced | Resolution::LeaderFailed => {
+                        self.metrics.optimize_cold_us.record(started.elapsed());
+                    }
+                }
                 ok_json(&out)
             }
-            Err(e) => api_error_response(&e),
+            Err(RuntimeError::Api(e)) => api_error_response(&e),
+            // The flight this request joined died with its leader; the
+            // fault is the server's, not the request's.
+            Err(RuntimeError::LeaderFailed) => HttpResponse::error(
+                500,
+                "the computation this request was coalesced onto failed; retry",
+            ),
         }
     }
 
@@ -171,7 +202,7 @@ impl App {
             Ok(req) => req,
             Err(e) => return HttpResponse::error(400, &format!("bad analyze request: {e}")),
         };
-        match self.session.analyze(&req) {
+        match self.runtime.session().analyze(&req) {
             Ok(out) => ok_json(&out),
             Err(e) => api_error_response(&e),
         }
@@ -192,19 +223,17 @@ impl App {
             Ok(req) => req,
             Err(e) => return HttpResponse::error(400, &format!("bad lint request: {e}")),
         };
-        let key = canonical_lint_key(&req);
-        if let Some(mut out) = self.lint_cache.get(&key) {
-            out.wall_ms = started.elapsed().as_millis() as u64;
-            self.metrics.lint_hit_us.record(started.elapsed());
-            return ok_json(&out);
-        }
-        match self.session.lint(&req) {
-            Ok(out) => {
-                self.lint_cache.insert(key, &out);
-                self.metrics.lint_cold_us.record(started.elapsed());
+        match self.runtime.lint(&req) {
+            (Ok(mut out), hit) => {
+                out.wall_ms = started.elapsed().as_millis() as u64;
+                if hit {
+                    self.metrics.lint_hit_us.record(started.elapsed());
+                } else {
+                    self.metrics.lint_cold_us.record(started.elapsed());
+                }
                 ok_json(&out)
             }
-            Err(e) => api_error_response(&e),
+            (Err(e), _) => api_error_response(&e),
         }
     }
 
@@ -232,14 +261,17 @@ impl App {
             }
         }
 
-        // Cache pass: hits are re-stamped with their (near-zero) lookup
-        // time, exactly like the single-request route.
+        // Cache pass (both tiers): hits are re-stamped with their
+        // (near-zero) lookup time, exactly like the single-request route.
+        // Misses run through `Session::run_batch` below rather than the
+        // coalescing group — the dedup pass already collapses duplicates
+        // *within* the batch, which is the common case.
         let keys: Vec<String> = reqs.iter().map(canonical_key).collect();
         let mut slots: Vec<Option<Result<Outcome, ApiError>>> = keys
             .iter()
             .map(|key| {
                 let started = Instant::now();
-                self.cache.get(key).map(|mut out| {
+                self.runtime.outcomes().get(key).map(|mut out| {
                     out.wall_ms = started.elapsed().as_millis() as u64;
                     Ok(out)
                 })
@@ -262,10 +294,10 @@ impl App {
                 slot_unique.push((k, u));
             }
         }
-        let unique_results = self.session.run_batch(&unique_reqs);
+        let unique_results = self.runtime.session().run_batch(&unique_reqs);
         for (key, result) in unique_keys.iter().zip(&unique_results) {
             if let Ok(out) = result {
-                self.cache.insert(key.clone(), out);
+                self.runtime.outcomes().insert(key.clone(), out);
             }
         }
         for (k, u) in slot_unique {
@@ -363,6 +395,7 @@ pub fn parse_optimize_request(body: &[u8]) -> Result<OptimizeRequest, HttpRespon
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cme_api::Session;
     fn post(path: &str, body: &str) -> HttpRequest {
         HttpRequest {
             method: "POST".into(),
@@ -423,7 +456,7 @@ mod tests {
     fn second_identical_request_hits_the_cache() {
         let app = App::new(1, 8);
         let cold = app.handle(&post("/optimize", TINY));
-        assert_eq!(app.cache.hits(), 0);
+        assert_eq!(app.runtime.outcomes().hits(), 0);
         // Different key order and spelled-out defaults — still the same
         // canonical request.
         let reordered = format!(
@@ -435,7 +468,7 @@ mod tests {
         );
         let hot = app.handle(&post("/optimize", &reordered));
         assert_eq!(hot.status, 200, "{}", hot.body);
-        assert_eq!(app.cache.hits(), 1);
+        assert_eq!(app.runtime.outcomes().hits(), 1);
         let a: Outcome = serde_json::from_str(&cold.body).unwrap();
         let b: Outcome = serde_json::from_str(&hot.body).unwrap();
         assert_eq!(a.without_timing(), b.without_timing());
@@ -462,7 +495,7 @@ mod tests {
         }"#;
         let cold = app.handle(&post("/optimize", inline));
         assert_eq!(cold.status, 200, "{}", cold.body);
-        assert_eq!(app.cache.hits(), 0);
+        assert_eq!(app.runtime.outcomes().hits(), 0);
         let respelled = r#"{
             "strategy": {"Exhaustive": {"max_evals": 100, "step": 1}},
             "cache": {"assoc": 1, "line": 16, "size": 256},
@@ -477,8 +510,8 @@ mod tests {
         }"#;
         let hot = app.handle(&post("/optimize", respelled));
         assert_eq!(hot.status, 200, "{}", hot.body);
-        assert_eq!(app.cache.hits(), 1, "inline spelling variants share one key");
-        assert_eq!(app.cache.len(), 1);
+        assert_eq!(app.runtime.outcomes().hits(), 1, "inline spelling variants share one key");
+        assert_eq!(app.runtime.outcomes().len(), 1);
         let a: Outcome = serde_json::from_str(&cold.body).unwrap();
         let b: Outcome = serde_json::from_str(&hot.body).unwrap();
         assert_eq!(a.without_timing(), b.without_timing());
@@ -539,10 +572,10 @@ mod tests {
         assert!(results[1].get("error").is_some(), "slot 1 is an error");
         assert!(results[2].get("strategy").is_some(), "slot 2 is an outcome");
         assert_eq!(results[2], results[3], "duplicate slots share one search's outcome");
-        assert_eq!(app.cache.hits(), 1, "slot 0 came from the cache");
+        assert_eq!(app.runtime.outcomes().hits(), 1, "slot 0 came from the cache");
 
         // The batch's (deduplicated) fresh run is now cached too.
-        assert_eq!(app.cache.len(), 2);
+        assert_eq!(app.runtime.outcomes().len(), 2);
     }
 
     #[test]
@@ -563,7 +596,7 @@ mod tests {
         let out: cme_api::LintOutcome = serde_json::from_str(&cold.body).unwrap();
         assert!(out.legality.rectangular_tiling);
         assert!(out.diagnostics.iter().any(|d| d.code == "no-reuse"), "{}", cold.body);
-        assert_eq!(app.lint_cache.hits(), 0);
+        assert_eq!(app.runtime.lints().hits(), 0);
 
         // Same request with the default cache spelled out: one entry.
         let spelled = format!(
@@ -572,8 +605,8 @@ mod tests {
         );
         let hot = app.handle(&post("/lint", &spelled));
         assert_eq!(hot.status, 200, "{}", hot.body);
-        assert_eq!(app.lint_cache.hits(), 1);
-        assert_eq!(app.lint_cache.len(), 1);
+        assert_eq!(app.runtime.lints().hits(), 1);
+        assert_eq!(app.runtime.lints().len(), 1);
         let a: cme_api::LintOutcome = serde_json::from_str(&cold.body).unwrap();
         let b: cme_api::LintOutcome = serde_json::from_str(&hot.body).unwrap();
         assert_eq!(a.without_timing(), b.without_timing());

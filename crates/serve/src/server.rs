@@ -1,29 +1,57 @@
-//! The TCP layer: a polling accept loop, bounded hand-off to the worker
-//! pool (full queue ⇒ immediate 503, written by the accept thread), a
-//! per-connection keep-alive driver, and graceful shutdown on
-//! `POST /shutdown` or SIGINT/SIGTERM.
+//! The TCP layer, built around **readiness** rather than
+//! blocking-reads-per-worker: a single IO driver thread owns the
+//! listener and every connection that is *between* requests, reads
+//! whatever bytes are available without ever blocking, and hands a
+//! connection to the worker pool only once a complete request has been
+//! framed. Workers therefore never wait on a peer's send rate — a client
+//! that dribbles a request one byte a second costs the driver a buffer,
+//! not a worker.
 //!
-//! Shutdown sequence: the flag flips (route handler or signal), the
-//! accept loop notices within its poll interval and stops accepting, the
-//! queue closes, and the read side of every registered connection is shut
-//! down — workers blocked waiting for the *next* request on an idle
-//! keep-alive socket wake immediately with EOF, while a worker mid-search
-//! still writes its response (the write side stays open). Then
-//! [`ServerHandle::join`] returns.
+//! Life of a connection:
+//!
+//! ```text
+//!   accept ──► driver read/frame loop ──► bounded queue ──► worker
+//!     ▲   (nonblocking; 400/413/503/timeouts   (full ⇒ 503)   handle +
+//!     │    answered right here)                               write
+//!     └────────────── keep-alive return ◄─────────────────────┘
+//! ```
+//!
+//! * The driver polls with `ACCEPT_POLL` granularity (plain nonblocking
+//!   `std::net`, no poller dependency): it accepts new sockets, drains
+//!   readable bytes into per-connection buffers, frames requests with
+//!   [`frame_request`], and enforces the read deadline so a stalled peer
+//!   is dropped instead of parked on.
+//! * Backpressure is unchanged from the worker-pool design: the queue of
+//!   *ready* requests is bounded, and overflow is answered `503` at once
+//!   — but now only fully-read requests occupy slots, so slow senders
+//!   can't fill it. The connection table itself is also bounded
+//!   (`queue_depth + 2·workers + 32`); beyond that, accepts get the same
+//!   `503`.
+//! * Workers write responses with a write timeout (the configured read
+//!   timeout), so a peer that stops *receiving* releases the worker too;
+//!   on keep-alive the connection goes back to the driver for the next
+//!   request, carrying any pipelined bytes already read.
+//!
+//! Shutdown (route handler or SIGINT/SIGTERM): the driver stops
+//! accepting, drops idle connections, and closes the queue; workers
+//! drain the requests already framed (a worker mid-search still writes
+//! its response); [`ServerHandle::join`] then flushes the runtime's
+//! persistent tier and returns.
 
-use crate::http::{parse_request, write_response, HttpParseError, HttpResponse};
+use crate::http::{
+    frame_request, write_response, Frame, HttpParseError, HttpRequest, HttpResponse,
+};
 use crate::pool::{BoundedQueue, WorkerPool};
 use crate::router::App;
 use crate::ServeConfig;
-use std::collections::HashMap;
-use std::io::{BufReader, Read};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often the accept loop re-checks the shutdown flag when idle.
+/// The driver's poll interval when no byte moved in a pass.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// Set by the signal handler; checked alongside the per-server flag so
@@ -56,59 +84,48 @@ pub fn signalled() -> bool {
     SIGNALLED.load(Ordering::SeqCst)
 }
 
-/// Clones of every connection a worker currently holds, so shutdown can
-/// interrupt reads that would otherwise block until the read timeout.
-struct ConnectionRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    next_id: AtomicU64,
-    closing: AtomicBool,
+/// A connection owned by the IO driver: its socket (nonblocking while
+/// here), the bytes read so far of the request being framed, and the
+/// deadline after which a silent peer is dropped.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    deadline: Instant,
 }
 
-impl ConnectionRegistry {
+/// A fully-framed request handed to a worker: the socket (made blocking
+/// by the worker), the request, and any pipelined bytes read beyond it.
+struct Job {
+    stream: TcpStream,
+    req: HttpRequest,
+    remainder: Vec<u8>,
+}
+
+/// Keep-alive connections on their way back from workers to the driver.
+struct ReturnLane {
+    conns: Mutex<Vec<Conn>>,
+}
+
+impl ReturnLane {
     fn new() -> Self {
-        ConnectionRegistry {
-            streams: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
-            closing: AtomicBool::new(false),
-        }
+        ReturnLane { conns: Mutex::new(Vec::new()) }
     }
 
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        if self.closing.load(Ordering::SeqCst) {
-            // Shutdown already began: cut the read side right away so the
-            // worker serves at most the bytes already in flight.
-            let _ = clone.shutdown(Shutdown::Read);
-            return None;
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.streams.lock().unwrap_or_else(PoisonError::into_inner).insert(id, clone);
-        Some(id)
+    fn push(&self, conn: Conn) {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner).push(conn);
     }
 
-    fn deregister(&self, id: u64) {
-        self.streams.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
-    }
-
-    /// Stop the read side of every live connection. Blocked
-    /// `parse_request` calls return EOF immediately; responses already
-    /// being computed still go out on the intact write side.
-    fn shutdown_reads(&self) {
-        self.closing.store(true, Ordering::SeqCst);
-        let streams =
-            std::mem::take(&mut *self.streams.lock().unwrap_or_else(PoisonError::into_inner));
-        for stream in streams.into_values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
+    fn drain(&self) -> Vec<Conn> {
+        std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
 /// A running server: its bound address, shared [`App`] state (metrics and
-/// cache are readable from here), and the threads to join.
+/// caches are readable from here), and the threads to join.
 pub struct ServerHandle {
     addr: SocketAddr,
     app: Arc<App>,
-    accept: JoinHandle<()>,
+    driver: JoinHandle<()>,
     pool: WorkerPool,
 }
 
@@ -127,10 +144,13 @@ impl ServerHandle {
         self.app.request_shutdown();
     }
 
-    /// Wait until the accept loop and every worker have exited.
+    /// Wait until the driver and every worker have exited, then flush
+    /// the runtime's persistent tier (catching outcomes computed after
+    /// any `/shutdown`-route flush).
     pub fn join(self) {
-        let _ = self.accept.join();
+        let _ = self.driver.join();
         self.pool.join();
+        self.app.runtime.flush();
     }
 
     pub fn shutdown_and_join(self) {
@@ -139,94 +159,265 @@ impl ServerHandle {
     }
 }
 
-/// Bind, spawn the accept loop and the worker pool, and return
+/// Bind, spawn the IO driver and the worker pool, and return
 /// immediately. The server runs until shutdown is requested.
 pub fn start(config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr.as_str())?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let app = Arc::new(App::new(config.workers, config.cache_entries));
+    let app = Arc::new(App::with_runtime(config.workers, &config.runtime_config()));
     let queue = Arc::new(BoundedQueue::new(config.queue_depth));
-    let registry = Arc::new(ConnectionRegistry::new());
+    let returns = Arc::new(ReturnLane::new());
 
     let pool = {
         let app = Arc::clone(&app);
         let queue = Arc::clone(&queue);
-        let registry = Arc::clone(&registry);
-        let read_timeout = config.read_timeout;
-        let max_body = config.max_body_bytes;
-        WorkerPool::spawn(config.workers, Arc::clone(&queue), move |stream: TcpStream| {
+        let returns = Arc::clone(&returns);
+        let io_timeout = config.read_timeout;
+        WorkerPool::spawn(config.workers, Arc::clone(&queue), move |job: Job| {
             app.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
-            let id = registry.register(&stream);
-            handle_connection(&app, stream, read_timeout, max_body);
-            if let Some(id) = id {
-                registry.deregister(id);
-            }
+            serve_job(&app, job, io_timeout, &returns);
         })
     };
 
-    let accept = {
+    let driver = {
         let app = Arc::clone(&app);
+        let config = config.clone();
         std::thread::Builder::new()
-            .name("cme-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &app, &queue, &registry))
-            .expect("spawn accept thread")
+            .name("cme-serve-io".into())
+            .spawn(move || drive(&listener, &app, &queue, &returns, &config))
+            .expect("spawn io driver thread")
     };
 
-    Ok(ServerHandle { addr, app, accept, pool })
+    Ok(ServerHandle { addr, app, driver, pool })
 }
 
-fn accept_loop(
+/// Handle one framed request on a worker: blocking socket, bounded
+/// write, then either return the connection to the driver (keep-alive)
+/// or close it.
+fn serve_job(app: &App, job: Job, io_timeout: Duration, returns: &ReturnLane) {
+    let Job { stream, req, remainder } = job;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    // Write-side backpressure: a peer that stops reading its response
+    // blocks this worker for at most the IO timeout, then the write
+    // fails and the connection is dropped.
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut writer = stream;
+    let resp = app.handle(&req);
+    // Evaluated after handling so a `/shutdown` response closes its own
+    // connection.
+    let keep = req.keep_alive() && !app.shutdown_requested();
+    if write_response(&mut writer, &resp, keep).is_err() || !keep {
+        return;
+    }
+    if writer.set_nonblocking(true).is_ok() {
+        returns.push(Conn {
+            stream: writer,
+            buf: remainder,
+            deadline: Instant::now() + io_timeout,
+        });
+    }
+}
+
+/// What a driver pass decided to do with one connection.
+enum Verdict {
+    Keep,
+    Close,
+}
+
+/// The IO driver loop: accept, read, frame, dispatch, expire.
+fn drive(
     listener: &TcpListener,
     app: &Arc<App>,
-    queue: &Arc<BoundedQueue<TcpStream>>,
-    registry: &ConnectionRegistry,
+    queue: &Arc<BoundedQueue<Job>>,
+    returns: &ReturnLane,
+    config: &ServeConfig,
 ) {
+    // Bound on connections the driver tracks; beyond it accepts are
+    // 503'd so buffered heads can't grow without limit.
+    let open_cap = config.queue_depth + 2 * config.workers + 32;
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
         if app.shutdown_requested() || signalled() {
-            // Fold the signal into the app flag so workers mid-keep-alive
-            // stop after their current response instead of serving an
-            // active client forever.
+            // Fold the signal into the app flag so workers returning
+            // keep-alive connections close them instead.
             app.request_shutdown();
             break;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Accepted sockets must be blocking regardless of what
-                // they inherit from the non-blocking listener.
-                let _ = stream.set_nonblocking(false);
-                match queue.try_push(stream) {
-                    Ok(()) => {
-                        app.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
-                    }
-                    Err(stream) => {
+        let mut progressed = false;
+
+        // Keep-alive connections coming back from workers. Their
+        // remainder buffers may already hold a pipelined request, so
+        // they go through the same frame pass below.
+        let returned = returns.drain();
+        progressed |= !returned.is_empty();
+        conns.extend(returned);
+
+        // Accept burst.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if conns.len() >= open_cap {
                         app.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
                         reject_overloaded(stream);
+                        continue;
                     }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    conns.push(Conn {
+                        stream,
+                        buf: Vec::new(),
+                        deadline: Instant::now() + config.read_timeout,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (EMFILE, ECONNABORTED, …):
+                // back off briefly instead of spinning or dying.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            // Transient accept failures (EMFILE, ECONNABORTED, …): back
-            // off briefly instead of spinning or dying.
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+
+        // Read + frame pass over every owned connection.
+        let now = Instant::now();
+        let mut k = 0;
+        while k < conns.len() {
+            let verdict = poll_conn(&mut conns[k], app, queue, config, now, &mut progressed);
+            match verdict {
+                Verdict::Keep => k += 1,
+                Verdict::Close => {
+                    // swap_remove is fine: order carries no fairness
+                    // beyond the poll pass itself.
+                    drop(conns.swap_remove(k));
+                }
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(ACCEPT_POLL);
         }
     }
+    // Stop feeding workers and let them drain what was already framed.
     queue.close();
-    // Wake workers parked on idle keep-alive reads; see module docs.
-    registry.shutdown_reads();
+    // Idle and half-read connections die with the driver (dropped here);
+    // workers returning keep-alive conns after this point hit the closed
+    // lane harmlessly — `join` happens after the pool drains.
+    drop(conns.drain(..));
 }
 
-/// Backpressure: answer 503 from the accept thread and drop the
-/// connection — memory stays bounded by the queue, never by the arrival
-/// rate. The client's request bytes are drained (without blocking accept)
-/// before closing: unread receive-buffer data would otherwise turn the
-/// close into a TCP RST that can discard the 503 in flight.
+/// Read whatever is available on one connection, then try to frame and
+/// dispatch requests. Returns whether the driver should keep polling it.
+fn poll_conn(
+    conn: &mut Conn,
+    app: &Arc<App>,
+    queue: &Arc<BoundedQueue<Job>>,
+    config: &ServeConfig,
+    now: Instant,
+    progressed: &mut bool,
+) -> Verdict {
+    // Drain the socket without blocking.
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => return Verdict::Close, // peer closed
+            Ok(n) => {
+                *progressed = true;
+                conn.buf.extend_from_slice(&scratch[..n]);
+                conn.deadline = now + config.read_timeout;
+                // Cap what one connection may buffer: a head is already
+                // bounded by the framer, so the only way past the body
+                // cap plus head room is a pipelining flood.
+                if conn.buf.len() > config.max_body_bytes + crate::http::MAX_HEAD_BYTES {
+                    answer_and_close(conn, &HttpResponse::error(413, "pipelined burst too large"));
+                    return Verdict::Close;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Verdict::Close,
+        }
+    }
+
+    match frame_request(&conn.buf, config.max_body_bytes) {
+        Frame::Incomplete => {
+            if now >= conn.deadline {
+                // Same contract as the old blocking read timeout: a
+                // silent peer is dropped without a response.
+                return Verdict::Close;
+            }
+            Verdict::Keep
+        }
+        Frame::Ready { req, consumed } => {
+            *progressed = true;
+            let remainder = conn.buf.split_off(consumed);
+            let Ok(stream) = conn.stream.try_clone() else {
+                return Verdict::Close;
+            };
+            let job = Job { stream, req, remainder };
+            match queue.try_push(job) {
+                Ok(()) => {
+                    app.metrics.queue_depth.store(queue.len() as u64, Ordering::Relaxed);
+                    // The worker owns the socket now (via its clone);
+                    // the driver must stop polling this connection or it
+                    // would steal the *next* request's bytes mid-handle.
+                    Verdict::Close
+                }
+                Err(_job) => {
+                    // The 503 contract: a full queue of *ready* requests
+                    // answers immediately from the driver.
+                    app.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                    answer_and_close(
+                        conn,
+                        &HttpResponse::error(
+                            503,
+                            "server overloaded: request queue is full, retry later",
+                        ),
+                    );
+                    Verdict::Close
+                }
+            }
+        }
+        Frame::Bad(e) => {
+            let resp = match e {
+                HttpParseError::BodyTooLarge { declared, cap } => HttpResponse::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds the {cap}-byte cap"),
+                ),
+                HttpParseError::Malformed(msg) => HttpResponse::error(400, &msg),
+                // Unreachable from a buffer (no IO, no EOF), but total.
+                HttpParseError::ConnectionClosed | HttpParseError::Io(_) => {
+                    return Verdict::Close;
+                }
+            };
+            answer_and_close(conn, &resp);
+            Verdict::Close
+        }
+    }
+}
+
+/// Best-effort error reply from the driver thread. The socket stays
+/// nonblocking — these responses are small enough for the send buffer,
+/// and the driver must never wait on a peer; a `WouldBlock` here just
+/// costs the client its error body.
+fn answer_and_close(conn: &mut Conn, resp: &HttpResponse) {
+    let _ = write_response(&mut conn.stream, resp, false);
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}
+
+/// Overload rejection for a just-accepted socket (connection table
+/// full). The client's request bytes are drained (without blocking the
+/// driver) before closing: unread receive-buffer data would otherwise
+/// turn the close into a TCP RST that can discard the 503 in flight.
 fn reject_overloaded(mut stream: TcpStream) {
     let drain = |stream: &mut TcpStream| {
         // Bounded and non-blocking: stop at WouldBlock, EOF, or a cap, so
-        // neither a silent nor a flooding client can stall the accept
-        // thread.
+        // neither a silent nor a flooding client can stall the driver.
         let mut scratch = [0u8; 4096];
         let mut drained = 0usize;
         while drained < 64 * 1024 {
@@ -239,42 +430,7 @@ fn reject_overloaded(mut stream: TcpStream) {
     let _ = stream.set_nonblocking(true);
     drain(&mut stream);
     let resp = HttpResponse::error(503, "server overloaded: request queue is full, retry later");
-    let _ = stream.set_nonblocking(false);
     let _ = write_response(&mut stream, &resp, false);
     let _ = stream.shutdown(Shutdown::Write);
-    let _ = stream.set_nonblocking(true);
     drain(&mut stream);
-}
-
-/// Drive one connection: parse → route → respond, looping while
-/// keep-alive holds and shutdown has not begun.
-fn handle_connection(app: &App, stream: TcpStream, read_timeout: Duration, max_body: usize) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(mut writer) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match parse_request(&mut reader, max_body) {
-            Ok(req) => {
-                let resp = app.handle(&req);
-                // Evaluated after handling so a `/shutdown` response
-                // closes its own connection.
-                let keep = req.keep_alive() && !app.shutdown_requested();
-                if write_response(&mut writer, &resp, keep).is_err() || !keep {
-                    return;
-                }
-            }
-            // Peer closed (or timed out) — nothing useful to answer.
-            Err(HttpParseError::ConnectionClosed | HttpParseError::Io(_)) => return,
-            Err(HttpParseError::Malformed(msg)) => {
-                let _ = write_response(&mut writer, &HttpResponse::error(400, &msg), false);
-                return;
-            }
-            Err(HttpParseError::BodyTooLarge { declared, cap }) => {
-                let msg = format!("body of {declared} bytes exceeds the {cap}-byte cap");
-                let _ = write_response(&mut writer, &HttpResponse::error(413, &msg), false);
-                return;
-            }
-        }
-    }
 }

@@ -11,7 +11,9 @@
 
 use crate::problem::{GaSummary, TilingOutcome};
 use cme_core::engine::{fold_seed, SEED_SPLIT};
-use cme_core::{CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{
+    CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig, SharedDisplacements,
+};
 use cme_ga::{run_ga, Domain, GaConfig, Objective};
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
 use serde::{Deserialize, Serialize};
@@ -116,6 +118,10 @@ pub struct PaddingOptimizer {
     pub space: PaddingSpace,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
+    /// Optional process-wide displacement store (see
+    /// [`TilingOptimizer`](crate::TilingOptimizer)); byte-identical
+    /// results with or without it.
+    pub provider: Option<SharedDisplacements>,
 }
 
 impl PaddingOptimizer {
@@ -131,6 +137,7 @@ impl PaddingOptimizer {
             space: PaddingSpace::default(),
             sampling: SamplingConfig::paper(),
             ga: GaConfig::default(),
+            provider: None,
         }
     }
 
@@ -138,7 +145,14 @@ impl PaddingOptimizer {
     /// configuration (base layout: unpadded contiguous).
     pub fn engine(&self, nest: &LoopNest) -> EvalEngine {
         let layout = MemoryLayout::contiguous(nest);
-        EvalEngine::new_hierarchy(&self.hierarchy, nest, &layout, self.sampling, self.ga.seed)
+        EvalEngine::new_hierarchy_shared(
+            &self.hierarchy,
+            nest,
+            &layout,
+            self.sampling,
+            self.ga.seed,
+            self.provider.as_ref().map(SharedDisplacements::provider),
+        )
     }
 
     /// Search padding only (Table 3, column "padding").
@@ -177,6 +191,7 @@ impl PaddingOptimizer {
             hierarchy: self.hierarchy.clone(),
             sampling: self.sampling,
             ga: self.ga,
+            provider: self.provider.clone(),
         };
         out.tiled = Some(tiler.optimize(nest, &padded_layout)?);
         Ok(out)

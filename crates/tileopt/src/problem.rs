@@ -2,7 +2,9 @@
 
 use cme_analysis::rectangular_tiling_legality;
 use cme_core::engine::{fold_seed, SEED_SPLIT};
-use cme_core::{CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig};
+use cme_core::{
+    CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig, SharedDisplacements,
+};
 use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
 use cme_loopnest::deps::TilingLegality;
 use cme_loopnest::{LoopNest, MemoryLayout, TileSizes};
@@ -112,6 +114,10 @@ pub struct TilingOptimizer {
     pub hierarchy: CacheHierarchy,
     pub sampling: SamplingConfig,
     pub ga: GaConfig,
+    /// Optional process-wide displacement store shared across requests
+    /// (wired in by the runtime layer; `None` keeps the search fully
+    /// self-contained). Results are byte-identical either way.
+    pub provider: Option<SharedDisplacements>,
 }
 
 impl TilingOptimizer {
@@ -122,13 +128,25 @@ impl TilingOptimizer {
     /// A hierarchy-aware optimiser: the GA minimises the latency-weighted
     /// replacement cost over all levels.
     pub fn for_hierarchy(hierarchy: CacheHierarchy) -> Self {
-        TilingOptimizer { hierarchy, sampling: SamplingConfig::paper(), ga: GaConfig::default() }
+        TilingOptimizer {
+            hierarchy,
+            sampling: SamplingConfig::paper(),
+            ga: GaConfig::default(),
+            provider: None,
+        }
     }
 
     /// Build the shared evaluation engine for a search over this
     /// configuration.
     pub fn engine(&self, nest: &LoopNest, layout: &MemoryLayout) -> EvalEngine {
-        EvalEngine::new_hierarchy(&self.hierarchy, nest, layout, self.sampling, self.ga.seed)
+        EvalEngine::new_hierarchy_shared(
+            &self.hierarchy,
+            nest,
+            layout,
+            self.sampling,
+            self.ga.seed,
+            self.provider.as_ref().map(SharedDisplacements::provider),
+        )
     }
 
     /// Search near-optimal tile sizes. Errors when rectangular tiling is

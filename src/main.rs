@@ -66,6 +66,11 @@ options:
                                            requests get 503 (default 64)
   --cache-entries N                        serve: outcome-cache entries, 0 disables
                                            (default 1024)
+  --displacement-entries N                 serve: process-wide displacement-cache
+                                           entries, 0 disables (default 4096)
+  --cache-dir DIR                          serve: persist computed outcomes to
+                                           DIR/outcomes.jsonl; flushed on shutdown,
+                                           reloaded lazily on restart
 ";
 
 fn usage() -> ! {
@@ -110,6 +115,8 @@ struct Args {
     workers: Option<usize>,
     queue: Option<usize>,
     cache_entries: Option<usize>,
+    displacement_entries: Option<usize>,
+    cache_dir: Option<String>,
 }
 
 /// One `SIZE,LINE[,ASSOC][@MISS_LATENCY]` level.
@@ -218,6 +225,8 @@ fn parse_args() -> Args {
         workers: None,
         queue: None,
         cache_entries: None,
+        displacement_entries: None,
+        cache_dir: None,
     };
     let mut it = std::env::args().skip(1);
     let value_of = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -260,6 +269,14 @@ fn parse_args() -> Args {
                 args.queue =
                     Some(v.parse().unwrap_or_else(|_| fail(format!("bad --queue value `{v}`"))));
             }
+            "--displacement-entries" => {
+                let v = value_of("--displacement-entries", &mut it);
+                args.displacement_entries =
+                    Some(v.parse().unwrap_or_else(|_| {
+                        fail(format!("bad --displacement-entries value `{v}`"))
+                    }));
+            }
+            "--cache-dir" => args.cache_dir = Some(value_of("--cache-dir", &mut it)),
             "--cache-entries" => {
                 let v = value_of("--cache-entries", &mut it);
                 args.cache_entries = Some(
@@ -695,6 +712,12 @@ fn cmd_serve(args: &Args) {
     }
     if let Some(entries) = args.cache_entries {
         config.cache_entries = entries;
+    }
+    if let Some(entries) = args.displacement_entries {
+        config.displacement_entries = entries;
+    }
+    if let Some(dir) = &args.cache_dir {
+        config.cache_dir = Some(dir.into());
     }
     install_signal_handlers();
     let handle = start(&config).unwrap_or_else(|e| fail(format!("bind {}: {e}", config.addr)));

@@ -101,11 +101,26 @@ fn schema_doc_covers_the_wire_surface() {
         "wall_ms",
         "base 0;",
         "curl",
+        "--cache-dir",
+        "--displacement-entries",
+        "outcomes.jsonl",
+        "schema fingerprint",
     ] {
         assert!(schema.contains(needle), "docs/SCHEMA.md no longer mentions `{needle}`");
     }
     let arch = std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("ARCHITECTURE.md");
-    for needle in ["EvalEngine", "cme-frontend", "cme-analysis", "Determinism", "without_timing"] {
+    for needle in [
+        "EvalEngine",
+        "cme-frontend",
+        "cme-analysis",
+        "Determinism",
+        "without_timing",
+        "cme-runtime",
+        "DisplacementProvider",
+        "coalescing",
+        "frame_request",
+        "readiness",
+    ] {
         assert!(arch.contains(needle), "docs/ARCHITECTURE.md no longer mentions `{needle}`");
     }
     let analysis = std::fs::read_to_string(root.join("docs/ANALYSIS.md")).expect("ANALYSIS.md");
@@ -122,7 +137,16 @@ fn schema_doc_covers_the_wire_surface() {
         assert!(analysis.contains(needle), "docs/ANALYSIS.md no longer mentions `{needle}`");
     }
     let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
-    for needle in ["Linting your kernels", "cme lint", "docs/ANALYSIS.md"] {
+    for needle in [
+        "Linting your kernels",
+        "cme lint",
+        "docs/ANALYSIS.md",
+        "crates/runtime",
+        "displacement_cache",
+        "coalescing.leaders",
+        "cache.disk",
+        "--cache-dir",
+    ] {
         assert!(readme.contains(needle), "README.md no longer mentions `{needle}`");
     }
 }

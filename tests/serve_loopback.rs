@@ -7,8 +7,12 @@
 //!   canonical comparison form);
 //! * a repeated identical request is served from the outcome cache and
 //!   the `/metrics` hit counter increments;
-//! * a filled bounded queue answers `503` instead of queueing further
-//!   connections;
+//! * a filled bounded queue of *ready* requests answers `503` instead of
+//!   queueing further work;
+//! * a client that never finishes sending its request does not occupy a
+//!   worker (the readiness core frames requests before dispatch);
+//! * concurrent identical requests coalesce onto one computation and
+//!   every caller gets a byte-identical timing-stripped body;
 //! * keep-alive connections serve sequential requests;
 //! * malformed input gets a `400`, not a hung or dropped connection.
 
@@ -137,37 +141,148 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
     handle.shutdown_and_join();
 }
 
+/// An expensive, fully-formed request: a forced 60-generation GA tile
+/// search (convergence disabled, mutation high enough to defeat the
+/// fitness memo) over a long-line cache, so one request keeps a worker
+/// busy for upwards of a second even under the release profile.
+/// Distinct sizes are distinct canonical requests, so they neither
+/// coalesce nor hit the outcome cache.
+fn expensive_request(size: u32) -> String {
+    format!(
+        r#"{{
+        "nest": {{"Kernel": {{"name": "MM", "size": {size}}}}},
+        "cache": {{"size": 32768, "line": 256, "assoc": 1}},
+        "ga": {{"population": 40, "crossover_prob": 0.9, "mutation_prob": 0.2,
+               "min_generations": 60, "max_generations": 60,
+               "convergence_margin": 0.0, "seed": 7, "memo_capacity": null}},
+        "strategy": "Tiling"
+    }}"#
+    )
+}
+
 #[test]
-fn full_queue_answers_503_immediately() {
-    // One worker, queue of one: the worker blocks on a connection that
-    // never sends a full request, the queue holds a second, so a third
-    // connection must be rejected with 503 by the accept thread.
+fn full_queue_of_ready_requests_answers_503_immediately() {
+    // One worker, queue of one. Under the readiness core only *complete*
+    // requests occupy queue slots, so the overload scenario needs
+    // expensive ready requests: the first occupies the worker, the
+    // second fills the queue, and the third must be rejected 503 by the
+    // IO driver without waiting.
     let handle = start(1, 1);
     let addr = handle.addr();
 
-    let mut hog = TcpStream::connect(addr).expect("hog connects");
-    hog.write_all(b"POST /optimize HTTP/1.1\r\n").expect("partial request");
-    // Let the worker pop the hog off the queue before filling it.
-    std::thread::sleep(Duration::from_millis(300));
-
-    let _queued = TcpStream::connect(addr).expect("queued connection");
-    std::thread::sleep(Duration::from_millis(300));
+    let spawn_post = |size: u32| {
+        std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            client.post("/optimize", &expensive_request(size)).expect("response")
+        })
+    };
+    let busy = spawn_post(120);
+    // Let the worker pop the first request before filling the queue; the
+    // GA searches run far longer than these sleeps.
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = spawn_post(124);
+    std::thread::sleep(Duration::from_millis(150));
 
     let mut rejected = HttpClient::connect(addr).expect("third connection");
-    let (status, body) = rejected.get("/healthz").expect("503 response");
+    let (status, body) = rejected.post("/optimize", &expensive_request(128)).expect("503 response");
     assert_eq!(status, 503, "{body}");
     assert!(body.contains("queue is full"), "{body}");
 
-    // Release the worker (EOF on the hog) so shutdown drains quickly.
-    drop(hog);
-    drop(_queued);
-    std::thread::sleep(Duration::from_millis(100));
+    // The in-flight work still completes.
+    let (status, body) = busy.join().expect("busy thread");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = queued.join().expect("queued thread");
+    assert_eq!(status, 200, "{body}");
 
     // The rejection is counted.
     let mut client = HttpClient::connect(addr).expect("connect after release");
     let (_, metrics) = client.get("/metrics").expect("metrics");
     let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
     assert_eq!(doc.get("rejected_total"), Some(&serde::Value::Int(1)), "{metrics}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn slow_client_does_not_occupy_a_worker() {
+    // A connection that sends half a request head and stalls. Under the
+    // old blocking design this parked the (only) worker; the readiness
+    // core keeps the half-read connection in the IO driver, so the
+    // worker stays free for complete requests.
+    let handle = start(1, 2);
+    let addr = handle.addr();
+
+    let mut hog = TcpStream::connect(addr).expect("hog connects");
+    hog.write_all(b"POST /optimize HTTP/1.1\r\nContent-Length: 10").expect("partial request");
+    hog.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (status, body) = client.get("/healthz").expect("healthz despite the hog");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""));
+
+    drop(hog);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_over_the_wire() {
+    // Outcome caching disabled so every request reaches the coalescing
+    // layer; four workers so all four identical requests are in flight
+    // at once. One leader computes; the rest join its flight.
+    const CLIENTS: usize = 4;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: CLIENTS,
+        queue_depth: 16,
+        cache_entries: 0,
+        read_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let handle = cme_suite::serve::start(&config).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(CLIENTS));
+    let posters: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                barrier.wait();
+                client.post("/optimize", &expensive_request(64)).expect("response")
+            })
+        })
+        .collect();
+
+    let mut stripped = Vec::new();
+    for poster in posters {
+        let (status, body) = poster.join().expect("poster thread");
+        assert_eq!(status, 200, "{body}");
+        let outcome: Outcome = serde_json::from_str(&body).expect("outcome JSON");
+        stripped.push(serde_json::to_string(&outcome.without_timing()).expect("serialise"));
+    }
+    assert!(
+        stripped.iter().all(|s| s == &stripped[0]),
+        "all coalesced callers must see byte-identical timing-stripped outcomes"
+    );
+
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+    let coalescing = doc.get("coalescing").expect("coalescing section");
+    let count = |field: &str| match coalescing.get(field) {
+        Some(serde::Value::Int(n)) => *n as usize,
+        Some(serde::Value::UInt(n)) => *n as usize,
+        other => panic!("coalescing.{field} missing or non-numeric: {other:?}"),
+    };
+    assert_eq!(
+        count("leaders") + count("followers"),
+        CLIENTS,
+        "every request either led or followed: {metrics}"
+    );
+    assert!(count("followers") >= 1, "concurrent identical requests must share: {metrics}");
+    assert_eq!(count("in_flight"), 0, "{metrics}");
 
     handle.shutdown_and_join();
 }

@@ -1,0 +1,104 @@
+//! Persistence round trip over real sockets: a server started with
+//! `cache_dir` flushes computed outcomes to the append-only disk tier on
+//! `/shutdown`, and a *fresh server process state* over the same
+//! directory serves the first repeat request from disk — visible in
+//! `/metrics` as a disk-tier hit — with a byte-identical
+//! timing-stripped body.
+
+use cme_suite::api::Outcome;
+use cme_suite::serve::{HttpClient, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The cheap deterministic request both server generations serve.
+const TINY: &str = r#"{
+    "nest": {"Kernel": {"name": "T2D", "size": 12}},
+    "cache": {"size": 256, "line": 16, "assoc": 1},
+    "strategy": {"Exhaustive": {"step": 4, "max_evals": 500}}
+}"#;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cme-serve-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_with_dir(dir: &Path) -> cme_suite::serve::ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        cache_entries: 64,
+        cache_dir: Some(dir.to_path_buf()),
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    cme_suite::serve::start(&config).expect("bind ephemeral port")
+}
+
+fn stripped(body: &str) -> String {
+    let outcome: Outcome = serde_json::from_str(body).expect("outcome JSON");
+    serde_json::to_string(&outcome.without_timing()).expect("serialise")
+}
+
+#[test]
+fn outcomes_survive_shutdown_and_serve_from_disk_on_restart() {
+    let dir = scratch_dir("roundtrip");
+
+    // Generation 1: compute, then flush via the /shutdown route.
+    let first_body;
+    {
+        let handle = start_with_dir(&dir);
+        let mut client = HttpClient::connect(handle.addr()).expect("connect");
+        let (status, body) = client.post("/optimize", TINY).expect("cold optimize");
+        assert_eq!(status, 200, "{body}");
+        first_body = body;
+
+        let (status, body) = client.post("/shutdown", "").expect("shutdown");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"flushed\":1"), "the computed outcome flushes to disk: {body}");
+        handle.join();
+    }
+    assert!(dir.join("outcomes.jsonl").is_file(), "flush creates the append-only store");
+
+    // Generation 2: same directory, fresh in-memory state. The first
+    // request must be a disk-tier hit, not a recomputation.
+    {
+        let handle = start_with_dir(&dir);
+        let mut client = HttpClient::connect(handle.addr()).expect("connect");
+        let (status, body) = client.post("/optimize", TINY).expect("warm-from-disk optimize");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            stripped(&body),
+            stripped(&first_body),
+            "disk-served outcome must be byte-identical modulo wall_ms"
+        );
+
+        let (_, metrics) = client.get("/metrics").expect("metrics");
+        let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+        let disk = doc
+            .get("cache")
+            .and_then(|c| c.get("disk"))
+            .expect("disk section present when cache_dir is set");
+        assert_eq!(disk.get("loaded"), Some(&serde::Value::Bool(true)), "{metrics}");
+        assert_eq!(disk.get("hits"), Some(&serde::Value::Int(1)), "{metrics}");
+
+        // The same request again is now a hot-tier hit; disk stays at 1.
+        let (status, again) = client.post("/optimize", TINY).expect("hot optimize");
+        assert_eq!(status, 200);
+        assert_eq!(stripped(&again), stripped(&first_body));
+        let (_, metrics) = client.get("/metrics").expect("metrics");
+        let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+        let cache = doc.get("cache").expect("cache section");
+        assert_eq!(cache.get("hits"), Some(&serde::Value::Int(1)), "hot-tier hit: {metrics}");
+        assert_eq!(
+            cache.get("disk").and_then(|d| d.get("hits")),
+            Some(&serde::Value::Int(1)),
+            "disk not re-consulted once promoted: {metrics}"
+        );
+
+        handle.shutdown_and_join();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
