@@ -56,8 +56,8 @@ pub use outcome::{AnalyzeOutcome, LintOutcome, Outcome, Transform};
 pub use problem::validate_cache;
 pub use problem::Problem;
 pub use request::{
-    AnalyzeRequest, BaselineKind, LintRequest, NestSource, OptimizeRequest, PaddingMode,
-    StrategySpec,
+    AnalyzeRequest, BaselineKind, EstimatorSpec, LintRequest, NestSource, OptimizeRequest,
+    PaddingMode, StrategySpec,
 };
 pub use session::{Session, SessionBuilder};
 pub use strategy::{build_strategy, SearchStrategy};
@@ -226,5 +226,66 @@ mod tests {
         assert_eq!(StrategySpec::Interchange.name(), "interchange");
         assert_eq!(StrategySpec::Exhaustive { step: 1, max_evals: 1 }.name(), "exhaustive");
         assert_eq!(StrategySpec::Baseline { kind: BaselineKind::LrwSquare }.name(), "baseline:lrw");
+    }
+
+    #[test]
+    fn estimator_field_is_absent_by_default_on_the_wire() {
+        // Requests that don't pick a backend keep their pre-estimator
+        // wire shape byte-for-byte — goldens and cache keys unchanged.
+        let req = tiny_request(StrategySpec::Tiling);
+        let wire = serde_json::to_string(&req).unwrap();
+        assert!(!wire.contains("estimator"), "default wire form must omit the field: {wire}");
+        let back: OptimizeRequest = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back.estimator, None);
+        assert_eq!(back.estimator(), EstimatorSpec::cme);
+
+        let lat = tiny_request(StrategySpec::Tiling).with_estimator(EstimatorSpec::lattice);
+        let wire = serde_json::to_string(&lat).unwrap();
+        assert!(wire.contains("\"estimator\":\"lattice\""), "got: {wire}");
+        let back: OptimizeRequest = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, lat);
+
+        assert!(EstimatorSpec::parse("nope").is_err());
+        assert_eq!(EstimatorSpec::parse("cme").unwrap(), EstimatorSpec::cme);
+        assert_eq!(EstimatorSpec::parse("lattice").unwrap(), EstimatorSpec::lattice);
+    }
+
+    #[test]
+    fn lattice_estimator_runs_the_searches() {
+        // The exact backend drives the same GA machinery; runs are
+        // deterministic and improve on the untiled baseline.
+        for strategy in [
+            StrategySpec::Tiling,
+            StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+            StrategySpec::Exhaustive { step: 8, max_evals: 100 },
+        ] {
+            let req = tiny_request(strategy.clone()).with_estimator(EstimatorSpec::lattice);
+            let out = Session::default().run(&req).unwrap();
+            let rerun = Session::default().run(&req).unwrap();
+            assert_eq!(out.without_timing(), rerun.without_timing(), "{strategy:?}");
+            assert!(
+                out.after.replacement_ratio() <= out.before.replacement_ratio(),
+                "{strategy:?}: lattice-scored transform must not hurt: {} -> {}",
+                out.before.replacement_ratio(),
+                out.after.replacement_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn padding_rejects_the_lattice_estimator() {
+        // Padding scores candidate *layouts*, which only the sampled
+        // classifier can address-remap — requesting lattice is an error,
+        // not a silent fallback.
+        for mode in [PaddingMode::Pad, PaddingMode::PadThenTile, PaddingMode::Joint] {
+            let req =
+                tiny_request(StrategySpec::Padding { mode }).with_estimator(EstimatorSpec::lattice);
+            match Session::default().run(&req) {
+                Err(ApiError::BadRequest(msg)) => {
+                    assert!(msg.contains("estimator"), "got: {msg}")
+                }
+                other => panic!("expected BadRequest, got {other:?}"),
+            }
+        }
     }
 }

@@ -1,10 +1,10 @@
 //! The resolved search problem handed to every strategy.
 
 use crate::error::ApiError;
-use crate::request::OptimizeRequest;
+use crate::request::{EstimatorSpec, OptimizeRequest};
 use cme_core::{
-    CacheHierarchy, CacheSpec, CmeModel, EvalEngine, MissEstimate, SamplingConfig,
-    SharedDisplacements,
+    CacheHierarchy, CacheSpec, CmeModel, Estimator, EstimatorKind, EvalEngine, MissEstimate,
+    SamplingConfig, SharedDisplacements,
 };
 use cme_ga::GaConfig;
 use cme_loopnest::{LoopNest, MemoryLayout};
@@ -38,6 +38,9 @@ pub struct Problem {
     ///
     /// [`Session`]: crate::Session
     pub displacements: Option<SharedDisplacements>,
+    /// Scoring backend candidate transforms are evaluated with (the
+    /// request's effective `estimator` field).
+    pub estimator: EstimatorSpec,
 }
 
 impl Problem {
@@ -53,6 +56,7 @@ impl Problem {
             sampling: req.sampling,
             ga: req.ga,
             displacements: None,
+            estimator: req.estimator(),
         })
     }
 
@@ -82,11 +86,28 @@ impl Problem {
         )
     }
 
+    /// The engine-side backend selector for this problem's estimator.
+    pub fn estimator_kind(&self) -> EstimatorKind {
+        match self.estimator {
+            EstimatorSpec::cme => EstimatorKind::Cme,
+            EstimatorSpec::lattice => EstimatorKind::Lattice,
+        }
+    }
+
+    /// Build this problem's scoring backend over a prebuilt engine (the
+    /// engine outlives the borrowing backend, so callers hold both).
+    pub fn backend<'e>(&self, engine: &'e EvalEngine) -> Box<dyn Estimator + 'e> {
+        self.estimator_kind().build(engine)
+    }
+
     /// Canonical estimate of the untransformed nest (the `before` of
-    /// every outcome) — hierarchy-aware, from a fresh engine. Strategies
-    /// that already hold an engine use `engine.estimate_canonical(None)`
+    /// every outcome) — hierarchy-aware, from a fresh engine and this
+    /// problem's estimator backend. Strategies that already hold an
+    /// engine use `problem.backend(&engine).estimate_canonical(None)`
     /// directly; this is the standalone convenience form.
     pub fn baseline_estimate(&self) -> MissEstimate {
-        self.engine().estimate_canonical(None)
+        let engine = self.engine();
+        let before = self.backend(&engine).estimate_canonical(None);
+        before
     }
 }

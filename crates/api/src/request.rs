@@ -85,6 +85,42 @@ pub enum BaselineKind {
     FixedFraction { fraction: f64 },
 }
 
+/// Which scoring backend evaluates candidate transforms — the wire form
+/// of the [`cme_core::Estimator`] seam. Lowercase variant names are the
+/// wire strings (`"cme"`, `"lattice"`).
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EstimatorSpec {
+    /// The paper's sampled CME classifier (§2.3) — the default, and the
+    /// backend every golden output is pinned to.
+    #[default]
+    cme,
+    /// Closed-form lattice counting: exact reuse populations, stratified
+    /// interference verdicts, no sampling noise.
+    lattice,
+}
+
+impl EstimatorSpec {
+    /// The wire string, which is also [`cme_core::Estimator::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorSpec::cme => "cme",
+            EstimatorSpec::lattice => "lattice",
+        }
+    }
+
+    /// Parse a wire string (CLI flag values share the wire vocabulary).
+    pub fn parse(s: &str) -> Result<Self, ApiError> {
+        match s {
+            "cme" => Ok(EstimatorSpec::cme),
+            "lattice" => Ok(EstimatorSpec::lattice),
+            other => Err(ApiError::BadRequest(format!(
+                "unknown estimator `{other}` (expected `cme` or `lattice`)"
+            ))),
+        }
+    }
+}
+
 /// Which search to run over the transform space — the strategy selector
 /// resolved by [`crate::strategy::build_strategy`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +173,11 @@ pub struct OptimizeRequest {
     /// use `ga.seed` for their sampling seeds.
     pub ga: GaConfig,
     pub strategy: StrategySpec,
+    /// Scoring backend for candidate transforms. Absent ⇒ the sampled
+    /// CME classifier — existing requests keep their wire shape (and
+    /// therefore their canonical cache keys) unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub estimator: Option<EstimatorSpec>,
 }
 
 impl OptimizeRequest {
@@ -149,7 +190,19 @@ impl OptimizeRequest {
             sampling: SamplingConfig::paper(),
             ga: GaConfig::default(),
             strategy,
+            estimator: None,
         }
+    }
+
+    /// Select the scoring backend (`None` ⇒ sampled CME, the default).
+    pub fn with_estimator(mut self, estimator: EstimatorSpec) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// The effective scoring backend.
+    pub fn estimator(&self) -> EstimatorSpec {
+        self.estimator.unwrap_or_default()
     }
 
     /// Set the cache: accepts a bare [`cme_core::CacheSpec`] (one legacy

@@ -84,6 +84,20 @@ fn tiling_optimizer(problem: &Problem) -> TilingOptimizer {
         sampling: problem.sampling,
         ga: problem.ga,
         provider: problem.displacements.clone(),
+        estimator: problem.estimator_kind(),
+    }
+}
+
+/// Padding searches score candidate *layouts*, whose address remap lives
+/// in the sampled classifier; the lattice backend counts the base layout
+/// only, so requesting it is a usage error, not a silent fallback.
+fn require_sampled_estimator(problem: &Problem, what: &str) -> Result<(), ApiError> {
+    match problem.estimator {
+        crate::request::EstimatorSpec::cme => Ok(()),
+        other => Err(ApiError::BadRequest(format!(
+            "{what} require the sampled `cme` estimator, got `{}`",
+            other.name()
+        ))),
     }
 }
 
@@ -143,6 +157,7 @@ impl SearchStrategy for PaddingStrategy {
     }
 
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
+        require_sampled_estimator(problem, "padding strategies")?;
         let b = OutcomeBuilder::new(self, problem);
         let opt = padding_optimizer(problem);
         // The optimisers' `original`/`before` fields use the canonical
@@ -192,7 +207,7 @@ impl SearchStrategy for InterchangeStrategy {
         // `before` is the *source order* untiled — the interchange search
         // itself reports its best permutation's estimates (each legal
         // permutation gets its own engine: the analysis is per-order).
-        let before = problem.engine().estimate_canonical(None);
+        let before = problem.baseline_estimate();
         let out = optimize_with_interchange(&tiling_optimizer(problem), &problem.nest)
             .map_err(ApiError::IllegalTransform)?;
         let transform = Transform {
@@ -228,12 +243,14 @@ impl SearchStrategy for ExhaustiveStrategy {
         let b = OutcomeBuilder::new(self, problem);
         require_tileable(problem)?;
         // One shared engine: the whole sweep, the baseline and the final
-        // estimate borrow the same per-kernel analysis.
+        // estimate borrow the same per-kernel analysis (through the
+        // request's estimator backend).
         let engine = problem.engine();
-        let res =
-            exhaustive_search_on(&engine, self.step, self.max_evals).map_err(ApiError::TooLarge)?;
-        let before = engine.estimate_canonical(None);
-        let after = engine.estimate_canonical(Some(&res.best_tiles));
+        let est = problem.backend(&engine);
+        let res = exhaustive_search_on(est.as_ref(), self.step, self.max_evals)
+            .map_err(ApiError::TooLarge)?;
+        let before = est.estimate_canonical(None);
+        let after = est.estimate_canonical(Some(&res.best_tiles));
         let explored = res.landscape.len() as u64;
         Ok(b.finish(Transform::tiles(res.best_tiles), before, after, None, Some(explored)))
     }
@@ -273,8 +290,9 @@ impl SearchStrategy for BaselineStrategy {
         };
         tiles.validate(&problem.nest).map_err(|e| ApiError::IllegalTransform(e.to_string()))?;
         let engine = problem.engine();
-        let before = engine.estimate_canonical(None);
-        let after = engine.estimate_canonical(Some(&tiles));
+        let est = problem.backend(&engine);
+        let before = est.estimate_canonical(None);
+        let after = est.estimate_canonical(Some(&tiles));
         Ok(b.finish(Transform::tiles(tiles), before, after, None, None))
     }
 }

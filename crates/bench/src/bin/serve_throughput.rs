@@ -11,10 +11,20 @@
 //! * **hot** — one canonical request repeated; the sharded outcome LRU
 //!   answers without running anything.
 //!
-//! Writes `BENCH_serve.json` so all three rows are tracked across PRs.
+//! Writes `BENCH_serve.json` so all three rows are tracked across PRs
+//! (skipped with `--no-write`, the CI smoke mode).
+//!
+//! With `--assert-baseline` the run additionally reads the recorded
+//! `BENCH_serve.json` and **fails** (exit 1) when the hot-path (outcome-
+//! cache-served) throughput drops more than the tolerance below the
+//! recorded `hot.requests_per_sec` figure — the CI bench-regression gate
+//! that caught the IO driver's timer-tick stall. `--tolerance FRAC`
+//! adjusts the allowed drop (default 0.50: loopback rps under a shared
+//! CI box is noisy, and the regression this guards was a 14× drop).
 //!
 //! ```text
-//! cargo run --release -p cme-bench --bin serve_throughput
+//! cargo run --release -p cme-bench --bin serve_throughput \
+//!     [--no-write] [--assert-baseline] [--tolerance FRAC]
 //! ```
 
 use cme_api::{NestSource, OptimizeRequest, StrategySpec};
@@ -101,6 +111,23 @@ fn run_phase(label: &'static str, addr: std::net::SocketAddr, bodies: &[String])
 }
 
 fn main() {
+    let mut write = true;
+    let mut assert_baseline = false;
+    let mut tolerance = 0.50f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-write" => write = false,
+            "--assert-baseline" => assert_baseline = true,
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("tolerance fraction");
+                assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: CLIENTS,
@@ -178,8 +205,47 @@ fn main() {
         ("displacement_misses".into(), serde::Value::UInt(disp.misses)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("report serialises");
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("\nwrote BENCH_serve.json");
+    if assert_baseline {
+        assert_against_baseline(hot.rps(), tolerance);
+    }
+    if write {
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("\nwrote BENCH_serve.json");
+    }
 
     handle.shutdown_and_join();
+}
+
+/// The CI bench-regression gate: compare this run's hot-path throughput
+/// against the figure recorded in `BENCH_serve.json` and exit non-zero
+/// when it regressed by more than `tolerance`. An *improved* figure
+/// always passes (the recorded baseline is refreshed by the next full
+/// `serve_throughput` run, not by the gate).
+fn assert_against_baseline(current_rps: f64, tolerance: f64) {
+    let raw = std::fs::read_to_string("BENCH_serve.json")
+        .expect("--assert-baseline needs a recorded BENCH_serve.json in the working directory");
+    let doc: serde::Value = serde_json::from_str(&raw).expect("BENCH_serve.json parses");
+    let recorded = doc
+        .get("hot")
+        .and_then(|phase| phase.get("requests_per_sec"))
+        .and_then(|v| match v {
+            serde::Value::Float(f) => Some(*f),
+            serde::Value::Int(i) => Some(*i as f64),
+            serde::Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        })
+        .expect("BENCH_serve.json records hot.requests_per_sec");
+    let floor = recorded * (1.0 - tolerance);
+    if current_rps < floor {
+        eprintln!(
+            "bench regression: hot-path throughput {current_rps:.1} req/s is below {floor:.1} \
+             ({:.0}% of the recorded {recorded:.1})",
+            (1.0 - tolerance) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "baseline OK: {current_rps:.1} req/s vs recorded {recorded:.1} \
+         (floor {floor:.1}, tolerance {tolerance})"
+    );
 }

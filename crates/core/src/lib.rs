@@ -39,8 +39,10 @@ pub mod classify;
 pub mod engine;
 pub mod equations;
 pub mod estimate;
+pub mod estimator;
 pub mod hierarchy;
 pub mod interference;
+pub mod lattice;
 pub mod lexmax;
 pub mod model;
 pub mod reuse;
@@ -49,7 +51,9 @@ pub mod sampling;
 pub use classify::Classification;
 pub use engine::{DisplacementKey, DisplacementProvider, EvalEngine, SharedDisplacements};
 pub use estimate::{Counts, LevelEstimate, LevelReport, MissEstimate, MissReport};
+pub use estimator::{Estimator, EstimatorKind};
 pub use hierarchy::{CacheHierarchy, CacheLevel, LEGACY_MISS_LATENCY};
+pub use lattice::LatticeEstimator;
 pub use model::{CmeModel, NestAnalysis};
 pub use sampling::{EarlyAbandonConfig, SamplingConfig};
 

@@ -1,0 +1,145 @@
+//! Count `|{ x ∈ Box : F(x) mod M = r }|` exactly, for every residue `r`.
+//!
+//! This is the *counting* companion of [`crate::modhit`]'s decision
+//! procedure, and the arithmetic core of the lattice miss estimator: the
+//! number of iteration points whose address falls in a given alignment
+//! class (mod line size) or cache-set window (mod way size) is a sum of
+//! per-dimension arithmetic-progression convolutions — no enumeration of
+//! the box itself is ever needed.
+//!
+//! Complexity: `O(Σ_t m · min(R_t, p_t))` where `p_t = m / gcd(c_t, m)`
+//! is the residue period of dimension `t` — independent of the box
+//! volume.
+
+use crate::affine::AffineForm;
+use crate::boxes::IntBox;
+use crate::dioph::gcd;
+use crate::interval::Interval;
+
+/// Largest modulus the dense counting path accepts (1 MiB of `u64`s).
+const MAX_COUNT_MODULUS: i64 = 1 << 17;
+
+/// Exact histogram of `F(x) mod m` over the box: `out[r]` is the number
+/// of points `x ∈ b` with `F(x) ≡ r (mod m)`. `Σ out[r] = b.volume()`.
+pub fn residue_counts(form: &AffineForm, b: &IntBox, m: i64) -> Vec<u64> {
+    assert!(m > 0 && m <= MAX_COUNT_MODULUS, "modulus out of supported range");
+    let m_us = m as usize;
+    if b.is_empty() {
+        return vec![0; m_us];
+    }
+    let mut counts = vec![0u64; m_us];
+    counts[form.c0.rem_euclid(m) as usize] = 1;
+    for (c, iv) in form.coeffs.iter().zip(&b.dims) {
+        let cm = c.rem_euclid(m);
+        let n = iv.len();
+        // Fold the lower bound into the running offset by rotating the
+        // histogram; a zero coefficient (or single value) only rotates.
+        let base = (cm as i128 * iv.lo.rem_euclid(m) as i128 % m as i128) as usize;
+        if base != 0 {
+            counts.rotate_right(base);
+        }
+        if n <= 1 {
+            continue;
+        }
+        if cm == 0 {
+            // Every value of this dimension lands on the same residue:
+            // the whole histogram scales by the extent.
+            for cnt in &mut counts {
+                *cnt *= n;
+            }
+            continue;
+        }
+        // Convolve with the multiset { k·cm mod m : 0 ≤ k < n }: the
+        // orbit of cm has period p = m / gcd(cm, m); every orbit residue
+        // appears ⌊n/p⌋ times and the first n mod p appear once more.
+        let p = (m / gcd(cm, m)) as u64;
+        let (full, rem) = (n / p, n % p);
+        let mut mult: Vec<(usize, u64)> = Vec::with_capacity(p.min(n) as usize);
+        let mut s = 0usize;
+        for k in 0..p.min(n) {
+            let w = full + u64::from(k < rem);
+            if w > 0 {
+                mult.push((s, w));
+            }
+            s = (s + cm as usize) % m_us;
+        }
+        let mut next = vec![0u64; m_us];
+        for (r, &cnt) in counts.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            for &(shift, w) in &mult {
+                next[(r + shift) % m_us] += cnt * w;
+            }
+        }
+        counts = next;
+    }
+    counts
+}
+
+/// Exact count of points whose residue lies in `window ⊆ [0, m)`
+/// (non-wrapping). Convenience over [`residue_counts`].
+pub fn count_in_window(form: &AffineForm, b: &IntBox, m: i64, window: Interval) -> u64 {
+    if window.is_empty() || b.is_empty() {
+        return 0;
+    }
+    assert!(window.lo >= 0 && window.hi < m, "window must lie within [0, m)");
+    if window.len() >= m as u64 {
+        return b.volume();
+    }
+    let counts = residue_counts(form, b, m);
+    counts[window.lo as usize..=window.hi as usize].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_enumeration() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for case in 0..400 {
+            let n = rng.gen_range(1..=3usize);
+            let m = [2i64, 4, 8, 12, 16, 32, 48][rng.gen_range(0..7usize)];
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-40..=40i64)).collect();
+            let c0 = rng.gen_range(-30..=30);
+            let f = AffineForm::new(coeffs, c0);
+            let dims: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let lo = rng.gen_range(-6..=6i64);
+                    Interval::new(lo, lo + rng.gen_range(-1..=11i64))
+                })
+                .collect();
+            let b = IntBox::new(dims);
+            let got = residue_counts(&f, &b, m);
+            let mut expect = vec![0u64; m as usize];
+            for p in b.iter_points() {
+                expect[f.eval(&p).rem_euclid(m) as usize] += 1;
+            }
+            assert_eq!(got, expect, "case {case}: f={f} m={m} box={b:?}");
+        }
+    }
+
+    #[test]
+    fn large_range_clips_to_period() {
+        // Stride 4 mod 8 has period 2: a huge range splits evenly between
+        // residues 0 and 4 (offset by c0 = 1 → residues 1 and 5).
+        let f = AffineForm::new(vec![4], 1);
+        let b = IntBox::new(vec![Interval::new(0, 1_999_999)]);
+        let counts = residue_counts(&f, &b, 8);
+        assert_eq!(counts[1], 1_000_000);
+        assert_eq!(counts[5], 1_000_000);
+        assert_eq!(counts.iter().sum::<u64>(), 2_000_000);
+    }
+
+    #[test]
+    fn window_count_totals() {
+        let f = AffineForm::new(vec![3, 5], -2);
+        let b = IntBox::new(vec![Interval::new(0, 9), Interval::new(-3, 3)]);
+        let m = 16;
+        let total: u64 = (0..m).map(|r| count_in_window(&f, &b, m, Interval::new(r, r))).sum();
+        assert_eq!(total, b.volume());
+        assert_eq!(count_in_window(&f, &b, m, Interval::new(0, m - 1)), b.volume());
+    }
+}

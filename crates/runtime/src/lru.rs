@@ -85,18 +85,24 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
             self.push_front(i);
             return false;
         }
+        // The single clone point for a fresh key: the map and the slab
+        // each need an owned copy, so one clone per new-key insert is the
+        // floor — both branches below only *move* their copy.
+        let slab_key = key.clone();
         let mut evicted = false;
         let i = if self.map.len() >= self.capacity {
-            // Reuse the LRU slot in place of allocating a new one.
+            // Reuse the LRU slot in place of allocating a new one; the
+            // displaced key comes *out* of the slot (no re-clone) just to
+            // unmap it.
             let i = self.tail;
             self.unlink(i);
-            self.map.remove(&self.entries[i].key);
-            self.entries[i].key.clone_from(&key);
+            let old = std::mem::replace(&mut self.entries[i].key, slab_key);
+            self.map.remove(&old);
             self.entries[i].value = value;
             evicted = true;
             i
         } else {
-            self.entries.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            self.entries.push(Entry { key: slab_key, value, prev: NIL, next: NIL });
             self.entries.len() - 1
         };
         self.map.insert(key, i);
@@ -150,6 +156,140 @@ mod tests {
         assert!(!lru.insert("c".into(), 33));
         assert_eq!(recency(&lru), ["c", "d", "a"]);
         assert_eq!(lru.get("c"), Some(&33));
+    }
+
+    /// A key that counts clones, so the insert paths can be audited.
+    struct CountedKey {
+        id: u64,
+        clones: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl std::hash::Hash for CountedKey {
+        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+            self.id.hash(state);
+        }
+    }
+
+    impl PartialEq for CountedKey {
+        fn eq(&self, other: &Self) -> bool {
+            self.id == other.id
+        }
+    }
+
+    impl Eq for CountedKey {}
+
+    impl Clone for CountedKey {
+        fn clone(&self) -> Self {
+            self.clones.set(self.clones.get() + 1);
+            CountedKey { id: self.id, clones: std::rc::Rc::clone(&self.clones) }
+        }
+    }
+
+    #[test]
+    fn insert_clones_the_key_exactly_once_on_every_path() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let key = |id: u64| CountedKey { id, clones: std::rc::Rc::clone(&clones) };
+
+        let mut lru: Lru<CountedKey, u64> = Lru::new(2);
+        // Growth path: map + slab each own a copy — one clone.
+        assert!(!lru.insert(key(1), 10));
+        assert_eq!(clones.get(), 1);
+        assert!(!lru.insert(key(2), 20));
+        assert_eq!(clones.get(), 2);
+        // Eviction path: the displaced key moves out of the slot and the
+        // new key moves in — still exactly one clone, no re-clone of
+        // either key.
+        assert!(lru.insert(key(3), 30));
+        assert_eq!(clones.get(), 3);
+        // Refresh path: the key already lives in the map — zero clones
+        // (constructing the argument key above is not a clone).
+        assert!(!lru.insert(key(3), 33));
+        assert_eq!(clones.get(), 3, "refreshing an existing key must not clone");
+        assert_eq!(lru.get(&key(3)), Some(&33));
+        assert_eq!(clones.get(), 3, "get never clones");
+    }
+
+    /// Reference model: a `HashMap` for values plus a `VecDeque` in
+    /// recency order (front = most recent). O(n) everywhere — obviously
+    /// correct, and exactly what the slab/linked-list `Lru` must match.
+    struct ModelLru {
+        map: std::collections::HashMap<u64, u64>,
+        recency: std::collections::VecDeque<u64>,
+        capacity: usize,
+    }
+
+    impl ModelLru {
+        fn new(capacity: usize) -> Self {
+            ModelLru {
+                map: std::collections::HashMap::new(),
+                recency: std::collections::VecDeque::new(),
+                capacity: capacity.max(1),
+            }
+        }
+
+        fn touch(&mut self, key: u64) {
+            self.recency.retain(|&k| k != key);
+            self.recency.push_front(key);
+        }
+
+        fn get(&mut self, key: u64) -> Option<u64> {
+            let v = *self.map.get(&key)?;
+            self.touch(key);
+            Some(v)
+        }
+
+        fn insert(&mut self, key: u64, value: u64) -> bool {
+            if self.map.insert(key, value).is_some() {
+                self.touch(key);
+                return false;
+            }
+            let mut evicted = false;
+            if self.map.len() > self.capacity {
+                let lru = self.recency.pop_back().expect("over capacity ⇒ nonempty");
+                self.map.remove(&lru);
+                evicted = true;
+            }
+            self.recency.push_front(key);
+            evicted
+        }
+    }
+
+    #[test]
+    fn model_based_random_trace_matches_the_reference() {
+        // Deterministic xorshift so failures replay; small key universes
+        // force constant collision/refresh/eviction traffic.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (capacity, universe) in [(1usize, 3u64), (2, 3), (3, 8), (7, 10), (16, 12), (8, 64)] {
+            let mut lru: Lru<u64, u64> = Lru::new(capacity);
+            let mut model = ModelLru::new(capacity);
+            for step in 0..4_000u64 {
+                let r = next();
+                let key = r % universe;
+                if r & 1 == 0 {
+                    let got = lru.get(&key).copied();
+                    let want = model.get(key);
+                    assert_eq!(got, want, "get({key}) diverged at step {step} (cap {capacity})");
+                } else {
+                    let value = step;
+                    let evicted = lru.insert(key, value);
+                    let model_evicted = model.insert(key, value);
+                    assert_eq!(
+                        evicted, model_evicted,
+                        "insert({key}) eviction diverged at step {step} (cap {capacity})"
+                    );
+                }
+                assert_eq!(lru.len(), model.map.len(), "len diverged at step {step}");
+                let order: Vec<u64> = lru.keys_by_recency().into_iter().copied().collect();
+                let want: Vec<u64> = model.recency.iter().copied().collect();
+                assert_eq!(order, want, "recency order diverged at step {step} (cap {capacity})");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,14 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// request cannot fail; the debug form is a defensive fallback, not a
 /// second key space.)
 pub fn canonical_key(req: &OptimizeRequest) -> String {
+    // A spelled-out default estimator collapses onto the field-absent
+    // form (same behaviour ⇒ same entry); non-default backends key
+    // separately, since they produce different outcomes.
+    if req.estimator == Some(cme_api::EstimatorSpec::default()) {
+        let mut r = req.clone();
+        r.estimator = None;
+        return serde_json::to_string(&r).unwrap_or_else(|_| format!("unserialisable:{r:?}"));
+    }
     serde_json::to_string(req).unwrap_or_else(|_| format!("unserialisable:{req:?}"))
 }
 
@@ -286,5 +294,27 @@ impl LintCache {
 
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::canonical_key;
+    use cme_api::{EstimatorSpec, NestSource, OptimizeRequest, StrategySpec};
+
+    #[test]
+    fn canonical_key_covers_the_estimator_field() {
+        let base = OptimizeRequest::new(NestSource::kernel_sized("T2D", 32), StrategySpec::Tiling);
+        let spelled_default = base.clone().with_estimator(EstimatorSpec::cme);
+        let lattice = base.clone().with_estimator(EstimatorSpec::lattice);
+
+        // A spelled-out default collapses onto the field-absent key —
+        // same behaviour, one cache entry.
+        assert_eq!(canonical_key(&base), canonical_key(&spelled_default));
+        // A different backend produces different outcomes, so it must
+        // key separately.
+        assert_ne!(canonical_key(&base), canonical_key(&lattice));
+        assert!(canonical_key(&lattice).contains("\"estimator\":\"lattice\""));
+        assert!(!canonical_key(&base).contains("estimator"));
     }
 }

@@ -16,11 +16,15 @@
 //!     └────────────── keep-alive return ◄─────────────────────┘
 //! ```
 //!
-//! * The driver polls with `ACCEPT_POLL` granularity (plain nonblocking
-//!   `std::net`, no poller dependency): it accepts new sockets, drains
-//!   readable bytes into per-connection buffers, frames requests with
-//!   [`frame_request`], and enforces the read deadline so a stalled peer
-//!   is dropped instead of parked on.
+//! * The driver *waits on readiness* instead of sleeping: between
+//!   passes it parks in `poll(2)` over the listener, every owned
+//!   connection, and a self-wake pipe the workers nudge when they return
+//!   a keep-alive connection — so a response is followed by the next
+//!   request's read on the very next pass, not after a timer tick. (On
+//!   non-Unix targets the wait degrades to a short sleep.) Each pass
+//!   accepts new sockets, drains readable bytes into per-connection
+//!   buffers, frames requests with [`frame_request`], and enforces the
+//!   read deadline so a stalled peer is dropped instead of parked on.
 //! * Backpressure is unchanged from the worker-pool design: the queue of
 //!   *ready* requests is bounded, and overflow is answered `503` at once
 //!   — but now only fully-read requests occupy slots, so slow senders
@@ -51,8 +55,13 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The driver's poll interval when no byte moved in a pass.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Upper bound on one readiness wait: shutdown requested through the
+/// route handler (no fd event, no nudge) is noticed within this.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// How long accepts stay gated after a transient `accept` failure
+/// (EMFILE, ECONNABORTED, …).
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Set by the signal handler; checked alongside the per-server flag so
 /// one handler installation covers any number of servers.
@@ -101,22 +110,88 @@ struct Job {
     remainder: Vec<u8>,
 }
 
-/// Keep-alive connections on their way back from workers to the driver.
+/// Keep-alive connections on their way back from workers to the driver,
+/// plus the write half of the driver's self-wake pipe: a push nudges the
+/// driver out of its readiness wait, so the connection's next request is
+/// read immediately instead of after a timer tick.
 struct ReturnLane {
     conns: Mutex<Vec<Conn>>,
+    #[cfg(unix)]
+    wake: std::os::unix::net::UnixStream,
 }
 
 impl ReturnLane {
-    fn new() -> Self {
-        ReturnLane { conns: Mutex::new(Vec::new()) }
+    /// Build the lane and the read half of its wake pipe (the driver
+    /// includes it in every readiness wait and drains it when signalled).
+    #[cfg(unix)]
+    fn new() -> (Self, std::os::unix::net::UnixStream) {
+        let (wake, wake_rx) =
+            std::os::unix::net::UnixStream::pair().expect("socketpair for driver wake");
+        // Both halves nonblocking: a full pipe just coalesces nudges, and
+        // the driver's drain stops at WouldBlock.
+        wake.set_nonblocking(true).expect("nonblocking wake tx");
+        wake_rx.set_nonblocking(true).expect("nonblocking wake rx");
+        (ReturnLane { conns: Mutex::new(Vec::new()), wake }, wake_rx)
+    }
+
+    #[cfg(not(unix))]
+    fn new() -> (Self, ()) {
+        (ReturnLane { conns: Mutex::new(Vec::new()) }, ())
     }
 
     fn push(&self, conn: Conn) {
         self.conns.lock().unwrap_or_else(PoisonError::into_inner).push(conn);
+        self.nudge();
+    }
+
+    /// Wake the driver (best-effort: a full pipe already guarantees a
+    /// pending wakeup, and errors only cost latency, not correctness).
+    fn nudge(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write;
+            let _ = (&self.wake).write(&[1u8]);
+        }
     }
 
     fn drain(&self) -> Vec<Conn> {
         std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Debounce for transient `accept` failures: instead of sleeping on the
+/// driver thread (which would stall every established connection for the
+/// backoff), the gate marks accepts unready until a deadline and the
+/// driver keeps polling and serving the connections it already owns.
+struct AcceptGate {
+    until: Option<Instant>,
+}
+
+impl AcceptGate {
+    fn new() -> Self {
+        AcceptGate { until: None }
+    }
+
+    /// May the driver call `accept` now? Clears an expired backoff.
+    fn ready(&mut self, now: Instant) -> bool {
+        match self.until {
+            Some(t) if now < t => false,
+            _ => {
+                self.until = None;
+                true
+            }
+        }
+    }
+
+    /// Record a transient failure: gate accepts for `ACCEPT_BACKOFF`.
+    fn trip(&mut self, now: Instant) {
+        self.until = Some(now + ACCEPT_BACKOFF);
+    }
+
+    /// Time left on the gate (None when accepts are ready) — bounds the
+    /// readiness wait so the backoff expires on schedule.
+    fn remaining(&self, now: Instant) -> Option<Duration> {
+        self.until.map(|t| t.saturating_duration_since(now))
     }
 }
 
@@ -168,7 +243,8 @@ pub fn start(config: &ServeConfig) -> std::io::Result<ServerHandle> {
 
     let app = Arc::new(App::with_runtime(config.workers, &config.runtime_config()));
     let queue = Arc::new(BoundedQueue::new(config.queue_depth));
-    let returns = Arc::new(ReturnLane::new());
+    let (returns, wake_rx) = ReturnLane::new();
+    let returns = Arc::new(returns);
 
     let pool = {
         let app = Arc::clone(&app);
@@ -186,7 +262,7 @@ pub fn start(config: &ServeConfig) -> std::io::Result<ServerHandle> {
         let config = config.clone();
         std::thread::Builder::new()
             .name("cme-serve-io".into())
-            .spawn(move || drive(&listener, &app, &queue, &returns, &config))
+            .spawn(move || drive(&listener, &app, &queue, &returns, &wake_rx, &config))
             .expect("spawn io driver thread")
     };
 
@@ -227,18 +303,27 @@ enum Verdict {
     Close,
 }
 
-/// The IO driver loop: accept, read, frame, dispatch, expire.
+/// The IO driver loop: accept, read, frame, dispatch, expire — then wait
+/// for *readiness* (listener, owned connections, or a worker's nudge)
+/// instead of sleeping a fixed tick.
+#[cfg(unix)]
+type WakeRx = std::os::unix::net::UnixStream;
+#[cfg(not(unix))]
+type WakeRx = ();
+
 fn drive(
     listener: &TcpListener,
     app: &Arc<App>,
     queue: &Arc<BoundedQueue<Job>>,
     returns: &ReturnLane,
+    wake_rx: &WakeRx,
     config: &ServeConfig,
 ) {
     // Bound on connections the driver tracks; beyond it accepts are
     // 503'd so buffered heads can't grow without limit.
     let open_cap = config.queue_depth + 2 * config.workers + 32;
     let mut conns: Vec<Conn> = Vec::new();
+    let mut accept_gate = AcceptGate::new();
     loop {
         if app.shutdown_requested() || signalled() {
             // Fold the signal into the app flag so workers returning
@@ -255,31 +340,35 @@ fn drive(
         progressed |= !returned.is_empty();
         conns.extend(returned);
 
-        // Accept burst.
-        loop {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    progressed = true;
-                    if conns.len() >= open_cap {
-                        app.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
-                        reject_overloaded(stream);
-                        continue;
+        // Accept burst (skipped while a transient-failure backoff is
+        // live — established connections below are still polled).
+        if accept_gate.ready(Instant::now()) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        progressed = true;
+                        if conns.len() >= open_cap {
+                            app.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                            reject_overloaded(stream);
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        conns.push(Conn {
+                            stream,
+                            buf: Vec::new(),
+                            deadline: Instant::now() + config.read_timeout,
+                        });
                     }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // Transient accept failures (EMFILE, ECONNABORTED, …):
+                    // gate accepts briefly instead of sleeping, so the
+                    // connections already being served don't stall.
+                    Err(_) => {
+                        accept_gate.trip(Instant::now());
+                        break;
                     }
-                    conns.push(Conn {
-                        stream,
-                        buf: Vec::new(),
-                        deadline: Instant::now() + config.read_timeout,
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                // Transient accept failures (EMFILE, ECONNABORTED, …):
-                // back off briefly instead of spinning or dying.
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(10));
-                    break;
                 }
             }
         }
@@ -300,7 +389,16 @@ fn drive(
         }
 
         if !progressed {
-            std::thread::sleep(ACCEPT_POLL);
+            let now = Instant::now();
+            let timeout = match accept_gate.remaining(now) {
+                // Wake when the accept backoff expires even if no fd
+                // fires; the listener is excluded from the wait below
+                // while gated, or a pending accept would busy-loop it.
+                Some(left) => IDLE_POLL.min(left.max(Duration::from_millis(1))),
+                None => IDLE_POLL,
+            };
+            wait_readable(listener, wake_rx, &conns, accept_gate.ready(now), timeout);
+            drain_wake(wake_rx);
         }
     }
     // Stop feeding workers and let them drain what was already framed.
@@ -410,6 +508,74 @@ fn answer_and_close(conn: &mut Conn, resp: &HttpResponse) {
     let _ = conn.stream.shutdown(Shutdown::Both);
 }
 
+/// Park the driver until the listener, the wake pipe, or any owned
+/// connection becomes readable — or `timeout` elapses. Readiness only
+/// *ends the wait*: the next driver pass re-reads everything
+/// nonblockingly, so spurious wakeups and `poll` errors are safe (they
+/// degrade to the old timer-tick behaviour, never to a missed event).
+/// `accept_ready` excludes the listener while accepts are gated, so a
+/// pending connection can't busy-loop the backoff away.
+#[cfg(unix)]
+fn wait_readable(
+    listener: &TcpListener,
+    wake_rx: &WakeRx,
+    conns: &[Conn],
+    accept_ready: bool,
+    timeout: Duration,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+    const POLLIN: i16 = 0x001;
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+
+    let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 2);
+    if accept_ready {
+        fds.push(PollFd { fd: listener.as_raw_fd(), events: POLLIN, revents: 0 });
+    }
+    fds.push(PollFd { fd: wake_rx.as_raw_fd(), events: POLLIN, revents: 0 });
+    for conn in conns {
+        fds.push(PollFd { fd: conn.stream.as_raw_fd(), events: POLLIN, revents: 0 });
+    }
+    let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    // SAFETY: `fds` outlives the call and `nfds` is its exact length;
+    // `poll` only writes the `revents` fields within that slice.
+    unsafe {
+        poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, ms);
+    }
+}
+
+#[cfg(not(unix))]
+fn wait_readable(
+    _listener: &TcpListener,
+    _wake_rx: &WakeRx,
+    _conns: &[Conn],
+    _accept_ready: bool,
+    timeout: Duration,
+) {
+    std::thread::sleep(timeout.min(Duration::from_millis(2)));
+}
+
+/// Clear pending nudges so the next wait parks (the bytes are
+/// level-triggered wake tokens, not data).
+fn drain_wake(wake_rx: &WakeRx) {
+    #[cfg(unix)]
+    {
+        let mut scratch = [0u8; 64];
+        let mut rx = wake_rx; // `&UnixStream` implements `Read`
+        while matches!(Read::read(&mut rx, &mut scratch), Ok(n) if n > 0) {}
+    }
+    #[cfg(not(unix))]
+    let _ = wake_rx;
+}
+
 /// Overload rejection for a just-accepted socket (connection table
 /// full). The client's request bytes are drained (without blocking the
 /// driver) before closing: unread receive-buffer data would otherwise
@@ -433,4 +599,50 @@ fn reject_overloaded(mut stream: TcpStream) {
     let _ = write_response(&mut stream, &resp, false);
     let _ = stream.shutdown(Shutdown::Write);
     drain(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_gate_blocks_only_until_the_deadline() {
+        let t0 = Instant::now();
+        let mut gate = AcceptGate::new();
+        assert!(gate.ready(t0), "a fresh gate accepts");
+        assert_eq!(gate.remaining(t0), None);
+
+        gate.trip(t0);
+        assert!(!gate.ready(t0), "a tripped gate blocks immediately");
+        assert!(!gate.ready(t0 + ACCEPT_BACKOFF / 2), "still inside the backoff");
+        assert_eq!(gate.remaining(t0 + ACCEPT_BACKOFF / 2), Some(ACCEPT_BACKOFF / 2));
+
+        // The regression this guards: the backoff must *expire by clock*,
+        // not by a driver-thread sleep — at the deadline the gate opens
+        // and clears.
+        assert!(gate.ready(t0 + ACCEPT_BACKOFF));
+        assert_eq!(gate.remaining(t0 + ACCEPT_BACKOFF), None);
+
+        // Re-tripping restarts the window.
+        gate.trip(t0 + ACCEPT_BACKOFF);
+        assert!(!gate.ready(t0 + ACCEPT_BACKOFF));
+        assert!(gate.ready(t0 + ACCEPT_BACKOFF * 2));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn return_lane_nudges_are_drained_not_accumulated() {
+        let (lane, rx) = ReturnLane::new();
+        for _ in 0..10 {
+            lane.nudge();
+        }
+        drain_wake(&rx);
+        // Pipe empty again: a nonblocking read finds nothing.
+        let mut one = [0u8; 1];
+        let mut reader = &rx;
+        match Read::read(&mut reader, &mut one) {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock),
+            Ok(n) => panic!("expected drained pipe, read {n} bytes"),
+        }
+    }
 }

@@ -3,7 +3,8 @@
 use cme_analysis::rectangular_tiling_legality;
 use cme_core::engine::{fold_seed, SEED_SPLIT};
 use cme_core::{
-    CacheHierarchy, CacheSpec, EvalEngine, MissEstimate, SamplingConfig, SharedDisplacements,
+    CacheHierarchy, CacheSpec, Estimator, EstimatorKind, EvalEngine, MissEstimate, SamplingConfig,
+    SharedDisplacements,
 };
 use cme_ga::{run_ga, Domain, GaConfig, GaResult, Objective};
 use cme_loopnest::deps::TilingLegality;
@@ -12,25 +13,29 @@ use serde::{Deserialize, Serialize};
 
 /// Objective: estimated replacement misses of the nest tiled with the
 /// candidate tile vector (paper §3.1's function `f`), evaluated through a
-/// shared [`EvalEngine`] — the per-kernel CME analysis is computed once
-/// and borrowed by every GA individual.
+/// scoring backend behind the [`Estimator`] seam — the per-kernel analysis
+/// is computed once (in the backend's shared [`EvalEngine`]) and borrowed
+/// by every GA individual.
 pub struct TilingObjective<'e> {
-    pub engine: &'e EvalEngine,
+    pub estimator: &'e dyn Estimator,
 }
 
 impl<'e> TilingObjective<'e> {
-    /// Wrap a shared engine (one per search run).
-    pub fn new(engine: &'e EvalEngine) -> Self {
-        TilingObjective { engine }
+    /// Wrap a shared backend (one per search run). `&EvalEngine` coerces,
+    /// so callers holding a bare engine keep the sampled CME objective.
+    pub fn new(estimator: &'e dyn Estimator) -> Self {
+        TilingObjective { estimator }
     }
 
     /// Full estimate for a tile vector (the identity tiling analyses the
     /// original nest). Seeded by folding the raw tile values into the
     /// base seed — trivial or not — so memoised costs are reproducible.
+    /// (Exact backends ignore the sampling seed.)
     pub fn estimate(&self, tiles: &TileSizes) -> MissEstimate {
-        let effective = (!tiles.is_trivial(self.engine.nest())).then_some(tiles);
-        let seed = fold_seed(self.engine.seed() ^ SEED_SPLIT, &tiles.0);
-        self.engine.estimate_seeded(None, effective, seed, None)
+        let engine = self.estimator.engine();
+        let effective = (!tiles.is_trivial(engine.nest())).then_some(tiles);
+        let seed = fold_seed(engine.seed() ^ SEED_SPLIT, &tiles.0);
+        self.estimator.estimate_transformed(None, effective, seed, None)
     }
 
     /// Estimate of the untransformed nest, seeded identically to
@@ -38,17 +43,17 @@ impl<'e> TilingObjective<'e> {
     /// fields equal the canonical baseline the `cme-api` layer reports,
     /// and the adapter can reuse them instead of re-estimating.
     pub fn estimate_untiled(&self) -> MissEstimate {
-        self.engine.estimate_canonical(None)
+        self.estimator.estimate_canonical(None)
     }
 }
 
 impl Objective for TilingObjective<'_> {
     fn cost(&self, values: &[i64]) -> f64 {
-        self.engine.cost(values, None)
+        self.estimator.cost(values, None)
     }
 
     fn cost_with_incumbent(&self, values: &[i64], incumbent: Option<f64>) -> f64 {
-        self.engine.cost(values, incumbent)
+        self.estimator.cost(values, incumbent)
     }
 }
 
@@ -118,6 +123,9 @@ pub struct TilingOptimizer {
     /// (wired in by the runtime layer; `None` keeps the search fully
     /// self-contained). Results are byte-identical either way.
     pub provider: Option<SharedDisplacements>,
+    /// Scoring backend the GA minimises (default: the sampled CME
+    /// classifier, which reproduces the paper byte-for-byte).
+    pub estimator: EstimatorKind,
 }
 
 impl TilingOptimizer {
@@ -133,6 +141,7 @@ impl TilingOptimizer {
             sampling: SamplingConfig::paper(),
             ga: GaConfig::default(),
             provider: None,
+            estimator: EstimatorKind::default(),
         }
     }
 
@@ -180,7 +189,8 @@ impl TilingOptimizer {
         if let TilingLegality::Illegal { reason } = rectangular_tiling_legality(nest) {
             return Err(format!("tiling `{}` is illegal: {reason}", nest.name));
         }
-        let objective = TilingObjective::new(engine);
+        let backend = self.estimator.build(engine);
+        let objective = TilingObjective::new(backend.as_ref());
         let domain = Domain::new(nest.spans());
         let ga = run_ga(&domain, &objective, &self.ga);
         let tiles = TileSizes(ga.best_values.clone());

@@ -5,8 +5,8 @@
 //! serialised form.
 
 use cme_suite::api::{
-    AnalyzeRequest, ApiError, BaselineKind, LintRequest, NestSource, OptimizeRequest, Outcome,
-    PaddingMode, Session, StrategySpec,
+    AnalyzeRequest, ApiError, BaselineKind, EstimatorSpec, LintRequest, NestSource,
+    OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
 };
 use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
 use cme_suite::cme::{CacheHierarchy, CacheLevel, CacheSpec, MissEstimate, SamplingConfig};
@@ -58,6 +58,9 @@ options:
   --tile-after                             pad: run tiling on the padded layout
   --joint                                  pad: joint padding+tiling GA
   --seed S                                 GA / sampling seed
+  --estimator cme | lattice                tile: scoring backend (default cme,
+                                           the paper's sampled classifier;
+                                           lattice = closed-form counting)
   --json                                   emit the serialised request outcome
   --sequential                             batch: disable parallel execution
   --addr HOST:PORT                         serve: bind address (default 127.0.0.1:7878)
@@ -109,6 +112,7 @@ struct Args {
     tile_after: bool,
     joint: bool,
     seed: u64,
+    estimator: Option<EstimatorSpec>,
     json: bool,
     sequential: bool,
     addr: Option<String>,
@@ -219,6 +223,7 @@ fn parse_args() -> Args {
         tile_after: false,
         joint: false,
         seed: 0xCE11,
+        estimator: None,
         json: false,
         sequential: false,
         addr: None,
@@ -255,6 +260,11 @@ fn parse_args() -> Args {
             "--seed" => {
                 let v = value_of("--seed", &mut it);
                 args.seed = v.parse().unwrap_or_else(|_| fail(format!("bad --seed value `{v}`")));
+            }
+            "--estimator" => {
+                let v = value_of("--estimator", &mut it);
+                args.estimator =
+                    Some(EstimatorSpec::parse(&v).unwrap_or_else(|e| fail(e.to_string())));
             }
             "--json" => args.json = true,
             "--sequential" => args.sequential = true,
@@ -326,7 +336,13 @@ impl Args {
     }
 
     fn optimize_request(&self, nest: NestSource, strategy: StrategySpec) -> OptimizeRequest {
-        OptimizeRequest::new(nest, strategy).with_cache(self.cache.clone()).with_seed(self.seed)
+        let mut req = OptimizeRequest::new(nest, strategy)
+            .with_cache(self.cache.clone())
+            .with_seed(self.seed);
+        if let Some(est) = self.estimator {
+            req = req.with_estimator(est);
+        }
+        req
     }
 
     fn session(&self) -> Session {

@@ -1,0 +1,129 @@
+//! Differential test suite: the lattice miss estimator vs the
+//! trace-driven cache simulator — the `tests/cme_vs_sim.rs` contract for
+//! the second `Estimator` backend.
+//!
+//! Unlike the sampled CME suite there is no CI half-width to fold into
+//! the tolerance: the lattice estimate is deterministic, so the whole
+//! allowance is model slack. The lattice backend shares the sampled
+//! classifier's conservative approximations (truncated candidate lists,
+//! conservative solver fallbacks) and adds one of its own — interference
+//! verdicts are resolved per homogeneity stratum, not per point — so its
+//! slack is wider than the sampled suite's 0.05. Measured deviations
+//! across this matrix peak at 0.0529 (T2D, direct-mapped, untiled);
+//! 0.08 leaves headroom without masking a regression.
+
+use cme_suite::cachesim::{simulate_nest, CacheGeometry};
+use cme_suite::cme::{CacheSpec, EvalEngine, LatticeEstimator, SamplingConfig};
+use cme_suite::kernels::{linalg, stencils, transposes};
+use cme_suite::loopnest::{LoopNest, MemoryLayout, TileSizes};
+
+/// Fixed allowance for the lattice model's approximations (module docs).
+const LATTICE_SLACK: f64 = 0.08;
+
+/// The differential-suite contract: one direct-mapped and one 2-way
+/// geometry, matched across the model and simulator crates.
+fn geometries() -> Vec<(&'static str, CacheSpec, CacheGeometry)> {
+    vec![
+        ("1k-direct", CacheSpec::direct_mapped(1024, 32), CacheGeometry::direct_mapped(1024, 32)),
+        (
+            "2k-2way",
+            CacheSpec { size: 2048, line: 32, assoc: 2 },
+            CacheGeometry::direct_mapped(2048, 32).with_assoc(2),
+        ),
+    ]
+}
+
+fn kernels() -> Vec<LoopNest> {
+    vec![linalg::mm(14), transposes::t2d(28), stencils::jacobi3d(10)]
+}
+
+fn thirds(nest: &LoopNest) -> TileSizes {
+    TileSizes(nest.spans().iter().map(|s| (s / 3).max(1)).collect())
+}
+
+fn check(nest: &LoopNest, tiles: Option<&TileSizes>, label: &str) -> Vec<String> {
+    let layout = MemoryLayout::contiguous(nest);
+    let mut failures = Vec::new();
+    for (geo_name, spec, geo) in geometries() {
+        let sim = simulate_nest(nest, &layout, tiles, geo);
+        let engine =
+            EvalEngine::new_hierarchy(&spec.into(), nest, &layout, SamplingConfig::paper(), 0xD1FF);
+        let est = LatticeEstimator::new(&engine).estimate(None, tiles);
+        assert!(est.exact, "{label}/{geo_name}: lattice estimates are exact, not sampled");
+        assert_eq!(
+            est.replacement_ci_half_width(),
+            0.0,
+            "{label}/{geo_name}: no sampling noise to bound"
+        );
+        let d_repl = (est.replacement_ratio() - sim.replacement_ratio()).abs();
+        let d_total = (est.miss_ratio() - sim.miss_ratio()).abs();
+        for (metric, d) in [("replacement", d_repl), ("total", d_total)] {
+            if d > LATTICE_SLACK {
+                failures.push(format!(
+                    "{label}/{geo_name}/{metric}: |lattice − sim| = {d:.4} > tol {LATTICE_SLACK} \
+                     (lattice repl {:.4} total {:.4}, sim repl {:.4} total {:.4})",
+                    est.replacement_ratio(),
+                    est.miss_ratio(),
+                    sim.replacement_ratio(),
+                    sim.miss_ratio(),
+                ));
+            }
+        }
+        if std::env::var_os("LATTICE_DIFF_VERBOSE").is_some() {
+            eprintln!(
+                "{label}/{geo_name}: repl d={d_repl:.4} total d={d_total:.4} \
+                 (lattice {:.4}/{:.4}, sim {:.4}/{:.4})",
+                est.replacement_ratio(),
+                est.miss_ratio(),
+                sim.replacement_ratio(),
+                sim.miss_ratio(),
+            );
+        }
+    }
+    failures
+}
+
+#[test]
+fn lattice_matches_simulator_untiled() {
+    let mut failures = Vec::new();
+    for nest in kernels() {
+        failures.extend(check(&nest, None, &format!("{}/untiled", nest.name)));
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn lattice_matches_simulator_tiled() {
+    let mut failures = Vec::new();
+    for nest in kernels() {
+        let tiles = thirds(&nest);
+        failures.extend(check(&nest, Some(&tiles), &format!("{}/tiled{}", nest.name, tiles)));
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// The estimate must be invariant across repeated calls and engine
+/// rebuilds — the determinism guarantee the docs advertise (no sampling
+/// state, no iteration-order dependence).
+#[test]
+fn lattice_is_deterministic() {
+    let nest = linalg::mm(14);
+    let layout = MemoryLayout::contiguous(&nest);
+    let spec = CacheSpec::direct_mapped(1024, 32);
+    let tiles = thirds(&nest);
+    let run = || {
+        let engine = EvalEngine::new_hierarchy(
+            &spec.into(),
+            &nest,
+            &layout,
+            SamplingConfig::paper(),
+            0xD1FF,
+        );
+        let lattice = LatticeEstimator::new(&engine);
+        (lattice.estimate(None, None), lattice.estimate(None, Some(&tiles)))
+    };
+    let (a_untiled, a_tiled) = run();
+    let (b_untiled, b_tiled) = run();
+    assert_eq!(a_untiled, b_untiled);
+    assert_eq!(a_tiled, b_tiled);
+}
