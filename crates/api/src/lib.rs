@@ -52,12 +52,12 @@ pub mod session;
 pub mod strategy;
 
 pub use error::ApiError;
-pub use outcome::{AnalyzeOutcome, LintOutcome, Outcome, Transform};
+pub use outcome::{AnalyzeOutcome, CompareEntry, CompareOutcome, LintOutcome, Outcome, Transform};
 pub use problem::validate_cache;
 pub use problem::Problem;
 pub use request::{
-    AnalyzeRequest, BaselineKind, EstimatorSpec, LintRequest, NestSource, OptimizeRequest,
-    PaddingMode, StrategySpec,
+    AnalyzeRequest, BaselineKind, CompareRequest, EstimatorSpec, LintRequest, NestSource,
+    OptimizeRequest, PaddingMode, StrategySpec,
 };
 pub use session::{Session, SessionBuilder};
 pub use strategy::{build_strategy, SearchStrategy};
@@ -226,6 +226,78 @@ mod tests {
         assert_eq!(StrategySpec::Interchange.name(), "interchange");
         assert_eq!(StrategySpec::Exhaustive { step: 1, max_evals: 1 }.name(), "exhaustive");
         assert_eq!(StrategySpec::Baseline { kind: BaselineKind::LrwSquare }.name(), "baseline:lrw");
+        assert_eq!(StrategySpec::CacheOblivious.name(), "oblivious");
+        assert_eq!(StrategySpec::LatencyBased.name(), "latency");
+    }
+
+    #[test]
+    fn strategy_tokens_parse_to_the_expected_specs() {
+        // CLI/HTTP token spellings; `name()` of the parsed spec matches
+        // the canonical token so round-trips are stable.
+        for (token, expect) in [
+            ("ga", StrategySpec::Tiling),
+            ("tiling", StrategySpec::Tiling),
+            ("oblivious", StrategySpec::CacheOblivious),
+            ("cache-oblivious", StrategySpec::CacheOblivious),
+            ("latency", StrategySpec::LatencyBased),
+            ("latency-based", StrategySpec::LatencyBased),
+            ("interchange", StrategySpec::Interchange),
+            ("padding", StrategySpec::Padding { mode: PaddingMode::Pad }),
+            ("baseline:lrw", StrategySpec::Baseline { kind: BaselineKind::LrwSquare }),
+            ("baseline:tss", StrategySpec::Baseline { kind: BaselineKind::Tss }),
+        ] {
+            assert_eq!(StrategySpec::parse_token(token).unwrap(), expect, "token {token}");
+        }
+        let err = StrategySpec::parse_token("nope").unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(_)), "got {err:?}");
+        assert!(err.to_string().contains("nope"), "error names the bad token: {err}");
+    }
+
+    #[test]
+    fn compare_ranks_families_over_one_shared_baseline() {
+        let base = tiny_request(StrategySpec::Tiling);
+        let req = CompareRequest::new(base.clone()).with_strategies(vec![
+            StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+            StrategySpec::Tiling,
+            StrategySpec::CacheOblivious,
+            StrategySpec::LatencyBased,
+        ]);
+        let out = Session::default().compare(&req).unwrap();
+        assert_eq!(out.kernel, "T2D_32");
+        assert_eq!(out.entries.len(), 4);
+        // Ranked ascending by the spelled-out key, key matches the outcome.
+        for pair in out.entries.windows(2) {
+            assert!(pair[0].weighted_cost <= pair[1].weighted_cost);
+        }
+        for entry in &out.entries {
+            assert_eq!(entry.weighted_cost, entry.outcome.after.weighted_cost());
+            // One canonical baseline: every family reports the same `before`.
+            let shared = serde_json::to_string(&out.entries[0].outcome.before).unwrap();
+            assert_eq!(serde_json::to_string(&entry.outcome.before).unwrap(), shared);
+        }
+        // Winner indexes the *request* line-up and names the best entry.
+        assert_eq!(
+            req.strategies[out.winner].name(),
+            out.best().outcome.strategy,
+            "winner must point at entries[0]'s family"
+        );
+        // Tournament equals sequential runs, modulo timing.
+        for (k, spec) in req.strategies.iter().enumerate() {
+            let solo = Session::default().run(&req.entrant(k)).unwrap();
+            let entry = out
+                .entries
+                .iter()
+                .find(|e| e.outcome.strategy == spec.name())
+                .expect("every family appears in the ranking");
+            assert_eq!(solo.without_timing(), entry.outcome.without_timing());
+        }
+    }
+
+    #[test]
+    fn compare_with_no_strategies_is_rejected() {
+        let req =
+            CompareRequest::new(tiny_request(StrategySpec::Tiling)).with_strategies(Vec::new());
+        assert!(matches!(Session::default().compare(&req), Err(ApiError::BadRequest(_))));
     }
 
     #[test]

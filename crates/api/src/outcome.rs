@@ -81,6 +81,81 @@ impl Outcome {
     }
 }
 
+/// One ranked tournament entrant: the family's full outcome plus the
+/// ranking key, spelled out so wire clients need no recomputation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareEntry {
+    /// The family's outcome — strategy name, transform, `before`/`after`
+    /// estimates (the `before` is byte-identical across entries: every
+    /// family reports the same canonical baseline), per-family `wall_ms`.
+    pub outcome: Outcome,
+    /// The ranking key: `outcome.after.weighted_cost()` (Σ level
+    /// replacement misses × miss latency after the transform).
+    pub weighted_cost: f64,
+}
+
+/// Result of a [`crate::CompareRequest`]: every family's outcome, ranked
+/// best-first by the latency-weighted objective. As with [`Outcome`],
+/// compare [`Self::without_timing`] forms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareOutcome {
+    pub kernel: String,
+    pub cache: CacheHierarchy,
+    /// Entrants ranked by ascending `weighted_cost` (ties keep request
+    /// order — the ranking is deterministic).
+    pub entries: Vec<CompareEntry>,
+    /// Index **into the request's `strategies` array** of the winning
+    /// family (`entries[0]`'s position in the original line-up).
+    pub winner: usize,
+    /// Wall-clock time of the whole tournament in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl CompareOutcome {
+    /// Rank per-family outcomes (in request order) into a tournament:
+    /// ascending `after.weighted_cost()`, ties broken by request order
+    /// (NaN cannot occur — weighted costs are finite sums of finite
+    /// non-negative terms). `winner` is the best entrant's index in the
+    /// input order. `outcomes` must be non-empty: compare requests with
+    /// no strategies are rejected before execution.
+    pub fn rank(outcomes: Vec<Outcome>, wall_ms: u64) -> CompareOutcome {
+        let kernel = outcomes[0].kernel.clone();
+        let cache = outcomes[0].cache.clone();
+        let costs: Vec<f64> = outcomes.iter().map(|o| o.after.weighted_cost()).collect();
+        let mut order: Vec<usize> = (0..outcomes.len()).collect();
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then(a.cmp(&b)));
+        let winner = order[0];
+        let entries = order
+            .into_iter()
+            .map(|k| CompareEntry { outcome: outcomes[k].clone(), weighted_cost: costs[k] })
+            .collect();
+        CompareOutcome { kernel, cache, entries, winner, wall_ms }
+    }
+
+    /// A copy with every wall-clock field zeroed (the tournament's and
+    /// each entrant's) — the canonical form for comparisons and caching.
+    pub fn without_timing(&self) -> CompareOutcome {
+        CompareOutcome {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| CompareEntry {
+                    outcome: e.outcome.without_timing(),
+                    weighted_cost: e.weighted_cost,
+                })
+                .collect(),
+            wall_ms: 0,
+            ..self.clone()
+        }
+    }
+
+    /// The winning entrant (entries are never empty: compare requests
+    /// with no strategies are rejected before execution).
+    pub fn best(&self) -> &CompareEntry {
+        &self.entries[0]
+    }
+}
+
 /// Result of an [`crate::AnalyzeRequest`]: no search, just the model.
 /// As with [`Outcome`], compare [`Self::without_timing`] forms.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

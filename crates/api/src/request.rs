@@ -136,6 +136,15 @@ pub enum StrategySpec {
     Exhaustive { step: i64, max_evals: u64 },
     /// §5 related-work heuristic, scored by the same estimator.
     Baseline { kind: BaselineKind },
+    /// PCOT-style cache-oblivious divide and conquer: derive tiles by
+    /// halving the longest legal dimension to a machine-independent base
+    /// case. The derivation never reads the request's cache — the
+    /// hierarchy only *scores* the result.
+    CacheOblivious,
+    /// Cashman-style latency-based tiling: probe miss-ratio scaling on a
+    /// budgeted shrunk instance through the exact simulator and fit the
+    /// knee — O(probes) instead of a GA run.
+    LatencyBased,
 }
 
 impl StrategySpec {
@@ -153,6 +162,36 @@ impl StrategySpec {
             StrategySpec::Baseline { kind: BaselineKind::FixedFraction { .. } } => {
                 "baseline:fixed-fraction".into()
             }
+            StrategySpec::CacheOblivious => "oblivious".into(),
+            StrategySpec::LatencyBased => "latency".into(),
+        }
+    }
+
+    /// Parse a tournament token (the CLI `--strategies` vocabulary, also
+    /// accepted as strings in the wire `strategies` array of a compare
+    /// request): `ga`/`tiling`, `oblivious`, `latency`, `interchange`,
+    /// `padding[:then-tile|:joint]`, `baseline:lrw|tss|fixed-fraction`,
+    /// and `exhaustive` (paper-scale defaults: step 1, 100 000 evals).
+    pub fn parse_token(s: &str) -> Result<StrategySpec, ApiError> {
+        match s {
+            "ga" | "tiling" => Ok(StrategySpec::Tiling),
+            "oblivious" | "cache-oblivious" => Ok(StrategySpec::CacheOblivious),
+            "latency" | "latency-based" => Ok(StrategySpec::LatencyBased),
+            "interchange" => Ok(StrategySpec::Interchange),
+            "padding" => Ok(StrategySpec::Padding { mode: PaddingMode::Pad }),
+            "padding:then-tile" => Ok(StrategySpec::Padding { mode: PaddingMode::PadThenTile }),
+            "padding:joint" => Ok(StrategySpec::Padding { mode: PaddingMode::Joint }),
+            "exhaustive" => Ok(StrategySpec::Exhaustive { step: 1, max_evals: 100_000 }),
+            "baseline:lrw" => Ok(StrategySpec::Baseline { kind: BaselineKind::LrwSquare }),
+            "baseline:tss" => Ok(StrategySpec::Baseline { kind: BaselineKind::Tss }),
+            "baseline:fixed-fraction" => {
+                Ok(StrategySpec::Baseline { kind: BaselineKind::FixedFraction { fraction: 0.5 } })
+            }
+            other => Err(ApiError::BadRequest(format!(
+                "unknown strategy token `{other}` (expected one of ga, tiling, oblivious, \
+                 latency, interchange, padding, padding:then-tile, padding:joint, exhaustive, \
+                 baseline:lrw, baseline:tss, baseline:fixed-fraction)"
+            ))),
         }
     }
 }
@@ -276,5 +315,48 @@ impl LintRequest {
     pub fn with_cache(mut self, cache: impl Into<CacheHierarchy>) -> Self {
         self.cache = cache.into();
         self
+    }
+}
+
+/// A strategy tournament: run several families over one base request and
+/// rank them by the shared latency-weighted objective. Every entry is
+/// scored by the same estimator against the same canonical `before`, so
+/// cross-family gains are directly comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareRequest {
+    /// The request every family runs: nest, cache, sampling, GA config,
+    /// estimator. Its own `strategy` field is ignored — `strategies`
+    /// below selects the entrants.
+    pub base: OptimizeRequest,
+    /// The families to race, in request order (at least one). The serve
+    /// layer additionally accepts [`StrategySpec::parse_token`] strings
+    /// like `"ga"` / `"oblivious"` in this array.
+    pub strategies: Vec<StrategySpec>,
+}
+
+impl CompareRequest {
+    /// The default tournament: GA tiling vs cache-oblivious vs
+    /// latency-based vs the LRW baseline.
+    pub fn new(base: OptimizeRequest) -> Self {
+        CompareRequest {
+            base,
+            strategies: vec![
+                StrategySpec::Tiling,
+                StrategySpec::CacheOblivious,
+                StrategySpec::LatencyBased,
+                StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+            ],
+        }
+    }
+
+    /// Replace the line-up (builder style, mirrors the other requests).
+    pub fn with_strategies(mut self, strategies: Vec<StrategySpec>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// The per-family optimize request for entrant `k`.
+    pub fn entrant(&self, k: usize) -> OptimizeRequest {
+        OptimizeRequest { strategy: self.strategies[k].clone(), ..self.base.clone() }
     }
 }

@@ -3,9 +3,9 @@
 //! (HTTP handler, queue worker) binds to.
 
 use crate::error::ApiError;
-use crate::outcome::{AnalyzeOutcome, LintOutcome, Outcome};
+use crate::outcome::{AnalyzeOutcome, CompareOutcome, LintOutcome, Outcome};
 use crate::problem::Problem;
-use crate::request::{AnalyzeRequest, LintRequest, OptimizeRequest};
+use crate::request::{AnalyzeRequest, CompareRequest, LintRequest, OptimizeRequest};
 use crate::strategy::build_strategy;
 use cme_core::{DisplacementProvider, EvalEngine, SharedDisplacements};
 use cme_loopnest::MemoryLayout;
@@ -86,6 +86,27 @@ impl Session {
         } else {
             reqs.iter().map(|req| self.run(req)).collect()
         }
+    }
+
+    /// Run a strategy tournament: every family in `req.strategies` over
+    /// the shared base request, ranked by the latency-weighted objective
+    /// (`after.weighted_cost()`, ties keep request order). Each entrant
+    /// equals what [`Self::run`] would answer for the per-family request
+    /// alone (modulo `wall_ms`), so all entries share one byte-identical
+    /// canonical `before`. Any entrant's failure fails the tournament —
+    /// a ranking over half a line-up would be misleading.
+    pub fn compare(&self, req: &CompareRequest) -> Result<CompareOutcome, ApiError> {
+        let started = Instant::now();
+        if req.strategies.is_empty() {
+            return Err(ApiError::BadRequest("compare request needs at least one strategy".into()));
+        }
+        let entrants: Vec<OptimizeRequest> =
+            (0..req.strategies.len()).map(|k| req.entrant(k)).collect();
+        let mut outcomes = Vec::with_capacity(entrants.len());
+        for result in self.run_batch(&entrants) {
+            outcomes.push(result?);
+        }
+        Ok(CompareOutcome::rank(outcomes, started.elapsed().as_millis() as u64))
     }
 
     /// Run a pure analysis request (no search). The engine-assembled

@@ -1,8 +1,10 @@
-//! The polymorphic search-strategy layer: one trait, five families.
+//! The polymorphic search-strategy layer: one trait, seven families.
 //!
 //! Every optimiser in the suite — §3 GA tiling, §4.3 GA padding (plain,
-//! then-tile, joint), the interchange extension, the exhaustive oracle and
-//! the §5 related-work baselines — is adapted here to one signature over
+//! then-tile, joint), the interchange extension, the exhaustive oracle,
+//! the §5 related-work baselines, the PCOT-style cache-oblivious
+//! derivation and Cashman-style latency-based probing — is adapted here
+//! to one signature over
 //! one problem type, returning one outcome type. Search strategy becomes a
 //! *value* (see [`StrategySpec`]): serialisable, selectable per request,
 //! and open for extension by implementing [`SearchStrategy`] downstream.
@@ -40,6 +42,8 @@ pub fn build_strategy(spec: &StrategySpec) -> Box<dyn SearchStrategy> {
             Box::new(ExhaustiveStrategy { step: *step, max_evals: *max_evals })
         }
         StrategySpec::Baseline { kind } => Box::new(BaselineStrategy { kind: *kind }),
+        StrategySpec::CacheOblivious => Box::new(CacheObliviousStrategy),
+        StrategySpec::LatencyBased => Box::new(LatencyBasedStrategy),
     }
 }
 
@@ -294,5 +298,63 @@ impl SearchStrategy for BaselineStrategy {
         let before = est.estimate_canonical(None);
         let after = est.estimate_canonical(Some(&tiles));
         Ok(b.finish(Transform::tiles(tiles), before, after, None, None))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-oblivious divide and conquer (PCOT-style)
+// ---------------------------------------------------------------------------
+
+/// Derives tiles from the nest alone — recursive halving of the longest
+/// legal dimension to a machine-independent base case. The request's
+/// hierarchy never reaches the derivation (`cache_oblivious_tiles` takes
+/// only the nest); it scores the result like any other family, so
+/// swapping the hierarchy changes the estimates but not the transform.
+/// Dimensions whose carried dependences forbid blocking keep their full
+/// span, so no tiling-legality gate is needed: the emitted transform is
+/// legal by construction (pinned by the legality-enforcement test).
+pub struct CacheObliviousStrategy;
+
+impl SearchStrategy for CacheObliviousStrategy {
+    fn name(&self) -> String {
+        StrategySpec::CacheOblivious.name()
+    }
+
+    fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
+        let b = OutcomeBuilder::new(self, problem);
+        let res = cme_tileopt::cache_oblivious_tiles(&problem.nest);
+        res.tiles.validate(&problem.nest).map_err(|e| ApiError::IllegalTransform(e.to_string()))?;
+        let engine = problem.engine();
+        let est = problem.backend(&engine);
+        let before = est.estimate_canonical(None);
+        let after = est.estimate_canonical(Some(&res.tiles));
+        Ok(b.finish(Transform::tiles(res.tiles), before, after, None, Some(res.halvings)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency-based tiling (Cashman-style miss-ratio probing)
+// ---------------------------------------------------------------------------
+
+/// Probes miss-ratio scaling on a budgeted shrunk instance through the
+/// exact simulator and fits the knee — O(probes) simulator passes
+/// instead of a GA run. `Outcome::explored` records the probe count.
+pub struct LatencyBasedStrategy;
+
+impl SearchStrategy for LatencyBasedStrategy {
+    fn name(&self) -> String {
+        StrategySpec::LatencyBased.name()
+    }
+
+    fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
+        let b = OutcomeBuilder::new(self, problem);
+        require_tileable(problem)?;
+        let res = cme_tileopt::latency_based_tiles(&problem.nest, &problem.hierarchy);
+        res.tiles.validate(&problem.nest).map_err(|e| ApiError::IllegalTransform(e.to_string()))?;
+        let engine = problem.engine();
+        let est = problem.backend(&engine);
+        let before = est.estimate_canonical(None);
+        let after = est.estimate_canonical(Some(&res.tiles));
+        Ok(b.finish(Transform::tiles(res.tiles), before, after, None, Some(res.probes)))
     }
 }

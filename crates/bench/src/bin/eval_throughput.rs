@@ -150,6 +150,13 @@ fn main() {
     std::hint::black_box(check_lattice);
     let lattice = Arm { label: "lattice", evals: n, wall_s: t0.elapsed().as_secs_f64() };
 
+    // Strategy-family arms: the same MM request answered by the GA
+    // (tiling), the cache-oblivious halving and the latency-based probe
+    // ladder — evals-to-answer and wall time per family. The tournament
+    // claim this pins: the latency-based family reaches its answer with
+    // at least 10x fewer evaluations than the GA and in less wall time.
+    let families = family_arms();
+
     let speedup = engined.eps() / scratch.eps();
     let speedup_ea = abandon.eps() / scratch.eps();
     let speedup_lattice = lattice.eps() / engined.eps();
@@ -182,6 +189,7 @@ fn main() {
         ("engine".into(), engined.json()),
         ("engine_early_abandon".into(), abandon.json()),
         ("lattice".into(), lattice.json()),
+        ("families".into(), families),
         ("engine_speedup".into(), serde::Value::Float(speedup)),
         ("early_abandon_speedup".into(), serde::Value::Float(speedup_ea)),
         ("lattice_speedup".into(), serde::Value::Float(speedup_lattice)),
@@ -202,6 +210,62 @@ fn main() {
         std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
         println!("wrote BENCH_eval.json");
     }
+}
+
+/// The per-family evals-to-answer arms: one `Session::run` per tiling
+/// family on the paper's MM request. Returns the JSON section written
+/// into `BENCH_eval.json` and asserts the latency-based family's
+/// efficiency claim (≥ 10x fewer evaluations than the GA, less wall
+/// time).
+fn family_arms() -> serde::Value {
+    use cme_api::{NestSource, OptimizeRequest, Session, StrategySpec};
+
+    let session = Session::default();
+    let specs: [(&str, StrategySpec); 3] = [
+        ("ga", StrategySpec::Tiling),
+        ("oblivious", StrategySpec::CacheOblivious),
+        ("latency", StrategySpec::LatencyBased),
+    ];
+    let mut section = Vec::new();
+    let mut ga_evals = 0u64;
+    let mut ga_wall = 0u64;
+    let mut latency_evals = 0u64;
+    let mut latency_wall = 0u64;
+    for (label, spec) in specs {
+        let req = OptimizeRequest::new(NestSource::kernel("MM"), spec).with_seed(7);
+        let out = session.run(&req).expect(label);
+        // Evals-to-answer: GA fitness evaluations, probe-ladder probes,
+        // or one closed-form derivation (cache-oblivious).
+        let evals = out.ga.as_ref().map(|ga| ga.evaluations).or(out.explored).unwrap_or(1);
+        match label {
+            "ga" => (ga_evals, ga_wall) = (evals, out.wall_ms),
+            "latency" => (latency_evals, latency_wall) = (evals, out.wall_ms),
+            _ => {}
+        }
+        println!(
+            "family {label:>10}: {evals:>6} evals to answer, {:>6} ms, cost {:.1}",
+            out.wall_ms,
+            out.after.weighted_cost()
+        );
+        section.push((
+            label.to_string(),
+            serde::Value::Object(vec![
+                ("evals_to_answer".into(), serde::Value::UInt(evals)),
+                ("wall_ms".into(), serde::Value::UInt(out.wall_ms)),
+                ("weighted_cost".into(), serde::Value::Float(out.after.weighted_cost())),
+            ]),
+        ));
+    }
+    assert!(
+        latency_evals * 10 <= ga_evals,
+        "latency-based family must answer with >= 10x fewer evaluations than the GA \
+         ({latency_evals} probes vs {ga_evals} GA evaluations)"
+    );
+    assert!(
+        latency_wall < ga_wall.max(1),
+        "latency-based family must answer faster than the GA ({latency_wall} ms vs {ga_wall} ms)"
+    );
+    serde::Value::Object(section)
 }
 
 /// The CI bench-regression gate: compare the cold-path engine throughput

@@ -32,11 +32,15 @@ pub use displacement::{DisplacementCache, DisplacementStats};
 pub use flight::{FlightResult, FlightStats, Singleflight};
 pub use lru::Lru;
 pub use outcome::{
-    canonical_key, canonical_lint_key, LintCache, OutcomeCache, Tier, TieredOutcomeCache,
+    canonical_compare_key, canonical_key, canonical_lint_key, CompareCache, LintCache,
+    OutcomeCache, Tier, TieredOutcomeCache,
 };
 pub use persist::{schema_fingerprint, DiskStats, DiskTier};
 
-use cme_api::{ApiError, LintOutcome, LintRequest, OptimizeRequest, Outcome, Session};
+use cme_api::{
+    ApiError, CompareOutcome, CompareRequest, LintOutcome, LintRequest, OptimizeRequest, Outcome,
+    Session,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -48,6 +52,8 @@ pub struct RuntimeConfig {
     pub outcome_entries: usize,
     /// Lint cache entries.
     pub lint_entries: usize,
+    /// Compare (tournament) cache entries.
+    pub compare_entries: usize,
     /// Process-wide displacement store entries.
     pub displacement_entries: usize,
     /// Directory for the persistent outcome tier; `None` = memory only.
@@ -59,6 +65,9 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             outcome_entries: 1024,
             lint_entries: 1024,
+            // Tournaments multiply the work of a single optimize request
+            // by the line-up size, so even a shallow memo pays for itself.
+            compare_entries: 256,
             // Displacement sets are small (a handful of short vectors)
             // and shared across every request touching the same array
             // shapes, so the default store is deeper than the outcome
@@ -119,6 +128,7 @@ pub struct Runtime {
     displacements: Arc<DisplacementCache>,
     outcomes: TieredOutcomeCache,
     lints: LintCache,
+    compares: CompareCache,
     flights: Singleflight<Result<Outcome, ApiError>>,
 }
 
@@ -136,6 +146,7 @@ impl Runtime {
             displacements,
             outcomes,
             lints: LintCache::new(config.lint_entries),
+            compares: CompareCache::new(config.compare_entries),
             flights: Singleflight::new(),
         }
     }
@@ -156,6 +167,10 @@ impl Runtime {
 
     pub fn lints(&self) -> &LintCache {
         &self.lints
+    }
+
+    pub fn compares(&self) -> &CompareCache {
+        &self.compares
     }
 
     pub fn flights(&self) -> &Singleflight<Result<Outcome, ApiError>> {
@@ -205,6 +220,44 @@ impl Runtime {
             self.lints.insert(key, out);
         }
         (result.map(|out| out.without_timing()), false)
+    }
+
+    /// Answer a compare request: whole-tournament memo first, then
+    /// per-family reuse of the outcome cache — only the families the
+    /// outcome cache cannot answer are recomputed (as one parallel
+    /// batch), and their fresh outcomes feed the outcome cache back, so
+    /// a tournament also warms `/optimize` and vice versa. The outcome
+    /// is timing-stripped; callers re-stamp `wall_ms`.
+    pub fn compare(&self, req: &CompareRequest) -> (Result<CompareOutcome, ApiError>, bool) {
+        let key = canonical_compare_key(req);
+        if let Some(hit) = self.compares.get(&key) {
+            return (Ok(hit), true);
+        }
+        if req.strategies.is_empty() {
+            return (
+                Err(ApiError::BadRequest("compare request needs at least one strategy".into())),
+                false,
+            );
+        }
+        let entrants: Vec<OptimizeRequest> =
+            (0..req.strategies.len()).map(|k| req.entrant(k)).collect();
+        let entrant_keys: Vec<String> = entrants.iter().map(canonical_key).collect();
+        let mut outcomes: Vec<Option<Outcome>> =
+            entrant_keys.iter().map(|k| self.outcomes.get(k)).collect();
+        let missing: Vec<usize> = (0..outcomes.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let fresh: Vec<OptimizeRequest> = missing.iter().map(|&i| entrants[i].clone()).collect();
+        for (&i, result) in missing.iter().zip(self.session.run_batch(&fresh)) {
+            match result {
+                Ok(out) => {
+                    self.outcomes.insert(entrant_keys[i].clone(), &out);
+                    outcomes[i] = Some(out.without_timing());
+                }
+                Err(e) => return (Err(e), false),
+            }
+        }
+        let ranked = CompareOutcome::rank(outcomes.into_iter().flatten().collect(), 0);
+        self.compares.insert(key, &ranked);
+        (Ok(ranked), false)
     }
 
     /// Flush the persistent outcome tier (no-op without one); returns

@@ -17,7 +17,7 @@
 
 use crate::lru::Lru;
 use crate::persist::{DiskStats, DiskTier};
-use cme_api::{LintOutcome, LintRequest, OptimizeRequest, Outcome};
+use cme_api::{CompareOutcome, CompareRequest, LintOutcome, LintRequest, OptimizeRequest, Outcome};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +42,21 @@ pub fn canonical_key(req: &OptimizeRequest) -> String {
 /// The cache key for a lint request (same canonicalisation rule).
 pub fn canonical_lint_key(req: &LintRequest) -> String {
     serde_json::to_string(req).unwrap_or_else(|_| format!("unserialisable:{req:?}"))
+}
+
+/// The cache key for a compare request. Two extra normalisations on top
+/// of the canonical-serialisation rule: the base request's own
+/// `strategy` field is pinned to a fixed value (the tournament ignores
+/// it — `strategies` selects the entrants), and a spelled-out default
+/// estimator collapses onto the field-absent form, both so requests that
+/// answer identically share one entry.
+pub fn canonical_compare_key(req: &CompareRequest) -> String {
+    let mut r = req.clone();
+    r.base.strategy = cme_api::StrategySpec::Tiling;
+    if r.base.estimator == Some(cme_api::EstimatorSpec::default()) {
+        r.base.estimator = None;
+    }
+    serde_json::to_string(&r).unwrap_or_else(|_| format!("unserialisable:{r:?}"))
 }
 
 /// Thread-safe LRU over independently locked [`Lru`] shards, plus hit
@@ -297,10 +312,86 @@ impl LintCache {
     }
 }
 
+/// The `/compare` memo-cache: one mutex around an [`Lru`] of
+/// timing-stripped [`CompareOutcome`]s. Tournaments are few and large,
+/// so a single shard suffices; the telemetry mirrors [`OutcomeCache`]
+/// for `/metrics`. Capacity 0 disables caching.
+pub struct CompareCache {
+    lru: Mutex<Lru<String, CompareOutcome>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CompareCache {
+    pub fn new(capacity: usize) -> Self {
+        CompareCache {
+            lru: Mutex::new(Lru::new(capacity.max(1))),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lru<String, CompareOutcome>> {
+        self.lru.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a timing-stripped tournament, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<CompareOutcome> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store the timing-stripped form of `outcome` under `key`.
+    pub fn insert(&self, key: String, outcome: &CompareOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.lock().insert(key, outcome.without_timing()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod key_tests {
-    use super::canonical_key;
-    use cme_api::{EstimatorSpec, NestSource, OptimizeRequest, StrategySpec};
+    use super::{canonical_compare_key, canonical_key};
+    use cme_api::{CompareRequest, EstimatorSpec, NestSource, OptimizeRequest, StrategySpec};
 
     #[test]
     fn canonical_key_covers_the_estimator_field() {
@@ -316,5 +407,29 @@ mod key_tests {
         assert_ne!(canonical_key(&base), canonical_key(&lattice));
         assert!(canonical_key(&lattice).contains("\"estimator\":\"lattice\""));
         assert!(!canonical_key(&base).contains("estimator"));
+    }
+
+    #[test]
+    fn compare_key_ignores_the_base_strategy_and_collapses_the_estimator() {
+        let base = OptimizeRequest::new(NestSource::kernel_sized("T2D", 32), StrategySpec::Tiling);
+        let tournament = CompareRequest::new(base.clone());
+
+        // The base request's own strategy is ignored by the tournament,
+        // so spelling a different one must not split the cache entry.
+        let mut other = tournament.clone();
+        other.base.strategy = StrategySpec::Interchange;
+        assert_eq!(canonical_compare_key(&tournament), canonical_compare_key(&other));
+
+        // Estimator canonicalisation matches the optimize-key rule.
+        let mut spelled = tournament.clone();
+        spelled.base.estimator = Some(EstimatorSpec::cme);
+        assert_eq!(canonical_compare_key(&tournament), canonical_compare_key(&spelled));
+        let mut lattice = tournament.clone();
+        lattice.base.estimator = Some(EstimatorSpec::lattice);
+        assert_ne!(canonical_compare_key(&tournament), canonical_compare_key(&lattice));
+
+        // A different line-up is a different tournament.
+        let solo = tournament.clone().with_strategies(vec![StrategySpec::Tiling]);
+        assert_ne!(canonical_compare_key(&tournament), canonical_compare_key(&solo));
     }
 }

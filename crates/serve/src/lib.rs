@@ -93,6 +93,13 @@ impl ServeConfig {
         RuntimeConfig {
             outcome_entries: self.cache_entries,
             lint_entries: self.cache_entries,
+            // Tournaments are much larger values; a quarter of the
+            // outcome capacity keeps the memory footprint comparable
+            // (0 still means disabled).
+            compare_entries: match self.cache_entries {
+                0 => 0,
+                n => (n / 4).clamp(1, 256),
+            },
             displacement_entries: self.displacement_entries,
             cache_dir: self.cache_dir.clone(),
         }

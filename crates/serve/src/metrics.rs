@@ -87,6 +87,7 @@ pub struct RouteCounters {
     pub optimize: AtomicU64,
     pub analyze: AtomicU64,
     pub lint: AtomicU64,
+    pub compare: AtomicU64,
     pub batch: AtomicU64,
     pub healthz: AtomicU64,
     pub metrics: AtomicU64,
@@ -115,6 +116,10 @@ pub struct Metrics {
     pub lint_cold_us: Histogram,
     /// `/lint` latency when the lint cache answered.
     pub lint_hit_us: Histogram,
+    /// `/compare` latency when at least part of the tournament ran.
+    pub compare_cold_us: Histogram,
+    /// `/compare` latency when the compare cache answered whole.
+    pub compare_hit_us: Histogram,
     /// Latency of every routed request.
     pub request_us: Histogram,
 }
@@ -132,6 +137,8 @@ impl Metrics {
             optimize_hit_us: Histogram::new(),
             lint_cold_us: Histogram::new(),
             lint_hit_us: Histogram::new(),
+            compare_cold_us: Histogram::new(),
+            compare_hit_us: Histogram::new(),
             request_us: Histogram::new(),
         }
     }
@@ -145,6 +152,7 @@ impl Metrics {
         let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
         let cache = runtime.outcomes();
         let lint_cache = runtime.lints();
+        let compare_cache = runtime.compares();
         let disp = runtime.displacements().stats();
         let flights = runtime.flights().stats();
         // The persistent tier's stats, or `null` when `--cache-dir` was
@@ -172,6 +180,7 @@ impl Metrics {
                     ("optimize".into(), load(&self.routes.optimize)),
                     ("analyze".into(), load(&self.routes.analyze)),
                     ("lint".into(), load(&self.routes.lint)),
+                    ("compare".into(), load(&self.routes.compare)),
                     ("batch".into(), load(&self.routes.batch)),
                     ("healthz".into(), load(&self.routes.healthz)),
                     ("metrics".into(), load(&self.routes.metrics)),
@@ -201,6 +210,16 @@ impl Metrics {
                 ]),
             ),
             (
+                "compare_cache".into(),
+                Value::Object(vec![
+                    ("entries".into(), Value::UInt(compare_cache.len() as u64)),
+                    ("capacity".into(), Value::UInt(compare_cache.capacity() as u64)),
+                    ("hits".into(), Value::UInt(compare_cache.hits())),
+                    ("misses".into(), Value::UInt(compare_cache.misses())),
+                    ("evictions".into(), Value::UInt(compare_cache.evictions())),
+                ]),
+            ),
+            (
                 "displacement_cache".into(),
                 Value::Object(vec![
                     ("entries".into(), Value::UInt(disp.entries as u64)),
@@ -226,6 +245,8 @@ impl Metrics {
                     ("optimize_hit".into(), self.optimize_hit_us.snapshot()),
                     ("lint_cold".into(), self.lint_cold_us.snapshot()),
                     ("lint_hit".into(), self.lint_hit_us.snapshot()),
+                    ("compare_cold".into(), self.compare_cold_us.snapshot()),
+                    ("compare_hit".into(), self.compare_hit_us.snapshot()),
                     ("all".into(), self.request_us.snapshot()),
                 ]),
             ),
@@ -266,6 +287,7 @@ mod tests {
         let runtime = Runtime::new(&cme_runtime::RuntimeConfig {
             outcome_entries: 8,
             lint_entries: 8,
+            compare_entries: 4,
             displacement_entries: 16,
             cache_dir: None,
         });
@@ -280,6 +302,7 @@ mod tests {
             "routes",
             "cache",
             "lint_cache",
+            "compare_cache",
             "displacement_cache",
             "coalescing",
             "latency_us",
@@ -291,10 +314,14 @@ mod tests {
         // No --cache-dir in this runtime: the disk tier reports null.
         assert_eq!(snap.get("cache").unwrap().get("disk"), Some(&Value::Null));
         assert_eq!(snap.get("lint_cache").unwrap().get("capacity"), Some(&Value::UInt(8)));
+        assert_eq!(snap.get("compare_cache").unwrap().get("capacity"), Some(&Value::UInt(4)));
         assert_eq!(snap.get("displacement_cache").unwrap().get("capacity"), Some(&Value::UInt(16)));
         assert!(snap.get("coalescing").unwrap().get("leaders").is_some());
         assert!(snap.get("routes").unwrap().get("lint").is_some());
+        assert!(snap.get("routes").unwrap().get("compare").is_some());
         assert!(snap.get("latency_us").unwrap().get("lint_cold").is_some());
+        assert!(snap.get("latency_us").unwrap().get("compare_cold").is_some());
+        assert!(snap.get("latency_us").unwrap().get("compare_hit").is_some());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | `POST /optimize`  | one `OptimizeRequest`     | `Outcome` (memo-cached)         |
 //! | `POST /analyze`   | one `AnalyzeRequest`      | `AnalyzeOutcome`                |
 //! | `POST /lint`      | one `LintRequest`         | `LintOutcome` (memo-cached)     |
+//! | `POST /compare`   | one `CompareRequest`      | `CompareOutcome` (memo-cached)  |
 //! | `POST /batch`     | `[OptimizeRequest, ...]`  | array of outcomes / errors      |
 //! | `GET /healthz`    | —                         | liveness + uptime               |
 //! | `GET /metrics`    | —                         | the telemetry document          |
@@ -101,6 +102,10 @@ impl App {
                 bump(&self.metrics.routes.lint);
                 self.lint(&req.body)
             }
+            ("POST", "/compare") => {
+                bump(&self.metrics.routes.compare);
+                self.compare(&req.body)
+            }
             ("POST", "/batch") => {
                 bump(&self.metrics.routes.batch);
                 self.batch(&req.body)
@@ -130,7 +135,7 @@ impl App {
                     format!("{{\"status\":\"shutting down\",\"flushed\":{flushed}}}"),
                 )
             }
-            (_, "/optimize" | "/analyze" | "/lint" | "/batch" | "/shutdown") => {
+            (_, "/optimize" | "/analyze" | "/lint" | "/compare" | "/batch" | "/shutdown") => {
                 bump(&self.metrics.routes.unmatched);
                 HttpResponse::error(405, "use POST for this route")
             }
@@ -230,6 +235,34 @@ impl App {
                     self.metrics.lint_hit_us.record(started.elapsed());
                 } else {
                     self.metrics.lint_cold_us.record(started.elapsed());
+                }
+                ok_json(&out)
+            }
+            (Err(e), _) => api_error_response(&e),
+        }
+    }
+
+    /// `POST /compare`: a strategy tournament over one base request.
+    /// The `strategies` array accepts CLI-style tokens (`"ga"`,
+    /// `"oblivious"`, `"latency"`, `"baseline:lrw"`, ...) alongside full
+    /// `StrategySpec` JSON values, and defaults to the standard four-way
+    /// line-up when absent. The runtime answers from its compare memo
+    /// when it can, reusing the per-family outcome cache otherwise; the
+    /// outcome comes back timing-stripped and `wall_ms` is re-stamped
+    /// here, like `/optimize`.
+    fn compare(&self, body: &[u8]) -> HttpResponse {
+        let started = Instant::now();
+        let req = match parse_compare_request(body) {
+            Ok(req) => req,
+            Err(resp) => return resp,
+        };
+        match self.runtime.compare(&req) {
+            (Ok(mut out), hit) => {
+                out.wall_ms = started.elapsed().as_millis() as u64;
+                if hit {
+                    self.metrics.compare_hit_us.record(started.elapsed());
+                } else {
+                    self.metrics.compare_cold_us.record(started.elapsed());
                 }
                 ok_json(&out)
             }
@@ -390,6 +423,51 @@ pub fn parse_optimize_request(body: &[u8]) -> Result<OptimizeRequest, HttpRespon
     fill_optimize_defaults(&mut value);
     serde_json::from_value(&value)
         .map_err(|e| HttpResponse::error(400, &format!("bad optimize request: {e}")))
+}
+
+/// Parse a `/compare` body: JSON → defaults on the base request and the
+/// line-up → token mapping → typed request. The base request's own
+/// `strategy` defaults to `"Tiling"` (the tournament ignores it, but the
+/// type requires one); an absent `strategies` array becomes the standard
+/// four-way line-up.
+pub fn parse_compare_request(body: &[u8]) -> Result<cme_api::CompareRequest, HttpResponse> {
+    let mut value = parse_json_body(body)?;
+    if let Value::Object(fields) = &mut value {
+        if serde::get_field(fields, "strategies").is_none() {
+            fields.push((
+                "strategies".into(),
+                Value::Array(
+                    ["ga", "oblivious", "latency", "baseline:lrw"]
+                        .iter()
+                        .map(|t| Value::Str((*t).to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+        for (name, member) in fields.iter_mut() {
+            match (name.as_str(), member) {
+                ("base", base) => {
+                    fill_optimize_defaults(base);
+                    fill_defaults(base, &[("strategy", Value::Str("Tiling".into()))]);
+                }
+                ("strategies", Value::Array(items)) => {
+                    for item in items.iter_mut() {
+                        // CLI-style tokens become full specs; other
+                        // strings (e.g. serde unit variants like
+                        // "Tiling") fall through to the typed parse.
+                        if let Value::Str(token) = item {
+                            if let Ok(spec) = cme_api::StrategySpec::parse_token(token) {
+                                *item = serde_json::to_value(&spec);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    serde_json::from_value(&value)
+        .map_err(|e| HttpResponse::error(400, &format!("bad compare request: {e}")))
 }
 
 #[cfg(test)]
@@ -576,6 +654,71 @@ mod tests {
 
         // The batch's (deduplicated) fresh run is now cached too.
         assert_eq!(app.runtime.outcomes().len(), 2);
+    }
+
+    #[test]
+    fn compare_ranks_families_and_caches_the_tournament() {
+        let app = App::new(1, 8);
+        // GA-free line-up keeps the test fast; tokens and a spelled-out
+        // spec may mix freely in one array.
+        let body = r#"{
+            "base": {"nest": {"Kernel": {"name": "MM", "size": 24}},
+                     "cache": {"size": 256, "line": 16, "assoc": 1}},
+            "strategies": ["oblivious", "latency", {"Baseline": {"kind": "LrwSquare"}}]
+        }"#;
+        let cold = app.handle(&post("/compare", body));
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        let out: cme_api::CompareOutcome = serde_json::from_str(&cold.body).unwrap();
+        assert_eq!(out.kernel, "MM_24");
+        assert_eq!(out.entries.len(), 3);
+        for pair in out.entries.windows(2) {
+            assert!(pair[0].weighted_cost <= pair[1].weighted_cost, "ranked ascending");
+        }
+        assert!(out.winner < 3);
+        // All entries share one canonical baseline, byte-for-byte.
+        let shared = serde_json::to_string(&out.entries[0].outcome.before).unwrap();
+        for entry in &out.entries {
+            assert_eq!(serde_json::to_string(&entry.outcome.before).unwrap(), shared);
+        }
+        // The per-family outcomes warmed the optimize cache...
+        assert_eq!(app.runtime.outcomes().len(), 3);
+        // ...and the repeat answers from the compare memo.
+        assert_eq!(app.runtime.compares().hits(), 0);
+        let hot = app.handle(&post("/compare", body));
+        assert_eq!(hot.status, 200, "{}", hot.body);
+        assert_eq!(app.runtime.compares().hits(), 1);
+        let rerun: cme_api::CompareOutcome = serde_json::from_str(&hot.body).unwrap();
+        assert_eq!(out.without_timing(), rerun.without_timing());
+    }
+
+    #[test]
+    fn compare_defaults_fill_the_standard_line_up() {
+        let req =
+            parse_compare_request(br#"{"base": {"nest": {"Kernel": {"name": "MM", "size": 32}}}}"#)
+                .unwrap();
+        let names: Vec<String> = req.strategies.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["tiling", "oblivious", "latency", "baseline:lrw"]);
+        assert_eq!(req.base.strategy, cme_api::StrategySpec::Tiling);
+        assert_eq!(req.base.cache, CacheSpec::paper_8k().into());
+    }
+
+    #[test]
+    fn compare_rejects_bad_tokens_and_empty_line_ups() {
+        let app = App::new(1, 8);
+        let bad = app.handle(&post(
+            "/compare",
+            r#"{"base": {"nest": {"Kernel": {"name": "MM", "size": 24}}},
+                "strategies": ["nope"]}"#,
+        ));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        let empty = app.handle(&post(
+            "/compare",
+            r#"{"base": {"nest": {"Kernel": {"name": "MM", "size": 24}}},
+                "strategies": []}"#,
+        ));
+        assert_eq!(empty.status, 400, "{}", empty.body);
+        assert!(empty.body.contains("at least one strategy"), "{}", empty.body);
+        assert_eq!(app.handle(&get("/compare")).status, 405);
     }
 
     #[test]

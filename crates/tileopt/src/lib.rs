@@ -17,10 +17,18 @@
 //!   LRW-style largest non-self-interfering square, TSS-style
 //!   Euclidean-sequence selection, and fixed cache-fraction tiles — used
 //!   by the comparison benchmarks the paper declined to run.
+//! * [`oblivious`] — PCOT-style cache-oblivious divide and conquer: halve
+//!   the longest legal dimension to a machine-independent base case; the
+//!   derivation never reads the cache hierarchy.
+//! * [`latency`] — Cashman-style latency-based tiling: probe miss-ratio
+//!   scaling on a budgeted shrunk instance through the exact simulator,
+//!   fit the knee, answer in O(probes).
 
 pub mod baselines;
 pub mod exhaustive;
 pub mod interchange;
+pub mod latency;
+pub mod oblivious;
 pub mod padding;
 pub mod problem;
 pub mod report;
@@ -29,6 +37,8 @@ pub use exhaustive::{
     exhaustive_search, exhaustive_search_on, try_exhaustive_search, ExhaustiveResult,
 };
 pub use interchange::{optimize_with_interchange, InterchangeOutcome};
+pub use latency::{latency_based_tiles, LatencyResult, KNEE_SLACK, PROBE_ACCESS_BUDGET};
+pub use oblivious::{cache_oblivious_tiles, ObliviousResult, BASE_CASE_BYTES};
 pub use padding::{JointOutcome, PaddingOptimizer, PaddingOutcome, PaddingSpace};
 pub use problem::{GaSummary, TilingObjective, TilingOptimizer, TilingOutcome};
 pub use report::KernelReport;

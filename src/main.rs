@@ -5,7 +5,7 @@
 //! serialised form.
 
 use cme_suite::api::{
-    AnalyzeRequest, ApiError, BaselineKind, EstimatorSpec, LintRequest, NestSource,
+    AnalyzeRequest, ApiError, BaselineKind, CompareRequest, EstimatorSpec, LintRequest, NestSource,
     OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
 };
 use cme_suite::cachesim::{simulate_nest, simulate_nest_hierarchy, CacheGeometry, LevelGeometry};
@@ -20,6 +20,9 @@ usage:
   cme show KERNEL [N]                      print a kernel as pseudo-Fortran
   cme analyze KERNEL [N] [opts]            CME miss-ratio analysis
   cme tile KERNEL [N] [opts]               GA tile-size search (§3)
+  cme compare KERNEL [N] [opts]            strategy tournament: race several
+                                           families over one request, ranked by
+                                           the latency-weighted objective
   cme pad KERNEL [N] [opts]                GA padding search (§4.3)
   cme simulate KERNEL [N] [opts]           exact LRU simulation (oracle)
   cme lint KERNEL [N] [opts]               dependence analysis + kernel lints
@@ -28,8 +31,9 @@ usage:
   cme batch FILE                           run a JSON array of OptimizeRequests
                                            (FILE of `-` reads stdin)
   cme serve                                HTTP/JSON service over the same API
-                                           (POST /optimize /analyze /lint /batch,
-                                            GET /healthz /metrics, POST /shutdown)
+                                           (POST /optimize /analyze /lint /compare
+                                            /batch, GET /healthz /metrics,
+                                            POST /shutdown)
 
 KERNEL defaults to MM (the paper's headline kernel) when omitted. Every
 subcommand taking KERNEL also accepts a bring-your-own nest instead:
@@ -54,6 +58,12 @@ options:
   --max-evals N                            cap for the exhaustive sweep (default 100000)
   --step S                                 stride for the exhaustive sweep (default 1)
   --baseline lrw | tss | fixed[:FRAC]      tile: score a §5 heuristic instead of GA
+  --strategies T1,T2,...                   compare: the families to race
+                                           (default ga,oblivious,latency,baseline:lrw;
+                                           tokens: ga/tiling, oblivious, latency,
+                                           interchange, padding, padding:then-tile,
+                                           padding:joint, exhaustive, baseline:lrw,
+                                           baseline:tss, baseline:fixed-fraction)
   --interchange                            tile: also search loop permutations
   --tile-after                             pad: run tiling on the padded layout
   --joint                                  pad: joint padding+tiling GA
@@ -108,6 +118,7 @@ struct Args {
     max_evals: u64,
     step: i64,
     baseline: Option<BaselineKind>,
+    strategies: Option<String>,
     interchange: bool,
     tile_after: bool,
     joint: bool,
@@ -219,6 +230,7 @@ fn parse_args() -> Args {
         max_evals: 100_000,
         step: 1,
         baseline: None,
+        strategies: None,
         interchange: false,
         tile_after: false,
         joint: false,
@@ -254,6 +266,7 @@ fn parse_args() -> Args {
                 args.step = v.parse().unwrap_or_else(|_| fail(format!("bad --step value `{v}`")));
             }
             "--baseline" => args.baseline = Some(parse_baseline(&value_of("--baseline", &mut it))),
+            "--strategies" => args.strategies = Some(value_of("--strategies", &mut it)),
             "--interchange" => args.interchange = true,
             "--tile-after" => args.tile_after = true,
             "--joint" => args.joint = true,
@@ -557,6 +570,61 @@ fn cmd_tile(args: &Args) {
     }
 }
 
+fn cmd_compare(args: &Args) {
+    let strategies: Vec<StrategySpec> = args
+        .strategies
+        .as_deref()
+        .unwrap_or("ga,oblivious,latency,baseline:lrw")
+        .split(',')
+        .map(|token| {
+            StrategySpec::parse_token(token.trim()).unwrap_or_else(|e| fail(e.to_string()))
+        })
+        .collect();
+    // The base strategy is a placeholder — `strategies` picks the entrants.
+    let base = args.optimize_request(args.nest_source(), StrategySpec::Tiling);
+    let req = CompareRequest::new(base).with_strategies(strategies);
+    let out = or_die(args.session().compare(&req));
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialise comparison"));
+        return;
+    }
+    println!(
+        "tournament: {} families on {}  cache {}  ({} ms)",
+        out.entries.len(),
+        out.kernel,
+        render_hierarchy(&out.cache),
+        out.wall_ms
+    );
+    for (rank, entry) in out.entries.iter().enumerate() {
+        let o = &entry.outcome;
+        let transform = if o.transform.is_identity() {
+            "unchanged".to_string()
+        } else {
+            let mut parts = Vec::new();
+            if let Some(perm) = &o.transform.permutation {
+                parts.push(format!("order {perm:?}"));
+            }
+            if let Some(pads) = &o.transform.pads {
+                parts.push(format!("pads {pads:?}"));
+            }
+            if let Some(tiles) = &o.transform.tiles {
+                parts.push(format!("tiles {tiles}"));
+            }
+            parts.join("  ")
+        };
+        println!(
+            "{:>2}. {:<20} cost {:>12.1}  replacement {} -> {}  {}{}",
+            rank + 1,
+            o.strategy,
+            entry.weighted_cost,
+            pct(o.before.replacement_ratio()),
+            pct(o.after.replacement_ratio()),
+            transform,
+            if rank == 0 { "  << winner" } else { "" }
+        );
+    }
+}
+
 fn cmd_pad(args: &Args) {
     let mode = if args.joint {
         PaddingMode::Joint
@@ -690,6 +758,13 @@ fn cmd_batch(args: &Args) {
     let reqs: Vec<OptimizeRequest> =
         serde_json::from_str(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
     let results = args.session().run_batch(&reqs);
+    // The per-request status array, in request order — the stable line
+    // CI scripts diff against an expected value (the JSON results go to
+    // stdout, the status and summary to stderr, so `--json` output stays
+    // a single parseable document).
+    let statuses: Vec<&str> =
+        results.iter().map(|r| if r.is_ok() { "ok" } else { "error" }).collect();
+    let failed = statuses.iter().filter(|&&s| s == "error").count();
     if args.json {
         let values: Vec<serde::Value> = results
             .iter()
@@ -708,8 +783,15 @@ fn cmd_batch(args: &Args) {
             }
         }
     }
+    eprintln!("batch status: [{}]", statuses.join(", "));
+    eprintln!(
+        "batch summary: {} ok, {} failed of {}",
+        results.len() - failed,
+        failed,
+        results.len()
+    );
     // Scripts chain on the exit code: any failed request fails the batch.
-    if results.iter().any(Result::is_err) {
+    if failed > 0 {
         exit(1)
     }
 }
@@ -757,6 +839,7 @@ fn main() {
         Some("show") => cmd_show(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("tile") => cmd_tile(&args),
+        Some("compare") => cmd_compare(&args),
         Some("pad") => cmd_pad(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("lint") => cmd_lint(&args),

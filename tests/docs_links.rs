@@ -105,6 +105,11 @@ fn schema_doc_covers_the_wire_surface() {
         "--displacement-entries",
         "outcomes.jsonl",
         "schema fingerprint",
+        "CompareRequest",
+        "CompareOutcome",
+        "POST /compare",
+        "\"winner\"",
+        "weighted_cost",
     ] {
         assert!(schema.contains(needle), "docs/SCHEMA.md no longer mentions `{needle}`");
     }
@@ -120,6 +125,10 @@ fn schema_doc_covers_the_wire_surface() {
         "coalescing",
         "frame_request",
         "readiness",
+        "Strategy families",
+        "oblivious",
+        "latency",
+        "Tournament memo",
     ] {
         assert!(arch.contains(needle), "docs/ARCHITECTURE.md no longer mentions `{needle}`");
     }
@@ -146,6 +155,9 @@ fn schema_doc_covers_the_wire_surface() {
         "coalescing.leaders",
         "cache.disk",
         "--cache-dir",
+        "Tournament mode",
+        "cme compare",
+        "compare_cache",
     ] {
         assert!(readme.contains(needle), "README.md no longer mentions `{needle}`");
     }

@@ -12,7 +12,8 @@
 //! and review the diff like any other behaviour change.
 
 use cme_suite::api::{
-    BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
+    BaselineKind, CompareOutcome, CompareRequest, NestSource, OptimizeRequest, Outcome,
+    PaddingMode, Session, StrategySpec,
 };
 use cme_suite::cme::{CacheHierarchy, CacheSpec};
 use cme_suite::loopnest::builder::{sub, NestBuilder};
@@ -98,6 +99,23 @@ fn family_requests() -> Vec<(&'static str, OptimizeRequest)> {
             .with_cache(kb1)
             .with_seed(26),
         ),
+        // The two hierarchy-free families from the tournament PR: the
+        // cache-oblivious recursive halving (geometry-independent
+        // transform) and the latency-based probe ladder. Same nest and
+        // cache as `tiling` so the three snapshots are directly
+        // comparable.
+        (
+            "cache_oblivious",
+            OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::CacheOblivious)
+                .with_cache(kb1)
+                .with_seed(30),
+        ),
+        (
+            "latency_based",
+            OptimizeRequest::new(NestSource::Inline(t2d(16)), StrategySpec::LatencyBased)
+                .with_cache(kb1)
+                .with_seed(31),
+        ),
         (
             "baseline_lrw",
             OptimizeRequest::new(
@@ -181,6 +199,56 @@ fn outcomes_match_golden_snapshots() {
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The canonical tournament: the default four-family line-up on a small
+/// MM. Pins the `CompareOutcome` wire format — ranked entry order, the
+/// winner index, and one shared baseline — so `/compare` responses cannot
+/// drift silently.
+fn compare_request() -> CompareRequest {
+    CompareRequest::new(
+        OptimizeRequest::new(NestSource::kernel_sized("MM", 16), StrategySpec::Tiling)
+            .with_cache(CacheSpec::direct_mapped(1024, 32))
+            .with_seed(32),
+    )
+}
+
+#[test]
+fn compare_outcome_matches_golden_snapshot() {
+    let session = Session::default();
+    let req = compare_request();
+    let outcome = session.compare(&req).expect("compare_mm").without_timing();
+
+    // Invariants worth pinning alongside the bytes: ascending rank order
+    // and one byte-identical shared baseline across every entry.
+    for pair in outcome.entries.windows(2) {
+        assert!(pair[0].weighted_cost <= pair[1].weighted_cost, "entries must be ranked");
+    }
+    let before = serde_json::to_string(&outcome.entries[0].outcome.before).unwrap();
+    for entry in &outcome.entries[1..] {
+        assert_eq!(
+            serde_json::to_string(&entry.outcome.before).unwrap(),
+            before,
+            "every family must share one canonical baseline"
+        );
+    }
+
+    let path = golden_path("compare_mm");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let json = serde_json::to_string_pretty(&outcome).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        return;
+    }
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden compare_mm: {e} (run UPDATE_GOLDEN=1)"));
+    let golden: CompareOutcome = serde_json::from_str(&raw).expect("compare_mm");
+    assert_eq!(golden.wall_ms, 0, "compare_mm: goldens are stored timing-stripped");
+    assert_eq!(
+        golden.without_timing(),
+        outcome,
+        "compare_mm: tournament outcome drifted from golden snapshot"
+    );
 }
 
 /// The snapshot files themselves must parse as `Outcome` JSON — catches

@@ -10,7 +10,7 @@
 //! permutation or an illegal tiling fails here no matter which internal
 //! gate regressed.
 
-use cme_suite::analysis::{analyze, permutation_violation, tiling_violation};
+use cme_suite::analysis::{analyze, permutation_violation, tiling_violation, Dir};
 use cme_suite::api::{
     BaselineKind, NestSource, OptimizeRequest, Outcome, PaddingMode, Session, StrategySpec,
 };
@@ -41,6 +41,8 @@ fn families() -> Vec<StrategySpec> {
         StrategySpec::Padding { mode: PaddingMode::Pad },
         StrategySpec::Padding { mode: PaddingMode::PadThenTile },
         StrategySpec::Padding { mode: PaddingMode::Joint },
+        StrategySpec::CacheOblivious,
+        StrategySpec::LatencyBased,
     ]
 }
 
@@ -54,14 +56,30 @@ fn assert_transform_legal(nest: &LoopNest, out: &Outcome, label: &str) {
             "{label}: emitted illegal permutation {perm:?}"
         );
     }
-    let tiled = out.transform.tiles.as_ref().is_some_and(|t| t.0.iter().any(|&s| s > 1));
-    if tiled {
-        assert!(
-            tiling_violation(&deps).is_none(),
-            "{label}: emitted tile sizes {:?} for a nest whose carried dependences \
-             forbid rectangular tiling",
-            out.transform.tiles
-        );
+    // Blocking is judged per dimension: a dimension actually split into
+    // more than one block (tile < span) must carry no reversed (`>`)
+    // dependence component at that position — splitting only hazard-free
+    // dimensions (block loops outermost, original order) keeps every
+    // realized direction vector lexicographically positive, which is how
+    // the cache-oblivious family stays legal on partially tileable nests.
+    if let Some(tiles) = &out.transform.tiles {
+        let spans = nest.spans();
+        let perm: Vec<usize> =
+            out.transform.permutation.clone().unwrap_or_else(|| (0..spans.len()).collect());
+        for (level, &tile) in tiles.0.iter().enumerate() {
+            let dim = perm[level];
+            if tile >= spans[dim] {
+                continue; // single block: the block loop is degenerate
+            }
+            let reversed =
+                deps.pairs.iter().any(|p| p.carried.iter().any(|dirs| dirs[dim] == Dir::Gt));
+            assert!(
+                !reversed,
+                "{label}: emitted tile sizes {:?} that split dimension {dim}, \
+                 which carries a reversed dependence component",
+                out.transform.tiles
+            );
+        }
     }
 }
 

@@ -314,6 +314,59 @@ fn malformed_requests_get_400_and_oversized_bodies_413() {
     handle.shutdown_and_join();
 }
 
+/// `POST /compare` parity with `Session::compare`, plus the tournament
+/// memo: a repeat of the same line-up is answered from the compare cache
+/// and the hit shows in `/metrics`.
+#[test]
+fn compare_route_matches_session_and_caches_tournaments() {
+    use cme_suite::api::CompareOutcome;
+
+    let handle = start(2, 8);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    // A GA-free line-up keeps the tournament cheap; token strings over
+    // the wire exercise the shorthand mapping too.
+    let body = r#"{
+        "base": {
+            "nest": {"Kernel": {"name": "MM", "size": 24}},
+            "cache": {"size": 256, "line": 16, "assoc": 1}
+        },
+        "strategies": ["oblivious", "latency", "baseline:lrw"]
+    }"#;
+
+    let (status, cold) = client.post("/compare", body).expect("cold compare");
+    assert_eq!(status, 200, "{cold}");
+    let served: CompareOutcome = serde_json::from_str(&cold).expect("compare outcome JSON");
+
+    // Parity: byte-identical to a direct Session::compare modulo wall_ms.
+    let req =
+        cme_suite::serve::router::parse_compare_request(body.as_bytes()).expect("request parses");
+    let direct = Session::default().compare(&req).expect("direct compare");
+    assert_eq!(
+        serde_json::to_string(&served.without_timing()).unwrap(),
+        serde_json::to_string(&direct.without_timing()).unwrap(),
+        "served tournament must be byte-identical to Session::compare modulo wall_ms"
+    );
+    assert_eq!(req.strategies[served.winner].name(), served.best().outcome.strategy);
+
+    // The identical line-up is a compare-cache hit and stays identical.
+    let (status, hot) = client.post("/compare", body).expect("hot compare");
+    assert_eq!(status, 200, "{hot}");
+    let hot_outcome: CompareOutcome = serde_json::from_str(&hot).expect("compare outcome JSON");
+    assert_eq!(hot_outcome.without_timing(), served.without_timing());
+
+    let (_, metrics) = client.get("/metrics").expect("metrics");
+    let doc: serde::Value = serde_json::from_str(&metrics).unwrap();
+    let compare_cache = doc.get("compare_cache").expect("compare_cache section");
+    assert_eq!(compare_cache.get("hits"), Some(&serde::Value::Int(1)), "{metrics}");
+    assert_eq!(
+        doc.get("routes").and_then(|r| r.get("compare")),
+        Some(&serde::Value::Int(2)),
+        "{metrics}"
+    );
+
+    handle.shutdown_and_join();
+}
+
 #[test]
 fn batch_route_round_trips_over_the_wire() {
     let handle = start(2, 8);

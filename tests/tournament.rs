@@ -1,0 +1,83 @@
+//! Strategy-tournament properties that only hold across crates: the
+//! cache-oblivious family's geometry independence, the latency-based
+//! family's probe budget, and `Session::compare` agreeing with N
+//! sequential `run`s modulo timing.
+
+use cme_suite::api::{CompareRequest, NestSource, OptimizeRequest, Session, StrategySpec};
+use cme_suite::cme::{CacheHierarchy, CacheSpec};
+
+fn mm_request(strategy: StrategySpec) -> OptimizeRequest {
+    OptimizeRequest::new(NestSource::kernel_sized("MM", 64), strategy).with_seed(7)
+}
+
+/// The cache-oblivious derivation scores geometry but never derives from
+/// it: swapping the request's hierarchy must leave the emitted transform
+/// byte-identical (only the estimates move).
+#[test]
+fn cache_oblivious_transform_is_invariant_under_hierarchy_swaps() {
+    let session = Session::default();
+    let hierarchies: Vec<CacheHierarchy> = vec![
+        CacheSpec::paper_8k().into(),
+        CacheSpec::paper_32k().into(),
+        CacheHierarchy::l1l2_default(),
+        CacheSpec::direct_mapped(1024, 32).into(),
+    ];
+    let outcomes: Vec<_> = hierarchies
+        .into_iter()
+        .map(|h| session.run(&mm_request(StrategySpec::CacheOblivious).with_cache(h)).unwrap())
+        .collect();
+    let reference = serde_json::to_string(&outcomes[0].transform).unwrap();
+    for out in &outcomes[1..] {
+        assert_eq!(
+            serde_json::to_string(&out.transform).unwrap(),
+            reference,
+            "hierarchy swap changed the cache-oblivious transform"
+        );
+    }
+    // And the transform actually tiles MM at this size.
+    let tiles = outcomes[0].transform.tiles.as_ref().expect("MM(64) exceeds the base case");
+    assert!(tiles.0.iter().any(|&t| t < 64), "expected at least one halved dimension");
+}
+
+/// The latency-based family records its probe count in `explored` and
+/// stays within the fixed ladder budget: at most one probe per rung plus
+/// the untiled reference.
+#[test]
+fn latency_based_probes_stay_within_budget() {
+    let out = Session::default()
+        .run(&mm_request(StrategySpec::LatencyBased).with_cache(CacheSpec::paper_8k()))
+        .unwrap();
+    let probes = out.explored.expect("latency-based outcomes record their probe count");
+    // Ladder rungs are powers of two up to the largest tiled span (64
+    // here) plus the untiled reference — far below the GA's thousands of
+    // evaluations.
+    assert!(probes >= 2, "at least the reference and one rung: {probes}");
+    assert!(probes <= 16, "probe ladder exceeded its budget: {probes}");
+    assert!(out.ga.is_none(), "latency-based runs no GA");
+}
+
+/// `Session::compare` is exactly N sequential `Session::run`s plus a
+/// deterministic ranking — entries match solo runs modulo `wall_ms`, in
+/// ascending `weighted_cost` order, and reruns rank identically.
+#[test]
+fn compare_equals_sequential_runs_modulo_timing() {
+    let session = Session::default();
+    let req = CompareRequest::new(mm_request(StrategySpec::Tiling));
+    let a = session.compare(&req).unwrap();
+    let b = session.compare(&req).unwrap();
+    assert_eq!(a.without_timing(), b.without_timing(), "tournament must be deterministic");
+    assert_eq!(a.entries.len(), req.strategies.len());
+    for pair in a.entries.windows(2) {
+        assert!(pair[0].weighted_cost <= pair[1].weighted_cost, "entries must be ranked");
+    }
+    for (k, spec) in req.strategies.iter().enumerate() {
+        let solo = session.run(&req.entrant(k)).unwrap();
+        let entry = a
+            .entries
+            .iter()
+            .find(|e| e.outcome.strategy == spec.name())
+            .unwrap_or_else(|| panic!("family {} missing from the ranking", spec.name()));
+        assert_eq!(solo.without_timing(), entry.outcome.without_timing(), "{}", spec.name());
+    }
+    assert_eq!(req.strategies[a.winner].name(), a.best().outcome.strategy);
+}
