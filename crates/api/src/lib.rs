@@ -114,6 +114,89 @@ mod tests {
         );
     }
 
+    fn triangular_inline() -> cme_loopnest::LoopNest {
+        use cme_loopnest::builder::{sub, sub_const, NestBuilder};
+        let mut nb = NestBuilder::new("tri");
+        let i = nb.add_loop("i", 1, 16);
+        let j = nb.add_loop_bounds("j", sub_const(1), sub(i));
+        let a = nb.array("a", &[16, 16]);
+        nb.write(a, &[sub(i), sub(j)]);
+        nb.finish().unwrap()
+    }
+
+    #[test]
+    fn triangular_incapable_paths_reject_uniformly() {
+        // Every path that cannot handle a non-rectangular iteration
+        // space answers a structured BadRequest (a 400 at the serve
+        // layer) whose wording leads with the source context — never a
+        // panic, never a silent hull-based answer.
+        let nest = triangular_inline();
+        let incapable = [
+            StrategySpec::Padding { mode: PaddingMode::Pad },
+            StrategySpec::Padding { mode: PaddingMode::PadThenTile },
+            StrategySpec::Padding { mode: PaddingMode::Joint },
+            StrategySpec::Interchange,
+            StrategySpec::Exhaustive { step: 1, max_evals: 100_000 },
+        ];
+        for spec in incapable {
+            let req = OptimizeRequest::new(NestSource::inline(nest.clone()), spec.clone())
+                .with_cache(CacheSpec::direct_mapped(1024, 32));
+            match Session::default().run(&req) {
+                Err(ApiError::BadRequest(msg)) => {
+                    assert!(msg.starts_with("inline nest `tri`: "), "{spec:?}: {msg}");
+                    assert!(msg.contains("rectangular loop bounds only"), "{spec:?}: {msg}");
+                }
+                other => panic!("{spec:?}: expected BadRequest, got {other:?}"),
+            }
+        }
+        // The lattice estimator is refused regardless of strategy.
+        let req = OptimizeRequest::new(NestSource::inline(nest.clone()), StrategySpec::Tiling)
+            .with_cache(CacheSpec::direct_mapped(1024, 32))
+            .with_estimator(EstimatorSpec::lattice);
+        match Session::default().run(&req) {
+            Err(ApiError::BadRequest(msg)) => {
+                assert!(msg.starts_with("inline nest `tri`: "), "{msg}");
+                assert!(msg.contains("`lattice` estimator"), "{msg}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Registry-sourced triangular nests lead with the kernel context,
+        // matching `nest_error_wording_is_uniform_across_sources`.
+        let req = OptimizeRequest::new(
+            NestSource::kernel_sized("TRSOLVE", 24),
+            StrategySpec::Interchange,
+        )
+        .with_cache(CacheSpec::direct_mapped(1024, 32));
+        match Session::default().run(&req) {
+            Err(ApiError::BadRequest(msg)) => {
+                assert!(msg.starts_with("kernel `TRSOLVE`: "), "{msg}");
+                assert!(msg.contains("rectangular loop bounds only"), "{msg}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triangular_capable_families_still_run() {
+        // The sampled estimator and the non-gated families handle the
+        // triangular space end to end.
+        for spec in [
+            StrategySpec::Tiling,
+            StrategySpec::CacheOblivious,
+            StrategySpec::LatencyBased,
+            StrategySpec::Baseline { kind: BaselineKind::LrwSquare },
+        ] {
+            let req = OptimizeRequest::new(NestSource::inline(triangular_inline()), spec.clone())
+                .with_cache(CacheSpec::direct_mapped(1024, 32))
+                .with_seed(3);
+            let out = Session::default().run(&req).unwrap();
+            assert!(
+                out.after.replacement_ratio() <= out.before.replacement_ratio() + 1e-9,
+                "{spec:?} must not hurt the triangular nest"
+            );
+        }
+    }
+
     #[test]
     fn bad_cache_is_rejected() {
         let mut req = tiny_request(StrategySpec::Tiling);

@@ -41,6 +41,10 @@ pub struct Problem {
     /// Scoring backend candidate transforms are evaluated with (the
     /// request's effective `estimator` field).
     pub estimator: EstimatorSpec,
+    /// Error-message context naming where the nest came from (``kernel
+    /// `X` `` / ``inline nest `X` ``) — capability rejections lead with
+    /// it so the wording stays uniform across sources.
+    pub source: String,
 }
 
 impl Problem {
@@ -49,7 +53,7 @@ impl Problem {
         let nest = req.nest.resolve()?;
         validate_cache(&req.cache)?;
         let layout = MemoryLayout::contiguous(&nest);
-        Ok(Problem {
+        let problem = Problem {
             nest,
             layout,
             hierarchy: req.cache.clone(),
@@ -57,7 +61,32 @@ impl Problem {
             ga: req.ga,
             displacements: None,
             estimator: req.estimator(),
-        })
+            source: req.nest.label(),
+        };
+        // The lattice backend counts whole boxes in closed form; a
+        // triangular space would be silently over-counted, so refuse it
+        // up front for every strategy rather than per call site.
+        if problem.estimator == EstimatorSpec::lattice {
+            problem.require_rectangular("`lattice` estimator")?;
+        }
+        Ok(problem)
+    }
+
+    /// Gate for triangular-incapable paths: `Ok` on rectangular nests,
+    /// otherwise a [`ApiError::BadRequest`] whose wording follows the
+    /// uniform source convention (``kernel `X`: …`` / ``inline nest
+    /// `X`: …``) — callers pass the capability name (e.g. "padding
+    /// search").
+    pub fn require_rectangular(&self, what: &str) -> Result<(), ApiError> {
+        if self.nest.is_rectangular() {
+            return Ok(());
+        }
+        Err(ApiError::BadRequest(format!(
+            "{}: the {what} supports rectangular loop bounds only, but this nest has affine \
+             (triangular) bounds — use the sampled `cme` estimator with the tiling, baseline, \
+             oblivious or latency families",
+            self.source
+        )))
     }
 
     /// The innermost (L1) geometry — what the single-level baseline

@@ -38,6 +38,16 @@ impl NestSource {
         NestSource::Inline(nest)
     }
 
+    /// The error-message context for this source — ``kernel `X` `` or
+    /// ``inline nest `X` `` — which every nest-related rejection leads
+    /// with (the convention documented on [`ApiError`]).
+    pub fn label(&self) -> String {
+        match self {
+            NestSource::Kernel { name, .. } => format!("kernel `{name}`"),
+            NestSource::Inline(nest) => format!("inline nest `{}`", nest.name),
+        }
+    }
+
     /// Build the concrete nest this source describes.
     pub fn resolve(&self) -> Result<LoopNest, ApiError> {
         match self {

@@ -162,6 +162,10 @@ impl SearchStrategy for PaddingStrategy {
 
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
         require_sampled_estimator(problem, "padding strategies")?;
+        // Padding GAs size their search space from rectangular array
+        // extents; a triangular nest would be scored against a layout
+        // family it never uses.
+        problem.require_rectangular("padding search")?;
         let b = OutcomeBuilder::new(self, problem);
         let opt = padding_optimizer(problem);
         // The optimisers' `original`/`before` fields use the canonical
@@ -207,6 +211,10 @@ impl SearchStrategy for InterchangeStrategy {
     }
 
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
+        // Permuting loops whose bounds reference outer induction
+        // variables is not a plain reorder (the bounds would have to be
+        // re-derived); refuse rather than emit an illegal permutation.
+        problem.require_rectangular("interchange search")?;
         let b = OutcomeBuilder::new(self, problem);
         // `before` is the *source order* untiled — the interchange search
         // itself reports its best permutation's estimates (each legal
@@ -244,6 +252,10 @@ impl SearchStrategy for ExhaustiveStrategy {
     }
 
     fn search(&self, problem: &Problem) -> Result<Outcome, ApiError> {
+        // The sweep's eval budget and landscape are declared over the
+        // rectangular hull; on a triangular space the "ground truth"
+        // label would be a misdeclaration.
+        problem.require_rectangular("exhaustive tile sweep")?;
         let b = OutcomeBuilder::new(self, problem);
         require_tileable(problem)?;
         // One shared engine: the whole sweep, the baseline and the final

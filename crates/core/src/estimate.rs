@@ -285,7 +285,7 @@ pub fn sampled_vs_incumbent(
     let (Some(abandon), Some(incumbent)) = (cfg.early_abandon, incumbent_misses) else {
         return sampled(an, cfg, seed);
     };
-    let volume = an.space.volume();
+    let volume = an.space.shape_volume();
     let want = cfg.sample_size();
     if volume <= want || !incumbent.is_finite() {
         return sampled(an, cfg, seed);
@@ -296,7 +296,7 @@ pub fn sampled_vs_incumbent(
     }
     // Same rank set as `sampled`, in sorted order so the sequential
     // prefix is independent of the draw-set's iteration order.
-    let mut ranks = draw_ranks(volume, want, seed);
+    let mut ranks = draw_space_ranks(&an.space, want, seed);
     ranks.sort_unstable();
     // The incumbent's CI upper bound, reconstructed from its point
     // estimate at the full sample size (misses → ratio → +half-width).
@@ -355,6 +355,36 @@ fn draw_ranks(volume: u64, want: u64, seed: u64) -> Vec<u64> {
     ranks.into_iter().collect()
 }
 
+/// Rejection-sampling counterpart of [`draw_ranks`] for triangular
+/// spaces: draw distinct *hull* ranks, keep the ones whose point lies in
+/// the shape, until `want` are accepted. Callers guarantee the shape
+/// holds more than `want` points (otherwise the exhaustive path runs), so
+/// the loop terminates. Deterministic for a fixed seed.
+fn draw_shape_ranks(space: &cme_loopnest::ExecSpace, want: u64, seed: u64) -> Vec<u64> {
+    let volume = space.volume();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tried = std::collections::HashSet::with_capacity(2 * want as usize);
+    let mut accepted = Vec::with_capacity(want as usize);
+    while (accepted.len() as u64) < want {
+        let r = rng.gen_range(0..volume);
+        if tried.insert(r) && space.contains_v(&space.point_at_global_rank(r)) {
+            accepted.push(r);
+        }
+    }
+    accepted
+}
+
+/// The sample-rank set for a (possibly triangular) space: plain distinct
+/// ranks on rectangular spaces (byte-identical to the historical
+/// behaviour), rejection sampling against the shape otherwise.
+fn draw_space_ranks(space: &cme_loopnest::ExecSpace, want: u64, seed: u64) -> Vec<u64> {
+    if space.shape.is_some() {
+        draw_shape_ranks(space, want, seed)
+    } else {
+        draw_ranks(space.volume(), want, seed)
+    }
+}
+
 /// Exhaustively classify every (point, reference) pair.
 pub fn exhaustive(an: &NestAnalysis) -> MissReport {
     let n_refs = an.addr.len();
@@ -375,7 +405,10 @@ pub fn exhaustive(an: &NestAnalysis) -> MissReport {
 /// Rayon-parallel (deterministic: the sample set depends only on the
 /// seed, and counts are integer sums).
 pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstimate {
-    let volume = an.space.volume();
+    // Exact iteration count: hull volume for rectangular spaces, the
+    // triangular shape's count otherwise (the hull rank bijection is
+    // still what the sampler draws from — see `draw_space_ranks`).
+    let volume = an.space.shape_volume();
     let want = cfg.sample_size();
     if volume <= want {
         let rep = exhaustive(an);
@@ -397,7 +430,7 @@ pub fn sampled(an: &NestAnalysis, cfg: &SamplingConfig, seed: u64) -> MissEstima
             levels: None,
         };
     }
-    let ranks = draw_ranks(volume, want, seed);
+    let ranks = draw_space_ranks(&an.space, want, seed);
     let n_refs = an.addr.len();
     let (counts, solver) = ranks
         .par_chunks(16.max(ranks.len() / 64))

@@ -105,6 +105,13 @@ impl InterferenceEngine {
                 if bx.is_empty() {
                     continue;
                 }
+                // Triangular spaces: drop or tighten pieces against the
+                // shape constraints (no-op on rectangular spaces). The
+                // residual over-approximation only errs towards blocked
+                // reuse — conservative, never optimistic.
+                let Some(bx) = space.refine_box(bx) else {
+                    continue;
+                };
                 for form in addr {
                     let range = form.range_over(&bx);
                     // n values for which some address in range can fall in

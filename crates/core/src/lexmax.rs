@@ -213,6 +213,38 @@ mod tests {
     }
 
     #[test]
+    fn matches_brute_force_triangular() {
+        // do i = 1,9 / do j = 1,i : a(i,j) — the search must stay inside
+        // the triangle, untiled and tiled.
+        use cme_loopnest::builder::sub_const;
+        let build = || {
+            let mut nb = NestBuilder::new("tri");
+            let i = nb.add_loop("i", 1, 9);
+            let j = nb.add_loop_bounds("j", sub_const(1), sub(i));
+            let a = nb.array("a", &[9, 9]);
+            nb.read(a, &[sub(i), sub(j)]);
+            nb.finish().unwrap()
+        };
+        let nest = build();
+        let layout = MemoryLayout::contiguous(&nest);
+        for space in [ExecSpace::untiled(&nest), ExecSpace::tiled(&nest, &TileSizes(vec![4, 3]))] {
+            let form = space.lift_form(&layout.address_form(&nest, 0));
+            let windows: Vec<Interval> =
+                (0..8).map(|l| Interval::new(l * 32, l * 32 + 31)).collect();
+            let mut checked = 0;
+            space.clone().for_each_point(|v0| {
+                for w in &windows {
+                    let got = search_all_levels(&space, &form, v0, *w);
+                    let want = brute_lexmax(&space, &form, v0, *w);
+                    assert_eq!(got, want, "v0 {v0:?} w {w}");
+                    checked += 1;
+                }
+            });
+            assert!(checked > 100);
+        }
+    }
+
+    #[test]
     fn no_predecessor_at_origin() {
         let mut nb = NestBuilder::new("n");
         let _i = nb.add_loop("i", 1, 5);

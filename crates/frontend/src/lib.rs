@@ -43,10 +43,16 @@
 //!   bytes per element), with `float` ≡ `real4` and `double` ≡ `real8`.
 //!   Arrays are column-major unless prefixed `rowmajor`
 //!   (`colmajor` spells the default).
-//! * `for (i = 1; i <= 100; i++) { … }` — unit-stride loop with constant
-//!   bounds; `<` and `+= 1` are accepted spellings. Loops must be
-//!   perfectly nested: a block holds either exactly one `for` or the body
-//!   statements.
+//! * `for (i = 1; i <= 100; i++) { … }` — unit-stride loop; `<` and
+//!   `+= 1` are accepted spellings. Bounds are affine in the *outer* loop
+//!   variables, so triangular towers parse directly:
+//!   `for (j = 1; j <= i; j++)` or `for (j = i + 1; j < n; j++)` with a
+//!   constant `n`-substituted bound. Constant bounds stay plain constants
+//!   on the wire. For [`parse`], loops must be perfectly nested: a block
+//!   holds either exactly one `for` or the body statements. [`lower`]
+//!   additionally accepts imperfect nests (statements and `for`s
+//!   interleaved) and splits them into perfect sub-nests by
+//!   statement-major fission.
 //! * Body statements generate the memory-reference stream in textual
 //!   order. `x[i] = expr;` reads every array reference in `expr`
 //!   left-to-right, then writes `x[i]`; compound assignment
@@ -67,7 +73,7 @@ mod lex;
 mod parse;
 mod render;
 
-pub use parse::{parse, parse_with_spans, RefSpan};
+pub use parse::{lower, parse, parse_with_spans, RefSpan};
 pub use render::render;
 
 use cme_loopnest::NestError;

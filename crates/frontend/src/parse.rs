@@ -38,6 +38,32 @@ pub fn parse_with_spans(src: &str) -> Result<(LoopNest, Vec<RefSpan>), FrontendE
     Ok((nest, spans))
 }
 
+/// Lower a possibly *imperfect* nest into perfect sub-nests.
+///
+/// Where [`parse`] insists a block holds either exactly one `for` or a
+/// statement list, `lower` accepts any interleaving of statements and
+/// nested `for` towers (and several towers at top level) and splits the
+/// program at statement boundaries: every maximal run of statements
+/// becomes one perfect [`LoopNest`] under its full enclosing loop tower,
+/// in textual order — statement-major fission. Sub-nests are named
+/// `{kernel}__s{k}` (`k` counting runs in textual order), share the full
+/// array table (so array ids and layouts agree across sub-nests), and
+/// each passes [`LoopNest::validate`].
+///
+/// Concatenating the sub-nests' access streams tower-by-tower reproduces
+/// the statement-major reading of the source: for each run, its tower's
+/// iteration space in lexicographic order, the run's references in
+/// textual order per point.
+pub fn lower(src: &str) -> Result<Vec<LoopNest>, FrontendError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let nests = p.program_imperfect()?;
+    for nest in &nests {
+        nest.validate().map_err(FrontendError::Invalid)?;
+    }
+    Ok(nests)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -91,11 +117,54 @@ impl Parser {
     }
 
     fn program(&mut self) -> Result<(LoopNest, Vec<RefSpan>), FrontendError> {
+        let (name, base, arrays) = self.header()?;
+
+        // The loop tower and its body.
+        let mut loops: Vec<LoopDef> = Vec::new();
+        let mut refs: Vec<(MemRef, RefSpan)> = Vec::new();
+        self.for_tower(&arrays, &mut loops, &mut refs)?;
+        self.expect(Tok::Eof)?;
+        finalize_bounds(&mut loops);
+
+        let (refs, spans) = refs.into_iter().unzip();
+        let mut nest =
+            LoopNest { name: name.unwrap_or_else(|| "inline".to_string()), loops, arrays, refs };
+        if base == Some(0) {
+            rebase_to_one(&mut nest);
+        }
+        Ok((nest, spans))
+    }
+
+    /// As [`Self::program`], accepting imperfect nesting: statement runs
+    /// and `for` towers interleave freely; each run snapshots one perfect
+    /// sub-nest (see [`lower`]).
+    fn program_imperfect(&mut self) -> Result<Vec<LoopNest>, FrontendError> {
+        let (name, base, arrays) = self.header()?;
+        let name = name.unwrap_or_else(|| "inline".to_string());
+        let mut loops: Vec<LoopDef> = Vec::new();
+        let mut out: Vec<LoopNest> = Vec::new();
+        let mut counter = 0usize;
+        while matches!(&self.peek().kind, Tok::Ident(w) if w == "for") {
+            self.imperfect_tower(&arrays, &mut loops, &name, &mut counter, &mut out)?;
+        }
+        let eof = self.expect(Tok::Eof)?;
+        if out.is_empty() {
+            return Err(self.err_at(&eof, "the program has no statements to lower"));
+        }
+        if base == Some(0) {
+            for nest in &mut out {
+                rebase_to_one(nest);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Header: directives and declarations, any order, until `for`.
+    #[allow(clippy::type_complexity)]
+    fn header(&mut self) -> Result<(Option<String>, Option<i64>, Vec<ArrayDecl>), FrontendError> {
         let mut name: Option<String> = None;
         let mut base: Option<i64> = None;
         let mut arrays: Vec<ArrayDecl> = Vec::new();
-
-        // Header: directives and declarations, any order, until `for`.
         loop {
             let tok = self.peek().clone();
             match &tok.kind {
@@ -142,20 +211,7 @@ impl Parser {
                 }
             }
         }
-
-        // The loop tower and its body.
-        let mut loops: Vec<LoopDef> = Vec::new();
-        let mut refs: Vec<(MemRef, RefSpan)> = Vec::new();
-        self.for_tower(&arrays, &mut loops, &mut refs)?;
-        self.expect(Tok::Eof)?;
-
-        let (refs, spans) = refs.into_iter().unzip();
-        let mut nest =
-            LoopNest { name: name.unwrap_or_else(|| "inline".to_string()), loops, arrays, refs };
-        if base == Some(0) {
-            rebase_to_one(&mut nest);
-        }
-        Ok((nest, spans))
+        Ok((name, base, arrays))
     }
 
     /// `[rowmajor|colmajor] TYPE NAME [E]... ;` — `TYPE` is `float`,
@@ -203,15 +259,17 @@ impl Parser {
         Ok(ArrayDecl { name, extents, elem_size, layout: decl_layout })
     }
 
-    /// One `for` header + its block; recurses while the block holds
-    /// another `for`, otherwise parses body statements. Enforces perfect
-    /// nesting: a block is either one `for` or a statement list.
-    fn for_tower(
+    /// One `for (v = lo; v <= hi; v++) {` header. Bounds are affine in
+    /// the *outer* loop variables (`loops` so far); a constant expression
+    /// folds to a plain constant bound, keeping rectangular nests
+    /// byte-identical on the wire. The returned def's affine forms span
+    /// only the outer variables — [`finalize_bounds`] widens them to the
+    /// final nest depth.
+    fn for_header(
         &mut self,
         arrays: &[ArrayDecl],
-        loops: &mut Vec<LoopDef>,
-        refs: &mut Vec<(MemRef, RefSpan)>,
-    ) -> Result<(), FrontendError> {
+        loops: &[LoopDef],
+    ) -> Result<LoopDef, FrontendError> {
         let (word, tok) = self.expect_ident("`for`")?;
         if word != "for" {
             return Err(self.err_at(&tok, format!("expected `for`, found `{word}`")));
@@ -225,7 +283,8 @@ impl Parser {
             return Err(self.err_at(&var_tok, format!("name `{var}` is already in use")));
         }
         self.expect(Tok::Assign)?;
-        let lo = self.expect_int("a constant lower bound")?;
+        let lo_tok = self.peek().clone();
+        let lo_form = self.affine(loops)?;
         self.expect(Tok::Semi)?;
         let (cond_var, cond_tok) = self.expect_ident("the loop variable")?;
         if cond_var != var {
@@ -239,8 +298,11 @@ impl Parser {
             t if t.kind == Tok::Lt => true,
             t => return Err(self.err_at(&t, format!("expected `<` or `<=`, found {}", t.kind))),
         };
-        let bound = self.expect_int("a constant upper bound")?;
-        let hi = if strict { bound - 1 } else { bound };
+        let hi_tok = self.peek().clone();
+        let mut hi_form = self.affine(loops)?;
+        if strict {
+            hi_form = hi_form.shift(-1);
+        }
         self.expect(Tok::Semi)?;
         let (inc_var, inc_tok) = self.expect_ident("the loop variable")?;
         if inc_var != var {
@@ -265,7 +327,47 @@ impl Parser {
         }
         self.expect(Tok::RParen)?;
         self.expect(Tok::LBrace)?;
-        loops.push(LoopDef::new(var, lo, hi));
+        // Constant hull of each bound over the outer loops' hull
+        // intervals — the IR's canonical hull rule.
+        let lo = self.hull_bound(&lo_form, loops, false, &lo_tok)?;
+        let hi = self.hull_bound(&hi_form, loops, true, &hi_tok)?;
+        Ok(LoopDef::with_affine_bounds(
+            var,
+            lo,
+            hi,
+            Some(lo_form).filter(|f| !f.is_constant()),
+            Some(hi_form).filter(|f| !f.is_constant()),
+        ))
+    }
+
+    /// Interval-hull endpoint of a bound form over the outer loops' hull
+    /// ranges, in widened arithmetic.
+    fn hull_bound(
+        &self,
+        form: &AffineForm,
+        loops: &[LoopDef],
+        want_max: bool,
+        tok: &Token,
+    ) -> Result<i64, FrontendError> {
+        let mut acc = form.c0 as i128;
+        for (c, l) in form.coeffs.iter().zip(loops) {
+            let (a, b) = ((*c as i128) * (l.lo as i128), (*c as i128) * (l.hi as i128));
+            acc += if want_max { a.max(b) } else { a.min(b) };
+        }
+        i64::try_from(acc).map_err(|_| self.err_at(tok, "loop bound overflows i64"))
+    }
+
+    /// One `for` header + its block; recurses while the block holds
+    /// another `for`, otherwise parses body statements. Enforces perfect
+    /// nesting: a block is either one `for` or a statement list.
+    fn for_tower(
+        &mut self,
+        arrays: &[ArrayDecl],
+        loops: &mut Vec<LoopDef>,
+        refs: &mut Vec<(MemRef, RefSpan)>,
+    ) -> Result<(), FrontendError> {
+        let def = self.for_header(arrays, loops)?;
+        loops.push(def);
 
         if matches!(&self.peek().kind, Tok::Ident(w) if w == "for") {
             self.for_tower(arrays, loops, refs)?;
@@ -275,6 +377,51 @@ impl Parser {
             }
         }
         self.expect(Tok::RBrace)?;
+        Ok(())
+    }
+
+    /// One `for` header + a block interleaving statement runs and nested
+    /// towers (the imperfect grammar behind [`lower`]). Each maximal
+    /// statement run snapshots a perfect sub-nest over the current tower.
+    fn imperfect_tower(
+        &mut self,
+        arrays: &[ArrayDecl],
+        loops: &mut Vec<LoopDef>,
+        kernel: &str,
+        counter: &mut usize,
+        out: &mut Vec<LoopNest>,
+    ) -> Result<(), FrontendError> {
+        let def = self.for_header(arrays, loops)?;
+        loops.push(def);
+        loop {
+            match &self.peek().kind {
+                Tok::RBrace => break,
+                Tok::Ident(w) if w == "for" => {
+                    self.imperfect_tower(arrays, loops, kernel, counter, out)?;
+                }
+                _ => {
+                    let mut refs: Vec<(MemRef, RefSpan)> = Vec::new();
+                    loop {
+                        match &self.peek().kind {
+                            Tok::RBrace => break,
+                            Tok::Ident(w) if w == "for" => break,
+                            _ => self.statement(arrays, loops, &mut refs)?,
+                        }
+                    }
+                    let mut sub_loops = loops.clone();
+                    finalize_bounds(&mut sub_loops);
+                    out.push(LoopNest {
+                        name: format!("{kernel}__s{counter}"),
+                        loops: sub_loops,
+                        arrays: arrays.to_vec(),
+                        refs: refs.into_iter().map(|(r, _)| r).collect(),
+                    });
+                    *counter += 1;
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        loops.pop();
         Ok(())
     }
 
@@ -473,15 +620,36 @@ impl Parser {
     }
 }
 
+/// Widen each loop's affine bound forms (parsed over its own outer
+/// prefix) to span the full nest depth — the IR invariant. Coefficients
+/// at the loop's own level and deeper stay zero.
+fn finalize_bounds(loops: &mut [LoopDef]) {
+    let depth = loops.len();
+    for l in loops {
+        for f in [&mut l.lo_aff, &mut l.hi_aff].into_iter().flatten() {
+            let mut coeffs = f.coeffs.clone();
+            coeffs.resize(depth, 0);
+            *f = AffineForm::new(coeffs, f.c0);
+        }
+    }
+}
+
 /// Shift a `base 0;` nest onto the IR's 1-based convention without
 /// changing its access pattern: every loop runs `[lo+1, hi+1]` and each
 /// subscript is rewritten under the substitution `i ↦ i − 1` plus the
 /// 0-based→1-based array shift, i.e. `c0 ↦ c0 − Σ coeffs + 1`. The
-/// touched addresses (and therefore the analysis) are identical.
+/// touched addresses (and therefore the analysis) are identical. Affine
+/// loop bounds shift alongside: the bound value itself moves up by one
+/// while its arguments (the shifted outer variables) move too, so
+/// `c0 ↦ c0 + 1 − Σ coeffs`.
 fn rebase_to_one(nest: &mut LoopNest) {
     for l in &mut nest.loops {
         l.lo += 1;
         l.hi += 1;
+        for f in [&mut l.lo_aff, &mut l.hi_aff].into_iter().flatten() {
+            let coeff_sum: i64 = f.coeffs.iter().sum();
+            *f = f.shift(1 - coeff_sum);
+        }
     }
     for r in &mut nest.refs {
         for s in &mut r.subscripts {
@@ -549,6 +717,126 @@ mod tests {
         .unwrap();
         assert_eq!(n.refs[0].subscripts[0], AffineForm::new(vec![-2], 19));
         assert_eq!(n.refs[1].subscripts[0], AffineForm::new(vec![2], -1));
+    }
+
+    #[test]
+    fn triangular_bounds_parse() {
+        let n = parse(
+            "kernel tri;
+             real4 a[9][9];
+             for (i = 1; i <= 9; i++) {
+               for (j = 1; j <= i; j++) { a[i][j] = 0; }
+             }",
+        )
+        .unwrap();
+        assert!(n.loops[0].is_rectangular());
+        assert_eq!(n.loops[1].hi_aff, Some(AffineForm::new(vec![1, 0], 0)));
+        assert_eq!((n.loops[1].lo, n.loops[1].hi), (1, 9), "hull of i over [1,9]");
+        assert_eq!(n.iterations(), 45);
+    }
+
+    #[test]
+    fn triangular_lower_bounds_parse() {
+        // j from i to 6: upper-triangle walk via an affine *lower* bound.
+        let n = parse(
+            "real4 a[6][6];
+             for (i = 1; i <= 6; i++) {
+               for (j = i; j <= 6; j++) { a[i][j] = 0; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(n.loops[1].lo_aff, Some(AffineForm::new(vec![1, 0], 0)));
+        assert_eq!((n.loops[1].lo, n.loops[1].hi), (1, 6));
+        assert_eq!(n.iterations(), 21);
+    }
+
+    #[test]
+    fn strict_and_base0_triangular_bounds_rebase() {
+        // C-style strict triangle: i in 0..8, j in 0..i. Rebasing to the
+        // 1-based convention must rewrite the affine bound alongside the
+        // hulls: j' <= i' - 1.
+        let n = parse(
+            "real4 a[8][8];
+             base 0;
+             for (i = 0; i < 8; i++) {
+               for (j = 0; j < i; j++) { a[i][j] = 0; }
+             }",
+        )
+        .unwrap();
+        assert_eq!((n.loops[0].lo, n.loops[0].hi), (1, 8));
+        assert_eq!(n.loops[1].hi_aff, Some(AffineForm::new(vec![1, 0], -1)));
+        assert_eq!((n.loops[1].lo, n.loops[1].hi), (1, 7));
+        assert_eq!(n.iterations(), 28); // sum over i' of (i' - 1)
+    }
+
+    #[test]
+    fn affine_bound_referencing_the_loop_itself_is_rejected() {
+        // `i` is not an *outer* variable of its own loop header.
+        let e = parse("real4 a[4]; for (i = 1; i <= i; i++) { a[i] = 0; }").unwrap_err();
+        assert!(matches!(e, FrontendError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn lowering_splits_statement_runs_in_textual_order() {
+        let subs = lower(
+            "kernel imp;
+             real4 x[4];
+             real4 a[4][4];
+             for (i = 1; i <= 4; i++) {
+               x[i] = 0;
+               for (j = 1; j <= i; j++) { a[i][j] = x[i]; }
+               load x[i];
+             }",
+        )
+        .unwrap();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(
+            subs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["imp__s0", "imp__s1", "imp__s2"]
+        );
+        assert_eq!(subs.iter().map(LoopNest::depth).collect::<Vec<_>>(), [1, 2, 1]);
+        // Sub-nests share one array table, so ids and layouts agree.
+        assert_eq!(subs[0].arrays, subs[1].arrays);
+        assert_eq!(subs[0].arrays, subs[2].arrays);
+        // The triangular inner tower keeps its exact affine bound.
+        assert_eq!(subs[1].loops[1].hi_aff, Some(AffineForm::new(vec![1, 0], 0)));
+        assert_eq!(subs[1].iterations(), 10);
+        // Each sub-nest is perfect: it renders and round-trips.
+        for s in &subs {
+            let src = crate::render(s).unwrap();
+            assert_eq!(&parse(&src).unwrap(), s, "{src}");
+        }
+    }
+
+    #[test]
+    fn lowering_allows_sibling_towers_and_name_reuse() {
+        let subs = lower(
+            "real4 x[4]; real4 y[4];
+             for (i = 1; i <= 4; i++) {
+               for (j = 1; j <= 4; j++) { x[j] = 0; }
+               for (j = 1; j <= 4; j++) { y[j] = 0; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].name, "inline__s0");
+        assert_eq!(subs[1].name, "inline__s1");
+        assert_eq!(subs[0].loops[1].name, "j");
+        assert_eq!(subs[1].loops[1].name, "j");
+    }
+
+    #[test]
+    fn lowering_handles_base0_and_top_level_siblings() {
+        let subs = lower(
+            "real4 x[8];
+             base 0;
+             for (i = 0; i < 8; i++) { x[i] = 0; }
+             for (i = 0; i < 4; i++) { load x[i]; }",
+        )
+        .unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!((subs[0].loops[0].lo, subs[0].loops[0].hi), (1, 8));
+        assert_eq!((subs[1].loops[0].lo, subs[1].loops[0].hi), (1, 4));
     }
 
     #[test]

@@ -55,13 +55,16 @@ pub fn render(nest: &LoopNest) -> Result<String, FrontendError> {
         out.push_str(&format!("{prefix}real{} {}{extents};\n", a.elem_size, a.name));
     }
     for (d, l) in nest.loops.iter().enumerate() {
+        let lo = match &l.lo_aff {
+            Some(f) => affine_text(nest, f),
+            None => l.lo.to_string(),
+        };
+        let hi = match &l.hi_aff {
+            Some(f) => affine_text(nest, f),
+            None => l.hi.to_string(),
+        };
         out.push_str(&"  ".repeat(d));
-        out.push_str(&format!(
-            "for ({v} = {lo}; {v} <= {hi}; {v}++) {{\n",
-            v = l.name,
-            lo = l.lo,
-            hi = l.hi
-        ));
+        out.push_str(&format!("for ({v} = {lo}; {v} <= {hi}; {v}++) {{\n", v = l.name));
     }
     let body_indent = "  ".repeat(nest.depth());
     for stmt in partition(&nest.refs) {
@@ -158,6 +161,22 @@ mod tests {
             let back = parse(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", spec.name));
             assert_eq!(back, nest, "{}:\n{src}", spec.name);
         }
+    }
+
+    #[test]
+    fn triangular_bounds_render_and_round_trip() {
+        let src = "real4 a[7][7];
+             for (i = 1; i <= 7; i++) {
+               for (j = i; j <= 7; j++) {
+                 for (k = 1; k <= j - i + 1; k++) { a[j][k] = a[i][k]; }
+               }
+             }";
+        let n = parse(src).unwrap();
+        assert!(!n.is_rectangular());
+        let canon = render(&n).unwrap();
+        assert!(canon.contains("for (j = i; j <= 7; j++)"), "{canon}");
+        assert!(canon.contains("for (k = 1; k <= -i + j + 1; k++)"), "{canon}");
+        assert_eq!(parse(&canon).unwrap(), n);
     }
 
     #[test]

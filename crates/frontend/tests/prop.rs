@@ -1,7 +1,9 @@
 //! Property tests for the textual frontend: rendering is the lossless
-//! inverse of parsing, and the parser never panics.
+//! inverse of parsing (rectangular and triangular), lowering an imperfect
+//! nest reproduces the statement-major access stream exactly, and the
+//! parser never panics.
 
-use cme_frontend::{parse, render};
+use cme_frontend::{lower, parse, render};
 use cme_loopnest::{AccessKind, ArrayDecl, ArrayId, Layout, LoopDef, LoopNest, MemRef};
 use cme_polyhedra::AffineForm;
 use proptest::prelude::*;
@@ -18,23 +20,52 @@ struct DimRecipe {
     off: i64,
 }
 
-/// Build a valid nest from raw generator choices.
+/// Build a valid nest from raw generator choices. `tri[t] = Some(p)`
+/// makes loop `t` triangular — upper bound `x_p` for an outer `p < t` —
+/// so its hull span becomes `p`'s hull span.
 #[allow(clippy::type_complexity)]
 fn build_nest(
     spans: &[i64],
+    tri: &[Option<usize>],
     arrays: &[(Vec<DimRecipe>, i64, bool)],
     refs: &[(usize, bool, i64)],
 ) -> LoopNest {
-    let loops: Vec<LoopDef> =
-        spans.iter().enumerate().map(|(t, &s)| LoopDef::new(LOOP_NAMES[t], 1, s)).collect();
+    let depth = spans.len();
+    // Constant hull span per loop after triangular substitution.
+    let mut hulls: Vec<i64> = Vec::with_capacity(depth);
+    for (t, &s) in spans.iter().enumerate() {
+        let h = match tri[t] {
+            Some(p) if p < t => hulls[p],
+            _ => s,
+        };
+        hulls.push(h);
+    }
+    let loops: Vec<LoopDef> = hulls
+        .iter()
+        .enumerate()
+        .map(|(t, &h)| match tri[t] {
+            Some(p) if p < t => {
+                let mut coeffs = vec![0i64; depth];
+                coeffs[p] = 1;
+                LoopDef::with_affine_bounds(
+                    LOOP_NAMES[t],
+                    1,
+                    h,
+                    None,
+                    Some(AffineForm::new(coeffs, 0)),
+                )
+            }
+            _ => LoopDef::new(LOOP_NAMES[t], 1, h),
+        })
+        .collect();
     let decls: Vec<ArrayDecl> = arrays
         .iter()
         .enumerate()
         .map(|(k, (dims, elem, row))| ArrayDecl {
             name: ARRAY_NAMES[k].to_string(),
             // Extent covers the recipe at its maximum plus the ref-level
-            // wobble (+1) below.
-            extents: dims.iter().map(|d| d.coeff * spans[d.var] + d.off + 1).collect(),
+            // wobble (+1) below (subscripts are checked over the hull).
+            extents: dims.iter().map(|d| d.coeff * hulls[d.var] + d.off + 1).collect(),
             elem_size: *elem,
             layout: if *row { Layout::RowMajor } else { Layout::ColumnMajor },
         })
@@ -47,7 +78,7 @@ fn build_nest(
                 .0
                 .iter()
                 .map(|d| {
-                    let mut coeffs = vec![0i64; spans.len()];
+                    let mut coeffs = vec![0i64; depth];
                     coeffs[d.var] = d.coeff;
                     AffineForm::new(coeffs, d.off + wobble)
                 })
@@ -64,15 +95,67 @@ fn build_nest(
     nest
 }
 
+/// One body item of a generated imperfect program: a run of statements
+/// over the 1-D array `x[i + w]`, or an inner `j` loop (rectangular span
+/// `m` or triangular `j <= i`) over the 2-D array `a[i][j + w]`. Each
+/// statement is `(w, is_write)`.
+#[derive(Debug, Clone)]
+enum Item {
+    Run(Vec<(i64, bool)>),
+    Loop { tri: bool, body: Vec<(i64, bool)> },
+}
+
+/// Render the imperfect-program recipe as kernel source.
+fn imperfect_source(n: i64, m: i64, items: &[Item]) -> String {
+    let e1 = n.max(m) + 2;
+    let mut s = format!(
+        "kernel imp;\nreal4 x[{}];\nreal4 a[{}][{}];\nfor (i = 1; i <= {n}; i++) {{\n",
+        n + 2,
+        n + 2,
+        e1
+    );
+    let stmt = |s: &mut String, indent: &str, arr: &str, sub: String, write: bool| {
+        if write {
+            s.push_str(&format!("{indent}{arr}[{sub}] = 0;\n"));
+        } else {
+            s.push_str(&format!("{indent}load {arr}[{sub}];\n"));
+        }
+    };
+    for item in items {
+        match item {
+            Item::Run(stmts) => {
+                for &(w, write) in stmts {
+                    let sub = if w == 0 { "i".to_string() } else { format!("i + {w}") };
+                    stmt(&mut s, "  ", "x", sub, write);
+                }
+            }
+            Item::Loop { tri, body } => {
+                let hi = if *tri { "i".to_string() } else { m.to_string() };
+                s.push_str(&format!("  for (j = 1; j <= {hi}; j++) {{\n"));
+                for &(w, write) in body {
+                    let sub = if w == 0 { "i][j".to_string() } else { format!("i][j + {w}") };
+                    stmt(&mut s, "    ", "a", sub, write);
+                }
+                s.push_str("  }\n");
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// parse ∘ render is the identity on valid nests (and therefore
-    /// parse → serialize → parse is stable after one round).
+    /// parse → serialize → parse is stable after one round). Loops may be
+    /// triangular: any non-outermost loop can take an outer variable as
+    /// its upper bound.
     #[test]
     fn parse_render_parse_round_trips(
-        (spans, arrays, refs) in (1usize..=3).prop_flat_map(|depth| (
+        (spans, tri_raw, arrays, refs) in (1usize..=3).prop_flat_map(|depth| (
             prop::collection::vec(1i64..=6, depth..=depth),
+            prop::collection::vec((any::<bool>(), 0usize..3), depth..=depth),
             prop::collection::vec(
                 (
                     prop::collection::vec(
@@ -94,12 +177,98 @@ proptest! {
                 row,
             ))
             .collect();
-        let nest = build_nest(&spans, &arrays, &refs);
+        let tri: Vec<Option<usize>> = tri_raw
+            .iter()
+            .enumerate()
+            .map(|(t, &(on, p))| if t > 0 && on { Some(p % t) } else { None })
+            .collect();
+        let nest = build_nest(&spans, &tri, &arrays, &refs);
         let src = render(&nest).expect("valid nests render");
         let back = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
         prop_assert_eq!(&back, &nest, "round-trip drifted:\n{}", src);
         // Idempotence: rendering the re-parsed nest reproduces the bytes.
         prop_assert_eq!(render(&back).unwrap(), src);
+    }
+
+    /// Statement-major fission is exact: lowering an imperfect nest and
+    /// concatenating the sub-nests' trace streams replays each maximal
+    /// statement run over its full iteration space, in textual order,
+    /// access for access — checked against an independent oracle that
+    /// enumerates the recipe with plain Rust loops and computes byte
+    /// addresses from the layout's bases and column-major strides.
+    #[test]
+    fn lowering_concatenation_matches_statement_major_oracle(
+        (n, m, raw_items) in (2i64..=5, 2i64..=4, prop::collection::vec(
+            (0usize..=1, any::<bool>(), prop::collection::vec((0i64..=1, any::<bool>()), 1..=3)),
+            1..=4,
+        ))
+    ) {
+        let items: Vec<Item> = raw_items
+            .into_iter()
+            .map(|(kind, tri, stmts)| {
+                if kind == 0 {
+                    Item::Run(stmts)
+                } else {
+                    let mut body = stmts;
+                    body.truncate(2);
+                    Item::Loop { tri, body }
+                }
+            })
+            .collect();
+        use cme_loopnest::trace::collect_trace;
+        use cme_loopnest::MemoryLayout;
+
+        let src = imperfect_source(n, m, &items);
+        let subs = lower(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // All sub-nests share the array table, so the contiguous layout
+        // is the same for each; take it from the first.
+        let layout = MemoryLayout::contiguous(&subs[0]);
+        let mut actual: Vec<(usize, i64)> = Vec::new();
+        for sub in &subs {
+            prop_assert_eq!(&MemoryLayout::contiguous(sub), &layout);
+            actual.extend(collect_trace(sub, &layout, None).iter().map(|a| (a.ref_idx, a.addr)));
+        }
+
+        // Oracle: x is array 0 (rank 1), a is array 1 (rank 2,
+        // column-major): addr = base + 4·((s0−1) + e0·(s1−1)).
+        let addr_x = |s0: i64| layout.bases[0] + 4 * (s0 - 1);
+        let e0 = layout.padded_extents[1][0];
+        let addr_a = |s0: i64, s1: i64| layout.bases[1] + 4 * ((s0 - 1) + e0 * (s1 - 1));
+        let mut expected: Vec<(usize, i64)> = Vec::new();
+        let mut groups = 0usize;
+        let mut idx = 0usize;
+        while idx < items.len() {
+            groups += 1;
+            match &items[idx] {
+                Item::Run(_) => {
+                    // Adjacent statement runs merge into one maximal run
+                    // (one sub-nest).
+                    let mut stmts: Vec<(i64, bool)> = Vec::new();
+                    while let Some(Item::Run(r)) = items.get(idx) {
+                        stmts.extend(r.iter().copied());
+                        idx += 1;
+                    }
+                    for i in 1..=n {
+                        for (r, &(w, _)) in stmts.iter().enumerate() {
+                            expected.push((r, addr_x(i + w)));
+                        }
+                    }
+                }
+                Item::Loop { tri, body } => {
+                    for i in 1..=n {
+                        let hi = if *tri { i } else { m };
+                        for j in 1..=hi {
+                            for (r, &(w, _)) in body.iter().enumerate() {
+                                expected.push((r, addr_a(i, j + w)));
+                            }
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        prop_assert_eq!(subs.len(), groups, "one sub-nest per maximal run:\n{}", src);
+        prop_assert_eq!(actual, expected, "trace drifted:\n{}", src);
     }
 
     /// The parser rejects garbage with an error, never a panic.

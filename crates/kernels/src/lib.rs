@@ -20,5 +20,6 @@ pub mod paper;
 pub mod spec;
 pub mod stencils;
 pub mod transposes;
+pub mod triangular;
 
 pub use spec::{all_kernels, figure_configs, kernel_by_name, KernelConfig, KernelSpec};

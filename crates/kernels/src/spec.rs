@@ -1,6 +1,6 @@
 //! Kernel registry: Table 1 of the paper, with the figure problem sizes.
 
-use crate::{bihar, linalg, nas, stencils, transposes};
+use crate::{bihar, linalg, nas, stencils, transposes, triangular};
 use cme_loopnest::LoopNest;
 
 /// A kernel entry of Table 1.
@@ -66,9 +66,12 @@ impl KernelConfig {
     }
 }
 
-/// The complete kernel registry: the 17 kernels of Table 1 plus TSHIFT,
-/// a shifted in-place transpose whose reference pair is non-uniform (the
-/// stress case for the dependence analysis; not part of the figures).
+/// The complete kernel registry: the 17 kernels of Table 1 plus TSHIFT
+/// (a shifted in-place transpose whose reference pair is non-uniform —
+/// the stress case for the dependence analysis) and the three triangular
+/// kernels TRMM, TRSOLVE and TTRANS (trapezoidal iteration spaces — the
+/// stress cases for affine loop bounds). None of the ride-alongs appear
+/// in the figures.
 pub fn all_kernels() -> Vec<KernelSpec> {
     vec![
         KernelSpec {
@@ -234,6 +237,33 @@ pub fn all_kernels() -> Vec<KernelSpec> {
             default_size: bihar::BIHAR_N,
             build: bihar::dradfg2,
         },
+        KernelSpec {
+            name: "TRMM",
+            program: "-",
+            description: "triangular matrix multiplication c += a*b, a lower-triangular",
+            depth: 3,
+            sizes: &[],
+            default_size: 64,
+            build: triangular::trmm,
+        },
+        KernelSpec {
+            name: "TRSOLVE",
+            program: "-",
+            description: "forward substitution on a lower-triangular system",
+            depth: 2,
+            sizes: &[],
+            default_size: 64,
+            build: triangular::trsolve,
+        },
+        KernelSpec {
+            name: "TTRANS",
+            program: "-",
+            description: "upper-triangle transposition a(j,i) = b(i,j), j >= i",
+            depth: 2,
+            sizes: &[],
+            default_size: 64,
+            build: triangular::ttrans,
+        },
     ]
 }
 
@@ -265,7 +295,11 @@ mod tests {
     #[test]
     fn registry_matches_table1() {
         let ks = all_kernels();
-        assert_eq!(ks.len(), 18, "Table 1 lists 17 kernels; TSHIFT rides along");
+        assert_eq!(
+            ks.len(),
+            21,
+            "Table 1 lists 17 kernels; TSHIFT and the triangular trio ride along"
+        );
         for k in &ks {
             let nest = (k.build)(k.sizes.first().copied().unwrap_or(k.default_size).clamp(8, 20));
             assert_eq!(nest.depth(), k.depth, "{}: depth must match Table 1", k.name);

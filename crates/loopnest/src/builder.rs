@@ -90,6 +90,9 @@ impl SubExpr {
 pub struct NestBuilder {
     name: String,
     loops: Vec<LoopDef>,
+    /// Affine bounds declared via [`Self::add_loop_bounds`], resolved
+    /// against the final depth in [`Self::finish`].
+    bound_exprs: Vec<(usize, SubExpr, SubExpr)>,
     arrays: Vec<ArrayDecl>,
     refs: Vec<(ArrayId, Vec<SubExpr>, AccessKind)>,
     elem_size: i64,
@@ -102,6 +105,7 @@ impl NestBuilder {
         NestBuilder {
             name: name.into(),
             loops: Vec::new(),
+            bound_exprs: Vec::new(),
             arrays: Vec::new(),
             refs: Vec::new(),
             elem_size: 4,
@@ -124,6 +128,22 @@ impl NestBuilder {
     /// Declare the next (inner) loop `do name = lo, hi`.
     pub fn add_loop(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> LoopVar {
         self.loops.push(LoopDef::new(name, lo, hi));
+        LoopVar(self.loops.len() - 1)
+    }
+
+    /// Declare the next (inner) loop with possibly affine bounds over
+    /// *earlier* loop variables, e.g. `do j = 1, i` as
+    /// `add_loop_bounds("j", sub_const(1), sub(i))`. Constant expressions
+    /// fold into plain constant bounds (the canonical wire form); hulls
+    /// are derived automatically in [`Self::finish`].
+    pub fn add_loop_bounds(
+        &mut self,
+        name: impl Into<String>,
+        lo: SubExpr,
+        hi: SubExpr,
+    ) -> LoopVar {
+        self.loops.push(LoopDef::new(name, 0, 0));
+        self.bound_exprs.push((self.loops.len() - 1, lo, hi));
         LoopVar(self.loops.len() - 1)
     }
 
@@ -153,9 +173,30 @@ impl NestBuilder {
     /// Build and validate the nest.
     pub fn finish(self) -> Result<LoopNest, NestError> {
         let depth = self.loops.len();
+        let mut loops = self.loops;
+        // Resolve affine bounds in declaration order, so each loop's hull
+        // interval can be derived from the (already final) outer hulls —
+        // the same interval-arithmetic rule `LoopNest::validate` checks.
+        for (idx, lo_e, hi_e) in self.bound_exprs {
+            let lo_form = lo_e.into_form(depth);
+            let hi_form = hi_e.into_form(depth);
+            let hull = |loops: &[LoopDef], f: &AffineForm, want_max: bool| -> i64 {
+                let mut acc = f.c0 as i128;
+                for (p, &c) in f.coeffs.iter().enumerate().take(idx) {
+                    let (a, b) =
+                        ((c as i128) * (loops[p].lo as i128), (c as i128) * (loops[p].hi as i128));
+                    acc += if want_max { a.max(b) } else { a.min(b) };
+                }
+                i64::try_from(acc).expect("bound hull overflow")
+            };
+            loops[idx].lo = hull(&loops, &lo_form, false);
+            loops[idx].hi = hull(&loops, &hi_form, true);
+            loops[idx].lo_aff = Some(lo_form).filter(|f| !f.is_constant());
+            loops[idx].hi_aff = Some(hi_form).filter(|f| !f.is_constant());
+        }
         let nest = LoopNest {
             name: self.name,
-            loops: self.loops,
+            loops,
             arrays: self.arrays,
             refs: self
                 .refs

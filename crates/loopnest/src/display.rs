@@ -51,12 +51,28 @@ fn fmt_ref(nest: &LoopNest, r: usize, names: &[&str]) -> String {
     format!("{}({})", arr.name, subs.join(","))
 }
 
+/// Render one loop bound: the affine form when present (triangular
+/// bounds), the constant hull bound otherwise.
+fn fmt_bound(aff: Option<&AffineForm>, constant: i64, names: &[&str]) -> String {
+    match aff {
+        Some(f) => fmt_sub(f, names),
+        None => constant.to_string(),
+    }
+}
+
 /// Render the original nest as pseudo-Fortran.
 pub fn render(nest: &LoopNest) -> String {
     let names: Vec<&str> = nest.loops.iter().map(|l| l.name.as_str()).collect();
     let mut out = String::new();
     for (lvl, l) in nest.loops.iter().enumerate() {
-        let _ = writeln!(out, "{}do {} = {}, {}", "  ".repeat(lvl), l.name, l.lo, l.hi);
+        let _ = writeln!(
+            out,
+            "{}do {} = {}, {}",
+            "  ".repeat(lvl),
+            l.name,
+            fmt_bound(l.lo_aff.as_ref(), l.lo, &names),
+            fmt_bound(l.hi_aff.as_ref(), l.hi, &names)
+        );
     }
     let indent = "  ".repeat(nest.loops.len());
     let writes: Vec<usize> = (0..nest.refs.len()).filter(|&r| nest.refs[r].is_write()).collect();

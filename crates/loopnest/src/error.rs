@@ -12,6 +12,15 @@ use std::fmt;
 pub enum NestError {
     /// A loop has an empty iteration range (`lo > hi`).
     EmptyLoop { loop_name: String },
+    /// An affine loop bound is malformed (wrong arity, references the
+    /// loop itself or deeper loops, is constant, or disagrees with the
+    /// declared constant hull).
+    BadBound { loop_name: String, reason: String },
+    /// Triangular bounds leave the nest with zero iterations.
+    EmptyShape,
+    /// Counting the exact triangular shape would exceed
+    /// [`crate::LoopNest::SHAPE_ENUM_BUDGET`] enumeration steps.
+    ShapeBudget,
     /// A subscript references more variables than the nest has loops.
     SubscriptArity { ref_index: usize, array: String, expected: usize, got: usize },
     /// Number of subscripts differs from the array rank.
@@ -41,6 +50,15 @@ impl fmt::Display for NestError {
         match self {
             NestError::EmptyLoop { loop_name } => {
                 write!(f, "loop `{loop_name}` has an empty range")
+            }
+            NestError::BadBound { loop_name, reason } => {
+                write!(f, "loop `{loop_name}`: {reason}")
+            }
+            NestError::EmptyShape => {
+                write!(f, "affine bounds leave the nest with no iterations")
+            }
+            NestError::ShapeBudget => {
+                write!(f, "affine bounds exceed the shape enumeration budget (2^22 steps)")
             }
             NestError::SubscriptArity { ref_index, array, expected, got } => {
                 write!(

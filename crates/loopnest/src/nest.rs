@@ -6,22 +6,63 @@ use crate::refs::MemRef;
 use cme_polyhedra::{AffineForm, IntBox, Interval};
 use serde::{Deserialize, Serialize};
 
-/// One loop `do var = lo, hi` (step 1; constant bounds).
+/// One loop `do var = lo, hi` (step 1).
+///
+/// `lo`/`hi` are always the *hull* bounds — the tightest constants
+/// containing every value the bound can take. A triangular (affine) bound
+/// over outer induction variables additionally carries its exact form in
+/// `lo_aff`/`hi_aff`; constant bounds leave both `None`, so rectangular
+/// nests keep their exact historical wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoopDef {
     pub name: String,
     pub lo: i64,
     pub hi: i64,
+    /// Exact affine lower bound over the full nest's loop variables
+    /// (coefficients at this loop's level and deeper must be zero).
+    /// `None` means the constant bound `lo`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub lo_aff: Option<AffineForm>,
+    /// Exact affine upper bound; `None` means the constant bound `hi`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub hi_aff: Option<AffineForm>,
 }
 
 impl LoopDef {
     pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> Self {
-        LoopDef { name: name.into(), lo, hi }
+        LoopDef { name: name.into(), lo, hi, lo_aff: None, hi_aff: None }
     }
 
-    /// Number of iterations.
+    /// A loop with affine bounds. `lo`/`hi` must be the hull of the forms
+    /// over the outer iteration space (checked by [`LoopNest::validate`]).
+    pub fn with_affine_bounds(
+        name: impl Into<String>,
+        lo: i64,
+        hi: i64,
+        lo_aff: Option<AffineForm>,
+        hi_aff: Option<AffineForm>,
+    ) -> Self {
+        LoopDef { name: name.into(), lo, hi, lo_aff, hi_aff }
+    }
+
+    /// True iff both bounds are plain constants.
+    pub fn is_rectangular(&self) -> bool {
+        self.lo_aff.is_none() && self.hi_aff.is_none()
+    }
+
+    /// Number of iterations of the hull range.
     pub fn span(&self) -> i64 {
         self.hi - self.lo + 1
+    }
+
+    /// The lower bound as an affine form over `depth` loop variables.
+    pub fn lo_form(&self, depth: usize) -> AffineForm {
+        self.lo_aff.clone().unwrap_or_else(|| AffineForm::constant(depth, self.lo))
+    }
+
+    /// The upper bound as an affine form over `depth` loop variables.
+    pub fn hi_form(&self, depth: usize) -> AffineForm {
+        self.hi_aff.clone().unwrap_or_else(|| AffineForm::constant(depth, self.hi))
     }
 }
 
@@ -46,14 +87,105 @@ impl LoopNest {
         self.loops.len()
     }
 
-    /// The iteration-space box over the original loop variables.
+    /// The iteration-space *hull* box over the original loop variables:
+    /// for rectangular nests this is the exact iteration space; for
+    /// triangular nests it is the tightest enclosing box.
     pub fn iter_box(&self) -> IntBox {
         IntBox::new(self.loops.iter().map(|l| Interval::new(l.lo, l.hi)).collect())
     }
 
-    /// Total iterations of the nest.
+    /// True iff every loop has constant bounds (the exact iteration space
+    /// is [`Self::iter_box`]).
+    pub fn is_rectangular(&self) -> bool {
+        self.loops.iter().all(LoopDef::is_rectangular)
+    }
+
+    /// Enumeration budget for exact triangular shape counting (steps over
+    /// dimensions that later affine bounds reference). Nests whose count
+    /// exceeds it fail validation, so everything downstream may assume the
+    /// count is cheap to recompute.
+    pub const SHAPE_ENUM_BUDGET: u64 = 1 << 22;
+
+    /// Total iterations of the nest — exact, also for triangular shapes.
     pub fn iterations(&self) -> u64 {
-        self.iter_box().volume()
+        if self.is_rectangular() {
+            return self.iter_box().volume();
+        }
+        self.try_shape_volume(Self::SHAPE_ENUM_BUDGET)
+            .expect("validated nests stay under the shape enumeration budget")
+    }
+
+    /// Exact point count of the (possibly triangular) iteration space, or
+    /// `None` when the recursive count would exceed `budget` enumeration
+    /// steps. Dimensions no affine bound references are counted by
+    /// multiplication, so rectangular sub-spaces cost one step.
+    pub fn try_shape_volume(&self, budget: u64) -> Option<u64> {
+        let d = self.depth();
+        // Dimensions some affine bound references (nonzero coefficient).
+        let mut referenced = vec![false; d];
+        for l in &self.loops {
+            for f in [&l.lo_aff, &l.hi_aff].into_iter().flatten() {
+                for (t, &c) in f.coeffs.iter().enumerate().take(d) {
+                    if c != 0 {
+                        referenced[t] = true;
+                    }
+                }
+            }
+        }
+        let mut vals = vec![0i64; d];
+        let mut budget = budget;
+        let n = self.count_shape(0, &mut vals, &referenced, &mut budget)?;
+        u64::try_from(n).ok()
+    }
+
+    /// Evaluate a bound form using only the coefficients of already-fixed
+    /// outer dimensions (`vals[..t]`); validation guarantees deeper
+    /// coefficients are zero.
+    fn bound_at(f: &AffineForm, vals: &[i64], t: usize) -> i64 {
+        let mut acc = f.c0 as i128;
+        for (c, v) in f.coeffs.iter().zip(vals).take(t) {
+            acc += (*c as i128) * (*v as i128);
+        }
+        i64::try_from(acc).expect("bound eval overflow")
+    }
+
+    /// The exact range of loop `t` once the outer values `vals[..t]` are
+    /// fixed (possibly empty for triangular bounds).
+    pub fn bound_interval(&self, t: usize, vals: &[i64]) -> Interval {
+        let l = &self.loops[t];
+        let lo = l.lo_aff.as_ref().map_or(l.lo, |f| Self::bound_at(f, vals, t));
+        let hi = l.hi_aff.as_ref().map_or(l.hi, |f| Self::bound_at(f, vals, t));
+        Interval::new(lo, hi)
+    }
+
+    fn count_shape(
+        &self,
+        t: usize,
+        vals: &mut [i64],
+        referenced: &[bool],
+        budget: &mut u64,
+    ) -> Option<u128> {
+        if t == self.depth() {
+            return Some(1);
+        }
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let iv = self.bound_interval(t, vals);
+        if iv.is_empty() {
+            return Some(0);
+        }
+        if referenced[t] {
+            let mut acc: u128 = 0;
+            for v in iv.iter() {
+                vals[t] = v;
+                acc += self.count_shape(t + 1, vals, referenced, budget)?;
+            }
+            Some(acc)
+        } else {
+            Some((iv.len() as u128) * self.count_shape(t + 1, vals, referenced, budget)?)
+        }
     }
 
     /// Total memory accesses (iterations × references).
@@ -97,6 +229,7 @@ impl LoopNest {
                 return Err(NestError::EmptyLoop { loop_name: l.name.clone() });
             }
         }
+        self.validate_bounds()?;
         let mut total_bytes: i128 = 0;
         for a in &self.arrays {
             if a.elem_size <= 0 || a.extents.iter().any(|&e| e <= 0) {
@@ -172,6 +305,74 @@ impl LoopNest {
     /// form over the loop variables.
     pub fn subscript(&self, r: usize, d: usize) -> &AffineForm {
         &self.refs[r].subscripts[d]
+    }
+
+    /// Validate the affine-bound invariants:
+    /// * each affine bound spans exactly `depth` variables, references
+    ///   only *outer* loops and is genuinely non-constant (constant bounds
+    ///   are canonical as plain `lo`/`hi`, keeping the wire format stable);
+    /// * `lo`/`hi` equal the interval hull of the forms over the outer
+    ///   hull box (so every hull consumer stays sound);
+    /// * the exact shape is non-empty and countable within
+    ///   [`Self::SHAPE_ENUM_BUDGET`].
+    fn validate_bounds(&self) -> Result<(), NestError> {
+        let d = self.depth();
+        let hull = self.iter_box();
+        for (t, l) in self.loops.iter().enumerate() {
+            for (which, f, hull_bound) in [("lower", &l.lo_aff, l.lo), ("upper", &l.hi_aff, l.hi)] {
+                let Some(f) = f else { continue };
+                if f.n_vars() != d {
+                    return Err(NestError::BadBound {
+                        loop_name: l.name.clone(),
+                        reason: format!(
+                            "affine {which} bound spans {} variables, nest has {d}",
+                            f.n_vars()
+                        ),
+                    });
+                }
+                if f.coeffs[t..].iter().any(|&c| c != 0) {
+                    return Err(NestError::BadBound {
+                        loop_name: l.name.clone(),
+                        reason: format!("affine {which} bound may only reference outer loops"),
+                    });
+                }
+                if f.is_constant() {
+                    return Err(NestError::BadBound {
+                        loop_name: l.name.clone(),
+                        reason: format!(
+                            "affine {which} bound is constant; use the plain bound field"
+                        ),
+                    });
+                }
+                // Widened interval hull of the form over the outer hull
+                // box; must match the declared constant hull exactly.
+                let mut lo = f.c0 as i128;
+                let mut hi = lo;
+                for (c, iv) in f.coeffs.iter().zip(&hull.dims) {
+                    let (a, b) = ((*c as i128) * (iv.lo as i128), (*c as i128) * (iv.hi as i128));
+                    lo += a.min(b);
+                    hi += a.max(b);
+                }
+                let want = if which == "lower" { lo } else { hi };
+                if want != hull_bound as i128 {
+                    return Err(NestError::BadBound {
+                        loop_name: l.name.clone(),
+                        reason: format!(
+                            "declared hull {which} bound {hull_bound} differs from the \
+                             form's hull value {want}"
+                        ),
+                    });
+                }
+            }
+        }
+        if !self.is_rectangular() {
+            match self.try_shape_volume(Self::SHAPE_ENUM_BUDGET) {
+                None => return Err(NestError::ShapeBudget),
+                Some(0) => return Err(NestError::EmptyShape),
+                Some(_) => {}
+            }
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +460,67 @@ mod tests {
             Err(NestError::ArrayTooLarge { array }) => assert_eq!(array, "a"),
             other => panic!("expected ArrayTooLarge, got {other:?}"),
         }
+    }
+
+    /// do i = 1,4 / do j = 1,i : a(i,j) — lower-triangle walk.
+    fn triangular_nest() -> LoopNest {
+        let a = ArrayDecl::real4("a", &[4, 4]);
+        let i = AffineForm::new(vec![1, 0], 0);
+        let j = AffineForm::new(vec![0, 1], 0);
+        LoopNest {
+            name: "tri".into(),
+            loops: vec![
+                LoopDef::new("i", 1, 4),
+                LoopDef::with_affine_bounds("j", 1, 4, None, Some(AffineForm::new(vec![1, 0], 0))),
+            ],
+            arrays: vec![a],
+            refs: vec![MemRef::read(ArrayId(0), vec![i, j])],
+        }
+    }
+
+    #[test]
+    fn triangular_nest_counts_exactly() {
+        let n = triangular_nest();
+        assert!(n.validate().is_ok());
+        assert!(!n.is_rectangular());
+        // Σ_{i=1..4} i = 10 iterations, hull box holds 16.
+        assert_eq!(n.iterations(), 10);
+        assert_eq!(n.accesses(), 10);
+        assert_eq!(n.iter_box().volume(), 16);
+        assert_eq!(n.bound_interval(1, &[3, 0]), Interval::new(1, 3));
+    }
+
+    #[test]
+    fn triangular_hull_mismatch_detected() {
+        let mut n = triangular_nest();
+        n.loops[1].hi = 3; // true hull of `i` over i ∈ [1,4] is 4
+        assert!(matches!(n.validate(), Err(NestError::BadBound { .. })));
+    }
+
+    #[test]
+    fn constant_affine_bound_is_refused() {
+        let mut n = triangular_nest();
+        n.loops[1].hi_aff = Some(AffineForm::constant(2, 4));
+        assert!(matches!(n.validate(), Err(NestError::BadBound { .. })));
+    }
+
+    #[test]
+    fn affine_bound_must_reference_outer_loops_only() {
+        let mut n = triangular_nest();
+        n.loops[0].hi_aff = Some(AffineForm::new(vec![0, 1], 0)); // i bounded by j
+        assert!(matches!(n.validate(), Err(NestError::BadBound { .. })));
+    }
+
+    #[test]
+    fn empty_triangular_shape_detected() {
+        let mut n = triangular_nest();
+        // j = i+1 .. i: every per-i range empty, hull still non-empty.
+        n.loops[1].lo_aff = Some(AffineForm::new(vec![1, 0], 1));
+        n.loops[1].lo = 2;
+        n.loops[1].hi_aff = Some(AffineForm::new(vec![1, 0], 0));
+        n.loops[1].hi = 4;
+        n.refs.clear();
+        assert!(matches!(n.validate(), Err(NestError::EmptyShape)));
     }
 
     #[test]

@@ -24,6 +24,27 @@ pub struct Region {
     pub vbox: IntBox,
 }
 
+/// Non-rectangular refinement of an execution space: the triangular shape
+/// carved out of the hull regions by affine half-space constraints.
+///
+/// The hull regions (and their rank bijection) are untouched — a shaped
+/// space is "hull boxes ∩ constraints", so every box-based algorithm stays
+/// valid as a conservative over-approximation and exact consumers filter
+/// through [`ExecSpace::contains_v`] / [`ExecSpace::refine_box`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceShape {
+    /// Constraints `g(v) ≥ 0` over analysis coordinates; a point belongs
+    /// to the shape iff it is in a hull region and satisfies all of them.
+    pub constraints: Vec<AffineForm>,
+    /// Per original dimension, the exact affine lower/upper bound over the
+    /// *original* loop variables (referencing outer dimensions only);
+    /// `None` for constant (hull) bounds.
+    pub lo_forms: Vec<Option<AffineForm>>,
+    pub hi_forms: Vec<Option<AffineForm>>,
+    /// Exact point count of the shape (cached at construction).
+    pub volume: u64,
+}
+
 /// How analysis coordinates relate to the original loop variables.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SpaceKind {
@@ -45,6 +66,10 @@ pub struct ExecSpace {
     pub regions: Vec<Region>,
     /// `proj[t]` maps an analysis point to original variable `t`.
     pub proj: Vec<AffineForm>,
+    /// Triangular refinement; `None` for rectangular nests (whose wire
+    /// bytes stay exactly as before).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shape: Option<SpaceShape>,
     /// Original loop lower bounds and spans (cached for lifting).
     los: Vec<i64>,
     spans: Vec<i64>,
@@ -54,15 +79,45 @@ impl ExecSpace {
     /// The untransformed space: one box, identity projection.
     pub fn untiled(nest: &LoopNest) -> Self {
         let d = nest.depth();
+        let proj: Vec<AffineForm> = (0..d).map(|t| AffineForm::var(d, t)).collect();
+        let shape = Self::shape_of(nest, &proj);
         ExecSpace {
             kind: SpaceKind::Original,
             n_orig: d,
             n_v: d,
             regions: vec![Region { vbox: nest.iter_box() }],
-            proj: (0..d).map(|t| AffineForm::var(d, t)).collect(),
+            proj,
+            shape,
             los: nest.loops.iter().map(|l| l.lo).collect(),
             spans: nest.spans(),
         }
+    }
+
+    /// Build the triangular refinement for a nest under a projection from
+    /// analysis coordinates to original variables (`None` when the nest is
+    /// rectangular). Each affine bound contributes one half-space
+    /// constraint in analysis coordinates: `i_t − lo_t(i) ≥ 0` and
+    /// `hi_t(i) − i_t ≥ 0` with `i = proj(v)`.
+    fn shape_of(nest: &LoopNest, proj: &[AffineForm]) -> Option<SpaceShape> {
+        if nest.is_rectangular() {
+            return None;
+        }
+        let d = nest.depth();
+        let mut constraints = Vec::new();
+        let mut lo_forms = Vec::with_capacity(d);
+        let mut hi_forms = Vec::with_capacity(d);
+        for (t, l) in nest.loops.iter().enumerate() {
+            if let Some(f) = &l.lo_aff {
+                constraints.push(proj[t].sub(&f.compose(proj)));
+            }
+            if let Some(f) = &l.hi_aff {
+                constraints.push(f.compose(proj).sub(&proj[t]));
+            }
+            lo_forms.push(l.lo_aff.clone());
+            hi_forms.push(l.hi_aff.clone());
+        }
+        let volume = nest.iterations();
+        Some(SpaceShape { constraints, lo_forms, hi_forms, volume })
     }
 
     /// The tiled space for tile vector `T` (must be valid for the nest).
@@ -120,7 +175,7 @@ impl ExecSpace {
             }
         }
         // Projection: i_t = lo_t + T_t·b_t + u_t.
-        let proj = (0..d)
+        let proj: Vec<AffineForm> = (0..d)
             .map(|t| {
                 let mut coeffs = vec![0i64; 2 * d];
                 coeffs[t] = tiles.0[t];
@@ -128,20 +183,30 @@ impl ExecSpace {
                 AffineForm::new(coeffs, nest.loops[t].lo)
             })
             .collect();
+        let shape = Self::shape_of(nest, &proj);
         ExecSpace {
             kind: SpaceKind::Tiled { tiles: tiles.clone() },
             n_orig: d,
             n_v: 2 * d,
             regions,
             proj,
+            shape,
             los: nest.loops.iter().map(|l| l.lo).collect(),
             spans,
         }
     }
 
-    /// Total number of iterations (must equal the nest's, tiled or not).
+    /// Total number of *hull* points across regions — for rectangular
+    /// nests the iteration count; for triangular nests an upper bound.
+    /// The global rank bijection ([`Self::point_at_global_rank`]) runs
+    /// over this hull count, shaped points being a filtered subset.
     pub fn volume(&self) -> u64 {
         self.regions.iter().map(|r| r.vbox.volume()).sum()
+    }
+
+    /// Exact number of iterations (must equal the nest's, tiled or not).
+    pub fn shape_volume(&self) -> u64 {
+        self.shape.as_ref().map_or_else(|| self.volume(), |s| s.volume)
     }
 
     /// Map an analysis point to original loop variables.
@@ -156,9 +221,16 @@ impl ExecSpace {
         f.compose(&self.proj)
     }
 
-    /// True iff the analysis point belongs to the space (any region).
+    /// True iff the analysis point belongs to the space (any hull region,
+    /// and inside the triangular shape when one is present).
     pub fn contains_v(&self, v: &[i64]) -> bool {
-        self.regions.iter().any(|r| r.vbox.contains(v))
+        self.regions.iter().any(|r| r.vbox.contains(v)) && self.in_shape(v)
+    }
+
+    /// True iff the point satisfies every shape constraint (vacuously true
+    /// for rectangular spaces).
+    pub fn in_shape(&self, v: &[i64]) -> bool {
+        self.shape.as_ref().is_none_or(|s| s.constraints.iter().all(|g| g.eval(v) >= 0))
     }
 
     /// Index of the region containing the point, if any. Regions are
@@ -273,10 +345,25 @@ impl ExecSpace {
     /// Exact feasible range of coordinate `t` given the values of all
     /// earlier coordinates (`prefix[..t]`). For a tiled space the bound of
     /// an offset coordinate depends on its block coordinate, which always
-    /// precedes it.
+    /// precedes it. Triangular shapes narrow the interval further (and may
+    /// empty it): each affine bound of an original dimension references
+    /// outer dimensions only, so it resolves exactly once the prefix is
+    /// fixed — for block coordinates the hull is kept and callers backtrack
+    /// on the (then possibly empty) offset interval.
     pub fn dim_interval(&self, t: usize, prefix: &[i64]) -> Interval {
         match &self.kind {
-            SpaceKind::Original => self.regions[0].vbox.dims[t],
+            SpaceKind::Original => {
+                let mut iv = self.regions[0].vbox.dims[t];
+                if let Some(s) = &self.shape {
+                    if let Some(f) = &s.lo_forms[t] {
+                        iv = iv.intersect(&Interval::new(eval_prefix(f, prefix), iv.hi));
+                    }
+                    if let Some(f) = &s.hi_forms[t] {
+                        iv = iv.intersect(&Interval::new(iv.lo, eval_prefix(f, prefix)));
+                    }
+                }
+                iv
+            }
             SpaceKind::Tiled { tiles } => {
                 let d = self.n_orig;
                 if t < d {
@@ -285,15 +372,91 @@ impl ExecSpace {
                 } else {
                     let q = t - d;
                     let b = prefix[q];
-                    Interval::new(0, (self.spans[q] - b * tiles.0[q]).min(tiles.0[q]) - 1)
+                    let mut iv =
+                        Interval::new(0, (self.spans[q] - b * tiles.0[q]).min(tiles.0[q]) - 1);
+                    if let Some(s) = &self.shape {
+                        if s.lo_forms[q].is_some() || s.hi_forms[q].is_some() {
+                            // Reconstruct the original outer values
+                            // i_p = lo_p + T_p·b_p + u_p (p < q — all in the
+                            // prefix), then translate the original-space
+                            // bound into offset coordinates:
+                            // u_q = i_q − lo_q − T_q·b_q.
+                            let orig: Vec<i64> = (0..q)
+                                .map(|p| self.los[p] + tiles.0[p] * prefix[p] + prefix[d + p])
+                                .collect();
+                            let base = self.los[q] + tiles.0[q] * b;
+                            if let Some(f) = &s.lo_forms[q] {
+                                let lo_u = eval_prefix(f, &orig) - base;
+                                iv = iv.intersect(&Interval::new(lo_u, iv.hi));
+                            }
+                            if let Some(f) = &s.hi_forms[q] {
+                                let hi_u = eval_prefix(f, &orig) - base;
+                                iv = iv.intersect(&Interval::new(iv.lo, hi_u));
+                            }
+                        }
+                    }
+                    iv
                 }
             }
         }
     }
 
+    /// Restrict a box in analysis coordinates by the shape constraints
+    /// (interval propagation, one pass per constraint): `None` when the
+    /// box provably holds no shape point, otherwise a box at most as
+    /// large. Rectangular spaces return the box unchanged; the result is
+    /// always a superset of `bx ∩ shape`, so box-based solvers stay
+    /// conservative, just tighter.
+    pub fn refine_box(&self, bx: IntBox) -> Option<IntBox> {
+        let Some(s) = &self.shape else { return Some(bx) };
+        let mut bx = bx;
+        for g in &s.constraints {
+            // Feasibility: the max of g over the box must reach 0.
+            let mut max: i128 = g.c0 as i128;
+            for (c, iv) in g.coeffs.iter().zip(&bx.dims) {
+                let (a, b) = ((*c as i128) * (iv.lo as i128), (*c as i128) * (iv.hi as i128));
+                max += a.max(b);
+            }
+            if max < 0 {
+                return None;
+            }
+            // Tighten each involved dimension: c·x ≥ −(max of the rest).
+            for t in 0..bx.dims.len() {
+                let c = g.coeffs[t];
+                if c == 0 {
+                    continue;
+                }
+                let iv = bx.dims[t];
+                let rest = max - (c as i128) * (if c > 0 { iv.hi } else { iv.lo }) as i128;
+                let tightened = if c > 0 {
+                    // x ≥ ceil(−rest / c)
+                    let lo = (-rest).div_euclid(c as i128)
+                        + i128::from((-rest).rem_euclid(c as i128) != 0);
+                    Interval::new(clamp_i64(lo).max(iv.lo), iv.hi)
+                } else {
+                    // x ≤ floor(rest / −c)
+                    let hi = rest.div_euclid(-(c as i128));
+                    Interval::new(iv.lo, clamp_i64(hi).min(iv.hi))
+                };
+                if tightened.is_empty() {
+                    return None;
+                }
+                bx.dims[t] = tightened;
+            }
+        }
+        Some(bx)
+    }
+
     /// Visit every point in *execution order* (lexicographic on analysis
     /// coordinates). Intended for exhaustive analysis of small spaces.
-    pub fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+    /// Triangular spaces visit exactly the shape points, in the same
+    /// order.
+    pub fn for_each_point(&self, mut callback: impl FnMut(&[i64])) {
+        let mut f = |v: &[i64]| {
+            if self.in_shape(v) {
+                callback(v);
+            }
+        };
         match &self.kind {
             SpaceKind::Original => {
                 let b = &self.regions[0].vbox;
@@ -327,6 +490,21 @@ impl ExecSpace {
             }
         }
     }
+}
+
+/// Evaluate an affine form whose nonzero coefficients all lie below
+/// `prefix.len()` (the bound-validation invariant: a loop's bound only
+/// references outer loops).
+fn eval_prefix(f: &AffineForm, prefix: &[i64]) -> i64 {
+    let mut acc = f.c0 as i128;
+    for (c, v) in f.coeffs.iter().zip(prefix) {
+        acc += (*c as i128) * (*v as i128);
+    }
+    i64::try_from(acc).expect("bound eval overflow")
+}
+
+fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
 }
 
 #[cfg(test)]
@@ -468,6 +646,106 @@ mod tests {
                 });
             }
         }
+    }
+
+    /// do i = 1,n / do j = 1,i (lower triangle).
+    fn tri_nest(n: i64) -> LoopNest {
+        LoopNest {
+            name: "tri".into(),
+            loops: vec![
+                LoopDef::new("i", 1, n),
+                LoopDef::with_affine_bounds("j", 1, n, None, Some(AffineForm::new(vec![1, 0], 0))),
+            ],
+            arrays: vec![ArrayDecl::real4("a", &[1])],
+            refs: vec![],
+        }
+    }
+
+    #[test]
+    fn triangular_untiled_space_enumerates_the_shape() {
+        let n = tri_nest(4);
+        let s = ExecSpace::untiled(&n);
+        assert_eq!(s.volume(), 16, "hull volume");
+        assert_eq!(s.shape_volume(), 10, "exact shape");
+        let mut pts = Vec::new();
+        s.for_each_point(|v| pts.push(v.to_vec()));
+        assert_eq!(pts.len(), 10);
+        // Lexicographic, j ≤ i throughout.
+        assert!(pts.windows(2).all(|w| cme_polyhedra::boxes::lex_cmp(&w[0], &w[1]).is_lt()));
+        assert!(pts.iter().all(|p| p[1] <= p[0]));
+        assert!(s.contains_v(&[3, 2]) && !s.contains_v(&[2, 3]));
+        // dim_interval narrows by prefix: j ∈ [1, i].
+        assert_eq!(s.dim_interval(1, &[2]), Interval::new(1, 2));
+        assert_eq!(s.dim_interval(0, &[]), Interval::new(1, 4));
+    }
+
+    #[test]
+    fn triangular_tiled_space_agrees_with_untiled() {
+        let n = tri_nest(7);
+        let s = ExecSpace::tiled(&n, &TileSizes(vec![3, 2]));
+        assert_eq!(s.shape_volume(), 7 * 8 / 2);
+        let mut seen = std::collections::HashSet::new();
+        s.for_each_point(|v| {
+            assert!(s.contains_v(v));
+            let orig = s.to_orig(v);
+            assert!(orig[1] <= orig[0], "tiled point left the triangle: {orig:?}");
+            assert!(seen.insert(orig));
+        });
+        assert_eq!(seen.len() as u64, s.shape_volume());
+    }
+
+    #[test]
+    fn triangular_tiled_dim_interval_matches_enumeration() {
+        // Recursive enumeration via dim_interval must visit exactly the
+        // shape points (the lexmax search's requirement).
+        let n = tri_nest(5);
+        let s = ExecSpace::tiled(&n, &TileSizes(vec![2, 2]));
+        fn count(s: &ExecSpace, prefix: &mut Vec<i64>) -> u64 {
+            if prefix.len() == s.n_v {
+                return 1;
+            }
+            let iv = s.dim_interval(prefix.len(), prefix);
+            let mut acc = 0;
+            for v in iv.iter() {
+                prefix.push(v);
+                acc += count(s, prefix);
+                prefix.pop();
+            }
+            acc
+        }
+        assert_eq!(count(&s, &mut Vec::new()), s.shape_volume());
+    }
+
+    #[test]
+    fn refine_box_tightens_and_rejects() {
+        let n = tri_nest(4);
+        let s = ExecSpace::untiled(&n);
+        // Box entirely above the diagonal: infeasible.
+        let above = IntBox::new(vec![Interval::new(1, 2), Interval::new(3, 4)]);
+        assert_eq!(s.refine_box(above), None);
+        // Straddling box: j clamps to ≤ max i.
+        let wide = IntBox::new(vec![Interval::new(1, 2), Interval::new(1, 4)]);
+        let refined = s.refine_box(wide).unwrap();
+        assert_eq!(refined.dims[1], Interval::new(1, 2));
+        // Rectangular spaces pass boxes through untouched.
+        let r = ExecSpace::untiled(&nest(&[4, 4]));
+        let b = IntBox::new(vec![Interval::new(1, 2), Interval::new(3, 4)]);
+        assert_eq!(r.refine_box(b.clone()), Some(b));
+    }
+
+    #[test]
+    fn triangular_space_rank_bijection_covers_the_hull() {
+        // The rank bijection stays hull-based; shape points are the
+        // subset accepted by contains_v (rejection sampling's contract).
+        let n = tri_nest(4);
+        let s = ExecSpace::untiled(&n);
+        let mut in_shape = 0;
+        for r in 0..s.volume() {
+            if s.contains_v(&s.point_at_global_rank(r)) {
+                in_shape += 1;
+            }
+        }
+        assert_eq!(in_shape, s.shape_volume());
     }
 
     #[test]

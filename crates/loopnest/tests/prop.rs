@@ -68,6 +68,88 @@ proptest! {
         prop_assert_eq!(orig, tiled);
     }
 
+    /// Random triangular nests trace exactly the predicted number of
+    /// accesses: `iterations()` (the shape-exact count, checked against a
+    /// brute-force enumeration) times the reference count, untiled and
+    /// tiled — and the tiled trace is a permutation of the untiled one.
+    #[test]
+    fn triangular_trace_counts_match_prediction(
+        (spans, tri_raw, tiles) in prop::collection::vec(1i64..=8, 2..=3).prop_flat_map(|spans| {
+            let d = spans.len();
+            let tiles = spans.iter().map(|&s| 1i64..=s).collect::<Vec<_>>();
+            (Just(spans), prop::collection::vec((any::<bool>(), 0usize..3), d..=d), tiles)
+        })
+    ) {
+        // tri[t] = Some(p): loop t runs 1..=x_p for an outer p < t.
+        let tri: Vec<Option<usize>> = tri_raw
+            .iter()
+            .enumerate()
+            .map(|(t, &(on, p))| if t > 0 && on { Some(p % t) } else { None })
+            .collect();
+        let mut hulls: Vec<i64> = Vec::new();
+        for (t, &s) in spans.iter().enumerate() {
+            let h = match tri[t] { Some(p) => hulls[p], None => s };
+            hulls.push(h);
+        }
+        let mut nb = NestBuilder::new("tri_prop");
+        let mut vars = Vec::new();
+        for (t, &h) in hulls.iter().enumerate() {
+            let v = match tri[t] {
+                Some(p) => nb.add_loop_bounds(
+                    format!("v{t}"),
+                    cme_loopnest::builder::sub_const(1),
+                    sub(vars[p]),
+                ),
+                None => nb.add_loop(format!("v{t}"), 1, h),
+            };
+            vars.push(v);
+        }
+        let a = nb.array("a", &hulls);
+        let subs: Vec<_> = vars.iter().map(|&v| sub(v)).collect();
+        nb.read(a, &subs);
+        nb.write(a, &subs);
+        let nest = nb.finish().unwrap();
+
+        // Brute-force oracle for the exact point count.
+        let d = spans.len();
+        let mut expected = 0u64;
+        let mut vals = vec![1i64; d];
+        let mut t = 0usize;
+        loop {
+            let hi = |t: usize, vals: &[i64]| match tri[t] {
+                Some(p) => vals[p],
+                None => spans[t],
+            };
+            if t == d {
+                expected += 1;
+                t -= 1;
+                vals[t] += 1;
+            } else if vals[t] > hi(t, &vals) {
+                if t == 0 { break; }
+                vals[t] = 1;
+                t -= 1;
+                vals[t] += 1;
+            } else {
+                t += 1;
+                if t < d { vals[t] = 1; }
+            }
+        }
+        prop_assert_eq!(nest.iterations(), expected);
+
+        let layout = MemoryLayout::contiguous(&nest);
+        let mut orig = cme_loopnest::trace::collect_trace(&nest, &layout, None);
+        prop_assert_eq!(orig.len() as u64, expected * nest.refs.len() as u64);
+        prop_assert_eq!(nest.accesses(), orig.len() as u64);
+        // Tile sizes may not exceed the (hull) span of their dimension.
+        let tiles: Vec<i64> = tiles.iter().zip(&hulls).map(|(&t, &h)| t.min(h)).collect();
+        let mut tiled =
+            cme_loopnest::trace::collect_trace(&nest, &layout, Some(&TileSizes(tiles)));
+        prop_assert_eq!(orig.len(), tiled.len());
+        orig.sort_by_key(|x| (x.ref_idx, x.addr));
+        tiled.sort_by_key(|x| (x.ref_idx, x.addr));
+        prop_assert_eq!(orig, tiled);
+    }
+
     /// Layouts never overlap arrays, and padding only ever moves arrays
     /// apart (monotone bases, growing footprint).
     #[test]

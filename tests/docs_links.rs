@@ -110,6 +110,11 @@ fn schema_doc_covers_the_wire_surface() {
         "POST /compare",
         "\"winner\"",
         "weighted_cost",
+        "lo_aff",
+        "hi_aff",
+        "tightest constant hull",
+        "rectangular loop bounds only",
+        "TRSOLVE",
     ] {
         assert!(schema.contains(needle), "docs/SCHEMA.md no longer mentions `{needle}`");
     }
@@ -129,6 +134,11 @@ fn schema_doc_covers_the_wire_surface() {
         "oblivious",
         "latency",
         "Tournament memo",
+        "Iteration spaces",
+        "SpaceShape",
+        "shape_volume",
+        "require_rectangular",
+        "statement-major",
     ] {
         assert!(arch.contains(needle), "docs/ARCHITECTURE.md no longer mentions `{needle}`");
     }

@@ -166,6 +166,35 @@ fn family_requests() -> Vec<(&'static str, OptimizeRequest)> {
                 ))
                 .with_seed(28),
         ),
+        // Triangular registry kernels: pin the affine-bounds wire format
+        // (`lo_aff`/`hi_aff` in inline echoes stay absent here — these
+        // arrive by name) and the trapezoidal evaluation path for the
+        // three capable families that tile, recurse and probe over a
+        // non-rectangular space.
+        (
+            "trmm_tiling",
+            OptimizeRequest::new(NestSource::kernel_sized("TRMM", 16), StrategySpec::Tiling)
+                .with_cache(kb1)
+                .with_seed(33),
+        ),
+        (
+            "trsolve_oblivious",
+            OptimizeRequest::new(
+                NestSource::kernel_sized("TRSOLVE", 32),
+                StrategySpec::CacheOblivious,
+            )
+            .with_cache(kb1)
+            .with_seed(34),
+        ),
+        (
+            "ttrans_latency",
+            OptimizeRequest::new(
+                NestSource::kernel_sized("TTRANS", 32),
+                StrategySpec::LatencyBased,
+            )
+            .with_cache(kb1)
+            .with_seed(35),
+        ),
     ]
 }
 

@@ -367,6 +367,77 @@ fn compare_route_matches_session_and_caches_tournaments() {
     handle.shutdown_and_join();
 }
 
+/// `/compare` error paths answer structured `400`s, never a panic or a
+/// dropped connection: an unknown strategy token, an empty line-up, and
+/// a line-up mixing triangular-capable and -incapable families over a
+/// triangular kernel (any entrant's failure fails the tournament).
+#[test]
+fn compare_error_paths_answer_structured_400s() {
+    let handle = start(2, 8);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    let expect_400 = |client: &mut HttpClient, body: &str, needle: &str| {
+        let (status, resp) = client.post("/compare", body).expect("response");
+        assert_eq!(status, 400, "{resp}");
+        let doc: serde::Value = serde_json::from_str(&resp).expect("error body is JSON");
+        // Parse-time rejections answer `{"error": "<msg>"}`; API errors
+        // answer `{"error": {<Variant>: …}, "message": "<msg>"}`.
+        let msg = match (doc.get("error"), doc.get("message")) {
+            (_, Some(serde::Value::Str(s))) => s.clone(),
+            (Some(serde::Value::Str(s)), None) => s.clone(),
+            other => panic!("structured error field missing: {other:?} in {resp}"),
+        };
+        assert!(msg.contains(needle), "expected `{needle}` in: {msg}");
+    };
+
+    // Unknown strategy token: rejected at parse time.
+    expect_400(
+        &mut client,
+        r#"{
+            "base": {
+                "nest": {"Kernel": {"name": "MM", "size": 24}},
+                "cache": {"size": 256, "line": 16, "assoc": 1}
+            },
+            "strategies": ["oblivious", "nonsense"]
+        }"#,
+        "bad compare request",
+    );
+
+    // Empty line-up: rejected by the session.
+    expect_400(
+        &mut client,
+        r#"{
+            "base": {
+                "nest": {"Kernel": {"name": "MM", "size": 24}},
+                "cache": {"size": 256, "line": 16, "assoc": 1}
+            },
+            "strategies": []
+        }"#,
+        "at least one strategy",
+    );
+
+    // Mixed line-up over a triangular kernel: `oblivious` could run, but
+    // `interchange` is box-only, so the tournament as a whole is a 400
+    // carrying the capability message with the kernel context.
+    expect_400(
+        &mut client,
+        r#"{
+            "base": {
+                "nest": {"Kernel": {"name": "TRSOLVE", "size": 24}},
+                "cache": {"size": 256, "line": 16, "assoc": 1}
+            },
+            "strategies": ["oblivious", "interchange"]
+        }"#,
+        "kernel `TRSOLVE`: the interchange search supports rectangular loop bounds only",
+    );
+
+    // The server is still healthy afterwards.
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200, "{body}");
+
+    handle.shutdown_and_join();
+}
+
 #[test]
 fn batch_route_round_trips_over_the_wire() {
     let handle = start(2, 8);
